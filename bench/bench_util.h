@@ -1,0 +1,95 @@
+#ifndef SCC_BENCH_BENCH_UTIL_H_
+#define SCC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sys/perf_counters.h"
+#include "sys/timer.h"
+#include "util/rng.h"
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary is a standalone main() that prints the same rows/series the
+// paper reports, so `for b in build/bench/*; do $b; done` regenerates the
+// whole evaluation.
+
+namespace scc {
+namespace bench {
+
+/// Synthetic values for the Section 3 microbenchmarks: codes uniform in
+/// [0, 2^b), outliers above the frame with probability `exception_rate`.
+template <typename T>
+std::vector<T> ExceptionData(size_t n, int b, T base, double exception_rate,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  const uint64_t max_code = (uint64_t(1) << b) - 1;
+  for (size_t i = 0; i < n; i++) {
+    if (rng.Bernoulli(exception_rate)) {
+      v[i] = T(base + T(max_code) + T(2 + rng.Uniform(100000)));
+    } else {
+      v[i] = T(base + T(rng.Uniform(max_code)));  // strictly below escape
+    }
+  }
+  return v;
+}
+
+/// Runs `fn` repeatedly, returns best-of-reps seconds (steadier than the
+/// mean on a shared machine).
+inline double BestSeconds(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; r++) {
+    Timer t;
+    fn();
+    double s = t.ElapsedSeconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Measures `fn` under the perf counter group (if available).
+struct MeasuredRun {
+  double seconds = 0;
+  PerfReading perf;
+};
+
+inline MeasuredRun MeasureWithCounters(int reps,
+                                       const std::function<void()>& fn) {
+  MeasuredRun out;
+  out.seconds = BestSeconds(reps, fn);
+  PerfCounters counters;
+  if (counters.available()) {
+    counters.Start();
+    fn();
+    out.perf = counters.Stop();
+  }
+  return out;
+}
+
+/// Formats -1 readings as "n/a".
+inline std::string FmtRate(double v, const char* suffix = "%") {
+  char buf[32];
+  if (v < 0) return "   n/a";
+  snprintf(buf, sizeof(buf), "%5.1f%s", v, suffix);
+  return buf;
+}
+
+inline std::string FmtIpc(double v) {
+  char buf[32];
+  if (v < 0) return " n/a";
+  snprintf(buf, sizeof(buf), "%4.2f", v);
+  return buf;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  printf("\n=== %s ===\n", title);
+  printf("(reproduces %s)\n\n", paper_ref);
+}
+
+}  // namespace bench
+}  // namespace scc
+
+#endif  // SCC_BENCH_BENCH_UTIL_H_

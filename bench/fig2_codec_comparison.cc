@@ -1,0 +1,173 @@
+// Figure 2 reproduction: compression ratio, compression speed and
+// decompression speed of general-purpose codecs versus the super-scalar
+// schemes, on four TPC-H lineitem columns (L_ORDERKEY, L_LINENUMBER,
+// L_COMMITDATE, L_EXTENDEDPRICE).
+//
+// Codecs: real zlib when the system provides it (the paper's exact
+// baseline), plus our from-scratch LZSS+Huffman ("heavy" class, stands in
+// for bzip2), LZRW1 ("fast LZ" class, as used by Sybase IQ; also the
+// lzop class), and a bytewise semi-static Huffman coder for the
+// entropy-only point (see DESIGN.md substitutions).
+// "PFOR" is the segment pipeline with the analyzer's per-column scheme
+// (PFOR / PFOR-DELTA / PDICT), as in the paper.
+//
+// Expected shape: generic codecs decompress at 0.1-0.5 GB/s; the
+// super-scalar schemes compress >1 GB/s and decompress several GB/s — an
+// order of magnitude faster at comparable (or better) ratios on these
+// integer columns.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "baselines/huffman.h"
+#include "baselines/lzrw1.h"
+#include "baselines/lzss_huffman.h"
+#include "bench/bench_util.h"
+#include "core/analyzer.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+#include "tpch/dbgen.h"
+
+#ifdef SCC_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace scc {
+namespace {
+
+constexpr int kReps = 3;
+
+struct Row {
+  const char* codec;
+  double ratio;
+  double comp_mb_s;
+  double dec_mb_s;
+};
+
+template <typename T>
+std::vector<Row> BenchColumn(const std::vector<T>& column) {
+  std::vector<Row> rows;
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(column.data());
+  const size_t raw_bytes = column.size() * sizeof(T);
+
+#ifdef SCC_HAVE_ZLIB
+  {  // real zlib (the paper's exact baseline), default level
+    uLongf cap = compressBound(uLong(raw_bytes));
+    std::vector<uint8_t> comp(cap);
+    uLongf csize = cap;
+    double cs = bench::BestSeconds(kReps, [&] {
+      csize = cap;
+      SCC_CHECK(compress2(comp.data(), &csize, raw, uLong(raw_bytes), 6) ==
+                    Z_OK,
+                "zlib compress");
+    });
+    std::vector<uint8_t> out(raw_bytes);
+    double ds = bench::BestSeconds(kReps, [&] {
+      uLongf dsize = uLongf(raw_bytes);
+      SCC_CHECK(uncompress(out.data(), &dsize, comp.data(), csize) == Z_OK,
+                "zlib uncompress");
+    });
+    rows.push_back(Row{"zlib", double(raw_bytes) / csize,
+                       MBPerSec(raw_bytes, cs), MBPerSec(raw_bytes, ds)});
+  }
+#endif
+  {  // LZSS + Huffman (heavy general-purpose class)
+    std::vector<uint8_t> comp;
+    double cs = bench::BestSeconds(
+        1, [&] { comp = LzssHuffman::Compress(raw, raw_bytes); });
+    std::vector<uint8_t> out;
+    double ds = bench::BestSeconds(kReps, [&] {
+      SCC_CHECK(LzssHuffman::Decompress(comp.data(), comp.size(), &out).ok(),
+                "lzh");
+    });
+    rows.push_back(Row{"lzss-huff", double(raw_bytes) / comp.size(),
+                       MBPerSec(raw_bytes, cs), MBPerSec(raw_bytes, ds)});
+  }
+  {  // bytewise Huffman (entropy-only)
+    std::vector<uint8_t> comp;
+    double cs = bench::BestSeconds(
+        kReps, [&] { comp = HuffmanCompressBytes(raw, raw_bytes); });
+    std::vector<uint8_t> out;
+    double ds = bench::BestSeconds(kReps, [&] {
+      SCC_CHECK(HuffmanDecompressBytes(comp.data(), comp.size(), &out).ok(),
+                "huff");
+    });
+    rows.push_back(Row{"huffman", double(raw_bytes) / comp.size(),
+                       MBPerSec(raw_bytes, cs), MBPerSec(raw_bytes, ds)});
+  }
+  {  // LZRW1 (fast LZ, Sybase IQ class)
+    std::vector<uint8_t> comp(Lzrw1::MaxCompressedSize(raw_bytes));
+    size_t csize = 0;
+    double cs = bench::BestSeconds(
+        kReps, [&] { csize = Lzrw1::Compress(raw, raw_bytes, comp.data()); });
+    std::vector<uint8_t> out(raw_bytes);
+    double ds = bench::BestSeconds(kReps, [&] {
+      SCC_CHECK(Lzrw1::Decompress(comp.data(), csize, out.data(), raw_bytes)
+                    .ok(),
+                "lzrw1");
+    });
+    rows.push_back(Row{"lzrw1", double(raw_bytes) / csize,
+                       MBPerSec(raw_bytes, cs), MBPerSec(raw_bytes, ds)});
+  }
+  {  // super-scalar segments, analyzer-chosen scheme
+    std::span<const T> span(column);
+    CompressionChoice<T> choice = Analyzer<T>::Analyze(
+        span.subspan(0, std::min(span.size(), size_t(64) * 1024)));
+    AlignedBuffer seg;
+    double cs = bench::BestSeconds(kReps, [&] {
+      auto r = SegmentBuilder<T>::Build(span, choice);
+      SCC_CHECK(r.ok(), "segment");
+      seg = r.MoveValueOrDie();
+    });
+    std::vector<T> out(column.size());
+    double ds = bench::BestSeconds(kReps, [&] {
+      auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+      reader.ValueOrDie().DecompressAll(out.data());
+    });
+    static char label[64];
+    snprintf(label, sizeof(label), "%s", SchemeName(choice.scheme));
+    rows.push_back(Row{label, double(raw_bytes) / seg.size(),
+                       MBPerSec(raw_bytes, cs), MBPerSec(raw_bytes, ds)});
+  }
+  return rows;
+}
+
+void PrintColumn(const char* name, const std::vector<Row>& rows) {
+  printf("%s\n", name);
+  printf("  %-12s %8s %12s %12s\n", "codec", "ratio", "comp MB/s",
+         "dec MB/s");
+  for (const auto& r : rows) {
+    printf("  %-12s %8.2f %12.0f %12.0f\n", r.codec, r.ratio, r.comp_mb_s,
+           r.dec_mb_s);
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Codec comparison on TPC-H columns", "Figure 2");
+  TpchData data = GenerateTpch(0.02);
+  printf("lineitem rows: %zu\n\n", data.lineitem.rows());
+
+  PrintColumn("L_ORDERKEY (int64, clustered)",
+              BenchColumn(data.lineitem.orderkey));
+  PrintColumn("L_LINENUMBER (int8, 1..7)",
+              BenchColumn(data.lineitem.linenumber));
+  PrintColumn("L_COMMITDATE (int32, date domain)",
+              BenchColumn(data.lineitem.commitdate));
+  PrintColumn("L_EXTENDEDPRICE (int64, cents)",
+              BenchColumn(data.lineitem.extendedprice));
+
+  printf("Paper reference (Fig. 2): generic codecs decompress at "
+         "~0.2-0.5 GB/s and\ncompress far slower; PFOR-class schemes reach "
+         "multi-GB/s decompression and\n>1 GB/s compression — roughly an "
+         "order of magnitude faster. L_ORDERKEY\ncompresses best (42.8x in "
+         "the paper via delta), L_EXTENDEDPRICE worst (~2.4x).\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main() { return scc::Main(); }

@@ -1,0 +1,109 @@
+// Figure 4 reproduction: decompression bandwidth (and branch-miss rate /
+// IPC where hardware counters are available) as a function of the
+// exception rate, for NAIVE if-then-else decoding vs. the patched PFOR
+// and PDICT kernels.
+//
+// Expected shape (paper, Fig. 4): NAIVE bandwidth collapses towards a 50%
+// exception rate as the branch becomes unpredictable; PFOR and PDICT
+// decline only gently (more LOOP2 patch work) and dominate everywhere.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/kernels.h"
+#include "util/bitutil.h"
+
+namespace scc {
+namespace {
+
+constexpr size_t kN = 4u << 20;  // 4M values, 64-bit decoded, 8-bit codes
+constexpr int kB = 8;
+constexpr int kReps = 3;
+
+struct Prepared {
+  std::vector<uint32_t> codes_naive;  // escape-coded
+  std::vector<int64_t> exc_naive;
+  std::vector<uint32_t> codes_patched;  // gap-linked
+  std::vector<int64_t> exc_patched;
+  size_t first_exc = 0;
+  size_t n_exc = 0;
+};
+
+Prepared Prepare(const std::vector<int64_t>& data, int64_t base) {
+  Prepared p;
+  p.codes_naive.resize(kN);
+  p.exc_naive.resize(kN);
+  p.codes_patched.resize(kN);
+  p.exc_patched.resize(kN);
+  std::vector<uint32_t> miss(kN);
+  CompressNaive(data.data(), kN, kB, base, p.codes_naive.data(),
+                p.exc_naive.data());
+  p.n_exc = CompressPred(data.data(), kN, kB, base, p.codes_patched.data(),
+                         p.exc_patched.data(), &p.first_exc, miss.data());
+  return p;
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Decompression bandwidth vs. exception rate",
+                     "Figure 4");
+  printf("%zu x 64-bit values, %d-bit codes; bandwidth counts decoded "
+         "output bytes\n\n",
+         kN, kB);
+  printf("exc.rate | NAIVE GB/s  miss%%  IPC | PFOR GB/s   miss%%  IPC | "
+         "PDICT GB/s  miss%%  IPC\n");
+  printf("---------+---------------------------+---------------------------+"
+         "---------------------------\n");
+
+  const int64_t base = 1000;
+  std::vector<int64_t> out(kN);
+  // PDICT dictionary: 256 entries (8-bit codes), padded for gap codes.
+  std::vector<int64_t> dict(1u << kB);
+  for (size_t i = 0; i < dict.size(); i++) dict[i] = int64_t(i) * 7 - 3;
+
+  for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    auto data = bench::ExceptionData<int64_t>(kN, kB, base, rate,
+                                              uint64_t(rate * 1000) + 1);
+    Prepared p = Prepare(data, base);
+
+    const double bytes = double(kN) * sizeof(int64_t);
+    ForCodec<int64_t> codec(base);
+    auto naive = bench::MeasureWithCounters(kReps, [&] {
+      DecompressNaive(p.codes_naive.data(), kN, kB, codec, p.exc_naive.data(),
+                      out.data());
+    });
+    auto pfor = bench::MeasureWithCounters(kReps, [&] {
+      DecompressPatched(p.codes_patched.data(), kN, codec,
+                        p.exc_patched.data(), p.first_exc, p.n_exc,
+                        out.data());
+    });
+    // PDICT: decode through the dictionary; same patch list layout.
+    DictCodec<int64_t> dcodec(dict.data());
+    auto pdict = bench::MeasureWithCounters(kReps, [&] {
+      DecompressPatched(p.codes_patched.data(), kN, dcodec,
+                        p.exc_patched.data(), p.first_exc, p.n_exc,
+                        out.data());
+    });
+
+    printf("  %4.2f   | %9.2f  %s %s | %9.2f  %s %s | %9.2f  %s %s\n", rate,
+           GBPerSec(bytes, naive.seconds),
+           bench::FmtRate(naive.perf.BranchMissRate()).c_str(),
+           bench::FmtIpc(naive.perf.IPC()).c_str(),
+           GBPerSec(bytes, pfor.seconds),
+           bench::FmtRate(pfor.perf.BranchMissRate()).c_str(),
+           bench::FmtIpc(pfor.perf.IPC()).c_str(),
+           GBPerSec(bytes, pdict.seconds),
+           bench::FmtRate(pdict.perf.BranchMissRate()).c_str(),
+           bench::FmtIpc(pdict.perf.IPC()).c_str());
+  }
+  printf("\nPaper reference (Fig. 4): patched PFOR/PDICT reach 2-5 GB/s at "
+         "low exception\nrates and stay well above NAIVE, whose throughput "
+         "collapses near 50%% exceptions\ndue to branch mispredictions.\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main() { return scc::Main(); }

@@ -1,0 +1,76 @@
+// Figure 5 reproduction: PFOR *compression* bandwidth as a function of
+// the exception rate for three variants:
+//   NAIVE - if-then-else exception test (escape codes)
+//   PRED  - predicated miss-list append (single cursor)
+//   DC    - double-cursor predication (two independent chains)
+//
+// Expected shape (paper, Fig. 5): NAIVE dips around unpredictable
+// exception rates; PRED is flat; DC matches or beats PRED (notably on
+// deeply pipelined cores) and is the most stable across platforms.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/kernels.h"
+
+namespace scc {
+namespace {
+
+constexpr size_t kN = 4u << 20;
+constexpr int kB = 8;
+constexpr int kReps = 3;
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Compression bandwidth vs. exception rate", "Figure 5");
+  printf("%zu x 64-bit values, %d-bit codes; bandwidth counts input bytes\n\n",
+         kN, kB);
+  printf("exc.rate | NAIVE GB/s  miss%%  IPC | PRED GB/s   miss%%  IPC | "
+         "DC GB/s     miss%%  IPC\n");
+  printf("---------+---------------------------+---------------------------+"
+         "---------------------------\n");
+
+  const int64_t base = -500;
+  std::vector<uint32_t> codes(kN), miss0(kN), miss1(kN);
+  std::vector<int64_t> exc(kN);
+
+  for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    auto data = bench::ExceptionData<int64_t>(kN, kB, base, rate,
+                                              uint64_t(rate * 1000) + 7);
+    const double bytes = double(kN) * sizeof(int64_t);
+    size_t first = 0;
+
+    auto naive = bench::MeasureWithCounters(kReps, [&] {
+      CompressNaive(data.data(), kN, kB, base, codes.data(), exc.data());
+    });
+    auto pred = bench::MeasureWithCounters(kReps, [&] {
+      CompressPred(data.data(), kN, kB, base, codes.data(), exc.data(),
+                   &first, miss0.data());
+    });
+    auto dc = bench::MeasureWithCounters(kReps, [&] {
+      CompressDC(data.data(), kN, kB, base, codes.data(), exc.data(), &first,
+                 miss0.data(), miss1.data());
+    });
+
+    printf("  %4.2f   | %9.2f  %s %s | %9.2f  %s %s | %9.2f  %s %s\n", rate,
+           GBPerSec(bytes, naive.seconds),
+           bench::FmtRate(naive.perf.BranchMissRate()).c_str(),
+           bench::FmtIpc(naive.perf.IPC()).c_str(),
+           GBPerSec(bytes, pred.seconds),
+           bench::FmtRate(pred.perf.BranchMissRate()).c_str(),
+           bench::FmtIpc(pred.perf.IPC()).c_str(),
+           GBPerSec(bytes, dc.seconds),
+           bench::FmtRate(dc.perf.BranchMissRate()).c_str(),
+           bench::FmtIpc(dc.perf.IPC()).c_str());
+  }
+  printf("\nPaper reference (Fig. 5): compression reaches the 1-2 GB/s "
+         "design target;\npredication removes NAIVE's branch dip and "
+         "double-cursor is the most stable\nvariant across platforms.\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main() { return scc::Main(); }

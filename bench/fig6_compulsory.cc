@@ -1,0 +1,71 @@
+// Figure 6 reproduction: the effective exception rate E'(E, b) once
+// compulsory exceptions are accounted for, for code widths b = 1..4 (and
+// b > 4 where the effect vanishes). Printed three ways:
+//   analytic  - the paper's model E' = MAX(E, (128E-1)/(128E) * 2^-b)
+//   segments  - measured from real PFOR segments, whose exception lists
+//               restart at every 128-value entry point
+//   no-restart- ablation: one linked list across the whole block (what
+//               the format would pay without per-group entry points)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/exception_model.h"
+#include "core/kernels.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+
+namespace scc {
+namespace {
+
+constexpr size_t kN = 128 * 4096;
+
+double MeasuredSegmentRate(double e, int b) {
+  auto data = bench::ExceptionData<int64_t>(kN, b, 0, e,
+                                            uint64_t(e * 1000) * 31 + b);
+  auto seg = SegmentBuilder<int64_t>::BuildPFor(data,
+                                                PForParams<int64_t>{b, 0});
+  SCC_CHECK(seg.ok(), "segment build failed");
+  auto reader = SegmentReader<int64_t>::Open(seg.ValueOrDie().data(),
+                                             seg.ValueOrDie().size());
+  return double(reader.ValueOrDie().exception_count()) / double(kN);
+}
+
+double MeasuredFlatRate(double e, int b) {
+  auto data = bench::ExceptionData<int64_t>(kN, b, 0, e,
+                                            uint64_t(e * 1000) * 31 + b);
+  std::vector<uint32_t> codes(kN), miss(kN);
+  std::vector<int64_t> exc(kN);
+  size_t first = 0;
+  size_t n_exc = CompressPred(data.data(), kN, b, int64_t(0), codes.data(),
+                              exc.data(), &first, miss.data());
+  return double(n_exc) / double(kN);
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Compulsory exceptions: effective rate E'(E, b)",
+                     "Figure 6");
+  for (int b : {1, 2, 3, 4, 8}) {
+    printf("bit width b = %d\n", b);
+    printf("   E     analytic   segments   no-restart\n");
+    for (double e : {0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}) {
+      printf(" %5.3f   %7.3f    %7.3f    %7.3f\n", e,
+             EffectiveExceptionRate(e, b), MeasuredSegmentRate(e, b),
+             MeasuredFlatRate(e, b));
+    }
+    printf("\n");
+  }
+  printf("Paper reference (Fig. 6): with b=1, E' saturates near 0.47 for "
+         "E > 0.01;\nb=2 peaks around 0.22; for b > 4 compulsory exceptions "
+         "are negligible.\nThe per-128 entry-point restart (\"segments\") "
+         "removes the list-coverage cost at\nblock edges versus the "
+         "no-restart ablation.\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main() { return scc::Main(); }

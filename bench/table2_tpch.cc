@@ -1,0 +1,172 @@
+// Table 2 + Figure 8 reproduction: TPC-H with and without compression,
+// under DSM and PAX storage, on two simulated RAID classes:
+//   low-end   4-disk RAID,  ~80 MB/s (the paper's Opteron box)
+//   mid-range 12-disk RAID, ~350 MB/s (the paper's Pentium4 box)
+//
+// For every implemented query we report (per the paper's Table 2):
+//   * DSM and PAX compression ratios over the query's columns / row
+//     groups
+//   * decompression speed (decoded bytes / decompression time)
+//   * query time uncompressed vs compressed, DSM and PAX
+// and the Figure 8 decomposition into decompression / other CPU /
+// I/O-stall time. Queries run cold (buffer pool cleared) so every chunk
+// is fetched once, as in the paper's 100GB-vs-4GB-RAM setup.
+//
+// Scale factor defaults to 0.05 (~300K lineitems) so the whole sweep runs
+// in seconds; pass a scale factor as argv[1] to increase it. Absolute
+// times differ from the paper's 100 GB runs, but the structure — who is
+// I/O-bound where, and the speedup vs. ratio relationship — is preserved.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+namespace scc {
+namespace {
+
+struct RunResult {
+  QueryStats unc;
+  QueryStats comp;
+};
+
+RunResult RunBoth(int q, const TpchDatabase& unc_db,
+                  const TpchDatabase& comp_db, SimDisk::Config disk_cfg,
+                  Layout layout) {
+  RunResult r;
+  {
+    SimDisk disk(disk_cfg);
+    BufferManager bm(&disk, size_t(1) << 34, layout);
+    r.unc = RunTpchQuery(q, unc_db, &bm, TableScanOp::Mode::kVectorWise);
+  }
+  {
+    SimDisk disk(disk_cfg);
+    BufferManager bm(&disk, size_t(1) << 34, layout);
+    r.comp = RunTpchQuery(q, comp_db, &bm, TableScanOp::Mode::kVectorWise);
+  }
+  SCC_CHECK(r.unc.checksum == r.comp.checksum,
+            "compressed and uncompressed runs disagree");
+  return r;
+}
+
+double QueryRatio(int q, const TpchDatabase& comp_db,
+                  const TpchDatabase& unc_db, bool pax) {
+  // DSM: ratio over the query's columns only. PAX: ratio over the full
+  // row groups of the touched tables (comments included), as in Table 2.
+  auto cols = QueryColumns(q);
+  auto table_of = [](const TpchDatabase& db,
+                     const std::string& name) -> const Table* {
+    if (name == "lineitem") return &db.lineitem;
+    if (name == "orders") return &db.orders;
+    if (name == "customer") return &db.customer;
+    if (name == "supplier") return &db.supplier;
+    if (name == "part") return &db.part;
+    return &db.partsupp;
+  };
+  double raw = 0, stored = 0;
+  if (pax) {
+    std::vector<std::string> tables;
+    for (const auto& [t, c] : cols) {
+      if (std::find(tables.begin(), tables.end(), t) == tables.end()) {
+        tables.push_back(t);
+      }
+    }
+    for (const auto& t : tables) {
+      const Table* ct = table_of(comp_db, t);
+      const Table* ut = table_of(unc_db, t);
+      stored += double(ct->ByteSize());
+      raw += double(ut->ByteSize());
+    }
+  } else {
+    for (const auto& [t, c] : cols) {
+      const StoredColumn* cc = table_of(comp_db, t)->column(c);
+      const StoredColumn* uc = table_of(unc_db, t)->column(c);
+      stored += double(cc->ByteSize());
+      raw += double(uc->ByteSize());
+    }
+  }
+  return stored > 0 ? raw / stored : 1.0;
+}
+
+void RunConfig(const char* label, SimDisk::Config disk_cfg,
+               const TpchDatabase& unc_db, const TpchDatabase& comp_db) {
+  printf("--- %s (%.0f MB/s RAID) ---\n", label, disk_cfg.bandwidth_mb_per_s);
+  printf("      ratio      dec.speed   DSM time (s)          PAX time (s)\n");
+  printf("query DSM  PAX    MB/s       unc.    compr.        unc.    "
+         "compr.\n");
+  for (int q : TpchQuerySet()) {
+    RunResult dsm = RunBoth(q, unc_db, comp_db, disk_cfg, Layout::kDSM);
+    RunResult pax = RunBoth(q, unc_db, comp_db, disk_cfg, Layout::kPAX);
+    double dsm_ratio = QueryRatio(q, comp_db, unc_db, /*pax=*/false);
+    double pax_ratio = QueryRatio(q, comp_db, unc_db, /*pax=*/true);
+    // Decompression speed: decoded bytes per decompression second.
+    double decoded_bytes = 0;
+    for (const auto& [t, c] : QueryColumns(q)) {
+      const Table* ut = (t == "lineitem")   ? &unc_db.lineitem
+                        : (t == "orders")   ? &unc_db.orders
+                        : (t == "customer") ? &unc_db.customer
+                        : (t == "supplier") ? &unc_db.supplier
+                        : (t == "part")     ? &unc_db.part
+                                            : &unc_db.partsupp;
+      const StoredColumn* col = ut->column(c);
+      decoded_bytes += double(col->rows) * TypeSize(col->type);
+    }
+    double dec_speed = dsm.comp.decompress_seconds > 0
+                           ? MBPerSec(decoded_bytes,
+                                      dsm.comp.decompress_seconds)
+                           : 0;
+    printf("%5d %4.2f %4.2f %9.0f   %7.3f %7.3f       %7.3f %7.3f\n", q,
+           dsm_ratio, pax_ratio, dec_speed, dsm.unc.TotalSeconds(),
+           dsm.comp.TotalSeconds(), pax.unc.TotalSeconds(),
+           pax.comp.TotalSeconds());
+  }
+  printf("\nFigure 8 decomposition (DSM, %% of uncompressed query time):\n");
+  printf("query   unc: decomp proc  stall  | comp: decomp proc  stall\n");
+  for (int q : TpchQuerySet()) {
+    RunResult dsm = RunBoth(q, unc_db, comp_db, disk_cfg, Layout::kDSM);
+    double base = dsm.unc.TotalSeconds();
+    auto pct = [base](double v) { return 100.0 * v / base; };
+    printf("%5d        %5.1f %5.1f %6.1f  |       %5.1f %5.1f %6.1f\n", q,
+           pct(dsm.unc.decompress_seconds),
+           pct(dsm.unc.ProcessingSeconds()), pct(dsm.unc.IoStallSeconds()),
+           pct(dsm.comp.decompress_seconds),
+           pct(dsm.comp.ProcessingSeconds()), pct(dsm.comp.IoStallSeconds()));
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  double sf = argc > 1 ? atof(argv[1]) : 0.05;
+  bench::PrintHeader("TPC-H with super-scalar compression",
+                     "Table 2 and Figure 8");
+  printf("scale factor %.3f (all 11 Table-2 queries)\n",
+         sf);
+  TpchData data = GenerateTpch(sf);
+  printf("lineitem rows: %zu\n", data.lineitem.rows());
+  TpchDatabase comp_db =
+      TpchDatabase::Build(data, ColumnCompression::kAuto, 1u << 17);
+  TpchDatabase unc_db =
+      TpchDatabase::Build(data, ColumnCompression::kNone, 1u << 17);
+  printf("stored bytes: %.1f MB compressed vs %.1f MB raw\n\n",
+         comp_db.ByteSize() / 1048576.0, unc_db.ByteSize() / 1048576.0);
+
+  RunConfig("low-end (paper: Opteron, 4-disk RAID)", SimDisk::LowEndRaid(),
+            unc_db, comp_db);
+  RunConfig("mid-range (paper: Pentium4, 12-disk RAID)",
+            SimDisk::MidRangeRaid(), unc_db, comp_db);
+
+  printf("Paper reference (Table 2 / Fig. 8): on the low-end RAID, queries "
+         "stay\nI/O-bound even compressed, so speedup tracks the "
+         "compression ratio (3-4x);\non the faster RAID compression makes "
+         "them CPU-bound and the gain is smaller.\nPAX reads whole row "
+         "groups (comments included), so its ratios and gains are\nlower "
+         "than DSM's.\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Main(argc, argv); }

@@ -1,0 +1,75 @@
+// Table 3 reproduction: I/O-RAM (page-wise) versus RAM-CPU cache
+// (vector-wise) decompression on full TPC-H queries Q3, Q4, Q6 and Q18.
+// Reports execution time and hardware cache misses (when counters are
+// available) for both buffer-manager strategies.
+//
+// Expected shape (paper, Table 3): vector-wise is consistently faster and
+// suffers a fraction of the cache misses, because decompressed pages
+// never round-trip through main memory.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "sys/perf_counters.h"
+#include "tpch/queries.h"
+
+namespace scc {
+
+int Main(int argc, char** argv) {
+  double sf = argc > 1 ? atof(argv[1]) : 0.05;
+  bench::PrintHeader("Page-wise vs vector-wise decompression on TPC-H",
+                     "Table 3");
+  TpchData data = GenerateTpch(sf);
+  TpchDatabase db =
+      TpchDatabase::Build(data, ColumnCompression::kAuto, 1u << 16);
+  printf("scale factor %.3f, lineitem rows %zu\n\n", sf,
+         data.lineitem.rows());
+  printf("query  page-wise:  cpu(s)  decomp(s)  cachemiss(M) |  "
+         "vector-wise: cpu(s)  decomp(s)  cachemiss(M)\n");
+
+  for (int q : {3, 4, 6, 18}) {
+    QueryStats page, vec;
+    PerfReading page_perf, vec_perf;
+    {
+      SimDisk disk;
+      BufferManager bm(&disk, size_t(1) << 34, Layout::kDSM);
+      PerfCounters counters;
+      counters.Start();
+      page = RunTpchQuery(q, db, &bm, TableScanOp::Mode::kPageWise);
+      page_perf = counters.Stop();
+    }
+    {
+      SimDisk disk;
+      BufferManager bm(&disk, size_t(1) << 34, Layout::kDSM);
+      PerfCounters counters;
+      counters.Start();
+      vec = RunTpchQuery(q, db, &bm, TableScanOp::Mode::kVectorWise);
+      vec_perf = counters.Stop();
+    }
+    SCC_CHECK(page.checksum == vec.checksum, "modes disagree");
+    auto fmt_misses = [](const PerfReading& p) {
+      char buf[32];
+      if (p.cache_misses < 0) {
+        snprintf(buf, sizeof(buf), "   n/a");
+      } else {
+        snprintf(buf, sizeof(buf), "%6.2f", double(p.cache_misses) / 1e6);
+      }
+      return std::string(buf);
+    };
+    printf("%5d              %7.3f  %8.3f      %s     |              "
+           "%7.3f  %8.3f      %s\n",
+           q, page.cpu_seconds, page.decompress_seconds,
+           fmt_misses(page_perf).c_str(), vec.cpu_seconds,
+           vec.decompress_seconds, fmt_misses(vec_perf).c_str());
+  }
+  printf("\nPaper reference (Table 3): vector-wise wins on every query "
+         "(e.g. Q18:\n14.3s vs 21.5s) with an order of magnitude fewer L2 "
+         "misses (Q6: 0.38M vs\n64.9M), because page-wise decompression "
+         "writes results back to RAM first.\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Main(argc, argv); }

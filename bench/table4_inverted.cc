@@ -1,0 +1,150 @@
+// Table 4 + Section 5 reproduction: inverted-file compression on five
+// synthetic collections standing in for INEX and four TREC sub-corpora
+// (see DESIGN.md substitutions). For each (collection, codec) pair we
+// report compression ratio (vs raw 32-bit docids), compression MB/s and
+// decompression MB/s; then the Section 5 bandwidth analysis of the top-N
+// retrieval query via Equation 3.1.
+//
+// Expected shape (paper, Table 4): shuff compresses best but decodes
+// slowest; carryover-12 sits in the middle; PFOR-DELTA gives ~0.85x of
+// carryover-12's ratio at ~6.5x its decompression speed. In the Eq. 3.1
+// analysis only PFOR-DELTA exceeds the 883 MB/s equilibrium point and
+// actually accelerates the 350 MB/s-disk query.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "core/codec.h"
+#include "ir/collection.h"
+#include "ir/posting_codec.h"
+#include "ir/search.h"
+
+namespace scc {
+namespace {
+
+constexpr int kReps = 3;
+
+void BenchCollection(const CollectionSpec& spec) {
+  InvertedIndex idx = BuildCollection(spec);
+  std::vector<uint32_t> gaps = FlattenToIds(idx);
+  const double raw_bytes = double(gaps.size()) * 4;
+  printf("%-14s docs=%u postings=%zu raw=%.1f MB\n", spec.name.c_str(),
+         spec.num_docs, gaps.size(), raw_bytes / 1048576.0);
+  printf("  %-14s %7s %11s %11s\n", "codec", "ratio", "comp MB/s",
+         "dec MB/s");
+  for (auto& codec : MakePostingCodecs()) {
+    std::vector<uint8_t> comp;
+    double cs = bench::BestSeconds(kReps, [&] {
+      auto r = codec->Compress(gaps.data(), gaps.size());
+      SCC_CHECK(r.ok(), codec->name().c_str());
+      comp = r.MoveValueOrDie();
+    });
+    std::vector<uint32_t> out(gaps.size());
+    double ds = bench::BestSeconds(kReps, [&] {
+      SCC_CHECK(codec
+                    ->Decompress(comp.data(), comp.size(), out.data(),
+                                 out.size())
+                    .ok(),
+                codec->name().c_str());
+    });
+    SCC_CHECK(out == gaps, "codec round trip failed");
+    printf("  %-14s %7.2f %11.0f %11.0f\n", codec->name().c_str(),
+           raw_bytes / comp.size(), MBPerSec(raw_bytes, cs),
+           MBPerSec(raw_bytes, ds));
+  }
+  printf("\n");
+}
+
+void QueryBandwidthAnalysis() {
+  printf("--- Section 5: top-N retrieval query bandwidth (Eq. 3.1) ---\n\n");
+  // Measure Q: raw query bandwidth over uncompressed postings, and the
+  // per-codec decompression bandwidth C; then model the result bandwidth
+  // R for a B = 350 MB/s RAID at each codec's compression ratio r.
+  CollectionSpec spec = Table4Collections()[1];  // the fbis stand-in
+  spec.target_postings /= 4;                     // keep the bench snappy
+  InvertedIndex idx = BuildCollection(spec);
+  auto searcher = PostingSearcher::Build(idx);
+  SCC_CHECK(searcher.ok(), "searcher build");
+  const auto& s = searcher.ValueOrDie();
+  uint32_t term = s.MostFrequentTerm();
+
+  // Q measured on raw (uncompressed) arrays: same top-N loop over the
+  // in-memory posting list.
+  const auto& docs = idx.postings[term];
+  const auto& tfs = idx.tfs[term];
+  volatile uint64_t sink = 0;
+  double q_seconds = bench::BestSeconds(5, [&] {
+    uint32_t best_doc = 0, best_tf = 0;
+    for (size_t i = 0; i < docs.size(); i++) {
+      if (tfs[i] > best_tf) {
+        best_tf = tfs[i];
+        best_doc = docs[i];
+      }
+    }
+    sink = best_doc;
+  });
+  (void)sink;
+  double Q = MBPerSec(double(docs.size()) * 8, q_seconds);
+
+  // End-to-end compressed query (decompress + top-N).
+  double full_seconds = bench::BestSeconds(5, [&] { s.TopN(term, 10); });
+  double full_bw = MBPerSec(double(s.last_bytes_processed()), full_seconds);
+
+  std::vector<uint32_t> gaps = FlattenToIds(idx);
+  const double raw_bytes = double(gaps.size()) * 4;
+  const double B = 350.0;
+  printf("term posting list: %zu entries; query bandwidth Q = %.0f MB/s\n",
+         docs.size(), Q);
+  printf("equilibrium decompression bandwidth C* = QB/(Q-B) = %.0f MB/s\n",
+         EquilibriumDecompressionBandwidth(B, Q));
+  printf("end-to-end compressed top-N bandwidth: %.0f MB/s\n\n", full_bw);
+  printf("  %-14s %7s %9s %22s\n", "codec", "r", "C MB/s",
+         "R = modeled result MB/s");
+  for (auto& codec : MakePostingCodecs()) {
+    auto comp = codec->Compress(gaps.data(), gaps.size());
+    SCC_CHECK(comp.ok(), "compress");
+    std::vector<uint32_t> out(gaps.size());
+    double ds = bench::BestSeconds(kReps, [&] {
+      SCC_CHECK(codec
+                    ->Decompress(comp.ValueOrDie().data(),
+                                 comp.ValueOrDie().size(), out.data(),
+                                 out.size())
+                    .ok(),
+                "decompress");
+    });
+    double C = MBPerSec(raw_bytes, ds);
+    double r = raw_bytes / comp.ValueOrDie().size();
+    printf("  %-14s %7.2f %9.0f %16.0f\n", codec->name().c_str(), r, C,
+           ResultBandwidth(B, r, Q, C));
+  }
+  printf("  %-14s %7s %9s %16.0f   (no compression)\n", "raw", "1.00", "-",
+         std::min(B, Q));
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  double scale = argc > 1 ? atof(argv[1]) : 0.5;
+  bench::PrintHeader("Inverted-file compression", "Table 4 and Section 5");
+  printf("collections scaled to %.2fx of their calibrated size\n\n", scale);
+  for (CollectionSpec spec : Table4Collections()) {
+    // Scale documents and postings together: density (and therefore the
+    // d-gap distribution and ratios) stays calibrated.
+    spec.target_postings = uint64_t(double(spec.target_postings) * scale);
+    spec.num_docs = uint32_t(double(spec.num_docs) * scale) + 1;
+    BenchCollection(spec);
+  }
+  QueryBandwidthAnalysis();
+  printf("\nPaper reference (Table 4): e.g. TREC-fbis — PFOR-DELTA 3.47x "
+         "788/3911 MB/s,\ncarryover-12 4.26x 98/740 MB/s, shuff 5.11x "
+         "190/164 MB/s. PFOR-DELTA keeps\n~85%% of carryover-12's ratio at "
+         "~6.5x its decompression speed, and is the\nonly codec above the "
+         "Eq. 3.1 equilibrium (883 MB/s), so it alone accelerates\nthe "
+         "I/O-bound query (350 -> ~504 MB/s in the paper).\n");
+  return 0;
+}
+
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Main(argc, argv); }

@@ -1,0 +1,71 @@
+// The scheme chooser in action (paper Section 3.1, "Choosing Compression
+// Schemes"): one column per data distribution, each analyzed from a
+// sample; the analyzer picks PFOR for clustered values, PFOR-DELTA for
+// monotone sequences, PDICT for skewed small domains, and falls back to
+// raw storage for incompressible data. Also contrasts each patched scheme
+// against its classical exception-less ancestor.
+//
+//   ./build/examples/adaptive_compression
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/classic.h"
+#include "core/analyzer.h"
+#include "core/segment_builder.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+void Show(const char* name, const std::vector<int64_t>& column) {
+  auto choice = scc::Analyzer<int64_t>::Analyze(
+      std::span<const int64_t>(column.data(),
+                               std::min<size_t>(column.size(), 65536)));
+  auto seg = scc::SegmentBuilder<int64_t>::Build(column, choice);
+  double ratio = seg.ok() ? column.size() * 8.0 / seg.ValueOrDie().size() : 0;
+  double for_bits = scc::ClassicFor<int64_t>::BitsPerValue(column);
+  printf("%-22s -> %-48s achieved %5.2fx (classic FOR: %4.1f bits/val)\n",
+         name, choice.ToString().c_str(), ratio, for_bits);
+}
+
+}  // namespace
+
+int main() {
+  scc::Rng rng(11);
+  const size_t n = 500000;
+
+  std::vector<int64_t> clustered(n);
+  for (auto& v : clustered) v = 730000 + int64_t(rng.Uniform(2000));
+  clustered[5] = 1;  // one outlier would force classic FOR to 20+ bits
+  clustered[n / 2] = int64_t(1) << 40;
+
+  std::vector<int64_t> monotone(n);
+  int64_t acc = 0;
+  for (auto& v : monotone) {
+    acc += 1 + int64_t(rng.Uniform(60));
+    v = acc;
+  }
+
+  scc::ZipfGenerator zipf(100000, 1.3, 3);
+  std::vector<int64_t> skewed(n);
+  for (auto& v : skewed) v = int64_t(zipf.Next()) * 2654435761ll;
+
+  std::vector<int64_t> random(n);
+  for (auto& v : random) v = int64_t(rng.Next());
+
+  printf("column                    analyzer choice"
+         "                                   result\n");
+  printf("--------------------------------------------------------------"
+         "----------------------------------------\n");
+  Show("dates w/ outliers", clustered);
+  Show("monotone keys", monotone);
+  Show("zipf-skewed domain", skewed);
+  Show("random 64-bit", random);
+
+  printf("\nThe patched schemes tolerate the outliers that break their "
+         "classical\nancestors: FOR must widen every code for one stray "
+         "value, while PFOR\nstores it as an exception and keeps the "
+         "narrow width.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Columnar analytics on compressed storage: builds a small TPC-H
+// database, stores it through ColumnBM with per-chunk adaptive
+// compression, and runs TPC-H Q1 and Q6 over a simulated RAID — showing
+// the end-to-end effect the paper is about: compressed scans read fewer
+// bytes, so I/O-bound queries finish roughly `compression ratio` times
+// faster.
+//
+//   ./build/examples/tpch_scan [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? atof(argv[1]) : 0.02;
+  printf("generating TPC-H data at scale factor %.3f...\n", sf);
+  scc::TpchData data = scc::GenerateTpch(sf);
+  printf("lineitem: %zu rows\n\n", data.lineitem.rows());
+
+  auto compressed =
+      scc::TpchDatabase::Build(data, scc::ColumnCompression::kAuto);
+  auto raw = scc::TpchDatabase::Build(data, scc::ColumnCompression::kNone);
+  printf("stored size: %.1f MB compressed, %.1f MB raw\n\n",
+         compressed.ByteSize() / 1048576.0, raw.ByteSize() / 1048576.0);
+
+  for (int q : {1, 6}) {
+    printf("--- TPC-H Q%d on a %g MB/s simulated RAID ---\n", q, 80.0);
+    for (bool use_compression : {false, true}) {
+      const scc::TpchDatabase& db = use_compression ? compressed : raw;
+      scc::SimDisk disk(scc::SimDisk::LowEndRaid());
+      scc::BufferManager bm(&disk, size_t(1) << 32, scc::Layout::kDSM);
+      scc::QueryStats s = scc::RunTpchQuery(
+          q, db, &bm, scc::TableScanOp::Mode::kVectorWise);
+      printf("  %-12s io=%6.1f MB  time=%.3fs (cpu %.3fs, of which "
+             "decompression %.3fs)\n",
+             use_compression ? "compressed" : "uncompressed",
+             s.bytes_read / 1048576.0, s.TotalSeconds(), s.cpu_seconds,
+             s.decompress_seconds);
+    }
+    printf("\n");
+  }
+  printf("The compressed runs produce byte-identical results (checked by "
+         "the\nharness) while reading a fraction of the bytes — on an "
+         "I/O-bound system\nthat fraction is the speedup.\n");
+  return 0;
+}

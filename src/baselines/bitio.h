@@ -1,0 +1,100 @@
+#ifndef SCC_BASELINES_BITIO_H_
+#define SCC_BASELINES_BITIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// MSB-first bit stream reader/writer used by the bit-granularity baseline
+// codecs (Huffman, LZSS token streams). The super-scalar schemes do NOT use
+// this — their word-aligned layout is the whole point — but the baselines
+// the paper compares against are bit-oriented.
+
+namespace scc {
+
+/// Appends bit fields to a byte vector, most significant bit first.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  /// Writes the low `nbits` of `value` (nbits in [0, 57]).
+  void Write(uint64_t value, int nbits) {
+    SCC_DCHECK(nbits >= 0 && nbits <= 57);
+    acc_ = (acc_ << nbits) | (value & ((nbits == 64) ? ~0ull
+                                                     : ((1ull << nbits) - 1)));
+    bits_ += nbits;
+    while (bits_ >= 8) {
+      bits_ -= 8;
+      out_->push_back(uint8_t(acc_ >> bits_));
+    }
+  }
+
+  /// Flushes the final partial byte (zero padded).
+  void Finish() {
+    if (bits_ > 0) {
+      out_->push_back(uint8_t(acc_ << (8 - bits_)));
+      bits_ = 0;
+    }
+    acc_ = 0;
+  }
+
+  /// Total bits written so far (excluding padding).
+  size_t BitCount() const { return out_->size() * 8 - (8 - bits_) % 8; }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint64_t acc_ = 0;
+  int bits_ = 0;
+};
+
+/// Reads MSB-first bit fields from a byte buffer. Reading past the end
+/// yields zero bits (callers bound their loops by decoded counts).
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Reads `nbits` (in [0, 57]) and advances.
+  uint64_t Read(int nbits) {
+    SCC_DCHECK(nbits >= 0 && nbits <= 57);
+    Fill(nbits);
+    bits_ -= nbits;
+    uint64_t v = (acc_ >> bits_) & ((nbits == 64) ? ~0ull
+                                                  : ((1ull << nbits) - 1));
+    return v;
+  }
+
+  /// Peeks at the next `nbits` without consuming them.
+  uint64_t Peek(int nbits) {
+    Fill(nbits);
+    return (acc_ >> (bits_ - nbits)) & ((1ull << nbits) - 1);
+  }
+
+  /// Discards `nbits` previously Peeked.
+  void Skip(int nbits) {
+    Fill(nbits);
+    bits_ -= nbits;
+  }
+
+  size_t BitsConsumed() const { return pos_ * 8 - size_t(bits_); }
+
+ private:
+  void Fill(int need) {
+    while (bits_ < need) {
+      uint8_t byte = pos_ < size_ ? data_[pos_] : 0;
+      pos_++;
+      acc_ = (acc_ << 8) | byte;
+      bits_ += 8;
+    }
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int bits_ = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_BITIO_H_

@@ -1,0 +1,235 @@
+#ifndef SCC_BASELINES_CLASSIC_H_
+#define SCC_BASELINES_CLASSIC_H_
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bitpack/bitpack.h"
+#include "core/codec.h"
+#include "util/bitutil.h"
+#include "util/status.h"
+
+// The classical database compression schemes of Section 2.1, implemented
+// as standalone block codecs so the benches and ablations can compare the
+// patched schemes against their exception-less ancestors:
+//
+//   ClassicFor       - Frame Of Reference [GRS98]: per block, base = min,
+//                      b = bits(max - min). One outlier ruins the block
+//                      (the weakness PFOR's exceptions fix).
+//   PrefixSuppression- variable-byte null suppression [WKHM00]: drops
+//                      leading zero bytes, 2-bit length prefix per value
+//                      (the "PS" of the paper; variable-width, per-value).
+//   PlainDict        - dictionary compression over the full domain
+//                      [NCR02]: b = bits(|D|-1); insert of a new value can
+//                      force a global recompression, and skewed frequency
+//                      distributions still pay log2(|D|) bits per value
+//                      (the weakness PDICT's exceptions fix).
+
+namespace scc {
+
+/// Classical FOR over one block. Layout: [u64 base][u8 b][u32 n][codes].
+template <CodecValue T>
+class ClassicFor {
+ public:
+  using U = std::make_unsigned_t<T>;
+
+  static std::vector<uint8_t> Compress(std::span<const T> in) {
+    U base = 0;
+    U range = 0;
+    if (!in.empty()) {
+      T mn = *std::min_element(in.begin(), in.end());
+      T mx = *std::max_element(in.begin(), in.end());
+      base = U(mn);
+      range = U(mx) - U(mn);
+    }
+    // Ranges beyond 32 bits cannot be bit-packed; store raw (b = 64).
+    int b = (sizeof(T) > 4 && (uint64_t(range) >> 32) != 0)
+                ? -1
+                : BitsForRange(uint64_t(range));
+    std::vector<uint8_t> out(13);
+    uint64_t base64 = uint64_t(base);
+    std::memcpy(out.data(), &base64, 8);
+    out[8] = uint8_t(b < 0 ? 0xFF : b);
+    uint32_t n = uint32_t(in.size());
+    std::memcpy(out.data() + 9, &n, 4);
+    if (b < 0) {
+      size_t at = out.size();
+      out.resize(at + in.size() * sizeof(T));
+      std::memcpy(out.data() + at, in.data(), in.size() * sizeof(T));
+      return out;
+    }
+    std::vector<uint32_t> codes(AlignUp(in.size(), 32), 0);
+    for (size_t i = 0; i < in.size(); i++) codes[i] = uint32_t(U(in[i]) - base);
+    std::vector<uint32_t> packed(PackedByteSize(in.size(), b) / 4 + 1);
+    BitPack(codes.data(), in.size(), b, packed.data());
+    size_t at = out.size();
+    out.resize(at + PackedByteSize(in.size(), b));
+    std::memcpy(out.data() + at, packed.data(), PackedByteSize(in.size(), b));
+    return out;
+  }
+
+  static Status Decompress(const uint8_t* data, size_t size,
+                           std::vector<T>* out) {
+    if (size < 13) return Status::Corruption("FOR block truncated");
+    uint64_t base64;
+    std::memcpy(&base64, data, 8);
+    int b = data[8] == 0xFF ? -1 : data[8];
+    uint32_t n;
+    std::memcpy(&n, data + 9, 4);
+    out->resize(n);
+    if (b < 0) {
+      if (size < 13 + size_t(n) * sizeof(T)) {
+        return Status::Corruption("FOR raw block truncated");
+      }
+      std::memcpy(out->data(), data + 13, size_t(n) * sizeof(T));
+      return Status::OK();
+    }
+    if (b > 32) return Status::Corruption("FOR bad bit width");
+    if (size < 13 + PackedByteSize(n, b)) {
+      return Status::Corruption("FOR codes truncated");
+    }
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1);
+    std::memcpy(packed.data(), data + 13, PackedByteSize(n, b));
+    std::vector<uint32_t> codes(AlignUp(n, 32));
+    BitUnpack(packed.data(), n, b, codes.data());
+    const U base = U(base64);
+    for (uint32_t i = 0; i < n; i++) (*out)[i] = T(base + U(codes[i]));
+    return Status::OK();
+  }
+
+  /// Compressed bits per value for this block (for ablation reporting).
+  static double BitsPerValue(std::span<const T> in) {
+    auto c = Compress(in);
+    return in.empty() ? 0 : 8.0 * double(c.size()) / double(in.size());
+  }
+};
+
+/// Prefix (null) suppression with a 2-bit byte-length selector packed
+/// separately: each value stored in 1, 2, 4, or 8 significant bytes.
+template <CodecValue T>
+class PrefixSuppression {
+ public:
+  using U = std::make_unsigned_t<T>;
+
+  static std::vector<uint8_t> Compress(std::span<const T> in) {
+    std::vector<uint8_t> out(4 + (in.size() + 3) / 4);
+    uint32_t n = uint32_t(in.size());
+    std::memcpy(out.data(), &n, 4);
+    // 2-bit selectors live in out[4 .. 4 + ceil(n/4)).
+    for (size_t i = 0; i < in.size(); i++) {
+      U v = U(in[i]);
+      int cls = ByteClass(v);
+      out[4 + i / 4] |= uint8_t(cls << ((i % 4) * 2));
+    }
+    for (size_t i = 0; i < in.size(); i++) {
+      U v = U(in[i]);
+      int nbytes = 1 << ByteClass(v);
+      size_t at = out.size();
+      out.resize(at + nbytes);
+      std::memcpy(out.data() + at, &v, nbytes);
+    }
+    return out;
+  }
+
+  static Status Decompress(const uint8_t* data, size_t size,
+                           std::vector<T>* out) {
+    if (size < 4) return Status::Corruption("PS block truncated");
+    uint32_t n;
+    std::memcpy(&n, data, 4);
+    out->resize(n);
+    size_t sel_at = 4;
+    size_t payload = sel_at + (size_t(n) + 3) / 4;
+    for (uint32_t i = 0; i < n; i++) {
+      int cls = (data[sel_at + i / 4] >> ((i % 4) * 2)) & 3;
+      size_t nbytes = size_t(1) << cls;
+      if (payload + nbytes > size) return Status::Corruption("PS overflow");
+      U v = 0;
+      std::memcpy(&v, data + payload, std::min(nbytes, sizeof(U)));
+      payload += nbytes;
+      (*out)[i] = T(v);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static int ByteClass(U v) {
+    int bytes = (BitWidth(uint64_t(v)) + 7) / 8;
+    if (bytes <= 1) return 0;
+    if (bytes <= 2) return 1;
+    if (bytes <= 4) return 2;
+    return 3;
+  }
+};
+
+/// Plain (full-domain) dictionary compression.
+/// Layout: [u32 n][u32 |D|][u8 b][dict values][codes].
+template <CodecValue T>
+class PlainDict {
+ public:
+  /// Fails when the domain exceeds `max_dict` distinct values.
+  static Result<std::vector<uint8_t>> Compress(std::span<const T> in,
+                                               size_t max_dict = 1u << 20) {
+    std::vector<T> dict;
+    std::unordered_map<T, uint32_t> index;
+    std::vector<uint32_t> codes(AlignUp(in.size(), 32), 0);
+    for (size_t i = 0; i < in.size(); i++) {
+      auto [it, inserted] = index.try_emplace(in[i], uint32_t(dict.size()));
+      if (inserted) {
+        dict.push_back(in[i]);
+        if (dict.size() > max_dict) {
+          return Status::ResourceExhausted("plain dict: domain too large");
+        }
+      }
+      codes[i] = it->second;
+    }
+    int b = dict.empty() ? 0 : BitsForRange(dict.size() - 1);
+    std::vector<uint8_t> out(9 + dict.size() * sizeof(T) +
+                             PackedByteSize(in.size(), b));
+    uint32_t n = uint32_t(in.size());
+    uint32_t d = uint32_t(dict.size());
+    std::memcpy(out.data(), &n, 4);
+    std::memcpy(out.data() + 4, &d, 4);
+    out[8] = uint8_t(b);
+    std::memcpy(out.data() + 9, dict.data(), dict.size() * sizeof(T));
+    std::vector<uint32_t> packed(PackedByteSize(in.size(), b) / 4 + 1);
+    BitPack(codes.data(), in.size(), b, packed.data());
+    std::memcpy(out.data() + 9 + dict.size() * sizeof(T), packed.data(),
+                PackedByteSize(in.size(), b));
+    return out;
+  }
+
+  static Status Decompress(const uint8_t* data, size_t size,
+                           std::vector<T>* out) {
+    if (size < 9) return Status::Corruption("dict block truncated");
+    uint32_t n, d;
+    std::memcpy(&n, data, 4);
+    std::memcpy(&d, data + 4, 4);
+    int b = data[8];
+    if (b > 32 || 9 + size_t(d) * sizeof(T) > size) {
+      return Status::Corruption("dict block malformed");
+    }
+    std::vector<T> dict(d);
+    std::memcpy(dict.data(), data + 9, size_t(d) * sizeof(T));
+    if (size < 9 + size_t(d) * sizeof(T) + PackedByteSize(n, b)) {
+      return Status::Corruption("dict codes truncated");
+    }
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1);
+    std::memcpy(packed.data(), data + 9 + size_t(d) * sizeof(T),
+                PackedByteSize(n, b));
+    std::vector<uint32_t> codes(AlignUp(n, 32));
+    BitUnpack(packed.data(), n, b, codes.data());
+    out->resize(n);
+    for (uint32_t i = 0; i < n; i++) {
+      if (codes[i] >= d) return Status::Corruption("dict code out of range");
+      (*out)[i] = dict[codes[i]];
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_CLASSIC_H_

@@ -1,0 +1,321 @@
+#include "baselines/huffman.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "baselines/bitio.h"
+#include "util/bitutil.h"
+
+namespace scc {
+
+namespace {
+
+// Package-merge would give optimal length-limited codes; plain Huffman
+// with iterative length clamping is simpler and within a fraction of a
+// percent on these alphabets.
+struct Node {
+  uint64_t freq;
+  int left;
+  int right;
+  int symbol;  // -1 for internal
+};
+
+void ComputeDepths(const std::vector<Node>& nodes, int idx, int depth,
+                   std::vector<uint8_t>* lengths) {
+  const Node& n = nodes[idx];
+  if (n.symbol >= 0) {
+    (*lengths)[n.symbol] = uint8_t(std::max(depth, 1));
+    return;
+  }
+  ComputeDepths(nodes, n.left, depth + 1, lengths);
+  ComputeDepths(nodes, n.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+Status HuffmanCoder::BuildCodes(const std::vector<uint64_t>& freqs,
+                                std::vector<uint8_t>* lengths) {
+  const size_t alphabet = freqs.size();
+  if (alphabet == 0 || alphabet > 4096) {
+    return Status::InvalidArgument("huffman alphabet size out of range");
+  }
+  lengths->assign(alphabet, 0);
+
+  using HeapItem = std::pair<uint64_t, int>;  // (freq, node index)
+  std::vector<Node> nodes;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (size_t s = 0; s < alphabet; s++) {
+    if (freqs[s] > 0) {
+      nodes.push_back(Node{freqs[s], -1, -1, int(s)});
+      heap.emplace(freqs[s], int(nodes.size()) - 1);
+    }
+  }
+  if (nodes.empty()) return Status::OK();
+  if (nodes.size() == 1) {
+    (*lengths)[nodes[0].symbol] = 1;
+    return Status::OK();
+  }
+  while (heap.size() > 1) {
+    auto [fa, a] = heap.top();
+    heap.pop();
+    auto [fb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{fa + fb, a, b, -1});
+    heap.emplace(fa + fb, int(nodes.size()) - 1);
+  }
+  ComputeDepths(nodes, int(nodes.size()) - 1, 0, lengths);
+
+  // Clamp over-long codes: repeatedly move deepest leaves up. With
+  // kMaxCodeLen = 24 and our buffer sizes this almost never triggers.
+  for (int pass = 0; pass < 64; pass++) {
+    int deepest = 0;
+    for (size_t s = 0; s < alphabet; s++) deepest = std::max<int>(deepest, (*lengths)[s]);
+    if (deepest <= kMaxCodeLen) break;
+    // Kraft-repair: shorten the deepest, lengthen the shallowest leaf.
+    int deep_sym = -1, shallow_sym = -1;
+    for (size_t s = 0; s < alphabet; s++) {
+      if ((*lengths)[s] == deepest) deep_sym = int(s);
+      if ((*lengths)[s] > 0 &&
+          (shallow_sym < 0 || (*lengths)[s] < (*lengths)[shallow_sym])) {
+        shallow_sym = int(s);
+      }
+    }
+    (*lengths)[deep_sym] = uint8_t(kMaxCodeLen);
+    (*lengths)[shallow_sym]++;
+  }
+  // Verify the Kraft inequality; rebuild flat if violated.
+  uint64_t kraft = 0;
+  for (size_t s = 0; s < alphabet; s++) {
+    if ((*lengths)[s] > 0) kraft += 1ull << (kMaxCodeLen - (*lengths)[s]);
+  }
+  if (kraft > (1ull << kMaxCodeLen)) {
+    // Degenerate fallback: fixed-length codes.
+    int bits = BitWidth(uint64_t(nodes.size() - 1)) + 1;
+    for (size_t s = 0; s < alphabet; s++) {
+      if (freqs[s] > 0) (*lengths)[s] = uint8_t(bits);
+    }
+  }
+  return Status::OK();
+}
+
+void HuffmanCoder::AssignCodes(const std::vector<uint8_t>& lengths,
+                               std::vector<uint32_t>* codes) {
+  codes->assign(lengths.size(), 0);
+  // Canonical: sort symbols by (length, symbol), assign increasing codes.
+  uint32_t next = 0;
+  for (int len = 1; len <= kMaxCodeLen; len++) {
+    next <<= 1;
+    for (size_t s = 0; s < lengths.size(); s++) {
+      if (lengths[s] == len) (*codes)[s] = next++;
+    }
+  }
+}
+
+void HuffmanCoder::WriteLengths(const std::vector<uint8_t>& lengths,
+                                std::vector<uint8_t>* out) {
+  out->insert(out->end(), lengths.begin(), lengths.end());
+}
+
+Status HuffmanCoder::ReadLengths(const uint8_t* data, size_t size,
+                                 size_t alphabet,
+                                 std::vector<uint8_t>* lengths,
+                                 size_t* consumed) {
+  if (size < alphabet) return Status::Corruption("huffman header truncated");
+  lengths->assign(data, data + alphabet);
+  for (uint8_t len : *lengths) {
+    if (len > kMaxCodeLen) return Status::Corruption("huffman length > max");
+  }
+  *consumed = alphabet;
+  return Status::OK();
+}
+
+Status HuffmanDecoder::Init(const std::vector<uint8_t>& lengths) {
+  table_.assign(size_t(1) << kPeekBits, Entry{});
+  sorted_symbols_.clear();
+  max_len_ = 0;
+  for (uint8_t len : lengths) max_len_ = std::max<int>(max_len_, len);
+  if (max_len_ == 0) return Status::OK();
+  if (max_len_ > HuffmanCoder::kMaxCodeLen) {
+    return Status::Corruption("huffman code too long");
+  }
+  std::vector<uint32_t> codes;
+  HuffmanCoder::AssignCodes(lengths, &codes);
+
+  // Slow-path canonical state.
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= max_len_; len++) {
+    code <<= 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    count_[len] = 0;
+    for (size_t s = 0; s < lengths.size(); s++) {
+      if (lengths[s] == len) {
+        sorted_symbols_.push_back(uint16_t(s));
+        code++;
+        index++;
+        count_[len]++;
+      }
+    }
+  }
+  // Kraft check: `code` must not overflow the length's code space.
+  if (max_len_ < 32 && code > (1u << max_len_)) {
+    return Status::Corruption("huffman lengths violate Kraft inequality");
+  }
+
+  // Fast table for codes up to kPeekBits.
+  for (size_t s = 0; s < lengths.size(); s++) {
+    int len = lengths[s];
+    if (len == 0 || len > kPeekBits) continue;
+    uint32_t base = codes[s] << (kPeekBits - len);
+    uint32_t count = 1u << (kPeekBits - len);
+    for (uint32_t i = 0; i < count; i++) {
+      table_[base + i] = Entry{uint16_t(s), uint8_t(len)};
+    }
+  }
+  return Status::OK();
+}
+
+int HuffmanDecoder::DecodeLong(uint32_t window, int* len) const {
+  // `window` holds kMaxCodeLen bits, code aligned at the top.
+  for (int l = kPeekBits + 1; l <= max_len_; l++) {
+    uint32_t prefix = window >> (HuffmanCoder::kMaxCodeLen - l);
+    if (prefix >= first_code_[l] && prefix < first_code_[l] + count_[l]) {
+      *len = l;
+      return sorted_symbols_[first_index_[l] + (prefix - first_code_[l])];
+    }
+  }
+  *len = 0;
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> HuffmanCompressBytes(const uint8_t* in, size_t n) {
+  std::vector<uint64_t> freqs(256, 0);
+  for (size_t i = 0; i < n; i++) freqs[in[i]]++;
+  std::vector<uint8_t> lengths;
+  HuffmanCoder::BuildCodes(freqs, &lengths);
+  std::vector<uint32_t> codes;
+  HuffmanCoder::AssignCodes(lengths, &codes);
+
+  std::vector<uint8_t> out;
+  out.reserve(n / 2 + 300);
+  uint32_t n32 = uint32_t(n);
+  out.insert(out.end(), reinterpret_cast<uint8_t*>(&n32),
+             reinterpret_cast<uint8_t*>(&n32) + 4);
+  HuffmanCoder::WriteLengths(lengths, &out);
+  BitWriter bw(&out);
+  for (size_t i = 0; i < n; i++) {
+    bw.Write(codes[in[i]], lengths[in[i]]);
+  }
+  bw.Finish();
+  return out;
+}
+
+Status HuffmanDecompressBytes(const uint8_t* in, size_t size,
+                              std::vector<uint8_t>* out) {
+  if (size < 4 + 256) return Status::Corruption("huffman stream truncated");
+  uint32_t n;
+  std::memcpy(&n, in, 4);
+  std::vector<uint8_t> lengths;
+  size_t consumed = 0;
+  SCC_RETURN_NOT_OK(
+      HuffmanCoder::ReadLengths(in + 4, size - 4, 256, &lengths, &consumed));
+  HuffmanDecoder dec;
+  SCC_RETURN_NOT_OK(dec.Init(lengths));
+  BitReader br(in + 4 + consumed, size - 4 - consumed);
+  out->resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    uint32_t window = uint32_t(br.Peek(HuffmanDecoder::kPeekBits));
+    const auto& e = dec.Lookup(window);
+    if (e.length != 0) {
+      br.Skip(e.length);
+      (*out)[i] = uint8_t(e.symbol);
+    } else {
+      uint32_t wide = uint32_t(br.Peek(HuffmanCoder::kMaxCodeLen));
+      int len = 0;
+      int sym = dec.DecodeLong(wide, &len);
+      if (len == 0) return Status::Corruption("bad huffman code");
+      br.Skip(len);
+      (*out)[i] = uint8_t(sym);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+// Hybrid alphabet, close to the real shuff coder: gaps below 256 are
+// Huffman-coded directly (symbols 0..255); larger gaps use bit-length
+// bucket symbols 256..279 (widths 9..32) followed by width-1 literal bits
+// (the leading 1 is implied by the bucket).
+namespace {
+constexpr size_t kGapAlphabet = 256 + 24;
+
+inline int GapSymbol(uint32_t gap) {
+  return gap < 256 ? int(gap) : 256 + (BitWidth(gap) - 9);
+}
+}  // namespace
+
+Result<size_t> HuffmanGapCodec::Compress(const uint32_t* gaps, size_t n,
+                                         std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  std::vector<uint64_t> freqs(kGapAlphabet, 0);
+  for (size_t i = 0; i < n; i++) freqs[GapSymbol(gaps[i])]++;
+  std::vector<uint8_t> lengths;
+  SCC_RETURN_NOT_OK(HuffmanCoder::BuildCodes(freqs, &lengths));
+  std::vector<uint32_t> codes;
+  HuffmanCoder::AssignCodes(lengths, &codes);
+
+  HuffmanCoder::WriteLengths(lengths, out);
+  BitWriter bw(out);
+  for (size_t i = 0; i < n; i++) {
+    int sym = GapSymbol(gaps[i]);
+    bw.Write(codes[sym], lengths[sym]);
+    if (sym >= 256) {
+      int w = 9 + (sym - 256);
+      bw.Write(gaps[i] & ((w - 1 >= 32) ? 0xFFFFFFFFu
+                                        : ((1u << (w - 1)) - 1)),
+               w - 1);
+    }
+  }
+  bw.Finish();
+  return out->size() - start;
+}
+
+Status HuffmanGapCodec::Decompress(const uint8_t* in, size_t size,
+                                   uint32_t* gaps, size_t n) {
+  std::vector<uint8_t> lengths;
+  size_t consumed = 0;
+  SCC_RETURN_NOT_OK(
+      HuffmanCoder::ReadLengths(in, size, kGapAlphabet, &lengths, &consumed));
+  HuffmanDecoder dec;
+  SCC_RETURN_NOT_OK(dec.Init(lengths));
+  BitReader br(in + consumed, size - consumed);
+  for (size_t i = 0; i < n; i++) {
+    uint32_t window = uint32_t(br.Peek(HuffmanDecoder::kPeekBits));
+    const auto& e = dec.Lookup(window);
+    int sym;
+    if (e.length != 0) {
+      br.Skip(e.length);
+      sym = e.symbol;
+    } else {
+      uint32_t wide = uint32_t(br.Peek(HuffmanCoder::kMaxCodeLen));
+      int len = 0;
+      sym = dec.DecodeLong(wide, &len);
+      if (len == 0) return Status::Corruption("bad huffman gap code");
+      br.Skip(len);
+    }
+    if (sym < 256) {
+      gaps[i] = uint32_t(sym);
+    } else {
+      int w = 9 + (sym - 256);
+      gaps[i] = (1u << (w - 1)) | uint32_t(br.Read(w - 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scc

@@ -1,0 +1,107 @@
+#ifndef SCC_BASELINES_HUFFMAN_H_
+#define SCC_BASELINES_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// Semi-static canonical Huffman coding — the classical inverted-file
+// baseline the paper calls "shuff" (Section 5, Table 4), and the entropy
+// stage of the LZSS+Huffman heavy codec. Two passes: count frequencies,
+// then encode; code lengths are stored canonically so the decoder only
+// needs the length histogram.
+
+namespace scc {
+
+/// Builds canonical Huffman codes and encodes/decodes symbol streams.
+/// Alphabet size up to 4096 symbols; code lengths capped at kMaxCodeLen.
+class HuffmanCoder {
+ public:
+  static constexpr int kMaxCodeLen = 24;
+
+  /// Builds length-limited codes from symbol frequencies. Symbols with
+  /// zero frequency get no code.
+  static Status BuildCodes(const std::vector<uint64_t>& freqs,
+                           std::vector<uint8_t>* lengths);
+
+  /// Canonical code assignment from lengths: codes sorted by (length,
+  /// symbol). Fills `codes` (bit patterns, MSB-first semantics).
+  static void AssignCodes(const std::vector<uint8_t>& lengths,
+                          std::vector<uint32_t>* codes);
+
+  /// Serialized header: the code-length array (4 bits each would do, we
+  /// spend one byte per symbol for simplicity at these alphabet sizes).
+  static void WriteLengths(const std::vector<uint8_t>& lengths,
+                           std::vector<uint8_t>* out);
+  static Status ReadLengths(const uint8_t* data, size_t size,
+                            size_t alphabet, std::vector<uint8_t>* lengths,
+                            size_t* consumed);
+};
+
+/// Table-driven canonical Huffman decoder: a single lookup of
+/// kMaxCodeLen bits yields (symbol, length).
+class HuffmanDecoder {
+ public:
+  Status Init(const std::vector<uint8_t>& lengths);
+
+  /// Decodes one symbol from the `peek`ed kPeekBits window; returns the
+  /// symbol and sets `*len` to its code length (0 on malformed input).
+  static constexpr int kPeekBits = 12;
+
+  struct Entry {
+    uint16_t symbol = 0;
+    uint8_t length = 0;  // 0 = need slow path / invalid
+  };
+
+  /// Fast path table indexed by the next kPeekBits bits.
+  const Entry& Lookup(uint32_t window) const { return table_[window]; }
+
+  /// Slow path for codes longer than kPeekBits: linear scan by length.
+  /// `window` holds kMaxCodeLen bits. Returns symbol; sets *len.
+  int DecodeLong(uint32_t window, int* len) const;
+
+ private:
+  std::vector<Entry> table_;
+  // Canonical decode state for the slow path, per length:
+  // first code value and index into sorted symbol order.
+  uint32_t first_code_[HuffmanCoder::kMaxCodeLen + 1] = {0};
+  uint32_t first_index_[HuffmanCoder::kMaxCodeLen + 1] = {0};
+  uint32_t count_[HuffmanCoder::kMaxCodeLen + 1] = {0};
+  std::vector<uint16_t> sorted_symbols_;
+  int max_len_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Byte-alphabet convenience codec (entropy stage for LZSS+Huffman).
+// ---------------------------------------------------------------------------
+
+/// Compresses a byte buffer with semi-static canonical Huffman. Output:
+/// [u32 n][256 length bytes][payload bits]. Returns compressed bytes.
+std::vector<uint8_t> HuffmanCompressBytes(const uint8_t* in, size_t n);
+
+/// Inverse of HuffmanCompressBytes.
+Status HuffmanDecompressBytes(const uint8_t* in, size_t size,
+                              std::vector<uint8_t>* out);
+
+// ---------------------------------------------------------------------------
+// Gap codec ("shuff"): Huffman over bit-length buckets of d-gaps.
+// ---------------------------------------------------------------------------
+
+/// Inverted-file gap coder: each gap g >= 1 is coded as a Huffman symbol
+/// for its bit length (1..32) followed by the length-1 literal low bits —
+/// the classical semi-static scheme used for posting lists. Output is
+/// word-aligned at the buffer level only.
+class HuffmanGapCodec {
+ public:
+  /// Compresses `n` gaps; appends to `out`. Returns bytes appended.
+  static Result<size_t> Compress(const uint32_t* gaps, size_t n,
+                                 std::vector<uint8_t>* out);
+  /// Decompresses exactly `n` gaps from `in`.
+  static Status Decompress(const uint8_t* in, size_t size, uint32_t* gaps,
+                           size_t n);
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_HUFFMAN_H_

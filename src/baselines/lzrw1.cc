@@ -1,0 +1,104 @@
+#include "baselines/lzrw1.h"
+
+#include <cstring>
+
+namespace scc {
+
+namespace {
+
+constexpr size_t kHashBits = 12;
+constexpr size_t kHashSize = size_t(1) << kHashBits;  // 4096, as in LZRW1
+constexpr size_t kMaxOffset = 4095;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;  // 3 + 15
+
+inline uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = uint32_t(p[0]) | (uint32_t(p[1]) << 8) | (uint32_t(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+size_t Lzrw1::Compress(const uint8_t* in, size_t n, uint8_t* out) {
+  const uint8_t* table[kHashSize] = {nullptr};
+  uint8_t* dst = out;
+  const uint8_t* src = in;
+  const uint8_t* end = in + n;
+
+  while (src < end) {
+    // One control word covers the next 16 items.
+    uint8_t* control = dst;
+    dst += 2;
+    uint16_t bits = 0;
+    int items = 0;
+    while (items < 16 && src < end) {
+      bool copied = false;
+      if (src + kMinMatch <= end) {
+        uint32_t h = Hash3(src);
+        const uint8_t* cand = table[h];
+        table[h] = src;
+        if (cand != nullptr && size_t(src - cand) <= kMaxOffset &&
+            cand >= in && std::memcmp(cand, src, kMinMatch) == 0) {
+          size_t limit = size_t(end - src);
+          if (limit > kMaxMatch) limit = kMaxMatch;
+          size_t len = kMinMatch;
+          while (len < limit && cand[len] == src[len]) len++;
+          size_t offset = size_t(src - cand);
+          // Copy item: 4-bit (len - 3), 12-bit offset.
+          uint16_t item = uint16_t(((len - kMinMatch) << 12) | offset);
+          *dst++ = uint8_t(item >> 8);
+          *dst++ = uint8_t(item);
+          bits = uint16_t(bits | (1u << items));
+          src += len;
+          copied = true;
+        }
+      }
+      if (!copied) {
+        *dst++ = *src++;
+      }
+      items++;
+    }
+    control[0] = uint8_t(bits >> 8);
+    control[1] = uint8_t(bits);
+  }
+  return size_t(dst - out);
+}
+
+Result<size_t> Lzrw1::Decompress(const uint8_t* in, size_t n, uint8_t* out,
+                                 size_t out_cap) {
+  const uint8_t* src = in;
+  const uint8_t* end = in + n;
+  uint8_t* dst = out;
+  uint8_t* dst_end = out + out_cap;
+
+  while (src < end) {
+    if (src + 2 > end) return Status::Corruption("lzrw1: truncated control");
+    uint16_t bits = uint16_t((uint16_t(src[0]) << 8) | src[1]);
+    src += 2;
+    for (int item = 0; item < 16 && src < end; item++) {
+      if (bits & (1u << item)) {
+        if (src + 2 > end) return Status::Corruption("lzrw1: truncated copy");
+        uint16_t word = uint16_t((uint16_t(src[0]) << 8) | src[1]);
+        src += 2;
+        size_t len = kMinMatch + (word >> 12);
+        size_t offset = word & kMaxOffset;
+        if (offset == 0 || size_t(dst - out) < offset) {
+          return Status::Corruption("lzrw1: bad offset");
+        }
+        if (dst + len > dst_end) {
+          return Status::Corruption("lzrw1: output overflow");
+        }
+        const uint8_t* from = dst - offset;
+        // Overlapping copies are valid (RLE-style); copy bytewise.
+        for (size_t i = 0; i < len; i++) dst[i] = from[i];
+        dst += len;
+      } else {
+        if (dst >= dst_end) return Status::Corruption("lzrw1: overflow");
+        *dst++ = *src++;
+      }
+    }
+  }
+  return size_t(dst - out);
+}
+
+}  // namespace scc

@@ -1,0 +1,39 @@
+#ifndef SCC_BASELINES_LZRW1_H_
+#define SCC_BASELINES_LZRW1_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+// LZRW1 (Ross Williams, DCC 1991): the fast Lempel-Ziv variant Sybase IQ
+// uses for page compression (Section 2.1). A 4096-entry hash table with no
+// collision chains maps 3-byte sequences to their last position; items are
+// grouped 16 per control word, each either a literal byte or a 2-byte copy
+// (12-bit offset, 4-bit length covering 3..18 bytes).
+//
+// This is a faithful re-implementation of the algorithm's structure (hash
+// without collision list, single-pass greedy parse); the exact bit layout
+// is our own, so streams are interoperable only with this library.
+
+namespace scc {
+
+class Lzrw1 {
+ public:
+  /// Worst case output size: all literals, one 2-byte control word per 16
+  /// items.
+  static size_t MaxCompressedSize(size_t n) { return n + n / 8 + 18; }
+
+  /// Compresses `n` bytes into `out` (MaxCompressedSize(n) capacity).
+  /// Returns bytes written.
+  static size_t Compress(const uint8_t* in, size_t n, uint8_t* out);
+
+  /// Decompresses into `out` (capacity `out_cap`). Returns decompressed
+  /// size or Corruption on malformed/oversized input.
+  static Result<size_t> Decompress(const uint8_t* in, size_t n, uint8_t* out,
+                                   size_t out_cap);
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_LZRW1_H_

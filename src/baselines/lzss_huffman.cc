@@ -1,0 +1,137 @@
+#include "baselines/lzss_huffman.h"
+
+#include <cstring>
+
+#include "baselines/huffman.h"
+#include "util/status.h"
+
+namespace scc {
+
+namespace {
+
+constexpr size_t kWindow = (1 << 16) - 1;  // offsets must fit 16 bits
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 4 + 255;
+constexpr int kHashBits = 15;
+constexpr int kMaxChain = 32;
+
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Token stream layout: groups of 8 tokens share one flag byte (bit set =
+// match). Literal token: 1 byte. Match token: 2-byte offset + 1-byte
+// (len - kMinMatch).
+std::vector<uint8_t> LzssParse(const uint8_t* in, size_t n) {
+  std::vector<uint8_t> tokens;
+  tokens.reserve(n + n / 8 + 16);
+  std::vector<int64_t> head(size_t(1) << kHashBits, -1);
+  std::vector<int64_t> prev(n > 0 ? n : 1, -1);
+
+  size_t pos = 0;
+  while (pos < n) {
+    size_t flag_at = tokens.size();
+    tokens.push_back(0);
+    uint8_t flags = 0;
+    for (int t = 0; t < 8 && pos < n; t++) {
+      size_t best_len = 0, best_off = 0;
+      if (pos + kMinMatch <= n) {
+        uint32_t h = Hash4(in + pos);
+        int64_t cand = head[h];
+        int chain = 0;
+        while (cand >= 0 && pos - size_t(cand) <= kWindow &&
+               chain < kMaxChain) {
+          size_t limit = n - pos;
+          if (limit > kMaxMatch) limit = kMaxMatch;
+          size_t len = 0;
+          const uint8_t* a = in + cand;
+          const uint8_t* b = in + pos;
+          while (len < limit && a[len] == b[len]) len++;
+          if (len > best_len) {
+            best_len = len;
+            best_off = pos - size_t(cand);
+          }
+          cand = prev[cand];
+          chain++;
+        }
+        prev[pos] = head[h];
+        head[h] = int64_t(pos);
+      }
+      if (best_len >= kMinMatch) {
+        flags = uint8_t(flags | (1u << t));
+        tokens.push_back(uint8_t(best_off >> 8));
+        tokens.push_back(uint8_t(best_off));
+        tokens.push_back(uint8_t(best_len - kMinMatch));
+        // Insert hash entries for skipped positions (cheap version: only
+        // every other position to bound cost).
+        for (size_t k = 1; k < best_len && pos + k + kMinMatch <= n; k += 2) {
+          uint32_t h2 = Hash4(in + pos + k);
+          prev[pos + k] = head[h2];
+          head[h2] = int64_t(pos + k);
+        }
+        pos += best_len;
+      } else {
+        tokens.push_back(in[pos++]);
+      }
+    }
+    tokens[flag_at] = flags;
+  }
+  return tokens;
+}
+
+Status LzssUnparse(const std::vector<uint8_t>& tokens, size_t out_size,
+                   std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(out_size);
+  size_t i = 0;
+  const size_t tn = tokens.size();
+  while (i < tn && out->size() < out_size) {
+    uint8_t flags = tokens[i++];
+    for (int t = 0; t < 8 && i < tn && out->size() < out_size; t++) {
+      if (flags & (1u << t)) {
+        if (i + 3 > tn) return Status::Corruption("lzss: truncated match");
+        size_t off = (size_t(tokens[i]) << 8) | tokens[i + 1];
+        size_t len = kMinMatch + tokens[i + 2];
+        i += 3;
+        if (off == 0 || off > out->size()) {
+          return Status::Corruption("lzss: bad offset");
+        }
+        size_t start = out->size() - off;
+        for (size_t k = 0; k < len; k++) out->push_back((*out)[start + k]);
+      } else {
+        out->push_back(tokens[i++]);
+      }
+    }
+  }
+  if (out->size() != out_size) return Status::Corruption("lzss: size mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzssHuffman::Compress(const uint8_t* in, size_t n) {
+  std::vector<uint8_t> tokens = LzssParse(in, n);
+  std::vector<uint8_t> entropy =
+      HuffmanCompressBytes(tokens.data(), tokens.size());
+  std::vector<uint8_t> out;
+  out.reserve(entropy.size() + 8);
+  uint64_t n64 = n;
+  out.insert(out.end(), reinterpret_cast<uint8_t*>(&n64),
+             reinterpret_cast<uint8_t*>(&n64) + 8);
+  out.insert(out.end(), entropy.begin(), entropy.end());
+  return out;
+}
+
+Status LzssHuffman::Decompress(const uint8_t* in, size_t n,
+                               std::vector<uint8_t>* out) {
+  if (n < 8) return Status::Corruption("lzss-huffman: truncated");
+  uint64_t out_size;
+  std::memcpy(&out_size, in, 8);
+  std::vector<uint8_t> tokens;
+  SCC_RETURN_NOT_OK(HuffmanDecompressBytes(in + 8, n - 8, &tokens));
+  return LzssUnparse(tokens, out_size, out);
+}
+
+}  // namespace scc

@@ -1,0 +1,30 @@
+#ifndef SCC_BASELINES_LZSS_HUFFMAN_H_
+#define SCC_BASELINES_LZSS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// "Heavy" general-purpose codec: greedy LZSS with a 64 KiB window and
+// hash-chain match search, followed by a semi-static Huffman pass over the
+// token stream. Stands in for zlib/bzip2 in the Figure 2 comparison when
+// no system zlib is present (see DESIGN.md substitutions): same class of
+// behaviour — clearly better ratio than LZRW1, an order of magnitude
+// slower than the super-scalar schemes.
+
+namespace scc {
+
+class LzssHuffman {
+ public:
+  /// Compresses `n` bytes; returns the compressed stream.
+  static std::vector<uint8_t> Compress(const uint8_t* in, size_t n);
+
+  /// Decompresses a Compress() stream.
+  static Status Decompress(const uint8_t* in, size_t n,
+                           std::vector<uint8_t>* out);
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_LZSS_HUFFMAN_H_

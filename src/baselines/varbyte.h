@@ -1,0 +1,54 @@
+#ifndef SCC_BASELINES_VARBYTE_H_
+#define SCC_BASELINES_VARBYTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// Classic variable-byte ("vbyte") coding for unsigned integers: 7 payload
+// bits per byte, high bit = continuation. The traditional inverted-file
+// gap coder that word-aligned codes (and PFOR-DELTA) compete against.
+
+namespace scc {
+
+class VByte {
+ public:
+  /// Appends the encoding of `n` values to `out`.
+  static void Compress(const uint32_t* in, size_t n,
+                       std::vector<uint8_t>* out) {
+    for (size_t i = 0; i < n; i++) {
+      uint32_t v = in[i];
+      while (v >= 0x80) {
+        out->push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+      }
+      out->push_back(uint8_t(v));
+    }
+  }
+
+  /// Decodes exactly `n` values.
+  static Status Decompress(const uint8_t* in, size_t size, uint32_t* out,
+                           size_t n) {
+    size_t p = 0;
+    for (size_t i = 0; i < n; i++) {
+      uint32_t v = 0;
+      int shift = 0;
+      while (true) {
+        if (p >= size || shift > 28) {
+          return Status::Corruption("vbyte: truncated or overlong value");
+        }
+        uint8_t byte = in[p++];
+        v |= uint32_t(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+      }
+      out[i] = v;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_VARBYTE_H_

@@ -1,0 +1,243 @@
+#include "baselines/wordaligned.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/bitutil.h"
+
+namespace scc {
+
+// ---------------------------------------------------------------------------
+// Simple-9
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct S9Layout {
+  int count;
+  int width;
+};
+// The nine published layouts: 28x1, 14x2, 9x3, 7x4, 5x5, 4x7, 3x9,
+// 2x14, 1x28.
+constexpr S9Layout kS9[9] = {{28, 1}, {14, 2}, {9, 3},  {7, 4}, {5, 5},
+                             {4, 7},  {3, 9},  {2, 14}, {1, 28}};
+
+}  // namespace
+
+Status Simple9::Compress(const uint32_t* in, size_t n,
+                         std::vector<uint32_t>* out) {
+  size_t pos = 0;
+  while (pos < n) {
+    // Pick the densest layout whose values all fit.
+    int chosen = -1;
+    for (int s = 0; s < 9; s++) {
+      size_t c = std::min(size_t(kS9[s].count), n - pos);
+      bool fits = true;
+      for (size_t i = 0; i < c; i++) {
+        if (BitWidth(in[pos + i]) > kS9[s].width) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        chosen = s;  // densest layout whose values all fit
+        break;
+      }
+    }
+    if (chosen < 0) {
+      return Status::InvalidArgument("simple9: value needs more than 28 bits");
+    }
+    uint32_t word = uint32_t(chosen) << 28;
+    size_t c = std::min(size_t(kS9[chosen].count), n - pos);
+    for (size_t i = 0; i < c; i++) {
+      word |= in[pos + i] << (i * size_t(kS9[chosen].width));
+    }
+    out->push_back(word);
+    pos += c;
+  }
+  return Status::OK();
+}
+
+Status Simple9::Decompress(const uint32_t* in, size_t words, uint32_t* out,
+                           size_t n) {
+  size_t pos = 0;
+  for (size_t w = 0; w < words && pos < n; w++) {
+    uint32_t word = in[w];
+    int s = int(word >> 28);
+    if (s > 8) return Status::Corruption("simple9: bad selector");
+    const int width = kS9[s].width;
+    const uint32_t mask = MaxCode(width);
+    size_t c = std::min(size_t(kS9[s].count), n - pos);
+    for (size_t i = 0; i < c; i++) {
+      out[pos + i] = (word >> (i * size_t(width))) & mask;
+    }
+    pos += c;
+  }
+  if (pos != n) return Status::Corruption("simple9: stream too short");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Carryover-12
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kNumWidths = 12;
+
+/// Smallest admissible width index such that min(P/w, rem) upcoming values
+/// all fit in w bits. P is the payload bit budget.
+int ChooseWidth(const uint32_t* in, size_t pos, size_t n, int P) {
+  for (int i = 0; i < kNumWidths; i++) {
+    const int w = Carryover12::kWidths[i];
+    if (w > P) break;
+    size_t c = std::min(size_t(P / w), n - pos);
+    bool fits = true;
+    for (size_t k = 0; k < c; k++) {
+      if (int(BitWidth(in[pos + k])) > w) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status Carryover12::Compress(const uint32_t* in, size_t n,
+                             std::vector<uint32_t>* out) {
+  size_t pos = 0;
+  int prev_widx = 0;
+  bool first = true;
+  // Where to patch the carried selector of the next word: (word index,
+  // shift) or {-1, 0} when the next word carries its own selector.
+  std::ptrdiff_t carry_word = -1;
+  int carry_shift = 0;
+
+  while (pos < n) {
+    const bool carried = carry_word >= 0;
+    const int P0 = carried ? 32 : 30;
+    int widx = ChooseWidth(in, pos, n, P0);
+    if (widx < 0) {
+      return Status::InvalidArgument("carryover12: value needs > 26 bits");
+    }
+    int sel;
+    bool escape;
+    if (first) {
+      sel = 3;  // the first word always carries an explicit width
+      escape = true;
+    } else if (widx == prev_widx) {
+      sel = 0;
+      escape = false;
+    } else if (widx == prev_widx + 1) {
+      sel = 1;
+      escape = false;
+    } else if (widx == prev_widx - 1) {
+      sel = 2;
+      escape = false;
+    } else {
+      sel = 3;
+      escape = true;
+    }
+    int P = P0;
+    if (escape) {
+      P -= 4;
+      widx = ChooseWidth(in, pos, n, P);
+      if (widx < 0) {
+        return Status::InvalidArgument("carryover12: value needs > 26 bits");
+      }
+    }
+
+    uint32_t word = 0;
+    int bit = 32;
+    if (!carried) {
+      bit -= 2;
+      word |= uint32_t(sel) << bit;
+    } else {
+      (*out)[carry_word] |= uint32_t(sel) << carry_shift;
+    }
+    if (escape) {
+      bit -= 4;
+      word |= uint32_t(widx) << bit;
+    }
+    const int w = kWidths[widx];
+    size_t c = std::min(size_t(P / w), n - pos);
+    for (size_t k = 0; k < c; k++) {
+      bit -= w;
+      word |= in[pos + k] << bit;
+    }
+    pos += c;
+    out->push_back(word);
+
+    // Donate spare low bits to the next word's selector.
+    if (bit >= 2 && pos < n) {
+      carry_word = std::ptrdiff_t(out->size()) - 1;
+      carry_shift = bit - 2;
+    } else {
+      carry_word = -1;
+    }
+    prev_widx = widx;
+    first = false;
+  }
+  return Status::OK();
+}
+
+Status Carryover12::Decompress(const uint32_t* in, size_t words,
+                               uint32_t* out, size_t n) {
+  size_t pos = 0;
+  int prev_widx = 0;
+  bool first = true;
+  bool have_carry = false;
+  int carry_sel = 0;
+
+  for (size_t wi = 0; wi < words && pos < n; wi++) {
+    uint32_t word = in[wi];
+    int bit = 32;
+    int sel;
+    if (have_carry) {
+      sel = carry_sel;
+    } else {
+      bit -= 2;
+      sel = int((word >> bit) & 3);
+    }
+    int widx;
+    if (first || sel == 3) {
+      bit -= 4;
+      widx = int((word >> bit) & 15);
+      if (widx >= kNumWidths) {
+        return Status::Corruption("carryover12: bad width index");
+      }
+    } else if (sel == 0) {
+      widx = prev_widx;
+    } else if (sel == 1) {
+      widx = prev_widx + 1;
+    } else {
+      widx = prev_widx - 1;
+    }
+    if (widx < 0 || widx >= kNumWidths) {
+      return Status::Corruption("carryover12: width out of range");
+    }
+    const int w = kWidths[widx];
+    const uint32_t mask = MaxCode(w);
+    size_t c = std::min(size_t(bit / w), n - pos);
+    for (size_t k = 0; k < c; k++) {
+      bit -= w;
+      out[pos + k] = (word >> bit) & mask;
+    }
+    pos += c;
+    if (bit >= 2 && pos < n) {
+      have_carry = true;
+      carry_sel = int((word >> (bit - 2)) & 3);
+    } else {
+      have_carry = false;
+    }
+    prev_widx = widx;
+    first = false;
+  }
+  if (pos != n) return Status::Corruption("carryover12: stream too short");
+  return Status::OK();
+}
+
+}  // namespace scc

@@ -1,0 +1,57 @@
+#ifndef SCC_BASELINES_WORDALIGNED_H_
+#define SCC_BASELINES_WORDALIGNED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+// Word-aligned binary codes for inverted-file compression (Anh & Moffat,
+// Information Retrieval 8(1), 2005) — the "carryover-12" baseline of the
+// paper's Section 5 / Table 4, plus its simpler sibling Simple-9.
+//
+// Simple-9: every 32-bit word holds a 4-bit selector and 28 data bits; the
+// selector picks one of nine (count x width) layouts: 28x1, 14x2, 9x3,
+// 7x4, 5x5, 4x7, 2x14, 1x28.
+//
+// Carryover-12: words carry a 2-bit *relative* selector whenever the
+// previous word left >= 2 unused bits ("carryover"), otherwise the
+// selector occupies the top of the current word (30 data bits). The
+// relative selector moves through a table of 12 admissible widths
+// (1..26 bits); transition 0 = same width, 1 = one step wider, 2 = one
+// step narrower, 3 = escape (4 explicit bits of absolute width index
+// follow). The worst-case payload is 30 - 4 = 26 bits (inline selector
+// plus escape), so the widest admissible width is 26 and values must be
+// < 2^26 — ample for d-gaps. The published implementation's exact
+// transition table is not fully specified in the paper; this variant
+// preserves the mechanism (word alignment + selector inheritance + the
+// 12-entry width table) which is what determines its speed/ratio class.
+
+namespace scc {
+
+/// Simple-9 codec for 32-bit values (all values must be < 2^28).
+class Simple9 {
+ public:
+  /// Appends compressed words to `out`. Fails if a value needs > 28 bits.
+  static Status Compress(const uint32_t* in, size_t n,
+                         std::vector<uint32_t>* out);
+  /// Decompresses exactly `n` values.
+  static Status Decompress(const uint32_t* in, size_t words, uint32_t* out,
+                           size_t n);
+};
+
+/// Carryover-12 codec for 32-bit values (all values must be < 2^26).
+class Carryover12 {
+ public:
+  static Status Compress(const uint32_t* in, size_t n,
+                         std::vector<uint32_t>* out);
+  static Status Decompress(const uint32_t* in, size_t words, uint32_t* out,
+                           size_t n);
+
+  /// The 12 admissible code widths.
+  static constexpr int kWidths[12] = {1, 2, 3, 4, 5, 6, 7, 8, 10, 13, 16, 26};
+};
+
+}  // namespace scc
+
+#endif  // SCC_BASELINES_WORDALIGNED_H_

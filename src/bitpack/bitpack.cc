@@ -1,0 +1,136 @@
+#include "bitpack/bitpack.h"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "util/status.h"
+
+namespace scc {
+
+namespace {
+
+// One group = 32 values = B packed 32-bit words. The template parameter
+// makes every shift amount a compile-time constant, so -O3 unrolls the
+// loop into straight-line shift/or code with no per-value branches.
+
+template <int B>
+void PackGroup(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  if constexpr (B == 0) {
+    (void)in;
+    (void)out;
+  } else if constexpr (B == 32) {
+    std::memcpy(out, in, 32 * sizeof(uint32_t));
+  } else {
+    constexpr uint32_t kMask = (uint32_t(1) << B) - 1;
+    uint64_t acc = 0;
+    int bits = 0;
+    int w = 0;
+#pragma GCC unroll 32
+    for (int i = 0; i < 32; i++) {
+      acc |= uint64_t(in[i] & kMask) << bits;
+      bits += B;
+      if (bits >= 32) {
+        out[w++] = uint32_t(acc);
+        acc >>= 32;
+        bits -= 32;
+      }
+    }
+  }
+}
+
+template <int B>
+void UnpackGroup(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  if constexpr (B == 0) {
+    std::memset(out, 0, 32 * sizeof(uint32_t));
+  } else if constexpr (B == 32) {
+    std::memcpy(out, in, 32 * sizeof(uint32_t));
+  } else {
+    constexpr uint32_t kMask = (uint32_t(1) << B) - 1;
+    uint64_t acc = 0;
+    int bits = 0;
+    int w = 0;
+#pragma GCC unroll 32
+    for (int i = 0; i < 32; i++) {
+      if (bits < B) {
+        acc |= uint64_t(in[w++]) << bits;
+        bits += 32;
+      }
+      out[i] = uint32_t(acc) & kMask;
+      acc >>= B;
+      bits -= B;
+    }
+  }
+}
+
+using GroupFn = void (*)(const uint32_t*, uint32_t*);
+
+template <int... Bs>
+constexpr std::array<GroupFn, 33> MakePackTable(std::integer_sequence<int, Bs...>) {
+  return {&PackGroup<Bs>...};
+}
+template <int... Bs>
+constexpr std::array<GroupFn, 33> MakeUnpackTable(
+    std::integer_sequence<int, Bs...>) {
+  return {&UnpackGroup<Bs>...};
+}
+
+constexpr std::array<GroupFn, 33> kPackTable =
+    MakePackTable(std::make_integer_sequence<int, 33>{});
+constexpr std::array<GroupFn, 33> kUnpackTable =
+    MakeUnpackTable(std::make_integer_sequence<int, 33>{});
+
+}  // namespace
+
+void BitPackGroup32(const uint32_t* in, int b, uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  kPackTable[b](in, out);
+}
+
+void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  kUnpackTable[b](in, out);
+}
+
+void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  GroupFn pack = kPackTable[b];
+  size_t full = n / 32;
+  for (size_t g = 0; g < full; g++) {
+    pack(in + g * 32, out + g * size_t(b));
+  }
+  size_t rest = n - full * 32;
+  if (rest > 0) {
+    uint32_t tmp[32] = {0};
+    std::memcpy(tmp, in + full * 32, rest * sizeof(uint32_t));
+    pack(tmp, out + full * size_t(b));
+  }
+}
+
+void BitUnpack(const uint32_t* in, size_t n, int b, uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  GroupFn unpack = kUnpackTable[b];
+  size_t groups = (n + 31) / 32;
+  // The caller guarantees `out` has room for groups*32 values; the final
+  // partial group is unpacked whole (padding codes are zero).
+  for (size_t g = 0; g < groups; g++) {
+    unpack(in + g * size_t(b), out + g * 32);
+  }
+}
+
+uint32_t BitExtract(const uint32_t* in, size_t idx, int b) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  if (b == 0) return 0;
+  size_t group = idx / 32;
+  size_t i = idx % 32;
+  const uint32_t* base = in + group * size_t(b);
+  size_t bit = i * size_t(b);
+  size_t word = bit / 32;
+  size_t shift = bit % 32;
+  uint64_t acc = uint64_t(base[word]);
+  if (shift + b > 32) acc |= uint64_t(base[word + 1]) << 32;
+  uint64_t mask = (b == 64) ? ~uint64_t(0) : ((uint64_t(1) << b) - 1);
+  return uint32_t((acc >> shift) & mask);
+}
+
+}  // namespace scc

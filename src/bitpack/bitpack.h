@@ -1,0 +1,53 @@
+#ifndef SCC_BITPACK_BITPACK_H_
+#define SCC_BITPACK_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Bit-packing / bit-unpacking kernels.
+//
+// The paper's compression schemes store each value as a b-bit integer code
+// (1 <= b <= 32) and transform between the packed on-disk form and
+// machine-addressable uint32_t arrays with "highly optimized routines that
+// are loop-unrolled to handle 32 values each iteration" (Section 3). These
+// are those routines: for each bit width there is a specialized kernel,
+// instantiated from a template so the compiler fully unrolls the 32-value
+// loop body with constant shifts. Dispatch is one indirect call per group
+// of 32 values (amortized to one per n values via the looped entry points
+// below).
+//
+// Packing works on groups of 32 values: a group of 32 b-bit codes occupies
+// exactly b 32-bit words. A partial final group is padded with zero codes;
+// PackedByteSize accounts for the padding.
+
+namespace scc {
+
+/// Bytes occupied by `n` codes packed at `b` bits each (b in [0, 32]),
+/// including padding of the final partial 32-value group.
+inline size_t PackedByteSize(size_t n, int b) {
+  size_t groups = (n + 31) / 32;
+  return groups * size_t(b) * 4;
+}
+
+/// Packs `n` codes (each must fit in `b` bits) into `out`.
+/// `out` must have PackedByteSize(n, b) writable bytes, 4-byte aligned.
+void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out);
+
+/// Unpacks `n` codes of `b` bits from `in` into `out`.
+/// `in` holds PackedByteSize(n, b) bytes; `out` has space for n values
+/// rounded up to a multiple of 32 (the final group is written whole).
+void BitUnpack(const uint32_t* in, size_t n, int b, uint32_t* out);
+
+/// Single-group entry points (exactly 32 values), used by the segment
+/// reader for fine-grained access. `b` in [0, 32].
+void BitPackGroup32(const uint32_t* in, int b, uint32_t* out);
+void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out);
+
+/// Extracts the code at position `idx` from a packed stream without
+/// unpacking its group (used for point lookups in tests; the hot
+/// fine-grained path unpacks whole 128-value groups instead).
+uint32_t BitExtract(const uint32_t* in, size_t idx, int b);
+
+}  // namespace scc
+
+#endif  // SCC_BITPACK_BITPACK_H_

@@ -1,0 +1,168 @@
+#ifndef SCC_CORE_ANALYZER_H_
+#define SCC_CORE_ANALYZER_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/exception_model.h"
+#include "util/bitutil.h"
+
+// Automatic compression-scheme and parameter selection (Section 3.1,
+// "Choosing Compression Schemes"). Gathers a sample, sorts it once
+// (O(s log s)), then for every candidate bit width b:
+//   PFOR       - PFOR_ANALYZE_BITS finds the longest stretch of the sorted
+//                sample whose range fits b bits; everything outside the
+//                stretch is an exception and the stretch start is the base.
+//   PFOR-DELTA - the same analysis on the sorted deltas of the sample.
+//   PDICT      - a frequency histogram, re-sorted descending; the top 2^b
+//                buckets become the dictionary.
+// The scheme/width pair minimizing estimated bits/value wins; raw storage
+// is the fallback when nothing beats value_bits.
+
+namespace scc {
+
+template <CodecValue T>
+struct AnalyzerOptions {
+  bool allow_pfor = true;
+  bool allow_pfor_delta = true;
+  bool allow_pdict = true;
+  /// PDICT dictionaries are capped at 2^max_dict_bits entries.
+  int max_dict_bits = 16;
+  /// Number of values the dictionary is amortized over (the chunk size);
+  /// dictionary storage is charged to the estimate at this granularity.
+  size_t dict_amortization = 64 * 1024;
+};
+
+template <CodecValue T>
+class Analyzer {
+ public:
+  using U = std::make_unsigned_t<T>;
+
+  /// Picks the best scheme and parameters for `sample`.
+  static CompressionChoice<T> Analyze(std::span<const T> sample,
+                                      const AnalyzerOptions<T>& opts = {}) {
+    constexpr int kValueBits = int(sizeof(T)) * 8;
+    CompressionChoice<T> best;
+    best.scheme = Scheme::kUncompressed;
+    best.est_bits_per_value = kValueBits;
+    if (sample.empty()) return best;
+
+    std::vector<T> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    if (opts.allow_pfor) {
+      ConsiderPFor(sorted, Scheme::kPFor, &best);
+    }
+    if (opts.allow_pfor_delta) {
+      std::vector<T> deltas(sample.size());
+      U prev = 0;
+      for (size_t i = 0; i < sample.size(); i++) {
+        deltas[i] = T(U(sample[i]) - prev);
+        prev = U(sample[i]);
+      }
+      std::sort(deltas.begin(), deltas.end());
+      ConsiderPFor(deltas, Scheme::kPForDelta, &best);
+    }
+    if (opts.allow_pdict) {
+      ConsiderPDict(sorted, opts, &best);
+    }
+    return best;
+  }
+
+  /// The paper's PFOR_ANALYZE_BITS: one pass over the sorted sample to
+  /// find the longest stretch [lo, hi] with V[hi] - V[lo] <= 2^b - 1.
+  /// Returns {start index, length}.
+  static std::pair<size_t, size_t> AnalyzeBits(std::span<const T> sorted,
+                                               int b) {
+    const U range = U(MaxCode(b));
+    size_t best_lo = 0, best_len = 0;
+    size_t lo = 0;
+    for (size_t hi = 0; hi < sorted.size(); hi++) {
+      // The difference must be reduced modulo the value width: for sub-int
+      // types the subtraction promotes to int and could go negative.
+      while (U(U(sorted[hi]) - U(sorted[lo])) > range) lo++;
+      if (hi - lo + 1 > best_len) {
+        best_len = hi - lo + 1;
+        best_lo = lo;
+      }
+    }
+    return {best_lo, best_len};
+  }
+
+ private:
+  static void ConsiderPFor(std::span<const T> sorted, Scheme scheme,
+                           CompressionChoice<T>* best) {
+    constexpr int kValueBits = int(sizeof(T)) * 8;
+    const size_t n = sorted.size();
+    // b is capped one below the value width: at b == value_bits the codes
+    // are as wide as the values and raw storage wins anyway.
+    const int max_b = std::min(kMaxBitWidth, kValueBits - 1);
+    for (int b = 0; b <= max_b; b++) {
+      auto [lo, len] = AnalyzeBits(sorted, b);
+      const double e = double(n - len) / double(n);
+      const double bits = EstimatedBitsPerValue(
+          e, b, kValueBits, scheme == Scheme::kPForDelta);
+      if (bits < best->est_bits_per_value) {
+        best->scheme = scheme;
+        best->pfor.bit_width = b;
+        best->pfor.base = sorted[lo];
+        best->est_bits_per_value = bits;
+        best->est_exception_rate = e;
+      }
+    }
+  }
+
+  static void ConsiderPDict(std::span<const T> sorted,
+                            const AnalyzerOptions<T>& opts,
+                            CompressionChoice<T>* best) {
+    constexpr int kValueBits = int(sizeof(T)) * 8;
+    const size_t n = sorted.size();
+    // Build the frequency histogram from the sorted sample.
+    std::vector<std::pair<size_t, T>> hist;  // (count, value)
+    for (size_t i = 0; i < n;) {
+      size_t j = i;
+      while (j < n && sorted[j] == sorted[i]) j++;
+      hist.emplace_back(j - i, sorted[i]);
+      i = j;
+    }
+    std::sort(hist.begin(), hist.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    // Values seen only once in the sample carry no evidence of reuse;
+    // admitting them to the dictionary would overfit (a dictionary of the
+    // whole sample always "covers" it). Treat singletons as exceptions.
+    while (!hist.empty() && hist.back().first < 2) hist.pop_back();
+    if (hist.empty()) return;
+    // Prefix sums of descending frequencies -> exception rate per 2^b cut.
+    std::vector<size_t> covered(hist.size() + 1, 0);
+    for (size_t i = 0; i < hist.size(); i++) {
+      covered[i + 1] = covered[i] + hist[i].first;
+    }
+    const int max_b = std::min(opts.max_dict_bits, kValueBits);
+    for (int b = 0; b <= max_b; b++) {
+      const size_t dict_size =
+          std::min(hist.size(), b >= 32 ? hist.size() : size_t(1) << b);
+      if (dict_size == 0) continue;
+      const double e = 1.0 - double(covered[dict_size]) / double(n);
+      double bits = EstimatedBitsPerValue(e, b, kValueBits);
+      // Charge dictionary storage amortized over the chunk.
+      bits += double(dict_size) * kValueBits / double(opts.dict_amortization);
+      if (bits < best->est_bits_per_value) {
+        best->scheme = Scheme::kPDict;
+        best->pdict.bit_width = b;
+        best->pdict.dict.clear();
+        best->pdict.dict.reserve(dict_size);
+        for (size_t i = 0; i < dict_size; i++) {
+          best->pdict.dict.push_back(hist[i].second);
+        }
+        best->est_bits_per_value = bits;
+        best->est_exception_rate = e;
+      }
+    }
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_CORE_ANALYZER_H_

@@ -1,0 +1,120 @@
+#ifndef SCC_CORE_CODEC_H_
+#define SCC_CORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+// Common definitions shared by the super-scalar compression schemes
+// (PFOR, PFOR-DELTA, PDICT) and the segment format.
+
+namespace scc {
+
+/// Compression scheme stored in a segment header.
+enum class Scheme : uint8_t {
+  kUncompressed = 0,
+  kPFor = 1,
+  kPForDelta = 2,
+  kPDict = 3,
+};
+
+inline const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kUncompressed:
+      return "uncompressed";
+    case Scheme::kPFor:
+      return "PFOR";
+    case Scheme::kPForDelta:
+      return "PFOR-DELTA";
+    case Scheme::kPDict:
+      return "PDICT";
+  }
+  return "?";
+}
+
+/// Values per entry point. Each 128-value group has its own exception
+/// linked list and (for PFOR-DELTA) its own running base, which bounds the
+/// work of fine-grained access and lets exception lists restart so that
+/// gaps at group boundaries never need compulsory exceptions (Section 3.1).
+constexpr size_t kEntryGroup = 128;
+
+/// Supported code bit widths. b == 0 encodes an all-constant group;
+/// b == 32 stores codes verbatim (no compression, still patchable).
+constexpr int kMaxBitWidth = 32;
+
+/// The concept gating value types accepted by the codecs: fixed-width
+/// integers up to 64 bits. (Decimals are stored as scaled integers, as in
+/// the paper's TPC-H setup; strings go through PDICT at a higher layer.)
+template <typename T>
+concept CodecValue = std::is_integral_v<T> && (sizeof(T) <= 8) &&
+                     !std::is_same_v<T, bool>;
+
+/// Parameters for PFOR / PFOR-DELTA: codes are `code = value - base`
+/// in `bit_width` bits; values whose code does not fit become exceptions.
+template <CodecValue T>
+struct PForParams {
+  int bit_width = 8;
+  T base = 0;
+};
+
+/// Parameters for PDICT: codes index `dict`; values not in the dictionary
+/// become exceptions. `dict.size() <= 2^bit_width`.
+template <CodecValue T>
+struct PDictParams {
+  int bit_width = 8;
+  std::vector<T> dict;
+};
+
+/// Analyzer output: the chosen scheme with its parameters and the
+/// estimated compressed bits per value (used to rank candidates).
+template <CodecValue T>
+struct CompressionChoice {
+  Scheme scheme = Scheme::kUncompressed;
+  PForParams<T> pfor;       // valid for kPFor / kPForDelta
+  PDictParams<T> pdict;     // valid for kPDict
+  double est_bits_per_value = sizeof(T) * 8.0;
+  double est_exception_rate = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Bandwidth model of Section 3, Equation 3.1. All bandwidths in the same
+/// unit (e.g. MB/s). Returns the result-tuple bandwidth R for a query with
+/// scan bandwidth `Q`, decompression bandwidth `C`, raw I/O bandwidth `B`
+/// and compression ratio `r`.
+inline double ResultBandwidth(double B, double r, double Q, double C) {
+  double br = B * r;
+  if (br / C + br / Q <= 1.0) return br;  // I/O bound
+  return Q * C / (Q + C);                 // CPU bound
+}
+
+/// Decompression bandwidth at which query CPU time and decompression time
+/// balance against I/O bandwidth B for query bandwidth Q (Section 5 uses
+/// this to derive C = 883 MB/s for Q = 580, B = 350): solves QC/(Q+C) = B.
+inline double EquilibriumDecompressionBandwidth(double B, double Q) {
+  return Q * B / (Q - B);
+}
+
+template <CodecValue T>
+std::string CompressionChoice<T>::ToString() const {
+  std::string out = SchemeName(scheme);
+  char buf[128];
+  if (scheme == Scheme::kPFor || scheme == Scheme::kPForDelta) {
+    snprintf(buf, sizeof(buf), "(b=%d base=%lld)", pfor.bit_width,
+             static_cast<long long>(pfor.base));
+    out += buf;
+  } else if (scheme == Scheme::kPDict) {
+    snprintf(buf, sizeof(buf), "(b=%d |dict|=%zu)", pdict.bit_width,
+             pdict.dict.size());
+    out += buf;
+  }
+  snprintf(buf, sizeof(buf), " est %.2f bits/value, %.1f%% exceptions",
+           est_bits_per_value, est_exception_rate * 100);
+  out += buf;
+  return out;
+}
+
+}  // namespace scc
+
+#endif  // SCC_CORE_CODEC_H_

@@ -1,0 +1,44 @@
+#ifndef SCC_CORE_EXCEPTION_MODEL_H_
+#define SCC_CORE_EXCEPTION_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+
+// Analytic model of compulsory exceptions (Section 3.1, Figure 6).
+//
+// Gap codes are b bits wide, so the exception linked list can bridge at
+// most 2^b positions; larger gaps force *compulsory* exceptions —
+// compressible values stored as exceptions just to keep the list
+// connected. Because every 128-value entry point restarts the list, the
+// code-section area that a list must cover shrinks by 1/E per 128 values,
+// giving the paper's effective exception rate:
+//
+//     E'(E, b) = MAX(E, (128E - 1)/(128E) * 2^-b)
+
+namespace scc {
+
+/// Effective exception rate after compulsory exceptions, for data
+/// exception rate `E` in [0, 1] and code bit width `b`.
+inline double EffectiveExceptionRate(double E, int b) {
+  if (E <= 0.0) return 0.0;  // no list to keep connected
+  const double per_group = 128.0 * E;
+  if (per_group <= 1.0) return E;  // lists of length <= 1 need no gaps
+  const double compulsory = (per_group - 1.0) / per_group * std::pow(2.0, -b);
+  return std::max(E, compulsory);
+}
+
+/// Estimated compressed bits per value for a patched scheme with code
+/// width `b`, value width `value_bits`, and data exception rate `E`
+/// (includes the 0.25 bits/value entry-point overhead; PFOR-DELTA adds
+/// value_bits/128 for the per-group running bases).
+inline double EstimatedBitsPerValue(double E, int b, int value_bits,
+                                    bool delta = false) {
+  const double e_eff = EffectiveExceptionRate(E, b);
+  double bits = b + e_eff * value_bits + 0.25;
+  if (delta) bits += double(value_bits) / 128.0;
+  return bits;
+}
+
+}  // namespace scc
+
+#endif  // SCC_CORE_EXCEPTION_MODEL_H_

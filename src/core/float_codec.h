@@ -1,0 +1,155 @@
+#ifndef SCC_CORE_FLOAT_CODEC_H_
+#define SCC_CORE_FLOAT_CODEC_H_
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <span>
+
+#include "core/analyzer.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+// Floating-point compression — the paper's stated future work ("new
+// super-scalar compression algorithms targeted at floating point data").
+// Doubles in analytical workloads are usually one of:
+//
+//   * scaled decimals (prices, rates): value * 10^k is an integer for a
+//     small k — promote to int64 and run the ordinary integer pipeline
+//     (PFOR and friends), losslessly;
+//   * low-cardinality measures: compress the raw 64-bit patterns with
+//     PDICT (bit-exact, NaN-safe);
+//   * genuinely continuous data: stored raw.
+//
+// The chooser tries them in that order. Everything reuses the integer
+// segments, so the decode loops stay the same super-scalar kernels.
+//
+// Layout: [u8 kind][u8 scale_pow10][6 pad bytes][int64 segment bytes].
+
+namespace scc {
+
+class FloatCodec {
+ public:
+  enum class Kind : uint8_t {
+    kScaledInt = 0,   // value = segment_value / 10^scale
+    kDictPattern = 1, // value = bit_cast<double>(segment_value)
+    kRaw = 2,         // segment stores the bit patterns uncompressed
+  };
+  static constexpr int kMaxScale = 6;
+  static constexpr size_t kHeader = 8;
+
+  /// Compresses a double column, picking the best representation.
+  static Result<AlignedBuffer> Compress(std::span<const double> values) {
+    // 1. Scaled-decimal detection.
+    int scale = DetectScale(values);
+    if (scale >= 0) {
+      std::vector<int64_t> scaled(values.size());
+      const double mul = std::pow(10.0, scale);
+      for (size_t i = 0; i < values.size(); i++) {
+        scaled[i] = int64_t(std::llround(values[i] * mul));
+      }
+      auto choice = Analyzer<int64_t>::Analyze(Sample(scaled));
+      SCC_ASSIGN_OR_RETURN(AlignedBuffer seg,
+                           SegmentBuilder<int64_t>::Build(scaled, choice));
+      return Wrap(Kind::kScaledInt, uint8_t(scale), seg);
+    }
+    // 2. Bit patterns through the integer analyzer (PDICT picks up
+    //    low-cardinality domains; FOR-family rarely applies to floats).
+    std::vector<int64_t> patterns(values.size());
+    static_assert(sizeof(double) == sizeof(int64_t));
+    std::memcpy(patterns.data(), values.data(), values.size() * 8);
+    AnalyzerOptions<int64_t> opts;
+    opts.allow_pfor = false;
+    opts.allow_pfor_delta = false;
+    auto choice = Analyzer<int64_t>::Analyze(Sample(patterns), opts);
+    if (choice.scheme == Scheme::kPDict) {
+      SCC_ASSIGN_OR_RETURN(AlignedBuffer seg,
+                           SegmentBuilder<int64_t>::Build(patterns, choice));
+      return Wrap(Kind::kDictPattern, 0, seg);
+    }
+    // 3. Raw fallback.
+    SCC_ASSIGN_OR_RETURN(
+        AlignedBuffer seg,
+        SegmentBuilder<int64_t>::BuildUncompressed(patterns));
+    return Wrap(Kind::kRaw, 0, seg);
+  }
+
+  /// Decompresses a Compress() buffer; `out` holds count() doubles.
+  static Status Decompress(const uint8_t* data, size_t size, double* out,
+                           size_t n) {
+    if (size < kHeader) return Status::Corruption("float codec: truncated");
+    Kind kind = Kind(data[0]);
+    int scale = data[1];
+    SCC_ASSIGN_OR_RETURN(auto reader, SegmentReader<int64_t>::Open(
+                                          data + kHeader, size - kHeader));
+    if (reader.count() != n) {
+      return Status::InvalidArgument("float codec: count mismatch");
+    }
+    std::vector<int64_t> tmp(n);
+    reader.DecompressAll(tmp.data());
+    switch (kind) {
+      case Kind::kScaledInt: {
+        const double div = std::pow(10.0, scale);
+        for (size_t i = 0; i < n; i++) out[i] = double(tmp[i]) / div;
+        return Status::OK();
+      }
+      case Kind::kDictPattern:
+      case Kind::kRaw:
+        std::memcpy(out, tmp.data(), n * 8);
+        return Status::OK();
+    }
+    return Status::Corruption("float codec: bad kind");
+  }
+
+  /// Number of stored values.
+  static Result<size_t> Count(const uint8_t* data, size_t size) {
+    if (size < kHeader) return Status::Corruption("float codec: truncated");
+    SCC_ASSIGN_OR_RETURN(auto reader, SegmentReader<int64_t>::Open(
+                                          data + kHeader, size - kHeader));
+    return reader.count();
+  }
+
+ private:
+  /// Smallest k in [0, kMaxScale] such that every value * 10^k is an
+  /// integer representable in int64 (round-trip checked); -1 if none.
+  static int DetectScale(std::span<const double> values) {
+    for (int k = 0; k <= kMaxScale; k++) {
+      const double mul = std::pow(10.0, k);
+      bool ok = true;
+      for (double v : values) {
+        if (!std::isfinite(v) || std::abs(v) * mul > 9.0e18) {
+          ok = false;
+          break;
+        }
+        double scaled = v * mul;
+        int64_t as_int = int64_t(std::llround(scaled));
+        if (double(as_int) / mul != v) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return k;
+    }
+    return -1;
+  }
+
+  template <typename T>
+  static std::span<const T> Sample(const std::vector<T>& v) {
+    return std::span<const T>(v.data(), std::min(v.size(), size_t(64) * 1024));
+  }
+
+  static Result<AlignedBuffer> Wrap(Kind kind, uint8_t scale,
+                                    const AlignedBuffer& seg) {
+    AlignedBuffer out(kHeader + seg.size());
+    uint8_t header[kHeader] = {uint8_t(kind), scale, 0, 0, 0, 0, 0, 0};
+    std::memcpy(out.data(), header, kHeader);
+    std::memcpy(out.data() + kHeader, seg.data(), seg.size());
+    return out;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_CORE_FLOAT_CODEC_H_

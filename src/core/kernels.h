@@ -1,0 +1,259 @@
+#ifndef SCC_CORE_KERNELS_H_
+#define SCC_CORE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/codec.h"
+#include "util/bitutil.h"
+
+// Flat (de)compression kernels, a direct transcription of the paper's
+// Section 3 pseudo code. They operate on machine-addressable uint32_t code
+// arrays (bit-(un)packing is a separate pre/post-processing step, measured
+// independently) and a single exception linked list spanning the whole
+// buffer. The production path in segment_builder/segment_reader layers the
+// 128-value entry-point structure on top of the same loops.
+//
+// Variants:
+//   DecompressNaive   - one loop with if-then-else per value (escape code)
+//   DecompressPatched - LOOP1 decode-regardless + LOOP2 patch linked list
+//   CompressNaive     - if-then-else exception test
+//   CompressPred      - predicated miss-list append (branch-free LOOP1)
+//   CompressDC        - double-cursor predication (two independent halves)
+//
+// Exception gap codes store (gap - 1), so the maximum representable gap is
+// 2^b; compressors insert compulsory exceptions for larger gaps.
+
+namespace scc {
+
+/// Frame-of-reference decode: value = base + code.
+template <CodecValue T>
+struct ForCodec {
+  using U = std::make_unsigned_t<T>;
+  U base;
+
+  explicit ForCodec(T b) : base(U(b)) {}
+  T Decode(uint32_t code) const { return T(U(base + U(code))); }
+  /// Encodes with wraparound; the result is a valid b-bit code iff it is
+  /// <= MaxCode(b).
+  uint32_t Encode(T value) const {
+    U diff = U(value) - base;
+    // Values whose difference exceeds 32 bits must not alias into range.
+    if constexpr (sizeof(T) > 4) {
+      return (diff >> 32) ? 0xFFFFFFFFu : uint32_t(diff);
+    } else {
+      return uint32_t(diff);
+    }
+  }
+};
+
+/// Dictionary decode: value = dict[code]. `dict` must have at least
+/// 2^b entries when used with the naive escape-code scheme, and at least
+/// max(|dict|, max_gap_code+1) entries with patching (callers pad).
+template <CodecValue T>
+struct DictCodec {
+  const T* dict;
+
+  explicit DictCodec(const T* d) : dict(d) {}
+  T Decode(uint32_t code) const { return dict[code]; }
+};
+
+// ---------------------------------------------------------------------------
+// Decompression
+// ---------------------------------------------------------------------------
+
+/// NAIVE decompression: per-value branch on the escape code 2^b - 1.
+/// Exceptions are consumed in position order from `exc`.
+template <CodecValue T, typename Codec>
+void DecompressNaive(const uint32_t* __restrict code, size_t n, int b,
+                     const Codec& codec, const T* __restrict exc,
+                     T* __restrict out) {
+  const uint32_t kEscape = MaxCode(b);
+  size_t j = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (code[i] != kEscape) {
+      out[i] = codec.Decode(code[i]);
+    } else {
+      out[i] = exc[j++];
+    }
+  }
+}
+
+/// Patched decompression: LOOP1 decodes every position; LOOP2 walks the
+/// exception linked list (codes at exception positions hold gap-1) and
+/// patches in the stored values. The walk is bounded by `n_exc`, the
+/// number of exceptions, because the final list member's gap code is
+/// unused (our lists restart per block instead of chaining across blocks
+/// via the paper's *next_exception cursor).
+template <CodecValue T, typename Codec>
+void DecompressPatched(const uint32_t* __restrict code, size_t n,
+                       const Codec& codec, const T* __restrict exc,
+                       size_t first_exc, size_t n_exc, T* __restrict out) {
+  (void)n;
+  /* LOOP1: decode regardless */
+  for (size_t i = 0; i < n; i++) {
+    out[i] = codec.Decode(code[i]);
+  }
+  /* LOOP2: patch it up */
+  size_t cur = first_exc;
+  for (size_t j = 0; j < n_exc; j++) {
+    size_t next = cur + size_t(code[cur]) + 1;
+    out[cur] = exc[j];
+    cur = next;
+  }
+}
+
+/// Patched PFOR-DELTA decompression: patch the decoded deltas first
+/// (bogus codes at exception slots would corrupt the running sum), then
+/// compute the prefix sum starting from `start` (the value preceding
+/// position 0).
+template <CodecValue T>
+void DecompressPatchedDelta(const uint32_t* __restrict code, size_t n,
+                            const ForCodec<T>& codec, const T* __restrict exc,
+                            size_t first_exc, size_t n_exc, T start,
+                            T* __restrict out) {
+  using U = std::make_unsigned_t<T>;
+  for (size_t i = 0; i < n; i++) {
+    out[i] = codec.Decode(code[i]);
+  }
+  size_t cur = first_exc;
+  for (size_t j = 0; j < n_exc; j++) {
+    size_t next = cur + size_t(code[cur]) + 1;
+    out[cur] = exc[j];
+    cur = next;
+  }
+  U acc = U(start);
+  for (size_t i = 0; i < n; i++) {
+    acc += U(out[i]);
+    out[i] = T(acc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compression
+// ---------------------------------------------------------------------------
+
+/// Shared LOOP2 of the patched compressors: turns the positions in
+/// `miss[0..m)` into a linked patch list, inserting compulsory exceptions
+/// whenever the gap between two list members exceeds 2^b. Returns the
+/// total number of exceptions written to `exc`; sets `*first_exc` to the
+/// position of the first exception (or n when none).
+template <CodecValue T>
+size_t BuildPatchList(const T* __restrict in, size_t n, int b,
+                      const uint32_t* __restrict miss, size_t m,
+                      uint32_t* __restrict code, T* __restrict exc,
+                      size_t* first_exc) {
+  const size_t kMaxGap = MaxExceptionGap(b);
+  size_t j = 0;
+  size_t prev = SIZE_MAX;
+  for (size_t k = 0; k < m; k++) {
+    size_t cur = miss[k];
+    if (prev != SIZE_MAX) {
+      // Insert compulsory exceptions to keep the list connected.
+      while (cur - prev > kMaxGap) {
+        size_t comp = prev + kMaxGap;
+        code[prev] = uint32_t(comp - prev - 1);
+        exc[j++] = in[comp];
+        prev = comp;
+      }
+      code[prev] = uint32_t(cur - prev - 1);
+    } else {
+      *first_exc = cur;
+    }
+    exc[j++] = in[cur];
+    prev = cur;
+  }
+  if (m == 0) *first_exc = n;
+  if (prev != SIZE_MAX) code[prev] = 0;  // last list member: gap unused
+  return j;
+}
+
+/// NAIVE compression: if-then-else per value; escape code 2^b - 1 marks an
+/// exception (so the usable code range shrinks by one). Returns the number
+/// of exceptions.
+template <CodecValue T>
+size_t CompressNaive(const T* __restrict in, size_t n, int b, T base,
+                     uint32_t* __restrict code, T* __restrict exc) {
+  const ForCodec<T> codec(base);
+  const uint32_t kEscape = MaxCode(b);
+  size_t j = 0;
+  for (size_t i = 0; i < n; i++) {
+    uint32_t val = codec.Encode(in[i]);
+    if (val < kEscape) {
+      code[i] = val;
+    } else {
+      code[i] = kEscape;
+      exc[j++] = in[i];
+    }
+  }
+  return j;
+}
+
+/// NAIVE-escape decompression counterpart test helper: exceptions in
+/// position order (matches CompressNaive output).
+//
+// (DecompressNaive above already implements this.)
+
+/// Predicated single-cursor compression: LOOP1 appends every position to
+/// the miss list and advances the list cursor by a boolean, removing the
+/// branch; LOOP2 builds the patch list. `miss` is caller-provided scratch
+/// of n entries. Returns the exception count.
+template <CodecValue T>
+size_t CompressPred(const T* __restrict in, size_t n, int b, T base,
+                    uint32_t* __restrict code, T* __restrict exc,
+                    size_t* first_exc, uint32_t* __restrict miss) {
+  const ForCodec<T> codec(base);
+  const uint32_t kMax = MaxCode(b);
+  size_t j = 0;
+  /* LOOP1: find exceptions */
+  for (size_t i = 0; i < n; i++) {
+    uint32_t val = codec.Encode(in[i]);
+    code[i] = val;
+    miss[j] = uint32_t(i);
+    j += (val > kMax);
+  }
+  /* LOOP2: create patch list */
+  return BuildPatchList(in, n, b, miss, j, code, exc, first_exc);
+}
+
+/// Double-cursor compression: two independent cursors (start and halfway)
+/// give the CPU two independent dependency chains in LOOP1; the two miss
+/// lists are merged in LOOP2. Not the same as loop unrolling — the
+/// compiler cannot introduce the second miss list itself (Section 3.1).
+template <CodecValue T>
+size_t CompressDC(const T* __restrict in, size_t n, int b, T base,
+                  uint32_t* __restrict code, T* __restrict exc,
+                  size_t* first_exc, uint32_t* __restrict miss0,
+                  uint32_t* __restrict miss1) {
+  const ForCodec<T> codec(base);
+  const uint32_t kMax = MaxCode(b);
+  const size_t m = n / 2;
+  size_t j0 = 0, j1 = 0;
+  /* LOOP1a: find exceptions, two cursors */
+  for (size_t i = 0; i < m; i++) {
+    uint32_t val0 = codec.Encode(in[i]);
+    uint32_t val1 = codec.Encode(in[i + m]);
+    code[i] = val0;
+    code[i + m] = val1;
+    miss0[j0] = uint32_t(i);
+    miss1[j1] = uint32_t(i + m);
+    j0 += (val0 > kMax);
+    j1 += (val1 > kMax);
+  }
+  /* LOOP1b: odd tail */
+  for (size_t i = 2 * m; i < n; i++) {
+    uint32_t val = codec.Encode(in[i]);
+    code[i] = val;
+    miss1[j1] = uint32_t(i);
+    j1 += (val > kMax);
+  }
+  /* LOOP2: merge the two miss lists into one patch list */
+  // miss0 covers [0, m), miss1 covers [m, n): concatenation is sorted.
+  for (size_t k = 0; k < j1; k++) miss0[j0 + k] = miss1[k];
+  return BuildPatchList(in, n, b, miss0, j0 + j1, code, exc, first_exc);
+}
+
+}  // namespace scc
+
+#endif  // SCC_CORE_KERNELS_H_

@@ -1,0 +1,70 @@
+#ifndef SCC_CORE_PARALLEL_H_
+#define SCC_CORE_PARALLEL_H_
+
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/segment_reader.h"
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+// Parallel segment decompression — the paper's closing observation:
+// "with the upcoming families of multi-core CPUs ... our high-performance
+// (de-)compression routines can already improve [memory] bandwidth on
+// parallel architectures". Segments are independent decode units (every
+// 128-value group even more so), so a set of chunks fans out across
+// threads with no synchronization beyond the join.
+
+namespace scc {
+
+/// Decompresses `segments` back-to-back into `out` using up to `threads`
+/// worker threads. `out` must hold the sum of the segments' counts.
+/// Segments are validated up front; workers then run pure decode loops.
+template <CodecValue T>
+Result<size_t> ParallelDecompress(std::span<const AlignedBuffer> segments,
+                                  T* out, size_t out_capacity,
+                                  unsigned threads) {
+  if (threads == 0) threads = 1;
+  // Validate and compute output offsets serially (cheap: header reads).
+  std::vector<size_t> offsets(segments.size() + 1, 0);
+  for (size_t i = 0; i < segments.size(); i++) {
+    SCC_ASSIGN_OR_RETURN(auto reader, SegmentReader<T>::Open(
+                                          segments[i].data(),
+                                          segments[i].size()));
+    offsets[i + 1] = offsets[i] + reader.count();
+  }
+  const size_t total = offsets.back();
+  if (total > out_capacity) {
+    return Status::InvalidArgument("output buffer too small");
+  }
+  if (threads == 1 || segments.size() <= 1) {
+    for (size_t i = 0; i < segments.size(); i++) {
+      auto reader =
+          SegmentReader<T>::Open(segments[i].data(), segments[i].size());
+      reader.ValueOrDie().DecompressAll(out + offsets[i]);
+    }
+    return total;
+  }
+  // Static round-robin partition: segments are similar-sized chunks, so
+  // this balances well without a work queue.
+  std::vector<std::thread> workers;
+  const unsigned nworkers = std::min<unsigned>(threads,
+                                               unsigned(segments.size()));
+  workers.reserve(nworkers);
+  for (unsigned w = 0; w < nworkers; w++) {
+    workers.emplace_back([&, w] {
+      for (size_t i = w; i < segments.size(); i += nworkers) {
+        auto reader =
+            SegmentReader<T>::Open(segments[i].data(), segments[i].size());
+        reader.ValueOrDie().DecompressAll(out + offsets[i]);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  return total;
+}
+
+}  // namespace scc
+
+#endif  // SCC_CORE_PARALLEL_H_

@@ -1,0 +1,85 @@
+#ifndef SCC_CORE_PDICT_HASH_H_
+#define SCC_CORE_PDICT_HASH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+#include "util/bitutil.h"
+#include "util/status.h"
+
+// Value -> dictionary-code lookup used by PDICT compression.
+//
+// The paper mentions a "super-scalar perfect hash function" whose details
+// are out of scope there; we substitute an open-addressing table with
+// linear probing sized at ~2x the dictionary, which keeps the expected
+// probe count close to one so the encode loop stays pipeline-friendly.
+// Misses (values not in the dictionary) terminate at the first empty slot
+// and are reported as kDictMiss, turning into exceptions upstream.
+
+namespace scc {
+
+constexpr uint32_t kDictMiss = 0xFFFFFFFFu;
+
+template <CodecValue T>
+class PDictHash {
+ public:
+  /// Builds the table from `dict`; code i maps to dict[i]. Duplicate
+  /// dictionary values keep the lowest code.
+  explicit PDictHash(std::span<const T> dict) {
+    capacity_ = NextPow2(dict.size() * 2 + 1);
+    if (capacity_ < 16) capacity_ = 16;
+    mask_ = capacity_ - 1;
+    slots_.assign(capacity_, Slot{});
+    for (size_t code = 0; code < dict.size(); code++) {
+      Insert(dict[code], uint32_t(code));
+    }
+  }
+
+  /// Returns the code for `value`, or kDictMiss when absent.
+  uint32_t Lookup(T value) const {
+    size_t h = Hash(value) & mask_;
+    while (slots_[h].used) {
+      if (slots_[h].key == value) return slots_[h].code;
+      h = (h + 1) & mask_;
+    }
+    return kDictMiss;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    T key = 0;
+    uint32_t code = 0;
+    bool used = false;
+  };
+
+  static uint64_t Hash(T v) {
+    // Fibonacci-style mix; good avalanche for integer keys.
+    uint64_t x = uint64_t(std::make_unsigned_t<T>(v));
+    x *= 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 29;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 32;
+    return x;
+  }
+
+  void Insert(T key, uint32_t code) {
+    size_t h = Hash(key) & mask_;
+    while (slots_[h].used) {
+      if (slots_[h].key == key) return;  // keep lowest code
+      h = (h + 1) & mask_;
+    }
+    slots_[h] = Slot{key, code, true};
+  }
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_CORE_PDICT_HASH_H_

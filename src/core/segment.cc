@@ -1,0 +1,101 @@
+#include "core/segment.h"
+
+#include <string>
+
+namespace scc {
+
+namespace {
+
+std::string Fmt(const char* what, uint64_t got, uint64_t want) {
+  char buf[160];
+  snprintf(buf, sizeof(buf), "segment header: %s = %llu (limit/expected %llu)",
+           what, static_cast<unsigned long long>(got),
+           static_cast<unsigned long long>(want));
+  return buf;
+}
+
+}  // namespace
+
+Status SegmentHeader::Validate(size_t buffer_size) const {
+  if (magic != kMagic) {
+    return Status::Corruption("segment header: bad magic");
+  }
+  if (scheme > uint8_t(Scheme::kPDict)) {
+    return Status::Corruption(Fmt("scheme", scheme, uint8_t(Scheme::kPDict)));
+  }
+  if (bit_width > kMaxBitWidth) {
+    return Status::Corruption(Fmt("bit_width", bit_width, kMaxBitWidth));
+  }
+  if (value_size != 1 && value_size != 2 && value_size != 4 &&
+      value_size != 8) {
+    return Status::Corruption(Fmt("value_size", value_size, 8));
+  }
+  if (total_size > buffer_size) {
+    return Status::Corruption(Fmt("total_size", total_size, buffer_size));
+  }
+  const uint64_t expect_entries = (uint64_t(count) + kEntryGroup - 1) / kEntryGroup;
+  const bool compressed = GetScheme() != Scheme::kUncompressed;
+  if (compressed && entry_count != expect_entries) {
+    return Status::Corruption(Fmt("entry_count", entry_count, expect_entries));
+  }
+  if (exception_count > count) {
+    return Status::Corruption(Fmt("exception_count", exception_count, count));
+  }
+  if (exception_count >= (1u << 24)) {
+    return Status::Corruption(
+        Fmt("exception_count", exception_count, (1u << 24) - 1));
+  }
+  // Section alignment: entry points and codes are word arrays; value
+  // sections (bases, dict, exceptions-from-the-tail) are T arrays.
+  if (entries_offset % 4 != 0 || codes_offset % 4 != 0) {
+    return Status::Corruption(Fmt("section alignment", codes_offset, 4));
+  }
+  if (bases_offset % value_size != 0 || dict_offset % value_size != 0 ||
+      exceptions_offset % value_size != 0 || total_size % value_size != 0) {
+    return Status::Corruption(Fmt("value alignment", total_size, value_size));
+  }
+  // Section ordering within the buffer.
+  if (compressed) {
+    if (entries_offset < sizeof(SegmentHeader) ||
+        entries_offset + uint64_t(entry_count) * 4 > total_size) {
+      return Status::Corruption(Fmt("entries_offset", entries_offset, total_size));
+    }
+    if (codes_offset > total_size || exceptions_offset > total_size) {
+      return Status::Corruption(Fmt("codes_offset", codes_offset, total_size));
+    }
+    // The bit-packed code section must fit between codes_offset and the
+    // exception section for the declared count and bit width.
+    const uint64_t code_bytes =
+        (uint64_t(count) + 31) / 32 * 32 * bit_width / 8;
+    if (codes_offset + code_bytes > exceptions_offset) {
+      return Status::Corruption(Fmt("code section", codes_offset + code_bytes,
+                                    exceptions_offset));
+    }
+    if (exceptions_offset + uint64_t(exception_count) * value_size >
+        total_size) {
+      return Status::Corruption(
+          Fmt("exceptions_offset", exceptions_offset, total_size));
+    }
+    if (GetScheme() == Scheme::kPForDelta) {
+      if (bases_offset < sizeof(SegmentHeader) ||
+          bases_offset + uint64_t(entry_count) * value_size > total_size) {
+        return Status::Corruption(Fmt("bases_offset", bases_offset, total_size));
+      }
+    }
+  } else {
+    if (codes_offset + uint64_t(count) * value_size > total_size) {
+      return Status::Corruption(Fmt("codes_offset", codes_offset, total_size));
+    }
+  }
+  if (GetScheme() == Scheme::kPDict) {
+    if (dict_offset < sizeof(SegmentHeader) || dict_offset >= total_size) {
+      return Status::Corruption(Fmt("dict_offset", dict_offset, total_size));
+    }
+    if (dict_size == 0 || (bit_width < 32 && dict_size > (1u << bit_width))) {
+      return Status::Corruption(Fmt("dict_size", dict_size, 1u << bit_width));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scc

@@ -1,0 +1,304 @@
+#ifndef SCC_CORE_SEGMENT_BUILDER_H_
+#define SCC_CORE_SEGMENT_BUILDER_H_
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "bitpack/bitpack.h"
+#include "core/codec.h"
+#include "core/pdict_hash.h"
+#include "core/segment.h"
+#include "util/aligned_buffer.h"
+#include "util/bitutil.h"
+#include "util/status.h"
+
+// Compresses a value array into the self-describing segment layout of
+// segment.h. Each 128-value group is compressed independently: predicated
+// exception detection (LOOP1), patch-list construction with compulsory
+// exceptions (LOOP2), then bit packing — a faithful production version of
+// the paper's Section 3.1 compressors.
+
+namespace scc {
+
+template <CodecValue T>
+class SegmentBuilder {
+ public:
+  using U = std::make_unsigned_t<T>;
+
+  /// Dispatches on the analyzer's choice.
+  static Result<AlignedBuffer> Build(std::span<const T> values,
+                                     const CompressionChoice<T>& choice) {
+    switch (choice.scheme) {
+      case Scheme::kUncompressed:
+        return BuildUncompressed(values);
+      case Scheme::kPFor:
+        return BuildPFor(values, choice.pfor);
+      case Scheme::kPForDelta:
+        return BuildPForDelta(values, choice.pfor);
+      case Scheme::kPDict:
+        return BuildPDict(values, choice.pdict);
+    }
+    return Status::InvalidArgument("unknown scheme");
+  }
+
+  /// Raw array storage (also the fallback when data is incompressible).
+  static Result<AlignedBuffer> BuildUncompressed(std::span<const T> values) {
+    SegmentHeader hdr;
+    hdr.scheme = uint8_t(Scheme::kUncompressed);
+    hdr.value_size = sizeof(T);
+    hdr.count = uint32_t(values.size());
+    hdr.codes_offset = sizeof(SegmentHeader);
+    hdr.total_size =
+        uint32_t(sizeof(SegmentHeader) + values.size() * sizeof(T));
+    AlignedBuffer buf(hdr.total_size);
+    std::memcpy(buf.data(), &hdr, sizeof(hdr));
+    std::memcpy(buf.data() + hdr.codes_offset, values.data(),
+                values.size() * sizeof(T));
+    return buf;
+  }
+
+  static Result<AlignedBuffer> BuildPFor(std::span<const T> values,
+                                         const PForParams<T>& params) {
+    SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
+    GroupResults g = CompressGroups(values, params, /*deltas=*/false);
+    return Assemble(Scheme::kPFor, values, params, g, /*dict=*/{});
+  }
+
+  static Result<AlignedBuffer> BuildPForDelta(std::span<const T> values,
+                                              const PForParams<T>& params) {
+    SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
+    // Delta transform with wraparound; v[-1] := 0 so d[0] = v[0].
+    std::vector<T> deltas(values.size());
+    U prev = 0;
+    for (size_t i = 0; i < values.size(); i++) {
+      deltas[i] = T(U(values[i]) - prev);
+      prev = U(values[i]);
+    }
+    GroupResults g =
+        CompressGroups(std::span<const T>(deltas), params, /*deltas=*/true);
+    // Per-group running bases: the original value preceding the group.
+    g.bases.resize(g.entries.size());
+    for (size_t grp = 0; grp < g.entries.size(); grp++) {
+      g.bases[grp] = grp == 0 ? T(0) : values[grp * kEntryGroup - 1];
+    }
+    return Assemble(Scheme::kPForDelta, values, params, g, /*dict=*/{});
+  }
+
+  static Result<AlignedBuffer> BuildPDict(std::span<const T> values,
+                                          const PDictParams<T>& params) {
+    SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
+    if (params.dict.empty()) {
+      return Status::InvalidArgument("PDICT requires a non-empty dictionary");
+    }
+    const int dict_b = params.bit_width;
+    if (dict_b < 32 && params.dict.size() > (size_t(1) << dict_b)) {
+      return Status::InvalidArgument("dictionary larger than code range");
+    }
+    PDictHash<T> hash(params.dict);
+    GroupResults g = CompressGroupsDict(values, params, hash);
+    return Assemble(Scheme::kPDict, values,
+                    PForParams<T>{params.bit_width, T(0)}, g, params.dict);
+  }
+
+ private:
+  struct GroupResults {
+    std::vector<uint32_t> codes;   // one machine code per value (pre-pack)
+    std::vector<uint32_t> entries; // one entry point per group
+    std::vector<T> exceptions;     // in linked-list walk order
+    std::vector<T> bases;          // PFOR-DELTA running bases (else empty)
+  };
+
+  static Status CheckBitWidth(int b) {
+    if (b < 0 || b > kMaxBitWidth) {
+      return Status::InvalidArgument("bit width must be in [0, 32]");
+    }
+    return Status::OK();
+  }
+
+  /// LOOP2 shared by all schemes: converts the group-local miss list into
+  /// a linked patch list with compulsory exceptions; appends exception
+  /// values, returns the entry point's first-offset field.
+  static uint32_t PatchGroup(const T* group, size_t glen, int b,
+                             const uint32_t* miss, size_t nmiss,
+                             uint32_t* codes, std::vector<T>* exceptions) {
+    const size_t max_gap = MaxExceptionGap(b);
+    uint32_t first = kNoException;
+    size_t prev = SIZE_MAX;
+    for (size_t k = 0; k < nmiss; k++) {
+      size_t cur = miss[k];
+      if (prev == SIZE_MAX) {
+        first = uint32_t(cur);
+      } else {
+        while (cur - prev > max_gap) {
+          // Compulsory exception: compressible value stored as exception
+          // anyway, just to keep the list connected (Section 3.1).
+          size_t comp = prev + max_gap;
+          codes[prev] = uint32_t(comp - prev - 1);
+          exceptions->push_back(group[comp]);
+          prev = comp;
+        }
+        codes[prev] = uint32_t(cur - prev - 1);
+      }
+      exceptions->push_back(group[cur]);
+      prev = cur;
+    }
+    if (prev != SIZE_MAX) codes[prev] = 0;  // final member: gap unused
+    (void)glen;
+    return first;
+  }
+
+  static GroupResults CompressGroups(std::span<const T> values,
+                                     const PForParams<T>& params,
+                                     bool /*deltas*/) {
+    const int b = params.bit_width;
+    const uint32_t max_code = MaxCode(b);
+    const U base = U(params.base);
+    const size_t n = values.size();
+    const size_t groups = (n + kEntryGroup - 1) / kEntryGroup;
+
+    GroupResults out;
+    out.codes.resize(AlignUp(n, 32));
+    out.entries.resize(groups);
+    out.exceptions.reserve(n / 16);
+
+    uint32_t miss[kEntryGroup];
+    for (size_t g = 0; g < groups; g++) {
+      const size_t lo = g * kEntryGroup;
+      const size_t glen = std::min(kEntryGroup, n - lo);
+      const T* in = values.data() + lo;
+      uint32_t* codes = out.codes.data() + lo;
+      const uint32_t exc_index = uint32_t(out.exceptions.size());
+      size_t j = 0;
+      /* LOOP1: encode and find exceptions (predicated append) */
+      for (size_t i = 0; i < glen; i++) {
+        U diff = U(in[i]) - base;
+        uint32_t val = uint32_t(diff);
+        bool is_exc;
+        if constexpr (sizeof(T) > 4) {
+          // Wide types can alias into the 32-bit code range; any diff with
+          // high bits set is an exception regardless of its low word.
+          is_exc = (diff >> 32) != 0 || val > max_code;
+        } else {
+          is_exc = val > max_code;
+        }
+        codes[i] = val;
+        miss[j] = uint32_t(i);
+        j += is_exc;
+      }
+      uint32_t first =
+          PatchGroup(in, glen, b, miss, j, codes, &out.exceptions);
+      out.entries[g] = MakeEntryPoint(first, exc_index);
+    }
+    return out;
+  }
+
+  static GroupResults CompressGroupsDict(std::span<const T> values,
+                                         const PDictParams<T>& params,
+                                         const PDictHash<T>& hash) {
+    const int b = params.bit_width;
+    const size_t n = values.size();
+    const size_t groups = (n + kEntryGroup - 1) / kEntryGroup;
+
+    GroupResults out;
+    out.codes.resize(AlignUp(n, 32));
+    out.entries.resize(groups);
+    out.exceptions.reserve(n / 16);
+
+    uint32_t miss[kEntryGroup];
+    for (size_t g = 0; g < groups; g++) {
+      const size_t lo = g * kEntryGroup;
+      const size_t glen = std::min(kEntryGroup, n - lo);
+      const T* in = values.data() + lo;
+      uint32_t* codes = out.codes.data() + lo;
+      const uint32_t exc_index = uint32_t(out.exceptions.size());
+      size_t j = 0;
+      for (size_t i = 0; i < glen; i++) {
+        uint32_t val = hash.Lookup(in[i]);  // kDictMiss when absent
+        codes[i] = val;
+        miss[j] = uint32_t(i);
+        j += (val == kDictMiss);
+      }
+      uint32_t first =
+          PatchGroup(in, glen, b, miss, j, codes, &out.exceptions);
+      out.entries[g] = MakeEntryPoint(first, exc_index);
+    }
+    return out;
+  }
+
+  static Result<AlignedBuffer> Assemble(Scheme scheme,
+                                        std::span<const T> values,
+                                        const PForParams<T>& params,
+                                        const GroupResults& g,
+                                        std::span<const T> dict) {
+    if (g.exceptions.size() >= (1u << 24)) {
+      return Status::ResourceExhausted(
+          "more than 2^24 exceptions in one segment; use smaller segments");
+    }
+    const int b = params.bit_width;
+    const size_t n = values.size();
+    SegmentHeader hdr;
+    hdr.scheme = uint8_t(scheme);
+    hdr.bit_width = uint8_t(b);
+    hdr.value_size = sizeof(T);
+    hdr.count = uint32_t(n);
+    hdr.exception_count = uint32_t(g.exceptions.size());
+    hdr.entry_count = uint32_t(g.entries.size());
+    hdr.base_bits = uint64_t(U(params.base));
+    hdr.start_bits = 0;
+
+    size_t off = sizeof(SegmentHeader);
+    hdr.entries_offset = uint32_t(off);
+    off += g.entries.size() * sizeof(uint32_t);
+    if (!g.bases.empty()) {
+      off = AlignUp(off, sizeof(T));
+      hdr.bases_offset = uint32_t(off);
+      off += g.bases.size() * sizeof(T);
+    }
+    size_t padded_dict = 0;
+    if (!dict.empty()) {
+      padded_dict = std::max<size_t>(dict.size(), kEntryGroup);
+      off = AlignUp(off, sizeof(T));
+      hdr.dict_offset = uint32_t(off);
+      hdr.dict_size = uint32_t(dict.size());
+      off += padded_dict * sizeof(T);
+    }
+    off = AlignUp(off, 4);
+    hdr.codes_offset = uint32_t(off);
+    off += PackedByteSize(n, b);
+    off = AlignUp(off, sizeof(T));
+    hdr.exceptions_offset = uint32_t(off);
+    off += g.exceptions.size() * sizeof(T);
+    hdr.total_size = uint32_t(off);
+
+    AlignedBuffer buf(hdr.total_size);
+    std::memset(buf.data(), 0, hdr.total_size);
+    std::memcpy(buf.data(), &hdr, sizeof(hdr));
+    std::memcpy(buf.data() + hdr.entries_offset, g.entries.data(),
+                g.entries.size() * sizeof(uint32_t));
+    if (!g.bases.empty()) {
+      std::memcpy(buf.data() + hdr.bases_offset, g.bases.data(),
+                  g.bases.size() * sizeof(T));
+    }
+    if (!dict.empty()) {
+      std::memcpy(buf.data() + hdr.dict_offset, dict.data(),
+                  dict.size() * sizeof(T));
+      // Remaining padded entries stay zero; bogus gap codes in LOOP1 may
+      // read them but LOOP2 overwrites the results.
+    }
+    BitPack(g.codes.data(), n, b,
+            reinterpret_cast<uint32_t*>(buf.data() + hdr.codes_offset));
+    // Exception section grows backward from total_size: exception i lives
+    // at total_size - (i+1)*sizeof(T).
+    T* exc_end = reinterpret_cast<T*>(buf.data() + hdr.total_size);
+    for (size_t i = 0; i < g.exceptions.size(); i++) {
+      exc_end[-(ptrdiff_t(i) + 1)] = g.exceptions[i];
+    }
+    return buf;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_CORE_SEGMENT_BUILDER_H_

@@ -1,0 +1,294 @@
+#ifndef SCC_CORE_SEGMENT_READER_H_
+#define SCC_CORE_SEGMENT_READER_H_
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "bitpack/bitpack.h"
+#include "core/codec.h"
+#include "core/segment.h"
+#include "util/status.h"
+
+// Decompression side of the segment format. Three access paths, mirroring
+// Section 3.1:
+//  * DecompressAll / DecompressRange — the sequential scan path: per
+//    128-value group, bit-unpack into a stack buffer, LOOP1 decode all,
+//    LOOP2 patch the exception linked list (for PFOR-DELTA: patch first,
+//    then running sum from the group's stored base).
+//  * Get — fine-grained random access: walk the group's exception list
+//    from the entry point without decompressing (PFOR/PDICT), or decode
+//    the 128-value group (PFOR-DELTA, which needs the running sum).
+//
+// The reader does not own the segment bytes: it wraps memory held by the
+// buffer manager, which caches segments in compressed form (Figure 1).
+
+namespace scc {
+
+template <CodecValue T>
+class SegmentReader {
+ public:
+  using U = std::make_unsigned_t<T>;
+
+  /// Validates the header and wraps `data` (not copied; must outlive the
+  /// reader).
+  static Result<SegmentReader<T>> Open(const uint8_t* data, size_t size) {
+    if (size < sizeof(SegmentHeader)) {
+      return Status::Corruption("segment shorter than header");
+    }
+    SegmentHeader hdr;
+    std::memcpy(&hdr, data, sizeof(hdr));
+    SCC_RETURN_NOT_OK(hdr.Validate(size));
+    if (hdr.value_size != sizeof(T)) {
+      return Status::InvalidArgument("segment value width mismatch");
+    }
+    return SegmentReader<T>(data, hdr);
+  }
+
+  const SegmentHeader& header() const { return hdr_; }
+  size_t count() const { return hdr_.count; }
+  Scheme scheme() const { return hdr_.GetScheme(); }
+  int bit_width() const { return hdr_.bit_width; }
+  double compression_ratio() const { return hdr_.CompressionRatio(); }
+  size_t exception_count() const { return hdr_.exception_count; }
+
+  /// Decompresses the whole segment into `out` (count() values).
+  void DecompressAll(T* out) const { DecompressRange(0, hdr_.count, out); }
+
+  /// Decompresses values [start, start + n) into `out`.
+  void DecompressRange(size_t start, size_t n, T* out) const {
+    SCC_DCHECK(start + n <= hdr_.count);
+    if (n == 0) return;
+    if (scheme() == Scheme::kUncompressed) {
+      std::memcpy(out, Raw() + start, n * sizeof(T));
+      return;
+    }
+    const size_t first_group = start / kEntryGroup;
+    const size_t last_group = (start + n - 1) / kEntryGroup;
+    T tmp[kEntryGroup];
+    for (size_t g = first_group; g <= last_group; g++) {
+      const size_t glo = g * kEntryGroup;
+      const size_t glen = std::min(kEntryGroup, hdr_.count - glo);
+      const size_t lo = std::max(start, glo);
+      const size_t hi = std::min(start + n, glo + glen);
+      if (lo == glo && hi == glo + glen) {
+        DecodeGroup(g, glen, out + (glo - start));
+      } else {
+        DecodeGroup(g, glen, tmp);
+        std::memcpy(out + (lo - start), tmp + (lo - glo),
+                    (hi - lo) * sizeof(T));
+      }
+    }
+  }
+
+  /// Fine-grained access to the value at position `idx` (Section 3.1's
+  /// finegrained_decompress).
+  T Get(size_t idx) const {
+    SCC_DCHECK(idx < hdr_.count);
+    switch (scheme()) {
+      case Scheme::kUncompressed:
+        return Raw()[idx];
+      case Scheme::kPFor:
+        return GetPatched(idx, [this](uint32_t c) {
+          return T(U(uint64_t(hdr_.base_bits)) + U(c));
+        });
+      case Scheme::kPDict:
+        return GetPatched(idx, [this](uint32_t c) { return Dict()[c]; });
+      case Scheme::kPForDelta: {
+        // The running sum makes point access decode the enclosing group.
+        const size_t g = idx / kEntryGroup;
+        const size_t glen =
+            std::min(kEntryGroup, size_t(hdr_.count) - g * kEntryGroup);
+        T tmp[kEntryGroup];
+        DecodeGroup(g, glen, tmp);
+        return tmp[idx % kEntryGroup];
+      }
+    }
+    return T(0);
+  }
+
+  /// Bytes of the code section (useful for bandwidth accounting).
+  size_t code_section_bytes() const {
+    return PackedByteSize(hdr_.count, hdr_.bit_width);
+  }
+
+  /// PDICT only: the decode dictionary (dict_size() entries).
+  const T* dictionary() const {
+    SCC_DCHECK(scheme() == Scheme::kPDict);
+    return Dict();
+  }
+  size_t dict_size() const { return hdr_.dict_size; }
+
+  /// Compressed execution (Section 2.1): materializes the raw b-bit code
+  /// stream for [start, start+n) WITHOUT decoding values, appending the
+  /// in-range positions (relative to `start`) whose codes are patch-list
+  /// gaps rather than data to `exception_positions`. A selection on
+  /// dictionary codes (e.g. gender = 1 instead of gender = "FEMALE") can
+  /// run directly on `codes`, falling back to Get() only for the listed
+  /// exceptions. Valid for kPFor and kPDict; kPForDelta codes are deltas
+  /// and not directly comparable.
+  Status DecompressCodes(size_t start, size_t n, uint32_t* codes,
+                         std::vector<uint32_t>* exception_positions) const {
+    if (scheme() != Scheme::kPFor && scheme() != Scheme::kPDict) {
+      return Status::InvalidArgument(
+          "DecompressCodes requires PFOR or PDICT");
+    }
+    SCC_DCHECK(start + n <= hdr_.count);
+    if (n == 0) return Status::OK();
+    const int b = hdr_.bit_width;
+    const size_t first_group = start / kEntryGroup;
+    const size_t last_group = (start + n - 1) / kEntryGroup;
+    uint32_t gcodes[kEntryGroup];
+    for (size_t g = first_group; g <= last_group; g++) {
+      const size_t glo = g * kEntryGroup;
+      const size_t glen = std::min(kEntryGroup, size_t(hdr_.count) - glo);
+      BitUnpack(CodeWords() + g * (kEntryGroup / 32) * size_t(b), glen, b,
+                gcodes);
+      const size_t lo = std::max(start, glo);
+      const size_t hi = std::min(start + n, glo + glen);
+      std::memcpy(codes + (lo - start), gcodes + (lo - glo),
+                  (hi - lo) * sizeof(uint32_t));
+      // Walk this group's exception list; report in-range members.
+      const uint32_t entry = Entries()[g];
+      size_t cur = EntryFirstOffset(entry);
+      const size_t gstart = EntryExceptionIndex(entry);
+      const size_t gend = std::min<size_t>(
+          g + 1 < hdr_.entry_count ? EntryExceptionIndex(Entries()[g + 1])
+                                   : hdr_.exception_count,
+          hdr_.exception_count);
+      const size_t group_exc = gend > gstart ? gend - gstart : 0;
+      for (size_t k = 0; k < group_exc && cur < glen; k++) {
+        size_t pos = glo + cur;
+        if (pos >= lo && pos < hi) {
+          exception_positions->push_back(uint32_t(pos - start));
+        }
+        cur += size_t(gcodes[cur]) + 1;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  SegmentReader(const uint8_t* data, const SegmentHeader& hdr)
+      : data_(data), hdr_(hdr) {}
+
+  const T* Raw() const {
+    return reinterpret_cast<const T*>(data_ + hdr_.codes_offset);
+  }
+  const uint32_t* Entries() const {
+    return reinterpret_cast<const uint32_t*>(data_ + hdr_.entries_offset);
+  }
+  const T* Bases() const {
+    return reinterpret_cast<const T*>(data_ + hdr_.bases_offset);
+  }
+  const T* Dict() const {
+    return reinterpret_cast<const T*>(data_ + hdr_.dict_offset);
+  }
+  const uint32_t* CodeWords() const {
+    return reinterpret_cast<const uint32_t*>(data_ + hdr_.codes_offset);
+  }
+  /// Exception i is at ExcEnd()[-(i+1)] — the section grows backward.
+  const T* ExcEnd() const {
+    return reinterpret_cast<const T*>(data_ + hdr_.total_size);
+  }
+
+  /// Sequential decode of group `g` (glen values) into `out`.
+  void DecodeGroup(size_t g, size_t glen, T* __restrict out) const {
+    const int b = hdr_.bit_width;
+    uint32_t codes[kEntryGroup];
+    BitUnpack(CodeWords() + g * (kEntryGroup / 32) * size_t(b), glen, b,
+              codes);
+    const uint32_t entry = Entries()[g];
+    const uint32_t first = EntryFirstOffset(entry);
+    const T* exc_end = ExcEnd();
+    size_t j = EntryExceptionIndex(entry);
+    // Number of exceptions in this group bounds the LOOP2 walk (the final
+    // list member's gap code is unused). Clamped so corrupt headers or
+    // entry points can never drive the walk past the group or the
+    // exception section (defense in depth on top of Validate()).
+    const size_t group_end = std::min<size_t>(
+        g + 1 < hdr_.entry_count ? EntryExceptionIndex(Entries()[g + 1])
+                                 : hdr_.exception_count,
+        hdr_.exception_count);
+    const size_t group_exc = group_end > j ? group_end - j : 0;
+    switch (scheme()) {
+      case Scheme::kPFor: {
+        const U base = U(uint64_t(hdr_.base_bits));
+        /* LOOP1: decode regardless */
+        for (size_t i = 0; i < glen; i++) out[i] = T(base + U(codes[i]));
+        /* LOOP2: patch it up */
+        for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
+          size_t next = cur + size_t(codes[cur]) + 1;
+          out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];
+          cur = next;
+        }
+        break;
+      }
+      case Scheme::kPForDelta: {
+        const U base = U(uint64_t(hdr_.base_bits));
+        for (size_t i = 0; i < glen; i++) out[i] = T(base + U(codes[i]));
+        /* patch BEFORE the running sum (paper footnote 3) */
+        for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
+          size_t next = cur + size_t(codes[cur]) + 1;
+          out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];
+          cur = next;
+        }
+        U acc = U(Bases()[g]);
+        for (size_t i = 0; i < glen; i++) {
+          acc += U(out[i]);
+          out[i] = T(acc);
+        }
+        break;
+      }
+      case Scheme::kPDict: {
+        const T* dict = Dict();
+        for (size_t i = 0; i < glen; i++) out[i] = dict[codes[i]];
+        for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
+          size_t next = cur + size_t(codes[cur]) + 1;
+          out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];
+          cur = next;
+        }
+        break;
+      }
+      case Scheme::kUncompressed:
+        SCC_DCHECK(false);
+        break;
+    }
+  }
+
+  /// Point lookup for PFOR/PDICT: walk the exception list; if `idx` is on
+  /// it return the stored exception, otherwise decode its code.
+  template <typename DecodeFn>
+  T GetPatched(size_t idx, DecodeFn decode) const {
+    const int b = hdr_.bit_width;
+    const size_t g = idx / kEntryGroup;
+    const size_t x = idx % kEntryGroup;
+    const uint32_t entry = Entries()[g];
+    size_t i = EntryFirstOffset(entry);  // kNoException = 0x80 ends walk
+    size_t j = EntryExceptionIndex(entry);
+    const size_t group_end = std::min<size_t>(
+        g + 1 < hdr_.entry_count ? EntryExceptionIndex(Entries()[g + 1])
+                                 : hdr_.exception_count,
+        hdr_.exception_count);
+    const size_t group_exc = group_end > j ? group_end - j : 0;
+    const uint32_t* words = CodeWords();
+    const size_t gbase = g * kEntryGroup;
+    size_t k = 0;
+    while (k < group_exc && i < x) {
+      i += BitExtract(words, gbase + i, b) + 1;
+      j++;
+      k++;
+    }
+    if (k < group_exc && i == x) {
+      return ExcEnd()[-(ptrdiff_t(j) + 1)];
+    }
+    return decode(BitExtract(words, gbase + x, b));
+  }
+
+  const uint8_t* data_;
+  SegmentHeader hdr_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_CORE_SEGMENT_READER_H_

@@ -1,0 +1,209 @@
+#ifndef SCC_ENGINE_HASH_TABLE_H_
+#define SCC_ENGINE_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/primitives.h"
+#include "util/bitutil.h"
+#include "util/status.h"
+
+// Hash tables for vectorized aggregation and joins: open addressing with
+// linear probing, power-of-two capacity, geometric growth. Keys are
+// 64-bit composites (callers pack multi-column group keys).
+
+namespace scc {
+
+/// Maps group keys to dense group ids (0, 1, 2, ...) for aggregation.
+class GroupTable {
+ public:
+  explicit GroupTable(size_t capacity_hint = 64) { Rehash(capacity_hint * 2); }
+
+  /// Returns the dense id for `key`, assigning the next id if new.
+  uint32_t GroupId(uint64_t key) {
+    if ((keys_.size() + 1) * 3 > capacity_ * 2) Rehash(capacity_ * 2);
+    size_t h = HashKey(key) & mask_;
+    while (slot_used_[h]) {
+      if (slot_key_[h] == key) return slot_id_[h];
+      h = (h + 1) & mask_;
+    }
+    uint32_t id = uint32_t(keys_.size());
+    slot_used_[h] = 1;
+    slot_key_[h] = key;
+    slot_id_[h] = id;
+    keys_.push_back(key);
+    return id;
+  }
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
+ private:
+  void Rehash(size_t cap) {
+    capacity_ = NextPow2(cap < 16 ? 16 : cap);
+    mask_ = capacity_ - 1;
+    slot_used_.assign(capacity_, 0);
+    slot_key_.assign(capacity_, 0);
+    slot_id_.assign(capacity_, 0);
+    for (uint32_t id = 0; id < keys_.size(); id++) {
+      size_t h = HashKey(keys_[id]) & mask_;
+      while (slot_used_[h]) h = (h + 1) & mask_;
+      slot_used_[h] = 1;
+      slot_key_[h] = keys_[id];
+      slot_id_[h] = id;
+    }
+  }
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::vector<uint8_t> slot_used_;
+  std::vector<uint64_t> slot_key_;
+  std::vector<uint32_t> slot_id_;
+  std::vector<uint64_t> keys_;
+};
+
+/// Unique-key hash map for joins on primary keys (u64 key -> u32 row).
+class JoinTable {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  explicit JoinTable(size_t expected = 64) {
+    capacity_ = NextPow2(expected * 2 + 16);
+    mask_ = capacity_ - 1;
+    slot_key_.assign(capacity_, kEmptyKey);
+    slot_row_.assign(capacity_, 0);
+  }
+
+  /// Inserts key -> row. Returns false on duplicate key.
+  bool Insert(uint64_t key, uint32_t row) {
+    SCC_DCHECK(key != kEmptyKey);
+    if ((size_ + 1) * 3 > capacity_ * 2) Grow();
+    size_t h = HashKey(key) & mask_;
+    while (slot_key_[h] != kEmptyKey) {
+      if (slot_key_[h] == key) return false;
+      h = (h + 1) & mask_;
+    }
+    slot_key_[h] = key;
+    slot_row_[h] = row;
+    size_++;
+    return true;
+  }
+
+  /// Returns the row for `key`, or kNotFound.
+  uint32_t Lookup(uint64_t key) const {
+    size_t h = HashKey(key) & mask_;
+    while (slot_key_[h] != kEmptyKey) {
+      if (slot_key_[h] == key) return slot_row_[h];
+      h = (h + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~uint64_t(0);
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(slot_key_);
+    std::vector<uint32_t> old_rows = std::move(slot_row_);
+    capacity_ *= 2;
+    mask_ = capacity_ - 1;
+    slot_key_.assign(capacity_, kEmptyKey);
+    slot_row_.assign(capacity_, 0);
+    for (size_t i = 0; i < old_keys.size(); i++) {
+      if (old_keys[i] == kEmptyKey) continue;
+      size_t h = HashKey(old_keys[i]) & mask_;
+      while (slot_key_[h] != kEmptyKey) h = (h + 1) & mask_;
+      slot_key_[h] = old_keys[i];
+      slot_row_[h] = old_rows[i];
+    }
+  }
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<uint64_t> slot_key_;
+  std::vector<uint32_t> slot_row_;
+};
+
+/// Multimap variant for non-unique join keys: chains rows per key.
+class MultiJoinTable {
+ public:
+  explicit MultiJoinTable(size_t expected = 64) : heads_(expected) {}
+
+  void Insert(uint64_t key, uint32_t row) {
+    uint32_t head = heads_.Lookup(key);  // kEnd terminates the chain
+    next_.push_back(head);
+    rows_.push_back(row);
+    heads_.Insert(key, uint32_t(rows_.size()) - 1);  // updates in place
+  }
+
+  /// Iterates matching rows: call with the previous cursor (or Begin()).
+  uint32_t Begin(uint64_t key) const { return heads_.Lookup(key); }
+  uint32_t RowAt(uint32_t cursor) const { return rows_[cursor]; }
+  uint32_t Next(uint32_t cursor) const { return next_[cursor]; }
+  static constexpr uint32_t kEnd = JoinTable::kNotFound;
+
+ private:
+  class Heads {
+   public:
+    explicit Heads(size_t expected) {
+      capacity_ = NextPow2(expected * 2 + 16);
+      mask_ = capacity_ - 1;
+      key_.assign(capacity_, ~uint64_t(0));
+      val_.assign(capacity_, JoinTable::kNotFound);
+    }
+    uint32_t Lookup(uint64_t key) const {
+      size_t h = HashKey(key) & mask_;
+      while (key_[h] != ~uint64_t(0)) {
+        if (key_[h] == key) return val_[h];
+        h = (h + 1) & mask_;
+      }
+      return JoinTable::kNotFound;
+    }
+    void Insert(uint64_t key, uint32_t val) {
+      if ((size_ + 1) * 3 > capacity_ * 2) Grow();
+      size_t h = HashKey(key) & mask_;
+      while (key_[h] != ~uint64_t(0)) {
+        if (key_[h] == key) {
+          val_[h] = val;
+          return;
+        }
+        h = (h + 1) & mask_;
+      }
+      key_[h] = key;
+      val_[h] = val;
+      size_++;
+    }
+    void Update(uint64_t key, uint32_t val) { Insert(key, val); }
+
+   private:
+    void Grow() {
+      auto old_key = std::move(key_);
+      auto old_val = std::move(val_);
+      capacity_ *= 2;
+      mask_ = capacity_ - 1;
+      key_.assign(capacity_, ~uint64_t(0));
+      val_.assign(capacity_, JoinTable::kNotFound);
+      for (size_t i = 0; i < old_key.size(); i++) {
+        if (old_key[i] == ~uint64_t(0)) continue;
+        size_t h = HashKey(old_key[i]) & mask_;
+        while (key_[h] != ~uint64_t(0)) h = (h + 1) & mask_;
+        key_[h] = old_key[i];
+        val_[h] = old_val[i];
+      }
+    }
+    size_t capacity_ = 0, mask_ = 0, size_ = 0;
+    std::vector<uint64_t> key_;
+    std::vector<uint32_t> val_;
+  };
+
+  Heads heads_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_HASH_TABLE_H_

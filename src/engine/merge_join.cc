@@ -1,0 +1,118 @@
+#include "engine/merge_join.h"
+
+namespace scc {
+
+namespace {
+
+int64_t WidenAt(const Vector& v, size_t i) {
+  switch (v.type()) {
+    case TypeId::kInt8:
+      return v.data<int8_t>()[i];
+    case TypeId::kInt16:
+      return v.data<int16_t>()[i];
+    case TypeId::kInt32:
+      return v.data<int32_t>()[i];
+    case TypeId::kInt64:
+      return v.data<int64_t>()[i];
+    case TypeId::kFloat64:
+      return int64_t(v.data<double>()[i]);
+  }
+  return 0;
+}
+
+void CopyCell(const Vector& src, size_t src_row, Vector* dst, size_t dst_row) {
+  DispatchType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    dst->data<T>()[dst_row] = src.data<T>()[src_row];
+    return 0;
+  });
+}
+
+}  // namespace
+
+MergeJoinOp::MergeJoinOp(Operator* left, size_t left_key, Operator* right,
+                         size_t right_key)
+    : left_(left), left_key_(left_key), right_(right), right_key_(right_key) {
+  types_ = left_->output_types();
+  const auto& rt = right_->output_types();
+  for (size_t c = 0; c < rt.size(); c++) {
+    if (c == right_key_) continue;
+    right_out_cols_.push_back(c);
+    types_.push_back(TypeId::kInt64);  // right columns come out widened
+  }
+  for (TypeId t : types_) out_.push_back(std::make_unique<Vector>(t));
+}
+
+bool MergeJoinOp::Refill(int side) {
+  if (side == 0) {
+    lpos_ = 0;
+    if (left_->Next(&lbatch_) == 0) {
+      ldone_ = true;
+      return false;
+    }
+  } else {
+    rpos_ = 0;
+    if (right_->Next(&rbatch_) == 0) {
+      rdone_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t MergeJoinOp::LeftKeyAt(size_t i) const {
+  return WidenAt(*lbatch_.col(left_key_), i);
+}
+int64_t MergeJoinOp::RightKeyAt(size_t i) const {
+  return WidenAt(*rbatch_.col(right_key_), i);
+}
+
+size_t MergeJoinOp::Next(Batch* out) {
+  const size_t nleft = left_->output_types().size();
+  size_t emitted = 0;
+  while (emitted < kVectorSize) {
+    if (!ldone_ && (lbatch_.rows == 0 || lpos_ >= lbatch_.rows)) {
+      if (!Refill(0)) break;
+    }
+    if (!rdone_ && (rbatch_.rows == 0 || rpos_ >= rbatch_.rows)) {
+      if (!Refill(1)) break;
+    }
+    if (ldone_ || rdone_) break;
+    int64_t lk = LeftKeyAt(lpos_);
+    int64_t rk = RightKeyAt(rpos_);
+    if (lk < rk) {
+      lpos_++;
+    } else if (lk > rk) {
+      rpos_++;
+    } else {
+      for (size_t c = 0; c < nleft; c++) {
+        CopyCell(*lbatch_.col(c), lpos_, out_[c].get(), emitted);
+      }
+      for (size_t c = 0; c < right_out_cols_.size(); c++) {
+        out_[nleft + c]->data<int64_t>()[emitted] =
+            WidenAt(*rbatch_.col(right_out_cols_[c]), rpos_);
+      }
+      emitted++;
+      lpos_++;  // right stays: the next left row may share the key
+    }
+  }
+  if (emitted == 0) return 0;
+  out->columns.clear();
+  for (size_t c = 0; c < out_.size(); c++) {
+    out_[c]->set_count(emitted);
+    out->columns.push_back(out_[c].get());
+  }
+  out->rows = emitted;
+  return emitted;
+}
+
+void MergeJoinOp::Reset() {
+  left_->Reset();
+  right_->Reset();
+  lbatch_ = Batch{};
+  rbatch_ = Batch{};
+  lpos_ = rpos_ = 0;
+  ldone_ = rdone_ = false;
+}
+
+}  // namespace scc

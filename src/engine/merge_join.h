@@ -1,0 +1,55 @@
+#ifndef SCC_ENGINE_MERGE_JOIN_H_
+#define SCC_ENGINE_MERGE_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/operators.h"
+
+// Sort-merge join over two inputs already ordered by their join keys —
+// the join shape the paper's retrieval query uses ("a merge-join of the
+// postings table with the document offsets", Section 5), and the natural
+// join for clustered TPC-H keys (lineitem and orders are both ordered by
+// orderkey).
+//
+// Inner equi-join; the left input may contain duplicate keys, the right
+// input's keys must be unique (document offsets / primary keys are).
+// Output: all left columns followed by all right columns except the
+// right key.
+
+namespace scc {
+
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(Operator* left, size_t left_key, Operator* right,
+              size_t right_key);
+
+  const std::vector<TypeId>& output_types() const override { return types_; }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+ private:
+  /// Pulls the next batch of `side` into its stage; false when drained.
+  bool Refill(int side);
+  int64_t LeftKeyAt(size_t i) const;
+  int64_t RightKeyAt(size_t i) const;
+
+  Operator* left_;
+  size_t left_key_;
+  Operator* right_;
+  size_t right_key_;
+  std::vector<TypeId> types_;
+  std::vector<size_t> right_out_cols_;
+
+  Batch lbatch_;
+  Batch rbatch_;
+  size_t lpos_ = 0;  // cursor within lbatch_
+  size_t rpos_ = 0;
+  bool ldone_ = false;
+  bool rdone_ = false;
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_MERGE_JOIN_H_

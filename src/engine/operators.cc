@@ -1,0 +1,395 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scc {
+
+namespace {
+
+/// Widens one value of vector `v` at row `i` to int64.
+int64_t WidenAt(const Vector& v, size_t i) {
+  switch (v.type()) {
+    case TypeId::kInt8:
+      return v.data<int8_t>()[i];
+    case TypeId::kInt16:
+      return v.data<int16_t>()[i];
+    case TypeId::kInt32:
+      return v.data<int32_t>()[i];
+    case TypeId::kInt64:
+      return v.data<int64_t>()[i];
+    case TypeId::kFloat64:
+      return int64_t(v.data<double>()[i]);
+  }
+  return 0;
+}
+
+/// Compacts `src` through `sel` into `dst` (same type).
+void GatherVector(const Vector& src, const SelVec& sel, Vector* dst) {
+  DispatchType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    Gather(src.data<T>(), sel, dst->data<T>());
+    return 0;
+  });
+  dst->set_count(sel.count);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemorySource
+// ---------------------------------------------------------------------------
+
+MemorySource::MemorySource(std::vector<TypeId> types,
+                           std::vector<const void*> columns, size_t rows)
+    : types_(std::move(types)), columns_(std::move(columns)), rows_(rows) {
+  SCC_CHECK(types_.size() == columns_.size(), "types/columns mismatch");
+  for (TypeId t : types_) out_.push_back(std::make_unique<Vector>(t));
+}
+
+size_t MemorySource::Next(Batch* out) {
+  if (pos_ >= rows_) return 0;
+  size_t n = std::min(kVectorSize, rows_ - pos_);
+  out->columns.clear();
+  for (size_t c = 0; c < types_.size(); c++) {
+    size_t w = TypeSize(types_[c]);
+    std::memcpy(out_[c]->raw(),
+                static_cast<const uint8_t*>(columns_[c]) + pos_ * w, n * w);
+    out_[c]->set_count(n);
+    out->columns.push_back(out_[c].get());
+  }
+  out->rows = n;
+  pos_ += n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// SelectOp
+// ---------------------------------------------------------------------------
+
+SelectOp::SelectOp(Operator* child, size_t pred_col, PredFn pred)
+    : child_(child), pred_col_(pred_col), pred_(std::move(pred)) {
+  for (TypeId t : child_->output_types()) {
+    out_.push_back(std::make_unique<Vector>(t));
+  }
+}
+
+size_t SelectOp::Next(Batch* out) {
+  Batch in;
+  SelVec sel;
+  while (true) {
+    size_t n = child_->Next(&in);
+    if (n == 0) return 0;
+    size_t kept = pred_(*in.col(pred_col_), n, &sel);
+    if (kept == 0) continue;  // fully filtered batch; pull the next one
+    out->columns.clear();
+    for (size_t c = 0; c < out_.size(); c++) {
+      GatherVector(*in.col(c), sel, out_[c].get());
+      out->columns.push_back(out_[c].get());
+    }
+    out->rows = kept;
+    return kept;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProjectOp
+// ---------------------------------------------------------------------------
+
+ProjectOp::ProjectOp(Operator* child, TypeId out_type, ComputeFn fn)
+    : child_(child), fn_(std::move(fn)) {
+  types_ = child_->output_types();
+  types_.push_back(out_type);
+  computed_ = std::make_unique<Vector>(out_type);
+}
+
+size_t ProjectOp::Next(Batch* out) {
+  size_t n = child_->Next(&scratch_);
+  if (n == 0) return 0;
+  fn_(scratch_, computed_.get());
+  computed_->set_count(n);
+  *out = scratch_;
+  out->columns.push_back(computed_.get());
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// HashAggregateOp
+// ---------------------------------------------------------------------------
+
+HashAggregateOp::HashAggregateOp(Operator* child, std::vector<size_t> key_cols,
+                                 std::vector<int> key_bits,
+                                 std::vector<AggSpec> aggs)
+    : child_(child),
+      key_cols_(std::move(key_cols)),
+      key_bits_(std::move(key_bits)),
+      aggs_(std::move(aggs)) {
+  SCC_CHECK(key_cols_.size() == key_bits_.size(), "key spec mismatch");
+  int total_bits = 0;
+  for (int b : key_bits_) total_bits += b;
+  SCC_CHECK(total_bits <= 64, "composite key exceeds 64 bits");
+  for (size_t i = 0; i < key_cols_.size(); i++) types_.push_back(TypeId::kInt64);
+  for (size_t i = 0; i < aggs_.size(); i++) types_.push_back(TypeId::kInt64);
+  for (TypeId t : types_) out_.push_back(std::make_unique<Vector>(t));
+  agg_state_.resize(aggs_.size());
+}
+
+void HashAggregateOp::Consume() {
+  Batch in;
+  size_t n;
+  while ((n = child_->Next(&in)) > 0) {
+    // Pack composite keys.
+    uint64_t keys[kVectorSize];
+    std::memset(keys, 0, n * sizeof(uint64_t));
+    for (size_t k = 0; k < key_cols_.size(); k++) {
+      const Vector& col = *in.col(key_cols_[k]);
+      const int bits = key_bits_[k];
+      const uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+      for (size_t i = 0; i < n; i++) {
+        keys[i] = (keys[i] << bits) | (uint64_t(WidenAt(col, i)) & mask);
+      }
+    }
+    // Group ids, then update aggregate arrays.
+    uint32_t gids[kVectorSize];
+    for (size_t i = 0; i < n; i++) gids[i] = groups_.GroupId(keys[i]);
+    const size_t ngroups = groups_.size();
+    for (size_t a = 0; a < aggs_.size(); a++) {
+      auto& state = agg_state_[a];
+      if (state.size() < ngroups) {
+        int64_t init = 0;
+        if (aggs_[a].kind == AggKind::kMin) init = INT64_MAX;
+        if (aggs_[a].kind == AggKind::kMax) init = INT64_MIN;
+        state.resize(ngroups, init);
+      }
+      switch (aggs_[a].kind) {
+        case AggKind::kCount:
+          for (size_t i = 0; i < n; i++) state[gids[i]]++;
+          break;
+        case AggKind::kSum: {
+          const Vector& col = *in.col(aggs_[a].column);
+          for (size_t i = 0; i < n; i++) state[gids[i]] += WidenAt(col, i);
+          break;
+        }
+        case AggKind::kMin: {
+          const Vector& col = *in.col(aggs_[a].column);
+          for (size_t i = 0; i < n; i++) {
+            state[gids[i]] = std::min(state[gids[i]], WidenAt(col, i));
+          }
+          break;
+        }
+        case AggKind::kMax: {
+          const Vector& col = *in.col(aggs_[a].column);
+          for (size_t i = 0; i < n; i++) {
+            state[gids[i]] = std::max(state[gids[i]], WidenAt(col, i));
+          }
+          break;
+        }
+      }
+    }
+  }
+  // Groups with no aggregate touches (possible when aggs lag group
+  // creation within a batch) — ensure state arrays cover all groups.
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    int64_t init = 0;
+    if (aggs_[a].kind == AggKind::kMin) init = INT64_MAX;
+    if (aggs_[a].kind == AggKind::kMax) init = INT64_MIN;
+    agg_state_[a].resize(groups_.size(), init);
+  }
+}
+
+size_t HashAggregateOp::Next(Batch* out) {
+  if (!consumed_) {
+    Consume();
+    consumed_ = true;
+    emit_pos_ = 0;
+  }
+  if (emit_pos_ >= groups_.size()) return 0;
+  size_t n = std::min(kVectorSize, groups_.size() - emit_pos_);
+  out->columns.clear();
+  // Unpack keys, last packed key in the low bits.
+  for (size_t k = 0; k < key_cols_.size(); k++) {
+    int shift = 0;
+    for (size_t j = k + 1; j < key_cols_.size(); j++) shift += key_bits_[j];
+    const uint64_t mask =
+        key_bits_[k] >= 64 ? ~0ull : ((1ull << key_bits_[k]) - 1);
+    int64_t* dst = out_[k]->data<int64_t>();
+    for (size_t i = 0; i < n; i++) {
+      dst[i] = int64_t((groups_.keys()[emit_pos_ + i] >> shift) & mask);
+    }
+    out_[k]->set_count(n);
+    out->columns.push_back(out_[k].get());
+  }
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    int64_t* dst = out_[key_cols_.size() + a]->data<int64_t>();
+    for (size_t i = 0; i < n; i++) dst[i] = agg_state_[a][emit_pos_ + i];
+    out_[key_cols_.size() + a]->set_count(n);
+    out->columns.push_back(out_[key_cols_.size() + a].get());
+  }
+  out->rows = n;
+  emit_pos_ += n;
+  return n;
+}
+
+void HashAggregateOp::Reset() {
+  child_->Reset();
+  consumed_ = false;
+  groups_ = GroupTable();
+  for (auto& s : agg_state_) s.clear();
+  emit_pos_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// TopNOp
+// ---------------------------------------------------------------------------
+
+TopNOp::TopNOp(Operator* child, size_t order_col, size_t n, bool descending)
+    : child_(child), order_col_(order_col), n_(n), descending_(descending) {
+  for (TypeId t : child_->output_types()) {
+    out_.push_back(std::make_unique<Vector>(t));
+  }
+}
+
+void TopNOp::Consume() {
+  // Keep all rows widened, then partial-sort; n is small in practice so a
+  // full sort of retained rows would also do, but we bound memory with a
+  // heap-style prune every 4n rows.
+  Batch in;
+  size_t n;
+  const size_t ncols = child_->output_types().size();
+  auto better = [&](const std::vector<int64_t>& a,
+                    const std::vector<int64_t>& b) {
+    return descending_ ? a[order_col_] > b[order_col_]
+                       : a[order_col_] < b[order_col_];
+  };
+  while ((n = child_->Next(&in)) > 0) {
+    for (size_t i = 0; i < n; i++) {
+      std::vector<int64_t> row(ncols);
+      for (size_t c = 0; c < ncols; c++) row[c] = WidenAt(*in.col(c), i);
+      rows_.push_back(std::move(row));
+    }
+    if (rows_.size() > 4 * n_ + 64) {
+      std::nth_element(rows_.begin(), rows_.begin() + n_, rows_.end(), better);
+      rows_.resize(n_);
+    }
+  }
+  std::sort(rows_.begin(), rows_.end(), better);
+  if (rows_.size() > n_) rows_.resize(n_);
+}
+
+size_t TopNOp::Next(Batch* out) {
+  if (!consumed_) {
+    Consume();
+    consumed_ = true;
+    emit_pos_ = 0;
+  }
+  if (emit_pos_ >= rows_.size()) return 0;
+  size_t n = std::min(kVectorSize, rows_.size() - emit_pos_);
+  const auto& types = child_->output_types();
+  out->columns.clear();
+  for (size_t c = 0; c < types.size(); c++) {
+    DispatchType(types[c], [&](auto tag) {
+      using T = decltype(tag);
+      T* dst = out_[c]->data<T>();
+      for (size_t i = 0; i < n; i++) dst[i] = T(rows_[emit_pos_ + i][c]);
+      return 0;
+    });
+    out_[c]->set_count(n);
+    out->columns.push_back(out_[c].get());
+  }
+  out->rows = n;
+  emit_pos_ += n;
+  return n;
+}
+
+void TopNOp::Reset() {
+  child_->Reset();
+  consumed_ = false;
+  rows_.clear();
+  emit_pos_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinOp
+// ---------------------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(Operator* probe, size_t probe_key, Operator* build,
+                       size_t build_key)
+    : probe_(probe), probe_key_(probe_key), build_(build),
+      build_key_(build_key) {
+  types_ = probe_->output_types();
+  const auto& bt = build_->output_types();
+  for (size_t c = 0; c < bt.size(); c++) {
+    if (c == build_key_) continue;
+    build_out_cols_.push_back(c);
+    types_.push_back(TypeId::kInt64);  // build columns come out widened
+  }
+  for (TypeId t : types_) out_.push_back(std::make_unique<Vector>(t));
+}
+
+void HashJoinOp::Build() {
+  build_cols_.assign(build_out_cols_.size(), {});
+  Batch in;
+  size_t n;
+  uint32_t row = 0;
+  while ((n = build_->Next(&in)) > 0) {
+    const Vector& keys = *in.col(build_key_);
+    for (size_t i = 0; i < n; i++) {
+      bool ok = table_.Insert(uint64_t(WidenAt(keys, i)), row + uint32_t(i));
+      SCC_CHECK(ok, "HashJoinOp: duplicate build key");
+    }
+    for (size_t c = 0; c < build_out_cols_.size(); c++) {
+      const Vector& col = *in.col(build_out_cols_[c]);
+      for (size_t i = 0; i < n; i++) {
+        build_cols_[c].push_back(WidenAt(col, i));
+      }
+    }
+    row += uint32_t(n);
+  }
+  built_ = true;
+}
+
+size_t HashJoinOp::Next(Batch* out) {
+  if (!built_) Build();
+  Batch in;
+  SelVec sel;
+  uint32_t match_rows[kVectorSize];
+  while (true) {
+    size_t n = probe_->Next(&in);
+    if (n == 0) return 0;
+    // Probe: predicated append of matching probe rows.
+    const Vector& keys = *in.col(probe_key_);
+    size_t j = 0;
+    for (size_t i = 0; i < n; i++) {
+      uint32_t r = table_.Lookup(uint64_t(WidenAt(keys, i)));
+      sel.idx[j] = uint32_t(i);
+      match_rows[j] = r;
+      j += (r != JoinTable::kNotFound) ? 1 : 0;
+    }
+    if (j == 0) continue;
+    sel.count = j;
+    out->columns.clear();
+    const size_t nprobe = probe_->output_types().size();
+    for (size_t c = 0; c < nprobe; c++) {
+      GatherVector(*in.col(c), sel, out_[c].get());
+      out->columns.push_back(out_[c].get());
+    }
+    for (size_t c = 0; c < build_out_cols_.size(); c++) {
+      int64_t* dst = out_[nprobe + c]->data<int64_t>();
+      for (size_t k = 0; k < j; k++) dst[k] = build_cols_[c][match_rows[k]];
+      out_[nprobe + c]->set_count(j);
+      out->columns.push_back(out_[nprobe + c].get());
+    }
+    out->rows = j;
+    return j;
+  }
+}
+
+void HashJoinOp::Reset() {
+  probe_->Reset();
+  build_->Reset();
+  built_ = false;
+  table_ = JoinTable();
+  build_cols_.clear();
+}
+
+}  // namespace scc

@@ -1,0 +1,204 @@
+#ifndef SCC_ENGINE_OPERATORS_H_
+#define SCC_ENGINE_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/hash_table.h"
+#include "engine/primitives.h"
+#include "engine/vector.h"
+#include "util/status.h"
+
+// Volcano-style vectorized operators (Section 2.3): each next() yields a
+// Batch of up to kVectorSize tuples instead of a single tuple, so the
+// per-call overhead amortizes and the primitive loops pipeline.
+
+namespace scc {
+
+/// Calls `f` with a value of the C++ type matching `t`.
+template <typename F>
+auto DispatchType(TypeId t, F&& f) {
+  switch (t) {
+    case TypeId::kInt8:
+      return f(int8_t{});
+    case TypeId::kInt16:
+      return f(int16_t{});
+    case TypeId::kInt32:
+      return f(int32_t{});
+    case TypeId::kInt64:
+      return f(int64_t{});
+    case TypeId::kFloat64:
+      return f(double{});
+  }
+  return f(int64_t{});
+}
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  /// Per-column output types, fixed for the operator's lifetime.
+  virtual const std::vector<TypeId>& output_types() const = 0;
+  /// Produces the next batch; returns rows produced, 0 when exhausted.
+  /// The returned pointers stay valid until the next call.
+  virtual size_t Next(Batch* out) = 0;
+  /// Restarts the operator from the beginning.
+  virtual void Reset() = 0;
+};
+
+/// Source over caller-provided in-memory columns (for tests and as the
+/// build side of joins). Does not own the column storage.
+class MemorySource : public Operator {
+ public:
+  /// `columns[i]` points to row-count values of `types[i]`.
+  MemorySource(std::vector<TypeId> types, std::vector<const void*> columns,
+               size_t rows);
+
+  const std::vector<TypeId>& output_types() const override { return types_; }
+  size_t Next(Batch* out) override;
+  void Reset() override { pos_ = 0; }
+
+ private:
+  std::vector<TypeId> types_;
+  std::vector<const void*> columns_;
+  size_t rows_;
+  size_t pos_ = 0;
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+/// Filters rows by a predicate over one input column, compacting all
+/// columns through the selection vector.
+class SelectOp : public Operator {
+ public:
+  /// `pred` fills `sel` from the predicate column's data (already typed).
+  using PredFn = std::function<size_t(const Vector& col, size_t n, SelVec*)>;
+
+  SelectOp(Operator* child, size_t pred_col, PredFn pred);
+
+  const std::vector<TypeId>& output_types() const override {
+    return child_->output_types();
+  }
+  size_t Next(Batch* out) override;
+  void Reset() override { child_->Reset(); }
+
+ private:
+  Operator* child_;
+  size_t pred_col_;
+  PredFn pred_;
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+/// Appends one computed column. The compute function sees the full input
+/// batch and writes `rows` values into its output vector.
+class ProjectOp : public Operator {
+ public:
+  using ComputeFn = std::function<void(const Batch& in, Vector* out)>;
+
+  ProjectOp(Operator* child, TypeId out_type, ComputeFn fn);
+
+  const std::vector<TypeId>& output_types() const override { return types_; }
+  size_t Next(Batch* out) override;
+  void Reset() override { child_->Reset(); }
+
+ private:
+  Operator* child_;
+  std::vector<TypeId> types_;
+  ComputeFn fn_;
+  std::unique_ptr<Vector> computed_;
+  Batch scratch_;
+};
+
+/// Aggregate kinds supported by HashAggregateOp.
+enum class AggKind { kSum, kCount, kMin, kMax };
+
+struct AggSpec {
+  AggKind kind;
+  size_t column;  // input column index (ignored for kCount)
+};
+
+/// Blocking group-by aggregation: consumes the child entirely on the
+/// first Next(), then emits result batches. Group keys are packed into a
+/// u64 composite (callers ensure the key columns' widths sum <= 64 bits,
+/// using the per-column bit budget given at construction).
+class HashAggregateOp : public Operator {
+ public:
+  /// `key_cols[i]` uses `key_bits[i]` bits of the composite key.
+  HashAggregateOp(Operator* child, std::vector<size_t> key_cols,
+                  std::vector<int> key_bits, std::vector<AggSpec> aggs);
+
+  const std::vector<TypeId>& output_types() const override { return types_; }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  void Consume();
+
+  Operator* child_;
+  std::vector<size_t> key_cols_;
+  std::vector<int> key_bits_;
+  std::vector<AggSpec> aggs_;
+  std::vector<TypeId> types_;  // keys (i64) then aggregates (i64)
+
+  bool consumed_ = false;
+  GroupTable groups_;
+  std::vector<std::vector<int64_t>> agg_state_;  // [agg][group]
+  size_t emit_pos_ = 0;
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+/// Blocking top-N by one int64 column (min-heap, ascending or descending).
+class TopNOp : public Operator {
+ public:
+  TopNOp(Operator* child, size_t order_col, size_t n, bool descending);
+
+  const std::vector<TypeId>& output_types() const override {
+    return child_->output_types();
+  }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+ private:
+  void Consume();
+
+  Operator* child_;
+  size_t order_col_;
+  size_t n_;
+  bool descending_;
+  bool consumed_ = false;
+  // Retained rows stored row-wise as int64 (all types widened).
+  std::vector<std::vector<int64_t>> rows_;
+  size_t emit_pos_ = 0;
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+/// Hash join (inner, unique build keys): builds on construction from a
+/// fully-consumed build child, then streams the probe child. Output:
+/// probe columns followed by all build columns except the build key.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(Operator* probe, size_t probe_key, Operator* build,
+             size_t build_key);
+
+  const std::vector<TypeId>& output_types() const override { return types_; }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+ private:
+  void Build();
+  Operator* probe_;
+  size_t probe_key_;
+  Operator* build_;
+  size_t build_key_;
+  std::vector<TypeId> types_;
+  bool built_ = false;
+  JoinTable table_;
+  std::vector<std::vector<int64_t>> build_cols_;  // widened to i64
+  std::vector<size_t> build_out_cols_;            // build column indices kept
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_OPERATORS_H_

@@ -1,0 +1,130 @@
+#include "engine/ordered_aggregate.h"
+
+#include <algorithm>
+
+namespace scc {
+
+namespace {
+
+int64_t WidenAt(const Vector& v, size_t i) {
+  switch (v.type()) {
+    case TypeId::kInt8:
+      return v.data<int8_t>()[i];
+    case TypeId::kInt16:
+      return v.data<int16_t>()[i];
+    case TypeId::kInt32:
+      return v.data<int32_t>()[i];
+    case TypeId::kInt64:
+      return v.data<int64_t>()[i];
+    case TypeId::kFloat64:
+      return int64_t(v.data<double>()[i]);
+  }
+  return 0;
+}
+
+int64_t AggInit(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+      return INT64_MAX;
+    case AggKind::kMax:
+      return INT64_MIN;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+OrderedAggregateOp::OrderedAggregateOp(Operator* child, size_t key_col,
+                                       std::vector<AggSpec> aggs)
+    : child_(child), key_col_(key_col), aggs_(std::move(aggs)) {
+  types_.push_back(TypeId::kInt64);
+  for (size_t i = 0; i < aggs_.size(); i++) types_.push_back(TypeId::kInt64);
+  for (TypeId t : types_) out_.push_back(std::make_unique<Vector>(t));
+  cur_state_.resize(aggs_.size());
+}
+
+void OrderedAggregateOp::Fold(const Batch& in, size_t row) {
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    switch (aggs_[a].kind) {
+      case AggKind::kCount:
+        cur_state_[a]++;
+        break;
+      case AggKind::kSum:
+        cur_state_[a] += WidenAt(*in.col(aggs_[a].column), row);
+        break;
+      case AggKind::kMin:
+        cur_state_[a] = std::min(cur_state_[a],
+                                 WidenAt(*in.col(aggs_[a].column), row));
+        break;
+      case AggKind::kMax:
+        cur_state_[a] = std::max(cur_state_[a],
+                                 WidenAt(*in.col(aggs_[a].column), row));
+        break;
+    }
+  }
+}
+
+void OrderedAggregateOp::EmitGroup(size_t slot) {
+  out_[0]->data<int64_t>()[slot] = cur_key_;
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    out_[1 + a]->data<int64_t>()[slot] = cur_state_[a];
+    cur_state_[a] = AggInit(aggs_[a].kind);
+  }
+}
+
+size_t OrderedAggregateOp::Next(Batch* out) {
+  emitted_ = 0;
+  while (emitted_ < kVectorSize && !child_done_) {
+    // Refill the pending input batch if fully consumed. The child's batch
+    // memory stays valid until its next Next() call, so a partially
+    // consumed batch can be resumed across our calls.
+    if (pend_pos_ >= pend_.rows) {
+      size_t n = child_->Next(&pend_);
+      if (n == 0) {
+        child_done_ = true;
+        break;
+      }
+      pend_pos_ = 0;
+    }
+    const Vector& keys = *pend_.col(key_col_);
+    for (; pend_pos_ < pend_.rows; pend_pos_++) {
+      int64_t k = WidenAt(keys, pend_pos_);
+      if (!in_group_) {
+        in_group_ = true;
+        cur_key_ = k;
+        for (size_t a = 0; a < aggs_.size(); a++) {
+          cur_state_[a] = AggInit(aggs_[a].kind);
+        }
+      } else if (k != cur_key_) {
+        if (emitted_ >= kVectorSize) break;  // resume at this row next call
+        EmitGroup(emitted_++);
+        cur_key_ = k;
+      }
+      Fold(pend_, pend_pos_);
+    }
+  }
+  if (child_done_ && in_group_ && emitted_ < kVectorSize) {
+    EmitGroup(emitted_++);
+    in_group_ = false;
+  }
+  if (emitted_ == 0) return 0;
+  out->columns.clear();
+  for (size_t c = 0; c < out_.size(); c++) {
+    out_[c]->set_count(emitted_);
+    out->columns.push_back(out_[c].get());
+  }
+  out->rows = emitted_;
+  return emitted_;
+}
+
+void OrderedAggregateOp::Reset() {
+  child_->Reset();
+  in_group_ = false;
+  child_done_ = false;
+  emitted_ = 0;
+  pend_ = Batch{};
+  pend_pos_ = 0;
+}
+
+}  // namespace scc

@@ -1,0 +1,51 @@
+#ifndef SCC_ENGINE_ORDERED_AGGREGATE_H_
+#define SCC_ENGINE_ORDERED_AGGREGATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/operators.h"
+
+// Streaming aggregation over input already ordered (clustered) by the
+// group key — no hash table, just a running group. This is the "ordered
+// aggregation" of the paper's Section 5 retrieval query, and the natural
+// aggregation for TPC-H's orderkey-clustered lineitem.
+//
+// Emits one row per key run: the key (widened to i64) followed by the
+// aggregates, in input order. Unlike HashAggregateOp it is fully
+// pipelined: each Next() emits the groups completed so far, so memory
+// stays O(vector) regardless of group count.
+
+namespace scc {
+
+class OrderedAggregateOp : public Operator {
+ public:
+  OrderedAggregateOp(Operator* child, size_t key_col,
+                     std::vector<AggSpec> aggs);
+
+  const std::vector<TypeId>& output_types() const override { return types_; }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+ private:
+  void Fold(const Batch& in, size_t row);
+  void EmitGroup(size_t slot);
+
+  Operator* child_;
+  size_t key_col_;
+  std::vector<AggSpec> aggs_;
+  std::vector<TypeId> types_;  // key (i64) then aggregates (i64)
+
+  bool in_group_ = false;
+  bool child_done_ = false;
+  int64_t cur_key_ = 0;
+  std::vector<int64_t> cur_state_;
+  std::vector<std::unique_ptr<Vector>> out_;
+  size_t emitted_ = 0;  // rows staged in out_ for the current batch
+  Batch pend_;          // partially consumed input batch
+  size_t pend_pos_ = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_ORDERED_AGGREGATE_H_

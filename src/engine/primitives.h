@@ -1,0 +1,144 @@
+#ifndef SCC_ENGINE_PRIMITIVES_H_
+#define SCC_ENGINE_PRIMITIVES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/vector.h"
+
+// X100-style primitive functions: tight, branch-free loops over vectors,
+// called once per vector so function-call overhead amortizes (Section
+// 2.3). Selection primitives use predicated appends to a selection vector
+// — the same technique as PFOR's miss-list construction [Ros02].
+
+namespace scc {
+
+// ---------------------------------------------------------------------------
+// Map primitives: out[i] = f(a[i], b[i]) over all n values.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+inline void MapAdd(const T* __restrict a, const T* __restrict b,
+                   T* __restrict out, size_t n) {
+  for (size_t i = 0; i < n; i++) out[i] = a[i] + b[i];
+}
+
+template <typename T>
+inline void MapSub(const T* __restrict a, const T* __restrict b,
+                   T* __restrict out, size_t n) {
+  for (size_t i = 0; i < n; i++) out[i] = a[i] - b[i];
+}
+
+template <typename T>
+inline void MapMul(const T* __restrict a, const T* __restrict b,
+                   T* __restrict out, size_t n) {
+  for (size_t i = 0; i < n; i++) out[i] = a[i] * b[i];
+}
+
+template <typename T>
+inline void MapAddConst(const T* __restrict a, T c, T* __restrict out,
+                        size_t n) {
+  for (size_t i = 0; i < n; i++) out[i] = a[i] + c;
+}
+
+template <typename T>
+inline void MapMulConst(const T* __restrict a, T c, T* __restrict out,
+                        size_t n) {
+  for (size_t i = 0; i < n; i++) out[i] = a[i] * c;
+}
+
+// ---------------------------------------------------------------------------
+// Selection primitives: predicated append of qualifying indices.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Pred>
+inline size_t SelectIf(const T* __restrict a, size_t n, SelVec* sel,
+                       Pred pred) {
+  size_t j = 0;
+  for (size_t i = 0; i < n; i++) {
+    sel->idx[j] = uint32_t(i);
+    j += pred(a[i]) ? 1 : 0;  // predicated: no branch on data
+  }
+  sel->count = j;
+  return j;
+}
+
+template <typename T>
+inline size_t SelectLT(const T* a, size_t n, T v, SelVec* sel) {
+  return SelectIf(a, n, sel, [v](T x) { return x < v; });
+}
+template <typename T>
+inline size_t SelectLE(const T* a, size_t n, T v, SelVec* sel) {
+  return SelectIf(a, n, sel, [v](T x) { return x <= v; });
+}
+template <typename T>
+inline size_t SelectGE(const T* a, size_t n, T v, SelVec* sel) {
+  return SelectIf(a, n, sel, [v](T x) { return x >= v; });
+}
+template <typename T>
+inline size_t SelectGT(const T* a, size_t n, T v, SelVec* sel) {
+  return SelectIf(a, n, sel, [v](T x) { return x > v; });
+}
+template <typename T>
+inline size_t SelectEQ(const T* a, size_t n, T v, SelVec* sel) {
+  return SelectIf(a, n, sel, [v](T x) { return x == v; });
+}
+template <typename T>
+inline size_t SelectBetween(const T* a, size_t n, T lo, T hi, SelVec* sel) {
+  return SelectIf(a, n, sel, [lo, hi](T x) { return x >= lo && x <= hi; });
+}
+
+/// Refines an existing selection: keeps sel entries whose a[idx] passes.
+template <typename T, typename Pred>
+inline size_t RefineIf(const T* __restrict a, SelVec* sel, Pred pred) {
+  size_t j = 0;
+  for (size_t k = 0; k < sel->count; k++) {
+    uint32_t i = sel->idx[k];
+    sel->idx[j] = i;
+    j += pred(a[i]) ? 1 : 0;
+  }
+  sel->count = j;
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Gather / compact
+// ---------------------------------------------------------------------------
+
+/// out[k] = a[sel.idx[k]] — compacts selected rows into a dense vector.
+template <typename T>
+inline void Gather(const T* __restrict a, const SelVec& sel,
+                   T* __restrict out) {
+  for (size_t k = 0; k < sel.count; k++) out[k] = a[sel.idx[k]];
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation helpers
+// ---------------------------------------------------------------------------
+
+template <typename T>
+inline T SumAll(const T* __restrict a, size_t n) {
+  T s = 0;
+  for (size_t i = 0; i < n; i++) s += a[i];
+  return s;
+}
+
+template <typename T>
+inline T SumSelected(const T* __restrict a, const SelVec& sel) {
+  T s = 0;
+  for (size_t k = 0; k < sel.count; k++) s += a[sel.idx[k]];
+  return s;
+}
+
+/// Mixes a 64-bit key for hash tables; same finalizer as the PDICT hash.
+inline uint64_t HashKey(uint64_t x) {
+  x *= 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_PRIMITIVES_H_

@@ -1,0 +1,98 @@
+#include "engine/sort.h"
+
+#include <algorithm>
+
+namespace scc {
+
+namespace {
+
+int64_t WidenAt(const Vector& v, size_t i) {
+  switch (v.type()) {
+    case TypeId::kInt8:
+      return v.data<int8_t>()[i];
+    case TypeId::kInt16:
+      return v.data<int16_t>()[i];
+    case TypeId::kInt32:
+      return v.data<int32_t>()[i];
+    case TypeId::kInt64:
+      return v.data<int64_t>()[i];
+    case TypeId::kFloat64:
+      return int64_t(v.data<double>()[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+SortOp::SortOp(Operator* child, std::vector<SortKey> keys)
+    : child_(child), keys_(std::move(keys)) {
+  SCC_CHECK(!keys_.empty(), "SortOp requires at least one key");
+  for (TypeId t : child_->output_types()) {
+    out_.push_back(std::make_unique<Vector>(t));
+  }
+}
+
+void SortOp::Consume() {
+  const size_t ncols = child_->output_types().size();
+  cols_.assign(ncols, {});
+  Batch in;
+  while (size_t n = child_->Next(&in)) {
+    for (size_t c = 0; c < ncols; c++) {
+      for (size_t i = 0; i < n; i++) {
+        cols_[c].push_back(WidenAt(*in.col(c), i));
+      }
+    }
+  }
+  const size_t rows = cols_.empty() ? 0 : cols_[0].size();
+  order_.resize(rows);
+  for (uint32_t i = 0; i < rows; i++) order_[i] = i;
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     for (const SortKey& k : keys_) {
+                       int64_t va = cols_[k.column][a];
+                       int64_t vb = cols_[k.column][b];
+                       if (va != vb) {
+                         return k.descending ? va > vb : va < vb;
+                       }
+                     }
+                     return false;
+                   });
+}
+
+size_t SortOp::Next(Batch* out) {
+  if (!consumed_) {
+    Consume();
+    consumed_ = true;
+    emit_pos_ = 0;
+  }
+  const size_t rows = order_.size();
+  if (emit_pos_ >= rows) return 0;
+  const size_t n = std::min(kVectorSize, rows - emit_pos_);
+  const auto& types = child_->output_types();
+  out->columns.clear();
+  for (size_t c = 0; c < types.size(); c++) {
+    DispatchType(types[c], [&](auto tag) {
+      using T = decltype(tag);
+      T* dst = out_[c]->template data<T>();
+      for (size_t i = 0; i < n; i++) {
+        dst[i] = T(cols_[c][order_[emit_pos_ + i]]);
+      }
+      return 0;
+    });
+    out_[c]->set_count(n);
+    out->columns.push_back(out_[c].get());
+  }
+  out->rows = n;
+  emit_pos_ += n;
+  return n;
+}
+
+void SortOp::Reset() {
+  child_->Reset();
+  consumed_ = false;
+  cols_.clear();
+  order_.clear();
+  emit_pos_ = 0;
+}
+
+}  // namespace scc

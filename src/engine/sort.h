@@ -1,0 +1,48 @@
+#ifndef SCC_ENGINE_SORT_H_
+#define SCC_ENGINE_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/operators.h"
+
+// Blocking in-memory sort (ORDER BY): consumes the child entirely, sorts
+// row indices by the key columns, and emits in order. With TopNOp and the
+// aggregation operators this completes the relational operator set the
+// TPC-H plans draw from (materialization/sorting is also the compression
+// *writer's* main customer in the paper: sorted runs are what the >1 GB/s
+// compression bandwidth is for, Section 3.1 "Compression").
+
+namespace scc {
+
+struct SortKey {
+  size_t column;
+  bool descending = false;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(Operator* child, std::vector<SortKey> keys);
+
+  const std::vector<TypeId>& output_types() const override {
+    return child_->output_types();
+  }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+ private:
+  void Consume();
+
+  Operator* child_;
+  std::vector<SortKey> keys_;
+  bool consumed_ = false;
+  // Materialized child output, widened to int64 column-wise.
+  std::vector<std::vector<int64_t>> cols_;
+  std::vector<uint32_t> order_;
+  size_t emit_pos_ = 0;
+  std::vector<std::unique_ptr<Vector>> out_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_SORT_H_

@@ -1,0 +1,141 @@
+#ifndef SCC_ENGINE_VECTOR_H_
+#define SCC_ENGINE_VECTOR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+// The MonetDB/X100-style vector-at-a-time execution substrate
+// (Section 2.3). Operators exchange small typed arrays ("vectors") sized
+// to fit the CPU cache; primitive functions are tight loops over them.
+// Decompression happens at this granularity, on the RAM -> CPU-cache
+// boundary (Figure 1, right side).
+
+namespace scc {
+
+/// Tuples per vector. "typically a few hundreds" (Section 2.3); 1024
+/// int64s = 8 KiB, comfortably L1-resident alongside two more operands.
+constexpr size_t kVectorSize = 1024;
+
+enum class TypeId : uint8_t {
+  kInt8 = 0,
+  kInt16 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kFloat64 = 4,
+};
+
+inline size_t TypeSize(TypeId t) {
+  switch (t) {
+    case TypeId::kInt8:
+      return 1;
+    case TypeId::kInt16:
+      return 2;
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+inline const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kInt8:
+      return "i8";
+    case TypeId::kInt16:
+      return "i16";
+    case TypeId::kInt32:
+      return "i32";
+    case TypeId::kInt64:
+      return "i64";
+    case TypeId::kFloat64:
+      return "f64";
+  }
+  return "?";
+}
+
+template <typename T>
+constexpr TypeId TypeIdOf();
+template <>
+constexpr TypeId TypeIdOf<int8_t>() {
+  return TypeId::kInt8;
+}
+template <>
+constexpr TypeId TypeIdOf<int16_t>() {
+  return TypeId::kInt16;
+}
+template <>
+constexpr TypeId TypeIdOf<int32_t>() {
+  return TypeId::kInt32;
+}
+template <>
+constexpr TypeId TypeIdOf<int64_t>() {
+  return TypeId::kInt64;
+}
+template <>
+constexpr TypeId TypeIdOf<double>() {
+  return TypeId::kFloat64;
+}
+
+/// A typed, fixed-capacity column fragment. Owns its storage.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(TypeId type, size_t capacity = kVectorSize)
+      : type_(type), capacity_(capacity), buf_(capacity * TypeSize(type)) {}
+
+  TypeId type() const { return type_; }
+  size_t count() const { return count_; }
+  size_t capacity() const { return capacity_; }
+  void set_count(size_t n) {
+    SCC_DCHECK(n <= capacity_);
+    count_ = n;
+  }
+
+  template <typename T>
+  T* data() {
+    SCC_DCHECK(TypeIdOf<T>() == type_);
+    return buf_.as<T>();
+  }
+  template <typename T>
+  const T* data() const {
+    SCC_DCHECK(TypeIdOf<T>() == type_);
+    return buf_.as<T>();
+  }
+
+  uint8_t* raw() { return buf_.data(); }
+  const uint8_t* raw() const { return buf_.data(); }
+
+ private:
+  TypeId type_ = TypeId::kInt64;
+  size_t count_ = 0;
+  size_t capacity_ = 0;
+  AlignedBuffer buf_;
+};
+
+/// A batch of column vectors with a shared row count. Non-owning view;
+/// operators own the vectors they expose.
+struct Batch {
+  size_t rows = 0;
+  std::vector<Vector*> columns;
+
+  Vector* col(size_t i) const { return columns[i]; }
+};
+
+/// Selection vector: indices of qualifying rows within a vector.
+/// Produced branch-free by the selection primitives.
+struct SelVec {
+  uint32_t idx[kVectorSize];
+  size_t count = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_VECTOR_H_

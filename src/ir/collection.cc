@@ -1,0 +1,107 @@
+#include "ir/collection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace scc {
+
+std::vector<CollectionSpec> Table4Collections() {
+  // Gap statistics tuned to land PFOR-DELTA in the paper's ratio range:
+  // dense lists (high postings/doc ratio) compress well (fbis-like),
+  // sparse ones poorly (INEX-like, whose XML-element "documents" make
+  // lists sparse and gaps wide).
+  // Calibrated against this library's PFOR-DELTA ratio (paper Table 4):
+  // INEX ~1.75, fbis ~3.5, fr94 ~3.1, ft ~3.1, latimes ~3.0.
+  return {
+      {"INEX", 5000000, 150000, 0.8, 8000000, 101},
+      {"TREC-fbis", 60000, 100000, 1.0, 8000000, 102},
+      {"TREC-fr94", 200000, 110000, 1.0, 8000000, 103},
+      {"TREC-ft", 180000, 110000, 1.0, 8000000, 104},
+      {"TREC-latimes", 250000, 120000, 1.0, 8000000, 105},
+  };
+}
+
+std::vector<CollectionSpec> TinyCollections() {
+  return {
+      {"tiny-dense", 5000, 2000, 0.9, 200000, 7},
+      {"tiny-sparse", 500000, 3000, 0.8, 150000, 8},
+  };
+}
+
+InvertedIndex BuildCollection(const CollectionSpec& spec) {
+  InvertedIndex index;
+  index.name = spec.name;
+  index.num_docs = spec.num_docs;
+  index.postings.resize(spec.vocab);
+  index.tfs.resize(spec.vocab);
+  Rng rng(spec.seed);
+
+  // Zipf document frequencies scaled to the target posting count.
+  std::vector<double> weight(spec.vocab);
+  double sum = 0;
+  for (uint32_t t = 0; t < spec.vocab; t++) {
+    weight[t] = 1.0 / std::pow(double(t + 1), spec.zipf_theta);
+    sum += weight[t];
+  }
+  const double scale = double(spec.target_postings) / sum;
+
+  for (uint32_t t = 0; t < spec.vocab; t++) {
+    uint64_t df = uint64_t(weight[t] * scale);
+    if (df < 1) df = 1;
+    if (df > spec.num_docs) df = spec.num_docs;
+    // Geometric-like gaps with mean num_docs / df.
+    const double mean_gap = double(spec.num_docs) / double(df);
+    auto& list = index.postings[t];
+    auto& tf = index.tfs[t];
+    list.reserve(df);
+    tf.reserve(df);
+    uint64_t doc = 0;
+    while (list.size() < df) {
+      double u = rng.NextDouble();
+      uint64_t gap = 1 + uint64_t(-std::log(1.0 - u) * (mean_gap - 1.0) + 0.5);
+      doc += gap;
+      if (doc >= spec.num_docs) break;  // ran off the collection
+      list.push_back(uint32_t(doc));
+      // Within-document frequency: geometric, small.
+      uint32_t f = 1;
+      while (f < 64 && rng.Bernoulli(0.3)) f++;
+      tf.push_back(f);
+    }
+  }
+  return index;
+}
+
+std::vector<uint32_t> FlattenToGaps(const InvertedIndex& index) {
+  std::vector<uint32_t> gaps;
+  gaps.reserve(index.TotalPostings());
+  for (const auto& list : index.postings) {
+    uint32_t prev = 0;
+    bool first = true;
+    for (uint32_t id : list) {
+      if (first) {
+        gaps.push_back(id + 1);  // first entry: docid + 1 (>= 1)
+        first = false;
+      } else {
+        SCC_DCHECK(id > prev);
+        gaps.push_back(id - prev);
+      }
+      prev = id;
+    }
+  }
+  return gaps;
+}
+
+std::vector<uint32_t> FlattenToIds(const InvertedIndex& index) {
+  std::vector<uint32_t> ids = FlattenToGaps(index);
+  uint32_t acc = 0;
+  for (auto& v : ids) {
+    acc += v;
+    v = acc;
+  }
+  return ids;
+}
+
+}  // namespace scc

@@ -1,0 +1,69 @@
+#ifndef SCC_IR_COLLECTION_H_
+#define SCC_IR_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Synthetic document collections standing in for TREC (fbis, fr94, ft,
+// latimes) and INEX (see DESIGN.md substitutions). An inverted file's
+// compressibility is determined by its d-gap distribution; we generate
+// posting lists directly: term document-frequencies follow a Zipf law and
+// the gaps within a list are geometric-like, which matches the local
+// Bernoulli model classically assumed for inverted files [WMB99].
+//
+// The per-collection parameters are calibrated so PFOR-DELTA lands in the
+// paper's ratio range (INEX ~1.75x ... fbis ~3.5x against raw 32-bit
+// document ids).
+
+namespace scc {
+
+struct CollectionSpec {
+  std::string name;
+  uint32_t num_docs;
+  uint32_t vocab;        // number of distinct terms
+  double zipf_theta;     // document-frequency skew
+  uint64_t target_postings;
+  uint64_t seed;
+};
+
+/// The five collections of Table 4.
+std::vector<CollectionSpec> Table4Collections();
+
+/// A scaled-down set for unit tests and quick runs.
+std::vector<CollectionSpec> TinyCollections();
+
+struct InvertedIndex {
+  std::string name;
+  uint32_t num_docs = 0;
+  // Term-major postings: postings[t] = sorted docids, tfs[t] = matching
+  // within-document term frequencies.
+  std::vector<std::vector<uint32_t>> postings;
+  std::vector<std::vector<uint32_t>> tfs;
+
+  size_t TotalPostings() const {
+    size_t n = 0;
+    for (const auto& p : postings) n += p.size();
+    return n;
+  }
+  /// Raw size: one 32-bit docid per posting (the unit Table 4's ratios
+  /// are measured against).
+  size_t RawBytes() const { return TotalPostings() * 4; }
+};
+
+/// Generates the inverted index for a spec. Deterministic.
+InvertedIndex BuildCollection(const CollectionSpec& spec);
+
+/// Flattens an index into contiguous d-gap form: per-term first docid is
+/// encoded as (docid + 1) so every gap is >= 1.
+std::vector<uint32_t> FlattenToGaps(const InvertedIndex& index);
+
+/// Flattens an index into one strictly-increasing docid-like stream: the
+/// running sum of FlattenToGaps, reduced mod 2^32. This is the form the
+/// posting codecs consume — PFOR-DELTA stores it natively, gap codecs
+/// difference it first and pay a running sum when decoding (Section 5).
+std::vector<uint32_t> FlattenToIds(const InvertedIndex& index);
+
+}  // namespace scc
+
+#endif  // SCC_IR_COLLECTION_H_

@@ -1,0 +1,254 @@
+#include "ir/posting_codec.h"
+
+#include <cstring>
+
+#include "baselines/huffman.h"
+#include "baselines/varbyte.h"
+#include "baselines/wordaligned.h"
+#include "core/analyzer.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+
+namespace scc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// PFOR-DELTA adapter: docids stored natively as delta segments.
+// Blocked at 1M values per segment; container layout:
+//   [u32 nblocks][u32 size[nblocks]][segment bytes...]
+// ---------------------------------------------------------------------------
+
+class PForDeltaPostingCodec : public PostingCodec {
+ public:
+  static constexpr size_t kBlock = 1u << 20;
+
+  std::string name() const override { return "PFOR-DELTA"; }
+
+  Result<std::vector<uint8_t>> Compress(const uint32_t* ids,
+                                        size_t n) override {
+    const uint32_t nblocks = uint32_t((n + kBlock - 1) / kBlock);
+    AnalyzerOptions<uint32_t> opts;
+    opts.allow_pfor = false;
+    opts.allow_pdict = false;
+    std::vector<std::vector<uint8_t>> segs;
+    std::vector<uint32_t> sample;
+    for (uint32_t blk = 0; blk < nblocks; blk++) {
+      size_t lo = size_t(blk) * kBlock;
+      size_t len = std::min(kBlock, n - lo);
+      // Per-block parameters, as the paper's chunk-level re-analysis:
+      // sample 16 contiguous runs spread across the block so both dense
+      // and sparse posting regions are represented (a head-only sample
+      // would tune b to the densest lists and turn the tail into
+      // exceptions). Run-boundary deltas are noise but only 16 of ~16K.
+      constexpr size_t kRuns = 16, kRunLen = 1024;
+      sample.clear();
+      if (len <= kRuns * kRunLen) {
+        sample.assign(ids + lo, ids + lo + len);
+      } else {
+        for (size_t r = 0; r < kRuns; r++) {
+          size_t start = lo + (len - kRunLen) * r / (kRuns - 1);
+          sample.insert(sample.end(), ids + start, ids + start + kRunLen);
+        }
+      }
+      CompressionChoice<uint32_t> choice =
+          Analyzer<uint32_t>::Analyze(sample, opts);
+      if (choice.scheme != Scheme::kPForDelta) {
+        choice.pfor = PForParams<uint32_t>{16, 0};
+      }
+      SCC_ASSIGN_OR_RETURN(
+          AlignedBuffer seg,
+          SegmentBuilder<uint32_t>::BuildPForDelta(
+              std::span<const uint32_t>(ids + lo, len), choice.pfor));
+      segs.emplace_back(seg.data(), seg.data() + seg.size());
+    }
+    size_t total = 4 + 4 * segs.size();
+    for (const auto& s : segs) total += s.size();
+    std::vector<uint8_t> out(total);
+    std::memcpy(out.data(), &nblocks, 4);
+    size_t off = 4 + 4 * segs.size();
+    for (size_t i = 0; i < segs.size(); i++) {
+      uint32_t sz = uint32_t(segs[i].size());
+      std::memcpy(out.data() + 4 + 4 * i, &sz, 4);
+      std::memcpy(out.data() + off, segs[i].data(), segs[i].size());
+      off += segs[i].size();
+    }
+    return out;
+  }
+
+  Status Decompress(const uint8_t* data, size_t size, uint32_t* ids,
+                    size_t n) override {
+    if (size < 4) return Status::Corruption("pfor-delta: truncated");
+    uint32_t nblocks;
+    std::memcpy(&nblocks, data, 4);
+    if (4 + 4 * uint64_t(nblocks) > size) {
+      return Status::Corruption("pfor-delta: bad block count");
+    }
+    size_t off = 4 + 4 * size_t(nblocks);
+    size_t pos = 0;
+    for (uint32_t blk = 0; blk < nblocks; blk++) {
+      uint32_t sz;
+      std::memcpy(&sz, data + 4 + 4 * blk, 4);
+      if (off + sz > size) return Status::Corruption("pfor-delta: overflow");
+      SCC_ASSIGN_OR_RETURN(auto reader,
+                           SegmentReader<uint32_t>::Open(data + off, sz));
+      size_t len = reader.count();
+      if (pos + len > n) return Status::Corruption("pfor-delta: too long");
+      reader.DecompressAll(ids + pos);  // running sum happens in-decode
+      pos += len;
+      off += sz;
+    }
+    if (pos != n) return Status::Corruption("pfor-delta: count mismatch");
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Gap-oriented adapters: difference on compress, running-sum on decode.
+// ---------------------------------------------------------------------------
+
+std::vector<uint32_t> IdsToGaps(const uint32_t* ids, size_t n) {
+  std::vector<uint32_t> gaps(n);
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; i++) {
+    gaps[i] = ids[i] - prev;  // modular: exact for gaps < 2^32
+    prev = ids[i];
+  }
+  return gaps;
+}
+
+void GapsToIds(uint32_t* v, size_t n) {
+  uint32_t acc = 0;
+  for (size_t i = 0; i < n; i++) {
+    acc += v[i];
+    v[i] = acc;
+  }
+}
+
+template <typename WordCodec>
+class WordAlignedPostingCodec : public PostingCodec {
+ public:
+  explicit WordAlignedPostingCodec(std::string codec_name)
+      : name_(std::move(codec_name)) {}
+
+  std::string name() const override { return name_; }
+
+  Result<std::vector<uint8_t>> Compress(const uint32_t* ids,
+                                        size_t n) override {
+    std::vector<uint32_t> gaps = IdsToGaps(ids, n);
+    std::vector<uint32_t> words;
+    SCC_RETURN_NOT_OK(WordCodec::Compress(gaps.data(), n, &words));
+    std::vector<uint8_t> out(words.size() * 4);
+    std::memcpy(out.data(), words.data(), out.size());
+    return out;
+  }
+
+  Status Decompress(const uint8_t* data, size_t size, uint32_t* ids,
+                    size_t n) override {
+    std::vector<uint32_t> words(size / 4);
+    if (!words.empty()) std::memcpy(words.data(), data, words.size() * 4);
+    SCC_RETURN_NOT_OK(WordCodec::Decompress(words.data(), words.size(), ids, n));
+    GapsToIds(ids, n);
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+};
+
+class ShuffPostingCodec : public PostingCodec {
+ public:
+  // One Huffman model per block: the flattened gap stream is ordered by
+  // term rank, so gap magnitudes drift along the stream and block-local
+  // models track them.
+  static constexpr size_t kBlock = 1u << 16;
+
+  std::string name() const override { return "shuff"; }
+
+  Result<std::vector<uint8_t>> Compress(const uint32_t* ids,
+                                        size_t n) override {
+    std::vector<uint32_t> gaps = IdsToGaps(ids, n);
+    std::vector<uint8_t> out;
+    const uint32_t nblocks = uint32_t((n + kBlock - 1) / kBlock);
+    out.resize(4);
+    std::memcpy(out.data(), &nblocks, 4);
+    for (uint32_t blk = 0; blk < nblocks; blk++) {
+      size_t lo = size_t(blk) * kBlock;
+      size_t len = std::min(kBlock, n - lo);
+      size_t size_at = out.size();
+      out.resize(size_at + 4);
+      SCC_ASSIGN_OR_RETURN(size_t written, HuffmanGapCodec::Compress(
+                                               gaps.data() + lo, len, &out));
+      uint32_t sz = uint32_t(written);
+      std::memcpy(out.data() + size_at, &sz, 4);
+    }
+    return out;
+  }
+
+  Status Decompress(const uint8_t* data, size_t size, uint32_t* ids,
+                    size_t n) override {
+    if (size < 4) return Status::Corruption("shuff: truncated");
+    uint32_t nblocks;
+    std::memcpy(&nblocks, data, 4);
+    size_t off = 4;
+    size_t pos = 0;
+    for (uint32_t blk = 0; blk < nblocks; blk++) {
+      if (off + 4 > size) return Status::Corruption("shuff: truncated block");
+      uint32_t sz;
+      std::memcpy(&sz, data + off, 4);
+      off += 4;
+      if (off + sz > size) return Status::Corruption("shuff: bad block size");
+      size_t len = std::min(kBlock, n - pos);
+      SCC_RETURN_NOT_OK(
+          HuffmanGapCodec::Decompress(data + off, sz, ids + pos, len));
+      pos += len;
+      off += sz;
+    }
+    if (pos != n) return Status::Corruption("shuff: count mismatch");
+    GapsToIds(ids, n);
+    return Status::OK();
+  }
+};
+
+class VBytePostingCodec : public PostingCodec {
+ public:
+  std::string name() const override { return "vbyte"; }
+
+  Result<std::vector<uint8_t>> Compress(const uint32_t* ids,
+                                        size_t n) override {
+    std::vector<uint32_t> gaps = IdsToGaps(ids, n);
+    std::vector<uint8_t> out;
+    VByte::Compress(gaps.data(), n, &out);
+    return out;
+  }
+
+  Status Decompress(const uint8_t* data, size_t size, uint32_t* ids,
+                    size_t n) override {
+    SCC_RETURN_NOT_OK(VByte::Decompress(data, size, ids, n));
+    GapsToIds(ids, n);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<PostingCodec>> MakePostingCodecs() {
+  std::vector<std::unique_ptr<PostingCodec>> codecs;
+  codecs.push_back(std::make_unique<PForDeltaPostingCodec>());
+  codecs.push_back(std::make_unique<WordAlignedPostingCodec<Carryover12>>(
+      "carryover-12"));
+  codecs.push_back(
+      std::make_unique<WordAlignedPostingCodec<Simple9>>("simple-9"));
+  codecs.push_back(std::make_unique<ShuffPostingCodec>());
+  codecs.push_back(std::make_unique<VBytePostingCodec>());
+  return codecs;
+}
+
+std::unique_ptr<PostingCodec> MakePostingCodec(const std::string& name) {
+  for (auto& c : MakePostingCodecs()) {
+    if (c->name() == name) return std::move(c);
+  }
+  return nullptr;
+}
+
+}  // namespace scc

@@ -1,0 +1,48 @@
+#ifndef SCC_IR_POSTING_CODEC_H_
+#define SCC_IR_POSTING_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Posting-list codec adapters for the Table 4 comparison. All codecs
+// consume and produce the flattened *docid* stream of an inverted file
+// (strictly increasing, mod 2^32; see FlattenToIds): the decompressed
+// output a retrieval query actually consumes. PFOR-DELTA stores that form
+// natively (codes are the deltas, decode ends in the running sum); the
+// gap-oriented baselines difference the stream on compression and pay the
+// running sum on decompression:
+//
+//   pfor-delta   - this paper's scheme (segment pipeline)
+//   carryover-12 - Anh & Moffat's word-aligned code
+//   simple-9     - its simpler sibling
+//   shuff        - semi-static Huffman over gaps
+//   vbyte        - classical variable-byte coding
+
+namespace scc {
+
+class PostingCodec {
+ public:
+  virtual ~PostingCodec() = default;
+  virtual std::string name() const = 0;
+
+  /// Compresses `n` docids (strictly increasing mod 2^32, consecutive
+  /// differences >= 1) into an opaque buffer.
+  virtual Result<std::vector<uint8_t>> Compress(const uint32_t* ids,
+                                                size_t n) = 0;
+  /// Decompresses exactly `n` docids.
+  virtual Status Decompress(const uint8_t* data, size_t size, uint32_t* ids,
+                            size_t n) = 0;
+};
+
+/// All Table 4 codecs, PFOR-DELTA first.
+std::vector<std::unique_ptr<PostingCodec>> MakePostingCodecs();
+
+/// Makes just one codec by name; nullptr if unknown.
+std::unique_ptr<PostingCodec> MakePostingCodec(const std::string& name);
+
+}  // namespace scc
+
+#endif  // SCC_IR_POSTING_CODEC_H_

@@ -1,0 +1,188 @@
+#include "ir/search.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/analyzer.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+#include "engine/vector.h"
+
+namespace scc {
+
+Result<PostingSearcher> PostingSearcher::Build(const InvertedIndex& index) {
+  PostingSearcher s;
+  s.doc_segments_.reserve(index.postings.size());
+  s.tf_segments_.reserve(index.postings.size());
+  size_t longest = 0;
+  AnalyzerOptions<uint32_t> delta_only;
+  delta_only.allow_pfor = false;
+  delta_only.allow_pdict = false;
+  AnalyzerOptions<uint32_t> plain;
+  plain.allow_pfor_delta = false;
+  for (size_t t = 0; t < index.postings.size(); t++) {
+    const auto& docs = index.postings[t];
+    const auto& tfs = index.tfs[t];
+    s.raw_bytes_ += docs.size() * 8;  // docid + tf
+    if (docs.size() > longest) {
+      longest = docs.size();
+      s.most_frequent_ = uint32_t(t);
+    }
+    size_t sample = std::min(docs.size(), size_t(16) * 1024);
+    CompressionChoice<uint32_t> dc = Analyzer<uint32_t>::Analyze(
+        std::span<const uint32_t>(docs.data(), sample), delta_only);
+    if (dc.scheme != Scheme::kPForDelta) {
+      dc.pfor = PForParams<uint32_t>{16, 0};
+    }
+    SCC_ASSIGN_OR_RETURN(AlignedBuffer dseg,
+                         SegmentBuilder<uint32_t>::BuildPForDelta(docs,
+                                                                  dc.pfor));
+    s.doc_segments_.push_back(std::move(dseg));
+
+    CompressionChoice<uint32_t> tc = Analyzer<uint32_t>::Analyze(
+        std::span<const uint32_t>(tfs.data(), sample), plain);
+    SCC_ASSIGN_OR_RETURN(AlignedBuffer tseg,
+                         SegmentBuilder<uint32_t>::Build(tfs, tc));
+    s.tf_segments_.push_back(std::move(tseg));
+  }
+  return s;
+}
+
+size_t PostingSearcher::CompressedBytes() const {
+  size_t total = 0;
+  for (const auto& b : doc_segments_) total += b.size();
+  for (const auto& b : tf_segments_) total += b.size();
+  return total;
+}
+
+std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
+                                                        uint32_t term_b,
+                                                        size_t n) const {
+  SCC_CHECK(term_a < doc_segments_.size() && term_b < doc_segments_.size(),
+            "term out of range");
+  // Scan the shorter list, probe the longer.
+  auto open = [](const AlignedBuffer& b) {
+    auto r = SegmentReader<uint32_t>::Open(b.data(), b.size());
+    SCC_CHECK(r.ok(), "corrupt posting segment");
+    return r.MoveValueOrDie();
+  };
+  SegmentReader<uint32_t> da = open(doc_segments_[term_a]);
+  SegmentReader<uint32_t> db = open(doc_segments_[term_b]);
+  if (da.count() > db.count()) {
+    auto hits = TopNConjunctive(term_b, term_a, n);
+    return hits;
+  }
+  SegmentReader<uint32_t> ta = open(tf_segments_[term_a]);
+  SegmentReader<uint32_t> tb = open(tf_segments_[term_b]);
+
+  auto worse = [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(worse)>
+      heap(worse);
+
+  last_bytes_ = 0;
+  uint32_t docs[kVectorSize];
+  uint32_t tfs[kVectorSize];
+  const size_t nb = db.count();
+  size_t lo = 0;  // probe frontier in the longer list (both are sorted)
+  for (size_t pos = 0; pos < da.count(); pos += kVectorSize) {
+    const size_t len = std::min(kVectorSize, da.count() - pos);
+    da.DecompressRange(pos, len, docs);
+    ta.DecompressRange(pos, len, tfs);
+    last_bytes_ += len * 8;
+    for (size_t i = 0; i < len && lo < nb; i++) {
+      // Galloping probe: fine-grained Get() on the compressed docids.
+      size_t step = 1;
+      size_t hi = lo;
+      while (hi < nb && db.Get(hi) < docs[i]) {
+        lo = hi + 1;
+        hi = lo + step - 1;
+        step *= 2;
+      }
+      if (hi > nb) hi = nb;
+      // Binary search in (lo-1, hi].
+      size_t l = lo, r = hi;
+      while (l < r) {
+        size_t mid = (l + r) / 2;
+        if (db.Get(mid) < docs[i]) {
+          l = mid + 1;
+        } else {
+          r = mid;
+        }
+      }
+      lo = l;
+      if (lo < nb && db.Get(lo) == docs[i]) {
+        uint32_t score = tfs[i] + tb.Get(lo);
+        if (heap.size() < n) {
+          heap.push(SearchHit{docs[i], score});
+        } else if (!heap.empty() &&
+                   (score > heap.top().score ||
+                    (score == heap.top().score && docs[i] < heap.top().doc))) {
+          heap.pop();
+          heap.push(SearchHit{docs[i], score});
+        }
+        lo++;
+      }
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(heap.size());
+  while (!heap.empty()) {
+    hits.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(hits.begin(), hits.end());
+  return hits;
+}
+
+std::vector<SearchHit> PostingSearcher::TopN(uint32_t term, size_t n) const {
+  SCC_CHECK(term < doc_segments_.size(), "term out of range");
+  last_bytes_ = 0;
+  auto dreader = SegmentReader<uint32_t>::Open(doc_segments_[term].data(),
+                                               doc_segments_[term].size());
+  auto treader = SegmentReader<uint32_t>::Open(tf_segments_[term].data(),
+                                               tf_segments_[term].size());
+  SCC_CHECK(dreader.ok() && treader.ok(), "corrupt posting segments");
+  const auto& dr = dreader.ValueOrDie();
+  const auto& tr = treader.ValueOrDie();
+  const size_t count = dr.count();
+
+  // Min-heap of the best n hits; (score asc, doc desc) at the top.
+  auto worse = [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(worse)>
+      heap(worse);
+
+  uint32_t docs[kVectorSize];
+  uint32_t tfs[kVectorSize];
+  for (size_t pos = 0; pos < count; pos += kVectorSize) {
+    const size_t len = std::min(kVectorSize, count - pos);
+    dr.DecompressRange(pos, len, docs);
+    tr.DecompressRange(pos, len, tfs);
+    last_bytes_ += len * 8;
+    for (size_t i = 0; i < len; i++) {
+      if (heap.size() < n) {
+        heap.push(SearchHit{docs[i], tfs[i]});
+      } else if (!heap.empty() &&
+                 (tfs[i] > heap.top().score ||
+                  (tfs[i] == heap.top().score && docs[i] < heap.top().doc))) {
+        heap.pop();
+        heap.push(SearchHit{docs[i], tfs[i]});
+      }
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(heap.size());
+  while (!heap.empty()) {
+    hits.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(hits.begin(), hits.end());  // best first
+  return hits;
+}
+
+}  // namespace scc

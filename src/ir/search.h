@@ -1,0 +1,63 @@
+#ifndef SCC_IR_SEARCH_H_
+#define SCC_IR_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/collection.h"
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+// The Section 5 retrieval query: for a given term, find the top-N
+// documents in which it occurs most frequently — ordered aggregation over
+// the posting list plus a heap-based top-N. Postings are stored
+// compressed (docids as PFOR-DELTA segments, term frequencies as PFOR
+// segments) and decompressed vector-at-a-time, exactly like a ColumnBM
+// scan.
+
+namespace scc {
+
+struct SearchHit {
+  uint32_t doc = 0;
+  uint32_t score = 0;
+};
+
+class PostingSearcher {
+ public:
+  /// Compresses the index's postings. Terms keep their ids.
+  static Result<PostingSearcher> Build(const InvertedIndex& index);
+
+  /// Top-`n` documents for `term` by term frequency (descending score,
+  /// ascending doc for ties).
+  std::vector<SearchHit> TopN(uint32_t term, size_t n) const;
+
+  /// Conjunctive top-`n`: documents containing BOTH terms, scored by the
+  /// sum of their term frequencies. The shorter posting list is scanned
+  /// vector-at-a-time; the longer one is probed by galloping binary
+  /// search over its *compressed* docids using fine-grained access — the
+  /// sparse-random-lookup workload Section 3.1's entry points exist for.
+  std::vector<SearchHit> TopNConjunctive(uint32_t term_a, uint32_t term_b,
+                                         size_t n) const;
+
+  /// Decompressed posting bytes processed by the last TopN call.
+  size_t last_bytes_processed() const { return last_bytes_; }
+
+  size_t term_count() const { return doc_segments_.size(); }
+  size_t CompressedBytes() const;
+  size_t RawBytes() const { return raw_bytes_; }
+
+  /// Term with the longest posting list (the paper benchmarks a frequent
+  /// term).
+  uint32_t MostFrequentTerm() const { return most_frequent_; }
+
+ private:
+  std::vector<AlignedBuffer> doc_segments_;  // PFOR-DELTA over docids
+  std::vector<AlignedBuffer> tf_segments_;   // PFOR over tfs
+  size_t raw_bytes_ = 0;
+  uint32_t most_frequent_ = 0;
+  mutable size_t last_bytes_ = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_IR_SEARCH_H_

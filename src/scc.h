@@ -1,0 +1,29 @@
+#ifndef SCC_SCC_H_
+#define SCC_SCC_H_
+
+// Umbrella header for the super-scalar compression library — a
+// from-scratch implementation of Zukowski, Héman, Nes & Boncz,
+// "Super-Scalar RAM-CPU Cache Compression" (ICDE 2006).
+//
+// Layers (each usable on its own):
+//   core       - PFOR / PFOR-DELTA / PDICT segments, analyzer, kernels
+//   bitpack    - unrolled bit-(un)packing
+//   baselines  - FOR, PS, dictionary, LZRW1, LZSS+Huffman, Huffman,
+//                Simple-9, carryover-12, vbyte
+//   engine     - X100-style vectorized operators
+//   storage    - ColumnBM: compressed buffer manager, DSM/PAX, sim-disk
+//   tpch       - dbgen-style generator + Table 2 query set
+//   ir         - inverted files: collections, posting codecs, top-N
+//   sys/util   - timers, perf counters, Status/Result, RNGs
+
+#include "bitpack/bitpack.h"
+#include "core/analyzer.h"
+#include "core/codec.h"
+#include "core/exception_model.h"
+#include "core/kernels.h"
+#include "core/segment.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+#include "util/status.h"
+
+#endif  // SCC_SCC_H_

@@ -1,0 +1,125 @@
+#ifndef SCC_STORAGE_BUFFER_MANAGER_H_
+#define SCC_STORAGE_BUFFER_MANAGER_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "storage/sim_disk.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+// ColumnBM's buffer manager. The paper's key design point (Figure 1): the
+// buffer manager caches pages in COMPRESSED form; decompression happens
+// later, per vector, at the RAM -> CPU-cache boundary. Caching compressed
+// data means more pages fit in RAM *and* the CPU moves less memory.
+//
+// The cache is an LRU over I/O units. Under DSM the unit is one
+// (column, chunk) segment; under PAX it is a whole row group (all columns
+// of a row range), so fetching one column of an uncached row group
+// charges the disk for every column — the effect Table 2 measures.
+
+namespace scc {
+
+class BufferManager {
+ public:
+  BufferManager(SimDisk* disk, size_t capacity_bytes, Layout layout)
+      : disk_(disk), capacity_(capacity_bytes), layout_(layout) {}
+
+  /// Returns the (compressed) bytes of `col`'s chunk `chunk_idx`,
+  /// charging the simulated disk on a miss.
+  const AlignedBuffer* Fetch(const Table* table, const StoredColumn* col,
+                             size_t chunk_idx) {
+    const Key key = MakeKey(table, col, chunk_idx);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      hits_++;
+      Touch(it->second);
+      return &col->chunks[chunk_idx];
+    }
+    misses_++;
+    if (layout_ == Layout::kDSM) {
+      disk_->ReadChunk(col->chunks[chunk_idx].size());
+      Insert(key, col->chunks[chunk_idx].size());
+    } else {
+      // PAX: one I/O brings in the entire row group; register every
+      // column of the group as cached.
+      disk_->ReadChunk(table->RowGroupBytes(chunk_idx));
+      for (size_t c = 0; c < table->column_count(); c++) {
+        const StoredColumn* other = table->column(c);
+        Key k2 = MakeKey(table, other, chunk_idx);
+        if (cache_.find(k2) == cache_.end()) {
+          Insert(k2, other->chunks[chunk_idx].size());
+        }
+      }
+    }
+    return &col->chunks[chunk_idx];
+  }
+
+  SimDisk* disk() const { return disk_; }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t resident_bytes() const { return resident_; }
+
+  void Clear() {
+    cache_.clear();
+    lru_.clear();
+    resident_ = 0;
+  }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Key {
+    const void* col;
+    size_t chunk;
+    bool operator==(const Key& o) const {
+      return col == o.col && chunk == o.chunk;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.col) * 1000003u ^
+             std::hash<size_t>()(k.chunk);
+    }
+  };
+  struct Entry {
+    std::list<Key>::iterator lru_it;
+    size_t bytes;
+  };
+
+  static Key MakeKey(const Table*, const StoredColumn* col, size_t chunk) {
+    return Key{col, chunk};
+  }
+
+  void Touch(Entry& e) { lru_.splice(lru_.begin(), lru_, e.lru_it); }
+
+  void Insert(const Key& key, size_t bytes) {
+    while (resident_ + bytes > capacity_ && !lru_.empty()) {
+      Key victim = lru_.back();
+      lru_.pop_back();
+      auto vit = cache_.find(victim);
+      if (vit != cache_.end()) {
+        resident_ -= vit->second.bytes;
+        cache_.erase(vit);
+      }
+    }
+    lru_.push_front(key);
+    cache_[key] = Entry{lru_.begin(), bytes};
+    resident_ += bytes;
+  }
+
+  SimDisk* disk_;
+  size_t capacity_;
+  Layout layout_;
+  std::unordered_map<Key, Entry, KeyHash> cache_;
+  std::list<Key> lru_;
+  size_t resident_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,84 @@
+#ifndef SCC_STORAGE_DELTA_STORE_H_
+#define SCC_STORAGE_DELTA_STORE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/vector.h"
+#include "util/status.h"
+
+// Differential updates (Section 2.3): ColumnBM treats tables on disk as
+// immutable objects; modifications accumulate in in-memory delta
+// structures and are merged with the base table during scans, so
+// compressed chunks only need re-compression at periodic checkpoints
+// (the differential-file scheme of Severance & Lohman [SL76]).
+//
+// The store records three kinds of changes against a base table:
+//   * inserts — appended rows, held column-wise (widened to int64)
+//   * deletes — a set of base-table row ids
+//   * updates — modeled classically as delete(old) + insert(new)
+//
+// MergeScanOp (below, in merge_scan.h) presents base-minus-deletes
+// followed by the inserts; Checkpoint() folds everything back into a
+// freshly compressed Table.
+
+namespace scc {
+
+class DeltaStore {
+ public:
+  /// `types` are the base table's column types, in scan order.
+  explicit DeltaStore(std::vector<TypeId> types)
+      : types_(std::move(types)), inserts_(types_.size()) {}
+
+  size_t column_count() const { return types_.size(); }
+  const std::vector<TypeId>& types() const { return types_; }
+
+  /// Appends one row (one value per column, widened).
+  Status Insert(const std::vector<int64_t>& row) {
+    if (row.size() != types_.size()) {
+      return Status::InvalidArgument("insert row arity mismatch");
+    }
+    for (size_t c = 0; c < row.size(); c++) inserts_[c].push_back(row[c]);
+    insert_rows_++;
+    return Status::OK();
+  }
+
+  /// Marks base row `row_id` deleted. Idempotent.
+  void Delete(uint64_t row_id) { deleted_.insert(row_id); }
+
+  /// Update = delete the old base row, insert the replacement.
+  Status Update(uint64_t row_id, const std::vector<int64_t>& new_row) {
+    SCC_RETURN_NOT_OK(Insert(new_row));
+    Delete(row_id);
+    return Status::OK();
+  }
+
+  bool IsDeleted(uint64_t row_id) const { return deleted_.count(row_id) > 0; }
+  size_t insert_count() const { return insert_rows_; }
+  size_t delete_count() const { return deleted_.size(); }
+
+  /// Inserted values of column `c` (row-aligned across columns).
+  const std::vector<int64_t>& inserted(size_t c) const { return inserts_[c]; }
+
+  /// Rough memory footprint — the signal for scheduling a checkpoint.
+  size_t ApproxBytes() const {
+    return insert_rows_ * types_.size() * 8 + deleted_.size() * 8;
+  }
+
+  void Clear() {
+    for (auto& col : inserts_) col.clear();
+    insert_rows_ = 0;
+    deleted_.clear();
+  }
+
+ private:
+  std::vector<TypeId> types_;
+  std::vector<std::vector<int64_t>> inserts_;  // [column][row]
+  size_t insert_rows_ = 0;
+  std::unordered_set<uint64_t> deleted_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_DELTA_STORE_H_

@@ -1,0 +1,36 @@
+#ifndef SCC_STORAGE_FILE_STORE_H_
+#define SCC_STORAGE_FILE_STORE_H_
+
+#include <string>
+
+#include "storage/table.h"
+
+// On-disk persistence for ColumnBM tables. A table is a directory:
+//
+//   <dir>/MANIFEST            text: one line per column
+//                             "column <name> <type> <rows> <chunk_values>"
+//   <dir>/<name>.col          binary: [u32 magic][u32 nchunks]
+//                             [u64 size[nchunks]][chunk bytes...]
+//
+// Chunks are stored exactly as their in-memory segment buffers, already
+// compressed and self-describing — loading performs no re-compression,
+// and every chunk re-validates its header on load. This is the shape a
+// real ColumnBM deployment would mmap/read; the in-memory Table remains
+// the unit the buffer manager serves.
+
+namespace scc {
+
+class FileStore {
+ public:
+  static constexpr uint32_t kColMagic = 0x53434346;  // "SCCF"
+
+  /// Writes `table` under `dir` (created if needed). Overwrites files.
+  static Status Save(const Table& table, const std::string& dir);
+
+  /// Reads a table back. Validates every chunk header.
+  static Result<Table> Load(const std::string& dir);
+};
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_FILE_STORE_H_

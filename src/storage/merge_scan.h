@@ -1,0 +1,57 @@
+#ifndef SCC_STORAGE_MERGE_SCAN_H_
+#define SCC_STORAGE_MERGE_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/delta_store.h"
+#include "storage/scan.h"
+#include "storage/table.h"
+
+// Merging scan (Section 2.3): "during the scan, data from disk and delta
+// structures are merged, providing the execution layer with a consistent
+// state". Deltas are applied AFTER decompression — the property that
+// makes RAM-CPU cache compression compatible with updates: compressed
+// chunks stay immutable until a checkpoint re-compresses them.
+//
+// Emission order: base rows in position order with deleted rows filtered
+// out, then the DeltaStore's inserted rows.
+
+namespace scc {
+
+class MergeScanOp : public Operator {
+ public:
+  /// `columns` selects base-table columns; `delta_columns[i]` is the
+  /// DeltaStore column index backing output column i.
+  MergeScanOp(const Table* table, BufferManager* bm,
+              std::vector<std::string> columns, const DeltaStore* delta,
+              std::vector<size_t> delta_columns);
+
+  const std::vector<TypeId>& output_types() const override {
+    return base_.output_types();
+  }
+  size_t Next(Batch* out) override;
+  void Reset() override;
+
+ private:
+  size_t EmitInserts(Batch* out);
+
+  TableScanOp base_;
+  const DeltaStore* delta_;
+  std::vector<size_t> delta_columns_;
+  std::vector<std::unique_ptr<Vector>> out_;
+  uint64_t base_row_ = 0;    // position of the next base row
+  size_t insert_pos_ = 0;    // cursor into the delta inserts
+  bool base_done_ = false;
+};
+
+/// Folds a DeltaStore back into a freshly compressed table — the
+/// periodic re-compression the paper describes. Columns keep their
+/// names, types and chunk size; every chunk is re-analyzed.
+Result<Table> Checkpoint(const Table& base, const DeltaStore& delta,
+                         BufferManager* bm, ColumnCompression mode);
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_MERGE_SCAN_H_

@@ -1,0 +1,86 @@
+#ifndef SCC_STORAGE_STRING_DICTIONARY_H_
+#define SCC_STORAGE_STRING_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+// Dictionary encoding for variable-width types ("enumerated storage",
+// Section 2.1 / footnote 1): VARCHAR columns are interned into a
+// dictionary and stored as small integer codes, which then flow through
+// the ordinary integer compression pipeline (PDICT/PFOR on the codes).
+// Queries can evaluate equality predicates directly on the codes without
+// materializing strings — the paper's gender = "FEMALE" -> gender = 1
+// optimization.
+
+namespace scc {
+
+class StringDictionary {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  /// Returns the code for `s`, interning it if new.
+  uint32_t Intern(std::string_view s) {
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+    uint32_t code = uint32_t(values_.size());
+    values_.emplace_back(s);
+    index_.emplace(values_.back(), code);
+    return code;
+  }
+
+  /// Returns the code for `s` without interning; kNotFound if absent.
+  /// This is the predicate-pushdown entry point: an equality selection
+  /// on a missing literal matches nothing without touching the column.
+  uint32_t Find(std::string_view s) const {
+    auto it = index_.find(std::string(s));
+    return it == index_.end() ? kNotFound : it->second;
+  }
+
+  const std::string& Lookup(uint32_t code) const {
+    SCC_DCHECK(code < values_.size());
+    return values_[code];
+  }
+
+  size_t size() const { return values_.size(); }
+
+  /// Bulk-encodes a string column into int32 codes (interning).
+  std::vector<int32_t> EncodeColumn(const std::vector<std::string>& column) {
+    std::vector<int32_t> codes;
+    codes.reserve(column.size());
+    for (const auto& s : column) codes.push_back(int32_t(Intern(s)));
+    return codes;
+  }
+
+  /// Decodes int32 codes back to strings.
+  Result<std::vector<std::string>> DecodeColumn(
+      const std::vector<int32_t>& codes) const {
+    std::vector<std::string> out;
+    out.reserve(codes.size());
+    for (int32_t c : codes) {
+      if (c < 0 || size_t(c) >= values_.size()) {
+        return Status::Corruption("string code out of range");
+      }
+      out.push_back(values_[c]);
+    }
+    return out;
+  }
+
+  /// Serialized size of the dictionary itself (for ratio accounting).
+  size_t ByteSize() const {
+    size_t total = 0;
+    for (const auto& v : values_) total += v.size() + 4;
+    return total;
+  }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_STRING_DICTIONARY_H_

@@ -1,0 +1,91 @@
+#include "sys/perf_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace scc {
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenEvent(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = (group_fd == -1) ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return int(syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  struct Spec {
+    uint64_t config;
+    int64_t PerfReading::*field;
+  };
+  const Spec kSpecs[] = {
+      {PERF_COUNT_HW_CPU_CYCLES, &PerfReading::cycles},
+      {PERF_COUNT_HW_INSTRUCTIONS, &PerfReading::instructions},
+      {PERF_COUNT_HW_BRANCH_INSTRUCTIONS, &PerfReading::branches},
+      {PERF_COUNT_HW_BRANCH_MISSES, &PerfReading::branch_misses},
+      {PERF_COUNT_HW_CACHE_REFERENCES, &PerfReading::cache_references},
+      {PERF_COUNT_HW_CACHE_MISSES, &PerfReading::cache_misses},
+  };
+  for (const Spec& spec : kSpecs) {
+    int fd = OpenEvent(PERF_TYPE_HARDWARE, spec.config, group_fd_);
+    if (fd < 0) continue;
+    if (group_fd_ == -1) group_fd_ = fd;
+    Event ev;
+    ev.fd = fd;
+    ev.target = &(pending_.*(spec.field));
+    events_.push_back(ev);
+  }
+  available_ = group_fd_ >= 0;
+}
+
+PerfCounters::~PerfCounters() {
+  for (const Event& ev : events_) close(ev.fd);
+}
+
+void PerfCounters::Start() {
+  if (!available_) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfReading PerfCounters::Stop() {
+  PerfReading out;  // all -1
+  if (!available_) return out;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  pending_ = PerfReading();
+  for (const Event& ev : events_) {
+    int64_t value = -1;
+    if (read(ev.fd, &value, sizeof(value)) == ssize_t(sizeof(value))) {
+      *ev.target = value;
+    }
+  }
+  out = pending_;
+  return out;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {}
+PerfReading PerfCounters::Stop() { return PerfReading(); }
+
+#endif
+
+}  // namespace scc

@@ -1,0 +1,73 @@
+#ifndef SCC_SYS_PERF_COUNTERS_H_
+#define SCC_SYS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Hardware performance counters via perf_event_open(2), mirroring the
+// paper's use of CPU event counters to report IPC, branch-miss rates and
+// cache-miss rates (Figures 4, 5, 7; Table 3).
+//
+// Many container/CI environments disallow perf_event_open; in that case
+// `available()` is false and all readings are reported as -1 so benches
+// can print "n/a" while still measuring bandwidth.
+
+namespace scc {
+
+/// A snapshot of the counter group between Start() and Stop().
+struct PerfReading {
+  int64_t cycles = -1;
+  int64_t instructions = -1;
+  int64_t branches = -1;
+  int64_t branch_misses = -1;
+  int64_t cache_references = -1;
+  int64_t cache_misses = -1;
+
+  /// Instructions per cycle; -1 when counters unavailable.
+  double IPC() const {
+    if (cycles <= 0 || instructions < 0) return -1.0;
+    return double(instructions) / double(cycles);
+  }
+  /// Branch misprediction rate in percent; -1 when unavailable.
+  double BranchMissRate() const {
+    if (branches <= 0 || branch_misses < 0) return -1.0;
+    return 100.0 * double(branch_misses) / double(branches);
+  }
+  /// Cache miss rate in percent; -1 when unavailable.
+  double CacheMissRate() const {
+    if (cache_references <= 0 || cache_misses < 0) return -1.0;
+    return 100.0 * double(cache_misses) / double(cache_references);
+  }
+};
+
+/// Counter group for the calling thread. Non-copyable.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if at least the cycles/instructions counters opened.
+  bool available() const { return available_; }
+
+  void Start();
+  PerfReading Stop();
+
+ private:
+  struct Event {
+    int fd = -1;
+    uint64_t id = 0;
+    int64_t* target = nullptr;  // points into pending_ reading
+  };
+
+  bool available_ = false;
+  int group_fd_ = -1;
+  std::vector<Event> events_;
+  PerfReading pending_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_SYS_PERF_COUNTERS_H_

@@ -1,0 +1,58 @@
+#ifndef SCC_SYS_TIMER_H_
+#define SCC_SYS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+// Wall-clock and cycle-accurate timing for the benchmark harnesses.
+
+namespace scc {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Reads the CPU timestamp counter when available; falls back to a
+/// nanosecond clock otherwise. Only useful for relative cycle estimates.
+inline uint64_t ReadCycleCounter() {
+#if defined(__x86_64__)
+  uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (uint64_t(hi) << 32) | lo;
+#elif defined(__aarch64__)
+  uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return uint64_t(std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Computed MB/s given bytes processed and elapsed seconds.
+inline double MBPerSec(double bytes, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return bytes / (1024.0 * 1024.0) / seconds;
+}
+
+/// Computed GB/s given bytes processed and elapsed seconds.
+inline double GBPerSec(double bytes, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return bytes / (1024.0 * 1024.0 * 1024.0) / seconds;
+}
+
+}  // namespace scc
+
+#endif  // SCC_SYS_TIMER_H_

@@ -1,0 +1,194 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace scc {
+
+namespace {
+
+constexpr int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+}  // namespace
+
+int32_t TpchDate(int year, int month, int day) {
+  SCC_CHECK(year >= 1992 && year <= 1999, "TPC-H dates are 1992-1998");
+  int32_t days = 0;
+  for (int y = 1992; y < year; y++) days += IsLeap(y) ? 366 : 365;
+  for (int m = 1; m < month; m++) {
+    days += kDaysPerMonth[m - 1] + (m == 2 && IsLeap(year) ? 1 : 0);
+  }
+  return days + (day - 1);
+}
+
+TpchData GenerateTpch(double scale_factor, uint64_t seed) {
+  TpchData db;
+  db.scale_factor = scale_factor;
+  Rng rng(seed);
+
+  const size_t n_orders = size_t(1500000 * scale_factor);
+  const size_t n_customer = std::max<size_t>(size_t(150000 * scale_factor), 1);
+  const size_t n_part = std::max<size_t>(size_t(200000 * scale_factor), 1);
+  const size_t n_supplier = std::max<size_t>(size_t(10000 * scale_factor), 1);
+
+  const int32_t kStartDate = TpchDate(1992, 1, 1);
+  const int32_t kEndDate = TpchDate(1998, 8, 2);
+  const int32_t kCurrentDate = TpchDate(1995, 6, 17);  // dbgen's CURRENTDATE
+
+  // --- part ---------------------------------------------------------------
+  auto& part = db.part;
+  part.partkey.resize(n_part);
+  part.retailprice.resize(n_part);
+  part.brand.resize(n_part);
+  part.container.resize(n_part);
+  part.typecode.resize(n_part);
+  part.size.resize(n_part);
+  for (size_t i = 0; i < n_part; i++) {
+    part.partkey[i] = int32_t(i + 1);
+    // dbgen: 90000 + ((partkey/10) % 20001) + 100*(partkey % 1000), in cents.
+    int64_t pk = int64_t(i + 1);
+    part.retailprice[i] = 90000 + ((pk / 10) % 20001) + 100 * (pk % 1000);
+    part.brand[i] = int8_t(rng.Uniform(25));
+    part.container[i] = int8_t(rng.Uniform(40));
+    part.typecode[i] = int8_t(rng.Uniform(150));
+    part.size[i] = int8_t(1 + rng.Uniform(50));
+  }
+
+  // --- supplier -----------------------------------------------------------
+  auto& sup = db.supplier;
+  sup.suppkey.resize(n_supplier);
+  sup.nationkey.resize(n_supplier);
+  sup.acctbal.resize(n_supplier);
+  for (size_t i = 0; i < n_supplier; i++) {
+    sup.suppkey[i] = int32_t(i + 1);
+    sup.nationkey[i] = int8_t(rng.Uniform(TpchData::kNations));
+    sup.acctbal[i] = rng.UniformInt(-99999, 999999);
+  }
+
+  // --- customer -----------------------------------------------------------
+  auto& cust = db.customer;
+  cust.custkey.resize(n_customer);
+  cust.nationkey.resize(n_customer);
+  cust.acctbal.resize(n_customer);
+  cust.mktsegment.resize(n_customer);
+  for (size_t i = 0; i < n_customer; i++) {
+    cust.custkey[i] = int32_t(i + 1);
+    cust.nationkey[i] = int8_t(rng.Uniform(TpchData::kNations));
+    cust.acctbal[i] = rng.UniformInt(-99999, 999999);
+    cust.mktsegment[i] = int8_t(rng.Uniform(5));
+  }
+
+  // --- partsupp -----------------------------------------------------------
+  auto& ps = db.partsupp;
+  const size_t n_partsupp = n_part * 4;
+  ps.partkey.resize(n_partsupp);
+  ps.suppkey.resize(n_partsupp);
+  ps.availqty.resize(n_partsupp);
+  ps.supplycost.resize(n_partsupp);
+  for (size_t i = 0; i < n_part; i++) {
+    for (int j = 0; j < 4; j++) {
+      size_t k = i * 4 + j;
+      ps.partkey[k] = int32_t(i + 1);
+      // dbgen's supplier spread for a part.
+      ps.suppkey[k] = int32_t(
+          (i + j * (n_supplier / 4 + (i - 1 + n_supplier) % n_supplier)) %
+              n_supplier +
+          1);
+      ps.availqty[k] = int32_t(1 + rng.Uniform(9999));
+      ps.supplycost[k] = int64_t(100 + rng.Uniform(99900));
+    }
+  }
+
+  // --- orders + lineitem --------------------------------------------------
+  auto& ord = db.orders;
+  auto& li = db.lineitem;
+  ord.orderkey.reserve(n_orders);
+  li.orderkey.reserve(n_orders * 4);
+  const int64_t kOrderKeySpread = 32;  // 8 used per 32: sparse keys
+  for (size_t o = 0; o < n_orders; o++) {
+    // Sparse orderkey exactly like dbgen: low 3 bits stay dense, bits
+    // above skip 2 positions of 5.
+    int64_t bucket = int64_t(o) / 8;
+    int64_t okey = bucket * kOrderKeySpread + int64_t(o) % 8 + 1;
+    int32_t odate =
+        int32_t(kStartDate + int32_t(rng.Uniform(uint64_t(kEndDate - 121 -
+                                                          kStartDate + 1))));
+    int32_t ckey = int32_t(1 + rng.Uniform(n_customer));
+    int8_t opriority = int8_t(rng.Uniform(5));
+
+    ord.orderkey.push_back(okey);
+    ord.custkey.push_back(ckey);
+    ord.orderdate.push_back(odate);
+    ord.orderpriority.push_back(opriority);
+    ord.shippriority.push_back(0);
+
+    int nlines = 1 + int(rng.Uniform(7));
+    int64_t ototal = 0;
+    int8_t ostatus_mix = 0;  // counts F lines
+    for (int l = 0; l < nlines; l++) {
+      int32_t pkey = int32_t(1 + rng.Uniform(n_part));
+      int32_t skey = int32_t(1 + rng.Uniform(n_supplier));
+      int8_t qty = int8_t(1 + rng.Uniform(50));
+      int64_t eprice = part.retailprice[pkey - 1] * qty;
+      int8_t disc = int8_t(rng.Uniform(11));
+      int8_t tax = int8_t(rng.Uniform(9));
+      int32_t sdate = odate + 1 + int32_t(rng.Uniform(121));
+      int32_t cdate = odate + 30 + int32_t(rng.Uniform(61));
+      int32_t rdate = sdate + 1 + int32_t(rng.Uniform(30));
+      // dbgen: returnflag R/A for received-before-current, else N.
+      int8_t rflag;
+      if (rdate <= kCurrentDate) {
+        rflag = rng.Bernoulli(0.5) ? int8_t(TpchEnums::kReturnFlagR)
+                                   : int8_t(TpchEnums::kReturnFlagA);
+      } else {
+        rflag = int8_t(TpchEnums::kReturnFlagN);
+      }
+      int8_t lstatus = (sdate > kCurrentDate)
+                           ? int8_t(TpchEnums::kLineStatusO)
+                           : int8_t(TpchEnums::kLineStatusF);
+      ostatus_mix += (lstatus == TpchEnums::kLineStatusF);
+
+      li.orderkey.push_back(okey);
+      li.partkey.push_back(pkey);
+      li.suppkey.push_back(skey);
+      li.linenumber.push_back(int8_t(l + 1));
+      li.quantity.push_back(qty);
+      li.extendedprice.push_back(eprice);
+      li.discount.push_back(disc);
+      li.tax.push_back(tax);
+      li.returnflag.push_back(rflag);
+      li.linestatus.push_back(lstatus);
+      li.shipdate.push_back(sdate);
+      li.commitdate.push_back(cdate);
+      li.receiptdate.push_back(rdate);
+      li.shipinstruct.push_back(int8_t(rng.Uniform(4)));
+      li.shipmode.push_back(int8_t(rng.Uniform(7)));
+      ototal += eprice * (100 - disc) * (100 + tax) / 10000;
+    }
+    ord.totalprice.push_back(ototal);
+    ord.orderstatus.push_back(ostatus_mix == 0          ? int8_t(0)   // O
+                              : ostatus_mix == nlines   ? int8_t(1)   // F
+                                                        : int8_t(2));  // P
+  }
+
+  // Incompressible comment padding.
+  const size_t n_li = li.rows();
+  for (auto& c : li.comment) {
+    c.resize(n_li);
+    for (auto& v : c) v = int64_t(rng.Next());
+  }
+  for (auto& c : ord.comment) {
+    c.resize(ord.rows());
+    for (auto& v : c) v = int64_t(rng.Next());
+  }
+
+  return db;
+}
+
+}  // namespace scc

@@ -1,0 +1,131 @@
+#ifndef SCC_TPCH_DBGEN_H_
+#define SCC_TPCH_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// dbgen-style TPC-H data generator (substitute for the official 100 GB
+// dataset; see DESIGN.md). Faithful to the distributions that matter for
+// compression and query selectivity:
+//   * dates are uniform over 1992-01-01 .. 1998-08-02 and stored as int32
+//     days since 1992-01-01 (clustered domain -> PFOR);
+//   * orderkeys are sparse (8 used out of every 32) and lineitem is
+//     clustered by orderkey (monotone -> PFOR-DELTA);
+//   * money is int64 cents, computed from part retail prices;
+//   * low-cardinality attributes (flags, status, priorities, modes) are
+//     small integer codes (-> PDICT / tiny PFOR);
+//   * comment fields are incompressible random words, carried as padding
+//     columns so PAX row groups pay their byte volume as in the paper.
+//
+// Scale factor 1.0 produces ~6M lineitems, as in TPC-H.
+
+namespace scc {
+
+/// Days since 1992-01-01 for a calendar date.
+int32_t TpchDate(int year, int month, int day);
+
+/// Dictionary-encoded enumerations used by the generator and queries.
+struct TpchEnums {
+  static constexpr int kReturnFlagR = 0, kReturnFlagA = 1, kReturnFlagN = 2;
+  static constexpr int kLineStatusO = 0, kLineStatusF = 1;
+  // l_shipmode dictionary: 0=REG AIR 1=AIR 2=RAIL 3=SHIP 4=TRUCK 5=MAIL
+  // 6=FOB
+  static constexpr int kShipModeMail = 5;
+  static constexpr int kShipModeShip = 3;
+  static constexpr int kShipModeAir = 1;
+  static constexpr int kShipModeAirReg = 0;
+  // o_orderpriority: 0="1-URGENT" 1="2-HIGH" 2="3-MEDIUM" ...
+  // l_shipinstruct: 0="DELIVER IN PERSON" 1="COLLECT COD" 2="NONE"
+  // 3="TAKE BACK RETURN"
+  static constexpr int kDeliverInPerson = 0;
+};
+
+struct LineitemData {
+  std::vector<int64_t> orderkey;
+  std::vector<int32_t> partkey;
+  std::vector<int32_t> suppkey;
+  std::vector<int8_t> linenumber;     // 1..7
+  std::vector<int8_t> quantity;       // 1..50
+  std::vector<int64_t> extendedprice; // cents
+  std::vector<int8_t> discount;       // percent 0..10
+  std::vector<int8_t> tax;            // percent 0..8
+  std::vector<int8_t> returnflag;     // enum
+  std::vector<int8_t> linestatus;     // enum
+  std::vector<int32_t> shipdate;      // days
+  std::vector<int32_t> commitdate;
+  std::vector<int32_t> receiptdate;
+  std::vector<int8_t> shipinstruct;   // enum(4)
+  std::vector<int8_t> shipmode;       // enum(7)
+  std::vector<int64_t> comment[4];    // incompressible padding (~32 B)
+
+  size_t rows() const { return orderkey.size(); }
+};
+
+struct OrdersData {
+  std::vector<int64_t> orderkey;
+  std::vector<int32_t> custkey;
+  std::vector<int8_t> orderstatus;    // enum(3)
+  std::vector<int64_t> totalprice;    // cents
+  std::vector<int32_t> orderdate;     // days
+  std::vector<int8_t> orderpriority;  // enum(5)
+  std::vector<int8_t> shippriority;   // always 0
+  std::vector<int64_t> comment[6];    // incompressible padding (~48 B)
+
+  size_t rows() const { return orderkey.size(); }
+};
+
+struct CustomerData {
+  std::vector<int32_t> custkey;
+  std::vector<int8_t> nationkey;     // 0..24
+  std::vector<int64_t> acctbal;      // cents, may be negative
+  std::vector<int8_t> mktsegment;    // enum(5)
+  size_t rows() const { return custkey.size(); }
+};
+
+struct SupplierData {
+  std::vector<int32_t> suppkey;
+  std::vector<int8_t> nationkey;
+  std::vector<int64_t> acctbal;
+  size_t rows() const { return suppkey.size(); }
+};
+
+struct PartData {
+  std::vector<int32_t> partkey;
+  std::vector<int64_t> retailprice;  // cents
+  std::vector<int8_t> brand;         // enum(25)
+  std::vector<int8_t> container;     // enum(40)
+  std::vector<int8_t> typecode;      // enum(150), Q14 uses "PROMO" = code/30==0
+  std::vector<int8_t> size;          // 1..50
+  size_t rows() const { return partkey.size(); }
+};
+
+struct PartsuppData {
+  std::vector<int32_t> partkey;
+  std::vector<int32_t> suppkey;
+  std::vector<int32_t> availqty;    // 1..9999
+  std::vector<int64_t> supplycost;  // cents
+  size_t rows() const { return partkey.size(); }
+};
+
+struct TpchData {
+  double scale_factor = 0.01;
+  LineitemData lineitem;
+  OrdersData orders;
+  CustomerData customer;
+  SupplierData supplier;
+  PartData part;
+  PartsuppData partsupp;
+  // nation: key 0..24, region = key / 5.
+  static constexpr int kNations = 25;
+  static constexpr int kRegions = 5;
+  static int NationRegion(int nationkey) { return nationkey / 5; }
+};
+
+/// Generates all tables at the given scale factor. Deterministic in
+/// `seed`.
+TpchData GenerateTpch(double scale_factor, uint64_t seed = 19920101);
+
+}  // namespace scc
+
+#endif  // SCC_TPCH_DBGEN_H_

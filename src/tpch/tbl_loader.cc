@@ -1,0 +1,179 @@
+#include "tpch/tbl_loader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace scc {
+
+namespace {
+
+/// Splits a dbgen line on '|'; the trailing pipe yields an empty final
+/// token which is dropped.
+std::vector<std::string> SplitTbl(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      if (start < line.size()) fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return fields;
+}
+
+Result<int64_t> ParseInt(const std::string& s) {
+  char* end = nullptr;
+  long long v = strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer field: " + s);
+  }
+  return int64_t(v);
+}
+
+/// dbgen enum strings -> our dictionary codes. Unknown strings map to a
+/// stable hash-based code within the dictionary size (dbgen only emits
+/// the known set; this keeps the loader total).
+int8_t EnumCode(const std::string& s, std::initializer_list<const char*> dict) {
+  int8_t i = 0;
+  for (const char* d : dict) {
+    if (s == d) return i;
+    i++;
+  }
+  uint32_t h = 2166136261u;
+  for (char c : s) h = (h ^ uint8_t(c)) * 16777619u;
+  return int8_t(h % uint32_t(dict.size()));
+}
+
+int64_t HashComment(const std::string& s, uint32_t salt) {
+  uint64_t h = 1469598103934665603ull + salt;
+  for (char c : s) h = (h ^ uint8_t(c)) * 1099511628211ull;
+  return int64_t(h);
+}
+
+}  // namespace
+
+Result<int32_t> ParseTblDate(const std::string& s) {
+  // "YYYY-MM-DD"
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') {
+    return Status::InvalidArgument("bad date field: " + s);
+  }
+  int year = atoi(s.substr(0, 4).c_str());
+  int month = atoi(s.substr(5, 2).c_str());
+  int day = atoi(s.substr(8, 2).c_str());
+  if (year < 1992 || year > 1999 || month < 1 || month > 12 || day < 1 ||
+      day > 31) {
+    return Status::InvalidArgument("date out of TPC-H range: " + s);
+  }
+  return TpchDate(year, month, day);
+}
+
+Result<int64_t> ParseTblMoney(const std::string& s) {
+  // "[-]digits[.digits]" with up to 2 decimals -> cents.
+  size_t dot = s.find('.');
+  std::string whole = dot == std::string::npos ? s : s.substr(0, dot);
+  std::string frac = dot == std::string::npos ? "" : s.substr(dot + 1);
+  if (frac.size() > 2) frac = frac.substr(0, 2);
+  while (frac.size() < 2) frac += '0';
+  SCC_ASSIGN_OR_RETURN(int64_t w, ParseInt(whole.empty() ? "0" : whole));
+  SCC_ASSIGN_OR_RETURN(int64_t f, ParseInt(frac));
+  bool neg = !s.empty() && s[0] == '-';
+  return w * 100 + (neg ? -f : f);
+}
+
+Result<int8_t> ParseTblShipMode(const std::string& s) {
+  return EnumCode(s, {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                      "FOB"});
+}
+
+Status LoadLineitemTbl(std::istream& in, LineitemData* out) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (line.empty()) continue;
+    auto f = SplitTbl(line);
+    if (f.size() < 16) {
+      return Status::InvalidArgument("lineitem line " + std::to_string(lineno) +
+                                     ": expected 16 fields");
+    }
+    SCC_ASSIGN_OR_RETURN(int64_t okey, ParseInt(f[0]));
+    SCC_ASSIGN_OR_RETURN(int64_t pkey, ParseInt(f[1]));
+    SCC_ASSIGN_OR_RETURN(int64_t skey, ParseInt(f[2]));
+    SCC_ASSIGN_OR_RETURN(int64_t lineno_field, ParseInt(f[3]));
+    SCC_ASSIGN_OR_RETURN(int64_t qty, ParseInt(f[4]));
+    SCC_ASSIGN_OR_RETURN(int64_t eprice, ParseTblMoney(f[5]));
+    SCC_ASSIGN_OR_RETURN(int64_t disc_cents, ParseTblMoney(f[6]));
+    SCC_ASSIGN_OR_RETURN(int64_t tax_cents, ParseTblMoney(f[7]));
+    SCC_ASSIGN_OR_RETURN(int32_t sdate, ParseTblDate(f[10]));
+    SCC_ASSIGN_OR_RETURN(int32_t cdate, ParseTblDate(f[11]));
+    SCC_ASSIGN_OR_RETURN(int32_t rdate, ParseTblDate(f[12]));
+    SCC_ASSIGN_OR_RETURN(int8_t shipmode, ParseTblShipMode(f[14]));
+
+    if (!out->orderkey.empty() && okey < out->orderkey.back()) {
+      return Status::InvalidArgument(
+          "lineitem not clustered by orderkey at line " +
+          std::to_string(lineno));
+    }
+    out->orderkey.push_back(okey);
+    out->partkey.push_back(int32_t(pkey));
+    out->suppkey.push_back(int32_t(skey));
+    out->linenumber.push_back(int8_t(lineno_field));
+    out->quantity.push_back(int8_t(qty));
+    out->extendedprice.push_back(eprice);
+    // dbgen stores discount/tax as fractions ("0.04"): cents-of-1 = %.
+    out->discount.push_back(int8_t(disc_cents));
+    out->tax.push_back(int8_t(tax_cents));
+    out->returnflag.push_back(EnumCode(f[8], {"R", "A", "N"}));
+    out->linestatus.push_back(EnumCode(f[9], {"O", "F"}));
+    out->shipdate.push_back(sdate);
+    out->commitdate.push_back(cdate);
+    out->receiptdate.push_back(rdate);
+    out->shipinstruct.push_back(
+        EnumCode(f[13], {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                         "TAKE BACK RETURN"}));
+    out->shipmode.push_back(shipmode);
+    for (uint32_t c = 0; c < 4; c++) {
+      out->comment[c].push_back(HashComment(f[15], c));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadOrdersTbl(std::istream& in, OrdersData* out) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (line.empty()) continue;
+    auto f = SplitTbl(line);
+    if (f.size() < 9) {
+      return Status::InvalidArgument("orders line " + std::to_string(lineno) +
+                                     ": expected 9 fields");
+    }
+    SCC_ASSIGN_OR_RETURN(int64_t okey, ParseInt(f[0]));
+    SCC_ASSIGN_OR_RETURN(int64_t ckey, ParseInt(f[1]));
+    SCC_ASSIGN_OR_RETURN(int64_t total, ParseTblMoney(f[3]));
+    SCC_ASSIGN_OR_RETURN(int32_t odate, ParseTblDate(f[4]));
+    SCC_ASSIGN_OR_RETURN(int64_t shippri, ParseInt(f[7]));
+    out->orderkey.push_back(okey);
+    out->custkey.push_back(int32_t(ckey));
+    out->orderstatus.push_back(EnumCode(f[2], {"O", "F", "P"}));
+    out->totalprice.push_back(total);
+    out->orderdate.push_back(odate);
+    out->orderpriority.push_back(
+        EnumCode(f[5], {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                        "5-LOW"}));
+    out->shippriority.push_back(int8_t(shippri));
+    for (uint32_t c = 0; c < 6; c++) {
+      out->comment[c].push_back(HashComment(f[8], c));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scc

@@ -1,0 +1,37 @@
+#ifndef SCC_TPCH_TBL_LOADER_H_
+#define SCC_TPCH_TBL_LOADER_H_
+
+#include <istream>
+#include <string>
+
+#include "tpch/dbgen.h"
+#include "util/status.h"
+
+// Loader for the official TPC-H dbgen `.tbl` format (pipe-separated, one
+// trailing pipe per line), so the library runs against real dbgen output
+// as well as the built-in generator. Values are normalized to the same
+// encodings GenerateTpch produces:
+//   dates      "1996-03-13"      -> int32 days since 1992-01-01
+//   money      "21168.23"        -> int64 cents
+//   percents   "0.04"            -> int8 4
+//   enums      "R"/"O"/"MAIL"... -> the dictionary codes of TpchEnums
+// Comment text is hashed into the incompressible padding words, which
+// preserves its byte volume for PAX experiments.
+
+namespace scc {
+
+/// Parses a lineitem .tbl stream. Rows must be clustered by orderkey (as
+/// dbgen emits them). Appends to `*out`.
+Status LoadLineitemTbl(std::istream& in, LineitemData* out);
+
+/// Parses an orders .tbl stream.
+Status LoadOrdersTbl(std::istream& in, OrdersData* out);
+
+/// Field helpers, exposed for tests.
+Result<int32_t> ParseTblDate(const std::string& s);
+Result<int64_t> ParseTblMoney(const std::string& s);
+Result<int8_t> ParseTblShipMode(const std::string& s);
+
+}  // namespace scc
+
+#endif  // SCC_TPCH_TBL_LOADER_H_

@@ -1,0 +1,95 @@
+#ifndef SCC_UTIL_ALIGNED_BUFFER_H_
+#define SCC_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/status.h"
+
+// Cache-line-aligned byte buffer for compressed segments. Compression
+// kernels read/write 64-bit words past logical ends, so the buffer always
+// over-allocates a small safety pad.
+
+namespace scc {
+
+/// Owns a 64-byte aligned allocation with an 8-byte writable tail pad.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+  static constexpr size_t kPadding = 16;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) { Resize(size); }
+
+  AlignedBuffer(const AlignedBuffer& other) { CopyFrom(other); }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { Free(); }
+
+  /// Resizes to `size` bytes; existing contents are NOT preserved.
+  void Resize(size_t size) {
+    SCC_CHECK(size < (size_t(1) << 48), "absurd buffer size");
+    if (size + kPadding > capacity_) {
+      Free();
+      capacity_ = size + kPadding;
+      data_ = static_cast<uint8_t*>(std::aligned_alloc(
+          kAlignment, AlignUpImpl(capacity_, kAlignment)));
+      SCC_CHECK(data_ != nullptr, "aligned_alloc failed");
+    }
+    size_ = size;
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  static size_t AlignUpImpl(size_t v, size_t a) { return (v + a - 1) / a * a; }
+
+  void CopyFrom(const AlignedBuffer& other) {
+    Resize(other.size_);
+    if (other.size_ > 0) std::memcpy(data_, other.data_, other.size_);
+  }
+
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,56 @@
+#ifndef SCC_UTIL_BITUTIL_H_
+#define SCC_UTIL_BITUTIL_H_
+
+#include <cstdint>
+#include <type_traits>
+
+// Small bit-twiddling helpers shared by the compression kernels.
+
+namespace scc {
+
+/// Number of bits needed to represent `v` (0 for v == 0).
+inline int BitWidth(uint64_t v) { return v == 0 ? 0 : 64 - __builtin_clzll(v); }
+
+/// Number of bits needed to represent every value in [0, range].
+inline int BitsForRange(uint64_t range) { return BitWidth(range); }
+
+/// Smallest power of two >= v (v must be >= 1).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t(1) << BitWidth(v - 1);
+}
+
+/// Rounds `v` up to a multiple of `align` (align must be a power of two).
+inline uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Maximum code value representable in b bits (b in [0, 32]).
+inline uint32_t MaxCode(int b) {
+  return b >= 32 ? 0xFFFFFFFFu : ((uint32_t(1) << b) - 1);
+}
+
+/// Maximum allowed gap between linked exceptions for bit width b.
+/// Stored gap code is (gap - 1), so gap <= 2^b.
+inline uint32_t MaxExceptionGap(int b) {
+  return b >= 32 ? 0xFFFFFFFFu : (uint32_t(1) << b);
+}
+
+/// Zig-zag encodes a signed delta into an unsigned value so that small
+/// magnitudes (of either sign) map to small codes.
+template <typename T>
+inline std::make_unsigned_t<T> ZigZagEncode(T v) {
+  using U = std::make_unsigned_t<T>;
+  constexpr int kShift = sizeof(T) * 8 - 1;
+  return (U(v) << 1) ^ U(v >> kShift);
+}
+
+template <typename U>
+inline std::make_signed_t<U> ZigZagDecode(U v) {
+  using S = std::make_signed_t<U>;
+  return S(v >> 1) ^ -S(v & 1);
+}
+
+}  // namespace scc
+
+#endif  // SCC_UTIL_BITUTIL_H_

@@ -1,0 +1,174 @@
+#ifndef SCC_UTIL_STATUS_H_
+#define SCC_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+// Lightweight Status / Result error handling in the style of Apache Arrow.
+// Fallible public APIs return Status or Result<T>; hot kernels use plain
+// return values and SCC_DCHECK for internal invariants.
+
+namespace scc {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotImplemented,
+  kCorruption,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + std::string(": ") + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kNotImplemented:
+        return "NotImplemented";
+      case StatusCode::kCorruption:
+        return "Corruption";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& ValueOrDie() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return std::get<T>(repr_);
+  }
+  /// Moves the value out of the result. Requires ok().
+  T MoveValueOrDie() { return std::move(ValueOrDie()); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace scc
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SCC_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::scc::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value or returning the
+/// error. Usage: SCC_ASSIGN_OR_RETURN(auto v, MakeThing());
+#define SCC_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = result_name.MoveValueOrDie()
+#define SCC_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SCC_ASSIGN_OR_RETURN_NAME(x, y) SCC_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define SCC_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  SCC_ASSIGN_OR_RETURN_IMPL(SCC_ASSIGN_OR_RETURN_NAME(_scc_res_, __LINE__), \
+                            lhs, rexpr)
+
+/// Internal invariant check, active in debug builds only.
+#ifndef NDEBUG
+#define SCC_DCHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SCC_DCHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+#else
+#define SCC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+/// Always-on check for conditions that indicate programmer error at API
+/// boundaries (cheap, so kept in release builds too).
+#define SCC_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SCC_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // SCC_UTIL_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef SCC_UTIL_ZIPF_H_
+#define SCC_UTIL_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+// Zipfian sampler used to synthesize skewed frequency distributions
+// (term frequencies for the inverted-file substrate, value frequencies for
+// PDICT workloads).
+
+namespace scc {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^theta.
+/// Uses a precomputed CDF with binary search: O(n) setup, O(log n) sample.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), cdf_(n) {
+    double sum = 0.0;
+    for (uint64_t k = 0; k < n; k++) {
+      sum += 1.0 / std::pow(double(k + 1), theta);
+      cdf_[k] = sum;
+    }
+    for (uint64_t k = 0; k < n; k++) cdf_[k] /= sum;
+  }
+
+  /// Returns a rank in [0, n).
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search for the first CDF entry >= u.
+    uint64_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  uint64_t domain() const { return cdf_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_UTIL_ZIPF_H_

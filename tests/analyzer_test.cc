@@ -1,0 +1,200 @@
+#include "core/analyzer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exception_model.h"
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+// Tests for the automatic scheme chooser: it must pick the right scheme on
+// distributions engineered to favor each one, its estimates must track the
+// actually-achieved segment sizes, and the compulsory-exception model must
+// match Figure 6.
+
+namespace scc {
+namespace {
+
+TEST(Analyzer, ClusteredDataPicksPFor) {
+  // Dates-in-a-warehouse style: a tight cluster plus a few outliers.
+  Rng rng(1);
+  std::vector<int32_t> v(10000);
+  for (auto& x : v) x = 730000 + int32_t(rng.Uniform(1000));
+  v[5] = 1;
+  v[7000] = 2000000000;
+  auto choice = Analyzer<int32_t>::Analyze(v);
+  EXPECT_EQ(choice.scheme, Scheme::kPFor);
+  EXPECT_EQ(choice.pfor.bit_width, 10);
+  EXPECT_LT(choice.est_bits_per_value, 12.0);
+}
+
+TEST(Analyzer, MonotoneDataPicksPForDelta) {
+  Rng rng(2);
+  std::vector<int64_t> v(10000);
+  int64_t acc = 0;
+  for (auto& x : v) {
+    acc += 1 + int64_t(rng.Uniform(30));
+    x = acc;
+  }
+  auto choice = Analyzer<int64_t>::Analyze(v);
+  EXPECT_EQ(choice.scheme, Scheme::kPForDelta);
+  EXPECT_LE(choice.pfor.bit_width, 6);
+}
+
+TEST(Analyzer, SkewedFrequencyPicksPDict) {
+  // Values spread over the whole 64-bit domain (bad for FOR), drawn from
+  // a tiny set of distinct values (ideal for dictionary).
+  std::vector<int64_t> domain = {1ll << 60, -(1ll << 59), 17, -4242424242ll};
+  Rng rng(3);
+  std::vector<int64_t> v(10000);
+  for (auto& x : v) x = domain[rng.Uniform(domain.size())];
+  auto choice = Analyzer<int64_t>::Analyze(v);
+  EXPECT_EQ(choice.scheme, Scheme::kPDict);
+  EXPECT_EQ(choice.pdict.bit_width, 2);
+  EXPECT_EQ(choice.pdict.dict.size(), 4u);
+}
+
+TEST(Analyzer, ZipfTailBecomesExceptions) {
+  // A heavy hitter set plus a long tail: PDICT should win with a small
+  // dictionary and a nonzero predicted exception rate.
+  ZipfGenerator zipf(100000, 1.3, 4);
+  std::vector<int64_t> v(30000);
+  for (auto& x : v) x = int64_t(zipf.Next()) * 2654435761ll;
+  auto choice = Analyzer<int64_t>::Analyze(v);
+  EXPECT_EQ(choice.scheme, Scheme::kPDict);
+  EXPECT_GT(choice.est_exception_rate, 0.0);
+  EXPECT_LT(choice.est_exception_rate, 0.35);
+}
+
+TEST(Analyzer, IncompressibleFallsBackToRaw) {
+  Rng rng(5);
+  std::vector<int64_t> v(20000);
+  for (auto& x : v) x = int64_t(rng.Next());
+  auto choice = Analyzer<int64_t>::Analyze(v);
+  EXPECT_EQ(choice.scheme, Scheme::kUncompressed);
+}
+
+TEST(Analyzer, ConstantColumnNearZeroBits) {
+  std::vector<int32_t> v(1000, 99);
+  auto choice = Analyzer<int32_t>::Analyze(v);
+  EXPECT_NE(choice.scheme, Scheme::kUncompressed);
+  EXPECT_LT(choice.est_bits_per_value, 1.0);
+}
+
+TEST(Analyzer, EmptySampleIsRaw) {
+  auto choice = Analyzer<int32_t>::Analyze({});
+  EXPECT_EQ(choice.scheme, Scheme::kUncompressed);
+}
+
+TEST(Analyzer, EstimateTracksActualSize) {
+  // For several distributions: build a segment with the chosen params and
+  // check the achieved bits/value is within 25% of the estimate.
+  struct Maker {
+    const char* name;
+    std::vector<int64_t> (*make)(size_t);
+  };
+  auto clustered = [](size_t n) {
+    Rng rng(7);
+    std::vector<int64_t> v(n);
+    for (auto& x : v) x = 5000 + int64_t(rng.Uniform(4000));
+    return v;
+  };
+  auto monotone = [](size_t n) {
+    Rng rng(8);
+    std::vector<int64_t> v(n);
+    int64_t acc = 1000;
+    for (auto& x : v) {
+      acc += int64_t(rng.Uniform(100));
+      x = acc;
+    }
+    return v;
+  };
+  auto skewed = [](size_t n) {
+    ZipfGenerator zipf(5000, 1.4, 9);
+    std::vector<int64_t> v(n);
+    for (auto& x : v) x = int64_t(zipf.Next()) * 104729;
+    return v;
+  };
+  const size_t n = 50000;
+  for (auto make : {+clustered, +monotone, +skewed}) {
+    std::vector<int64_t> v = make(n);
+    auto choice = Analyzer<int64_t>::Analyze(v);
+    auto seg = SegmentBuilder<int64_t>::Build(v, choice);
+    ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+    double actual_bits = 8.0 * seg.ValueOrDie().size() / double(n);
+    EXPECT_LT(actual_bits, choice.est_bits_per_value * 1.25 + 0.5)
+        << choice.ToString();
+    // And decompression is lossless.
+    auto reader = SegmentReader<int64_t>::Open(seg.ValueOrDie().data(),
+                                               seg.ValueOrDie().size());
+    ASSERT_TRUE(reader.ok());
+    std::vector<int64_t> out(n);
+    reader.ValueOrDie().DecompressAll(out.data());
+    EXPECT_EQ(v, out);
+  }
+}
+
+TEST(Analyzer, AnalyzeBitsFindsLongestStretch) {
+  //        sorted: 1 2 3 4 100 101 102 103 104 200
+  std::vector<int32_t> sorted = {1, 2, 3, 4, 100, 101, 102, 103, 104, 200};
+  auto [lo, len] = Analyzer<int32_t>::AnalyzeBits(sorted, 3);
+  EXPECT_EQ(lo, 4u);   // 100..104 has length 5 and range 4 <= 7
+  EXPECT_EQ(len, 5u);
+  auto [lo2, len2] = Analyzer<int32_t>::AnalyzeBits(sorted, 7);
+  EXPECT_EQ(lo2, 0u);  // 1..104 has range 103 <= 127
+  EXPECT_EQ(len2, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Compulsory-exception model (Figure 6)
+// ---------------------------------------------------------------------------
+
+TEST(ExceptionModel, MatchesPaperShape) {
+  // b=1: for E > 0.01, E' quickly rises to ~0.47 (paper's "rather
+  // useless"); b=2 tops near 0.22; b > 4 is negligible.
+  EXPECT_NEAR(EffectiveExceptionRate(0.3, 1), 0.487, 0.01);
+  // For b=2 the compulsory term peaks where it crosses E' = E (~0.22-0.24).
+  EXPECT_NEAR(EffectiveExceptionRate(0.2, 2), 0.240, 0.01);
+  EXPECT_EQ(EffectiveExceptionRate(0.3, 2), 0.3);  // E dominates past the cross
+  EXPECT_LT(EffectiveExceptionRate(0.05, 5), 0.06);
+  for (int b = 5; b <= 24; b++) {
+    for (double e : {0.01, 0.05, 0.1, 0.3}) {
+      EXPECT_LT(EffectiveExceptionRate(e, b), e * 1.1) << "b=" << b;
+    }
+  }
+  EXPECT_EQ(EffectiveExceptionRate(0.0, 1), 0.0);
+}
+
+TEST(ExceptionModel, EmpiricalMatchesAnalytic) {
+  // Build real PFOR segments at controlled data exception rates and check
+  // the builder's actual exception count against E' within tolerance.
+  const size_t n = 128 * 2000;
+  for (int b : {1, 2, 3, 4, 8}) {
+    for (double e : {0.02, 0.1, 0.25}) {
+      Rng rng(uint64_t(b * 100 + int(e * 100)));
+      std::vector<int64_t> v(n);
+      const uint32_t mc = MaxCode(b);
+      for (auto& x : v) {
+        x = rng.Bernoulli(e) ? int64_t(1) << 40
+                             : int64_t(rng.Uniform(uint64_t(mc) + 1));
+      }
+      auto seg =
+          SegmentBuilder<int64_t>::BuildPFor(v, PForParams<int64_t>{b, 0});
+      ASSERT_TRUE(seg.ok());
+      auto reader = SegmentReader<int64_t>::Open(seg.ValueOrDie().data(),
+                                                 seg.ValueOrDie().size());
+      double actual = double(reader.ValueOrDie().exception_count()) / n;
+      double predicted = EffectiveExceptionRate(e, b);
+      // The analytic model assumes uniformly spread exceptions; allow a
+      // generous band. It must never under-predict by much.
+      EXPECT_NEAR(actual, predicted, 0.06 + predicted * 0.35)
+          << "b=" << b << " E=" << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scc

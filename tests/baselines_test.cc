@@ -1,0 +1,432 @@
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bitio.h"
+#include "baselines/classic.h"
+#include "baselines/huffman.h"
+#include "baselines/lzrw1.h"
+#include "baselines/lzss_huffman.h"
+#include "baselines/varbyte.h"
+#include "baselines/wordaligned.h"
+#include "core/analyzer.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+// Round-trip and behavioural tests for every baseline codec the paper
+// compares against: LZRW1, the LZSS+Huffman heavy codec, semi-static
+// Huffman ("shuff"), Simple-9, carryover-12, vbyte, classic FOR, prefix
+// suppression, and plain dictionary compression.
+
+namespace scc {
+namespace {
+
+std::vector<uint8_t> TextLike(size_t n, uint64_t seed) {
+  // Skewed byte distribution with repeated phrases: compressible by both
+  // LZ and entropy coding.
+  Rng rng(seed);
+  const std::string words[] = {"the ",      "quick ",  "brown ", "fox ",
+                               "jumps ",    "over ",   "lazy ",  "dog ",
+                               "SELECT * ", "WHERE ",  "lineitem ",
+                               "order ",    "ship ",   "1995-03-15 "};
+  std::vector<uint8_t> v;
+  v.reserve(n + 16);
+  while (v.size() < n) {
+    const std::string& w = words[rng.Uniform(std::size(words))];
+    v.insert(v.end(), w.begin(), w.end());
+  }
+  v.resize(n);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Bit IO
+// ---------------------------------------------------------------------------
+
+TEST(BitIO, RoundTripMixedWidths) {
+  std::vector<uint8_t> buf;
+  BitWriter bw(&buf);
+  Rng rng(1);
+  std::vector<std::pair<uint64_t, int>> writes;
+  for (int i = 0; i < 10000; i++) {
+    int bits = 1 + int(rng.Uniform(57));
+    uint64_t v = rng.Next() & ((1ull << bits) - 1);
+    writes.emplace_back(v, bits);
+    bw.Write(v, bits);
+  }
+  bw.Finish();
+  BitReader br(buf.data(), buf.size());
+  for (auto [v, bits] : writes) {
+    ASSERT_EQ(br.Read(bits), v);
+  }
+}
+
+TEST(BitIO, PeekSkipEquivalentToRead) {
+  std::vector<uint8_t> buf;
+  BitWriter bw(&buf);
+  bw.Write(0b1011, 4);
+  bw.Write(0xABCD, 16);
+  bw.Finish();
+  BitReader br(buf.data(), buf.size());
+  EXPECT_EQ(br.Peek(4), 0b1011u);
+  br.Skip(4);
+  EXPECT_EQ(br.Read(16), 0xABCDu);
+}
+
+// ---------------------------------------------------------------------------
+// LZRW1
+// ---------------------------------------------------------------------------
+
+TEST(Lzrw1Test, RoundTripText) {
+  for (size_t n : {0u, 1u, 100u, 4096u, 100000u}) {
+    auto in = TextLike(n, n + 1);
+    std::vector<uint8_t> comp(Lzrw1::MaxCompressedSize(n));
+    size_t csize = Lzrw1::Compress(in.data(), n, comp.data());
+    std::vector<uint8_t> out(n + 1);
+    auto r = Lzrw1::Decompress(comp.data(), csize, out.data(), n);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.ValueOrDie(), n);
+    out.resize(n);
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(Lzrw1Test, CompressesRepetitiveData) {
+  auto in = TextLike(100000, 3);
+  std::vector<uint8_t> comp(Lzrw1::MaxCompressedSize(in.size()));
+  size_t csize = Lzrw1::Compress(in.data(), in.size(), comp.data());
+  EXPECT_LT(csize, in.size() / 2);
+}
+
+TEST(Lzrw1Test, IncompressibleDataExpandsBoundedly) {
+  Rng rng(4);
+  std::vector<uint8_t> in(50000);
+  for (auto& b : in) b = uint8_t(rng.Next());
+  std::vector<uint8_t> comp(Lzrw1::MaxCompressedSize(in.size()));
+  size_t csize = Lzrw1::Compress(in.data(), in.size(), comp.data());
+  EXPECT_LE(csize, Lzrw1::MaxCompressedSize(in.size()));
+  std::vector<uint8_t> out(in.size());
+  auto r = Lzrw1::Decompress(comp.data(), csize, out.data(), out.size());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(Lzrw1Test, CorruptStreamRejected) {
+  auto in = TextLike(1000, 5);
+  std::vector<uint8_t> comp(Lzrw1::MaxCompressedSize(in.size()));
+  size_t csize = Lzrw1::Compress(in.data(), in.size(), comp.data());
+  // Too-small output buffer must be detected, not overrun.
+  std::vector<uint8_t> out(10);
+  auto r = Lzrw1::Decompress(comp.data(), csize, out.data(), out.size());
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// LZSS + Huffman
+// ---------------------------------------------------------------------------
+
+TEST(LzssHuffmanTest, RoundTrip) {
+  for (size_t n : {0u, 1u, 13u, 5000u, 200000u}) {
+    auto in = TextLike(n, n + 11);
+    auto comp = LzssHuffman::Compress(in.data(), n);
+    std::vector<uint8_t> out;
+    auto st = LzssHuffman::Decompress(comp.data(), comp.size(), &out);
+    ASSERT_TRUE(st.ok()) << st.ToString() << " n=" << n;
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(LzssHuffmanTest, BeatsLzrw1OnRatio) {
+  // The heavy codec must land a clearly better ratio than LZRW1 on
+  // compressible data (that is its role in the Figure 2 comparison).
+  auto in = TextLike(300000, 17);
+  auto heavy = LzssHuffman::Compress(in.data(), in.size());
+  std::vector<uint8_t> fast(Lzrw1::MaxCompressedSize(in.size()));
+  size_t fast_size = Lzrw1::Compress(in.data(), in.size(), fast.data());
+  EXPECT_LT(heavy.size(), fast_size);
+}
+
+TEST(LzssHuffmanTest, RandomBinaryRoundTrip) {
+  Rng rng(23);
+  std::vector<uint8_t> in(65536);
+  for (auto& b : in) b = uint8_t(rng.Next() & 0x3F);
+  auto comp = LzssHuffman::Compress(in.data(), in.size());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(LzssHuffman::Decompress(comp.data(), comp.size(), &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+// ---------------------------------------------------------------------------
+// Huffman
+// ---------------------------------------------------------------------------
+
+TEST(HuffmanTest, BytesRoundTrip) {
+  for (size_t n : {1u, 300u, 100000u}) {
+    auto in = TextLike(n, n);
+    auto comp = HuffmanCompressBytes(in.data(), n);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(HuffmanDecompressBytes(comp.data(), comp.size(), &out).ok());
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(HuffmanTest, SkewedInputApproachesEntropy) {
+  // 90% of bytes are one symbol: coded size must be far below 8 bits/sym.
+  Rng rng(9);
+  std::vector<uint8_t> in(100000);
+  for (auto& b : in) b = rng.Bernoulli(0.9) ? 'a' : uint8_t(rng.Uniform(256));
+  auto comp = HuffmanCompressBytes(in.data(), in.size());
+  EXPECT_LT(comp.size(), in.size() / 3);
+}
+
+TEST(HuffmanTest, SingleSymbolAlphabet) {
+  std::vector<uint8_t> in(1000, 'x');
+  auto comp = HuffmanCompressBytes(in.data(), in.size());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(HuffmanDecompressBytes(comp.data(), comp.size(), &out).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_LT(comp.size(), 500u);  // ~1 bit per symbol plus header
+}
+
+TEST(HuffmanGapTest, RoundTripZipfGaps) {
+  ZipfGenerator zipf(1000, 1.1, 7);
+  std::vector<uint32_t> gaps(50000);
+  for (auto& g : gaps) g = uint32_t(zipf.Next()) + 1;
+  std::vector<uint8_t> comp;
+  auto r = HuffmanGapCodec::Compress(gaps.data(), gaps.size(), &comp);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint32_t> out(gaps.size());
+  ASSERT_TRUE(
+      HuffmanGapCodec::Decompress(comp.data(), comp.size(), out.data(),
+                                  out.size())
+          .ok());
+  EXPECT_EQ(gaps, out);
+}
+
+TEST(HuffmanGapTest, LargeGapsRoundTrip) {
+  std::vector<uint32_t> gaps = {1, 0xFFFFFFFFu, 2, 1u << 30, 7, 0, 3};
+  std::vector<uint8_t> comp;
+  ASSERT_TRUE(HuffmanGapCodec::Compress(gaps.data(), gaps.size(), &comp).ok());
+  std::vector<uint32_t> out(gaps.size());
+  ASSERT_TRUE(HuffmanGapCodec::Decompress(comp.data(), comp.size(),
+                                          out.data(), out.size())
+                  .ok());
+  EXPECT_EQ(gaps, out);
+}
+
+// ---------------------------------------------------------------------------
+// Word-aligned codes
+// ---------------------------------------------------------------------------
+
+std::vector<uint32_t> GapData(size_t n, uint64_t max_gap, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> v(n);
+  for (auto& g : v) g = uint32_t(rng.Uniform(max_gap)) + 1;
+  return v;
+}
+
+class WordAlignedTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WordAlignedTest, Simple9RoundTrip) {
+  size_t n = GetParam();
+  auto in = GapData(n, 1000, n + 1);
+  std::vector<uint32_t> comp;
+  ASSERT_TRUE(Simple9::Compress(in.data(), n, &comp).ok());
+  std::vector<uint32_t> out(n);
+  ASSERT_TRUE(Simple9::Decompress(comp.data(), comp.size(), out.data(), n).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(WordAlignedTest, Carryover12RoundTrip) {
+  size_t n = GetParam();
+  auto in = GapData(n, 1000, n + 2);
+  std::vector<uint32_t> comp;
+  ASSERT_TRUE(Carryover12::Compress(in.data(), n, &comp).ok());
+  std::vector<uint32_t> out(n);
+  ASSERT_TRUE(
+      Carryover12::Decompress(comp.data(), comp.size(), out.data(), n).ok());
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WordAlignedTest,
+                         ::testing::Values(1, 2, 27, 28, 29, 100, 1000,
+                                           65536, 100001));
+
+TEST(WordAligned, MixedWidthBursts) {
+  // Alternate tiny and large gaps to force many selector transitions.
+  Rng rng(31);
+  std::vector<uint32_t> in(20000);
+  for (size_t i = 0; i < in.size(); i++) {
+    in[i] = (i % 17 == 0) ? uint32_t(rng.Uniform(1u << 25)) + 1
+                          : uint32_t(rng.Uniform(4)) + 1;
+  }
+  std::vector<uint32_t> c9, c12;
+  ASSERT_TRUE(Simple9::Compress(in.data(), in.size(), &c9).ok() ||
+              true);  // simple9 may reject values >= 2^28
+  ASSERT_TRUE(Carryover12::Compress(in.data(), in.size(), &c12).ok());
+  std::vector<uint32_t> out(in.size());
+  ASSERT_TRUE(Carryover12::Decompress(c12.data(), c12.size(), out.data(),
+                                      out.size())
+                  .ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(WordAligned, Simple9RejectsWideValues) {
+  std::vector<uint32_t> in = {1u << 28};
+  std::vector<uint32_t> comp;
+  EXPECT_FALSE(Simple9::Compress(in.data(), in.size(), &comp).ok());
+}
+
+TEST(WordAligned, Carryover12RejectsWideValues) {
+  std::vector<uint32_t> in = {1u << 26};
+  std::vector<uint32_t> comp;
+  EXPECT_FALSE(Carryover12::Compress(in.data(), in.size(), &comp).ok());
+}
+
+TEST(WordAligned, Carryover12DenserThanSimple9OnSmallGaps) {
+  // On uniform small gaps, the carryover mechanism's 32-bit payload words
+  // should use no more words than Simple-9's 28-bit payloads.
+  auto in = GapData(100000, 6, 77);
+  std::vector<uint32_t> c9, c12;
+  ASSERT_TRUE(Simple9::Compress(in.data(), in.size(), &c9).ok());
+  ASSERT_TRUE(Carryover12::Compress(in.data(), in.size(), &c12).ok());
+  EXPECT_LE(c12.size(), c9.size() + c9.size() / 20);
+}
+
+TEST(WordAligned, TruncatedStreamRejected) {
+  auto in = GapData(1000, 100, 5);
+  std::vector<uint32_t> comp;
+  ASSERT_TRUE(Carryover12::Compress(in.data(), in.size(), &comp).ok());
+  std::vector<uint32_t> out(in.size());
+  EXPECT_FALSE(Carryover12::Decompress(comp.data(), comp.size() / 2,
+                                       out.data(), out.size())
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// VByte
+// ---------------------------------------------------------------------------
+
+TEST(VByteTest, RoundTripAllRanges) {
+  std::vector<uint32_t> in = {0, 1, 127, 128, 16383, 16384, 0xFFFFFFFFu, 42};
+  std::vector<uint8_t> comp;
+  VByte::Compress(in.data(), in.size(), &comp);
+  std::vector<uint32_t> out(in.size());
+  ASSERT_TRUE(VByte::Decompress(comp.data(), comp.size(), out.data(),
+                                out.size())
+                  .ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(VByteTest, SmallGapsUseOneByte) {
+  auto in = GapData(1000, 100, 3);
+  std::vector<uint8_t> comp;
+  VByte::Compress(in.data(), in.size(), &comp);
+  EXPECT_EQ(comp.size(), in.size());
+}
+
+// ---------------------------------------------------------------------------
+// Classic FOR / PS / PlainDict
+// ---------------------------------------------------------------------------
+
+TEST(ClassicForTest, RoundTrip) {
+  Rng rng(6);
+  std::vector<int32_t> in(5000);
+  for (auto& v : in) v = 1000 + int32_t(rng.Uniform(500));
+  auto comp = ClassicFor<int32_t>::Compress(in);
+  std::vector<int32_t> out;
+  ASSERT_TRUE(ClassicFor<int32_t>::Decompress(comp.data(), comp.size(), &out).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_LT(comp.size(), in.size() * 2);  // 9 bits/value + header
+}
+
+TEST(ClassicForTest, OneOutlierRuinsTheBlock) {
+  // The paper's motivating weakness: FOR needs bits(max - min), so one
+  // outlier blows up the width while PFOR stores it as an exception.
+  Rng rng(7);
+  std::vector<int32_t> tight(10000);
+  for (auto& v : tight) v = int32_t(rng.Uniform(256));
+  double tight_bits = ClassicFor<int32_t>::BitsPerValue(tight);
+  auto with_outlier = tight;
+  with_outlier[500] = 1 << 30;
+  double outlier_bits = ClassicFor<int32_t>::BitsPerValue(with_outlier);
+  EXPECT_LT(tight_bits, 9.0);
+  EXPECT_GT(outlier_bits, 30.0);
+}
+
+TEST(ClassicForTest, WideRange64BitFallsBackToRaw) {
+  std::vector<int64_t> in = {0, 1ll << 40, 17};
+  auto comp = ClassicFor<int64_t>::Compress(in);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(ClassicFor<int64_t>::Decompress(comp.data(), comp.size(), &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(PrefixSuppressionTest, RoundTrip) {
+  std::vector<int64_t> in = {0, 255, 256, 65535, 65536, 1ll << 40, -1, 42};
+  auto comp = PrefixSuppression<int64_t>::Compress(in);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(
+      PrefixSuppression<int64_t>::Decompress(comp.data(), comp.size(), &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(PrefixSuppressionTest, SmallValuesCompress) {
+  // Prices in large decimals: PS drops the zero prefixes (Section 2.1).
+  Rng rng(8);
+  std::vector<int64_t> in(10000);
+  for (auto& v : in) v = int64_t(rng.Uniform(200));
+  auto comp = PrefixSuppression<int64_t>::Compress(in);
+  // ~1 byte payload + 2 selector bits per value vs 8 raw bytes.
+  EXPECT_LT(comp.size(), in.size() * 2);
+}
+
+TEST(PlainDictTest, RoundTrip) {
+  Rng rng(10);
+  std::vector<int64_t> domain = {5, -77, 12345678901ll, 0};
+  std::vector<int64_t> in(8000);
+  for (auto& v : in) v = domain[rng.Uniform(domain.size())];
+  auto comp = PlainDict<int64_t>::Compress(in);
+  ASSERT_TRUE(comp.ok());
+  std::vector<int64_t> out;
+  ASSERT_TRUE(PlainDict<int64_t>::Decompress(comp.ValueOrDie().data(),
+                                             comp.ValueOrDie().size(), &out)
+                  .ok());
+  EXPECT_EQ(in, out);
+  // 2 bits per value plus dictionary.
+  EXPECT_LT(comp.ValueOrDie().size(), 8000u / 3);
+}
+
+TEST(PlainDictTest, DomainTooLargeRejected) {
+  std::vector<int64_t> in(3000);
+  std::iota(in.begin(), in.end(), 0);
+  auto comp = PlainDict<int64_t>::Compress(in, /*max_dict=*/1000);
+  EXPECT_FALSE(comp.ok());
+  EXPECT_EQ(comp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PlainDictTest, SkewPaysFullWidthUnlikePDict) {
+  // 1000 distinct values but 99% of mass on 4 of them: plain dictionary
+  // still pays 10 bits/value. (PDICT's advantage, Section 3.1.)
+  Rng rng(11);
+  std::vector<int32_t> in(20000);
+  for (auto& v : in) {
+    v = rng.Bernoulli(0.99) ? int32_t(rng.Uniform(4))
+                            : int32_t(rng.Uniform(1000));
+  }
+  auto comp = PlainDict<int32_t>::Compress(in);
+  ASSERT_TRUE(comp.ok());
+  double bits = 8.0 * comp.ValueOrDie().size() / in.size();
+  // ~200 distinct values -> 8 bits/value for plain dictionary...
+  EXPECT_GT(bits, 7.5);
+  // ...while PDICT's exceptions let it code the 4 heavy hitters in 2-3
+  // bits and pay full width only for the 1% tail.
+  auto choice = Analyzer<int32_t>::Analyze(in);
+  EXPECT_EQ(choice.scheme, Scheme::kPDict);
+  EXPECT_LT(choice.est_bits_per_value, bits * 0.6);
+}
+
+}  // namespace
+}  // namespace scc

@@ -1,0 +1,86 @@
+#include "bitpack/bitpack.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace scc {
+namespace {
+
+std::vector<uint32_t> RandomCodes(size_t n, int b, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t mask = (b == 32) ? 0xFFFFFFFFull : ((uint64_t(1) << b) - 1);
+  std::vector<uint32_t> v(n);
+  for (auto& x : v) x = uint32_t(rng.Next() & mask);
+  return v;
+}
+
+class BitPackRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackRoundTrip, GroupOf32) {
+  int b = GetParam();
+  auto in = RandomCodes(32, b, 7 + b);
+  std::vector<uint32_t> packed(32, 0xDEADBEEF);
+  std::vector<uint32_t> out(32, 0);
+  BitPackGroup32(in.data(), b, packed.data());
+  BitUnpackGroup32(packed.data(), b, out.data());
+  EXPECT_EQ(in, out) << "bit width " << b;
+}
+
+TEST_P(BitPackRoundTrip, LongStream) {
+  int b = GetParam();
+  for (size_t n : {1u, 31u, 32u, 33u, 100u, 128u, 1000u, 4096u}) {
+    auto in = RandomCodes(n, b, 1000 + b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1, 0);
+    std::vector<uint32_t> out((n + 31) / 32 * 32, 0);
+    BitPack(in.data(), n, b, packed.data());
+    BitUnpack(packed.data(), n, b, out.data());
+    for (size_t i = 0; i < n; i++) {
+      ASSERT_EQ(in[i], out[i]) << "b=" << b << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BitPackRoundTrip, ExtractMatchesUnpack) {
+  int b = GetParam();
+  const size_t n = 500;
+  auto in = RandomCodes(n, b, 99 + b);
+  std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 2, 0);
+  BitPack(in.data(), n, b, packed.data());
+  for (size_t i = 0; i < n; i += 7) {
+    EXPECT_EQ(in[i], BitExtract(packed.data(), i, b)) << "b=" << b << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitWidths, BitPackRoundTrip,
+                         ::testing::Range(0, 33));
+
+TEST(BitPackSize, PaddedGroupAccounting) {
+  EXPECT_EQ(PackedByteSize(0, 7), 0u);
+  EXPECT_EQ(PackedByteSize(1, 7), 28u);   // one padded group: 7 words
+  EXPECT_EQ(PackedByteSize(32, 7), 28u);
+  EXPECT_EQ(PackedByteSize(33, 7), 56u);
+  EXPECT_EQ(PackedByteSize(64, 1), 8u);
+  EXPECT_EQ(PackedByteSize(128, 32), 512u);
+}
+
+TEST(BitPack, ZeroWidthIsAllZeros) {
+  std::vector<uint32_t> out(64, 123);
+  BitUnpack(nullptr, 64, 0, out.data());
+  for (uint32_t v : out) EXPECT_EQ(v, 0u);
+}
+
+TEST(BitPack, PackMasksHighBits) {
+  // Codes wider than b must be truncated, not corrupt neighbors.
+  std::vector<uint32_t> in(32, 0xFFFFFFFFu);
+  std::vector<uint32_t> packed(3, 0);
+  std::vector<uint32_t> out(32, 0);
+  BitPackGroup32(in.data(), 3, packed.data());
+  BitUnpackGroup32(packed.data(), 3, out.data());
+  for (uint32_t v : out) EXPECT_EQ(v, 7u);
+}
+
+}  // namespace
+}  // namespace scc

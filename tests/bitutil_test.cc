@@ -1,0 +1,107 @@
+#include "util/bitutil.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace scc {
+namespace {
+
+TEST(BitUtil, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 0);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(3), 2);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(BitWidth(~0ull), 64);
+  for (int b = 1; b < 64; b++) {
+    EXPECT_EQ(BitWidth(1ull << b), b + 1) << b;
+    EXPECT_EQ(BitWidth((1ull << b) - 1), b) << b;
+  }
+}
+
+TEST(BitUtil, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+  EXPECT_EQ(NextPow2(1u << 20), 1u << 20);
+}
+
+TEST(BitUtil, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(AlignUp(9, 8), 16u);
+  EXPECT_EQ(AlignUp(1023, 64), 1024u);
+}
+
+TEST(BitUtil, MaxCodeAndGap) {
+  EXPECT_EQ(MaxCode(0), 0u);
+  EXPECT_EQ(MaxCode(1), 1u);
+  EXPECT_EQ(MaxCode(8), 255u);
+  EXPECT_EQ(MaxCode(32), 0xFFFFFFFFu);
+  EXPECT_EQ(MaxExceptionGap(0), 1u);
+  EXPECT_EQ(MaxExceptionGap(4), 16u);
+  EXPECT_EQ(MaxExceptionGap(32), 0xFFFFFFFFu);
+}
+
+TEST(BitUtil, ZigZagRoundTrip) {
+  EXPECT_EQ(ZigZagEncode<int32_t>(0), 0u);
+  EXPECT_EQ(ZigZagEncode<int32_t>(-1), 1u);
+  EXPECT_EQ(ZigZagEncode<int32_t>(1), 2u);
+  EXPECT_EQ(ZigZagEncode<int32_t>(-2), 3u);
+  Rng rng(1);
+  for (int i = 0; i < 10000; i++) {
+    int64_t v = int64_t(rng.Next());
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode<int64_t>(v)), v);
+    int32_t w = int32_t(rng.Next());
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode<int32_t>(w)), w);
+  }
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode<int64_t>(
+                std::numeric_limits<int64_t>::min())),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode<int64_t>(
+                std::numeric_limits<int64_t>::max())),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(BitUtil, ZigZagSmallMagnitudesGetSmallCodes) {
+  // The point of zig-zag: |v| <= 100 must map into [0, 200].
+  for (int v = -100; v <= 100; v++) {
+    EXPECT_LE(ZigZagEncode<int32_t>(v), 200u) << v;
+  }
+}
+
+TEST(Zipf, FrequenciesAreMonotone) {
+  ZipfGenerator zipf(100, 1.0, 5);
+  std::vector<size_t> counts(100, 0);
+  for (int i = 0; i < 200000; i++) counts[zipf.Next()]++;
+  // Rank 0 must dominate rank 10 dominate rank 90 (with slack for noise).
+  EXPECT_GT(counts[0], counts[10] * 2);
+  EXPECT_GT(counts[10], counts[90] * 2);
+  EXPECT_EQ(zipf.domain(), 100u);
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; i++) ASSERT_EQ(a.Next(), b.Next());
+  Rng c(43);
+  size_t below = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) below += c.NextDouble() < 0.25;
+  EXPECT_NEAR(double(below) / kTrials, 0.25, 0.01);
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = c.UniformInt(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace scc

@@ -1,0 +1,324 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/float_codec.h"
+#include "core/parallel.h"
+#include "engine/merge_join.h"
+#include "engine/ordered_aggregate.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+// Tests for the extension features: sort-merge join, parallel segment
+// decompression, and floating-point compression (the paper's stated
+// future work).
+
+namespace scc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MergeJoinOp
+// ---------------------------------------------------------------------------
+
+TEST(MergeJoinTest, MatchesHashJoinOnSortedKeys) {
+  // Left: sorted fact keys with duplicates; right: unique sorted dims.
+  Rng rng(1);
+  std::vector<int64_t> lkey, lval;
+  int64_t k = 0;
+  for (int i = 0; i < 20000; i++) {
+    k += rng.Uniform(3);  // duplicates and gaps
+    lkey.push_back(k);
+    lval.push_back(i);
+  }
+  std::vector<int64_t> rkey, rval;
+  for (int64_t key = 0; key <= k; key += 1 + int64_t(rng.Uniform(2))) {
+    rkey.push_back(key);
+    rval.push_back(key * 10);
+  }
+  MemorySource left({TypeId::kInt64, TypeId::kInt64},
+                    {lkey.data(), lval.data()}, lkey.size());
+  MemorySource right({TypeId::kInt64, TypeId::kInt64},
+                     {rkey.data(), rval.data()}, rkey.size());
+  MergeJoinOp merge(&left, 0, &right, 0);
+
+  std::vector<std::tuple<int64_t, int64_t, int64_t>> got;
+  Batch b;
+  while (size_t n = merge.Next(&b)) {
+    for (size_t i = 0; i < n; i++) {
+      got.emplace_back(b.col(0)->data<int64_t>()[i],
+                       b.col(1)->data<int64_t>()[i],
+                       b.col(2)->data<int64_t>()[i]);
+    }
+  }
+  // Reference via hash join.
+  MemorySource left2({TypeId::kInt64, TypeId::kInt64},
+                     {lkey.data(), lval.data()}, lkey.size());
+  MemorySource right2({TypeId::kInt64, TypeId::kInt64},
+                      {rkey.data(), rval.data()}, rkey.size());
+  HashJoinOp hash(&left2, 0, &right2, 0);
+  std::vector<std::tuple<int64_t, int64_t, int64_t>> want;
+  while (size_t n = hash.Next(&b)) {
+    for (size_t i = 0; i < n; i++) {
+      want.emplace_back(b.col(0)->data<int64_t>()[i],
+                        b.col(1)->data<int64_t>()[i],
+                        b.col(2)->data<int64_t>()[i]);
+    }
+  }
+  std::sort(want.begin(), want.end());
+  auto got_sorted = got;
+  std::sort(got_sorted.begin(), got_sorted.end());
+  ASSERT_EQ(got_sorted, want);
+  // Merge join preserves left key order.
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                             [](const auto& a, const auto& b2) {
+                               return std::get<0>(a) < std::get<0>(b2);
+                             }));
+  EXPECT_GT(got.size(), 1000u);
+}
+
+TEST(MergeJoinTest, EmptyInputs) {
+  std::vector<int64_t> none;
+  std::vector<int64_t> some = {1, 2, 3};
+  {
+    MemorySource left({TypeId::kInt64}, {none.data()}, 0);
+    MemorySource right({TypeId::kInt64}, {some.data()}, 3);
+    MergeJoinOp join(&left, 0, &right, 0);
+    Batch b;
+    EXPECT_EQ(join.Next(&b), 0u);
+  }
+  {
+    MemorySource left({TypeId::kInt64}, {some.data()}, 3);
+    MemorySource right({TypeId::kInt64}, {none.data()}, 0);
+    MergeJoinOp join(&left, 0, &right, 0);
+    Batch b;
+    EXPECT_EQ(join.Next(&b), 0u);
+  }
+}
+
+TEST(MergeJoinTest, ResetReplays) {
+  std::vector<int64_t> key = {1, 2, 3, 4};
+  MemorySource left({TypeId::kInt64}, {key.data()}, 4);
+  MemorySource right({TypeId::kInt64}, {key.data()}, 4);
+  MergeJoinOp join(&left, 0, &right, 0);
+  Batch b;
+  size_t n1 = 0, n2 = 0;
+  while (size_t n = join.Next(&b)) n1 += n;
+  join.Reset();
+  while (size_t n = join.Next(&b)) n2 += n;
+  EXPECT_EQ(n1, 4u);
+  EXPECT_EQ(n1, n2);
+}
+
+// ---------------------------------------------------------------------------
+// OrderedAggregateOp
+// ---------------------------------------------------------------------------
+
+TEST(OrderedAggregateTest, MatchesHashAggregateOnClusteredInput) {
+  // Clustered keys (like lineitem's orderkey): runs of 1..6 rows.
+  Rng rng(7);
+  std::vector<int64_t> key, val;
+  int64_t k = 100;
+  while (key.size() < 30000) {
+    size_t run = 1 + rng.Uniform(6);
+    for (size_t i = 0; i < run; i++) {
+      key.push_back(k);
+      val.push_back(int64_t(rng.Uniform(1000)));
+    }
+    k += 1 + int64_t(rng.Uniform(40));
+  }
+  MemorySource src({TypeId::kInt64, TypeId::kInt64},
+                   {key.data(), val.data()}, key.size());
+  OrderedAggregateOp ordered(&src, 0,
+                             {{AggKind::kSum, 1},
+                              {AggKind::kCount, 0},
+                              {AggKind::kMax, 1}});
+  std::vector<std::tuple<int64_t, int64_t, int64_t, int64_t>> got;
+  Batch b;
+  while (size_t n = ordered.Next(&b)) {
+    for (size_t i = 0; i < n; i++) {
+      got.emplace_back(b.col(0)->data<int64_t>()[i],
+                       b.col(1)->data<int64_t>()[i],
+                       b.col(2)->data<int64_t>()[i],
+                       b.col(3)->data<int64_t>()[i]);
+    }
+  }
+  // Scalar reference.
+  std::vector<std::tuple<int64_t, int64_t, int64_t, int64_t>> want;
+  size_t i = 0;
+  while (i < key.size()) {
+    size_t j = i;
+    int64_t sum = 0, count = 0, mx = INT64_MIN;
+    while (j < key.size() && key[j] == key[i]) {
+      sum += val[j];
+      count++;
+      mx = std::max(mx, val[j]);
+      j++;
+    }
+    want.emplace_back(key[i], sum, count, mx);
+    i = j;
+  }
+  ASSERT_EQ(got, want);
+}
+
+TEST(OrderedAggregateTest, AllDistinctKeysSpanOutputBatches) {
+  // Every row its own group: the output fills mid-input-batch and must
+  // resume without dropping rows.
+  const size_t n = 5 * kVectorSize + 123;
+  std::vector<int32_t> key(n);
+  std::vector<int64_t> val(n);
+  for (size_t i = 0; i < n; i++) {
+    key[i] = int32_t(i);
+    val[i] = int64_t(i) * 3;
+  }
+  MemorySource src({TypeId::kInt32, TypeId::kInt64},
+                   {key.data(), val.data()}, n);
+  OrderedAggregateOp ordered(&src, 0, {{AggKind::kSum, 1}});
+  size_t total = 0;
+  Batch b;
+  while (size_t m = ordered.Next(&b)) {
+    for (size_t i = 0; i < m; i++) {
+      ASSERT_EQ(b.col(0)->data<int64_t>()[i], int64_t(total + i));
+      ASSERT_EQ(b.col(1)->data<int64_t>()[i], int64_t(total + i) * 3);
+    }
+    total += m;
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(OrderedAggregateTest, EmptyAndSingleRow) {
+  std::vector<int64_t> none;
+  MemorySource empty({TypeId::kInt64}, {none.data()}, 0);
+  OrderedAggregateOp agg0(&empty, 0, {{AggKind::kCount, 0}});
+  Batch b;
+  EXPECT_EQ(agg0.Next(&b), 0u);
+
+  std::vector<int64_t> one = {42};
+  MemorySource single({TypeId::kInt64}, {one.data()}, 1);
+  OrderedAggregateOp agg1(&single, 0, {{AggKind::kCount, 0}});
+  ASSERT_EQ(agg1.Next(&b), 1u);
+  EXPECT_EQ(b.col(0)->data<int64_t>()[0], 42);
+  EXPECT_EQ(b.col(1)->data<int64_t>()[0], 1);
+  EXPECT_EQ(agg1.Next(&b), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel decompression
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDecompressTest, MatchesSerialAnyThreadCount) {
+  Rng rng(2);
+  std::vector<int32_t> all;
+  std::vector<AlignedBuffer> segments;
+  for (int s = 0; s < 9; s++) {
+    size_t n = 1000 + rng.Uniform(30000);
+    std::vector<int32_t> chunk(n);
+    for (auto& v : chunk) v = int32_t(rng.Uniform(5000));
+    chunk[n / 2] = 1 << 28;  // an exception per chunk
+    all.insert(all.end(), chunk.begin(), chunk.end());
+    auto choice = Analyzer<int32_t>::Analyze(chunk);
+    auto seg = SegmentBuilder<int32_t>::Build(chunk, choice);
+    ASSERT_TRUE(seg.ok());
+    segments.push_back(seg.MoveValueOrDie());
+  }
+  for (unsigned threads : {0u, 1u, 2u, 4u, 16u}) {
+    std::vector<int32_t> out(all.size());
+    auto r = ParallelDecompress<int32_t>(segments, out.data(), out.size(),
+                                         threads);
+    ASSERT_TRUE(r.ok()) << threads;
+    EXPECT_EQ(r.ValueOrDie(), all.size());
+    EXPECT_EQ(out, all) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDecompressTest, RejectsSmallBuffer) {
+  std::vector<int32_t> chunk(1000, 7);
+  auto seg = SegmentBuilder<int32_t>::BuildPFor(chunk,
+                                                PForParams<int32_t>{3, 7});
+  ASSERT_TRUE(seg.ok());
+  std::vector<AlignedBuffer> segments;
+  segments.push_back(seg.MoveValueOrDie());
+  std::vector<int32_t> out(10);
+  auto r = ParallelDecompress<int32_t>(segments, out.data(), out.size(), 2);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Float codec
+// ---------------------------------------------------------------------------
+
+TEST(FloatCodecTest, ScaledDecimalsPromoteToIntegers) {
+  // Prices with two decimals: must detect scale 2 and compress well.
+  Rng rng(3);
+  std::vector<double> prices(100000);
+  for (auto& p : prices) p = double(900 + rng.Uniform(2000)) / 100.0;
+  auto comp = FloatCodec::Compress(prices);
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  const auto& buf = comp.ValueOrDie();
+  EXPECT_LT(buf.size(), prices.size() * 8 / 3);  // clearly compressed
+  std::vector<double> out(prices.size());
+  ASSERT_TRUE(
+      FloatCodec::Decompress(buf.data(), buf.size(), out.data(), out.size())
+          .ok());
+  EXPECT_EQ(out, prices);  // bit-exact
+}
+
+TEST(FloatCodecTest, LowCardinalityPatternsUseDict) {
+  std::vector<double> domain = {0.1, 0.2, 0.30000000001, 3.14159, -7.5e300};
+  Rng rng(4);
+  std::vector<double> v(50000);
+  for (auto& x : v) x = domain[rng.Uniform(domain.size())];
+  auto comp = FloatCodec::Compress(v);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_LT(comp.ValueOrDie().size(), v.size() * 8 / 4);
+  std::vector<double> out(v.size());
+  ASSERT_TRUE(FloatCodec::Decompress(comp.ValueOrDie().data(),
+                                     comp.ValueOrDie().size(), out.data(),
+                                     out.size())
+                  .ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(FloatCodecTest, ContinuousDataStoredRawLosslessly) {
+  Rng rng(5);
+  std::vector<double> v(10000);
+  for (auto& x : v) x = rng.NextDouble() * 1e9 + rng.NextDouble();
+  auto comp = FloatCodec::Compress(v);
+  ASSERT_TRUE(comp.ok());
+  std::vector<double> out(v.size());
+  ASSERT_TRUE(FloatCodec::Decompress(comp.ValueOrDie().data(),
+                                     comp.ValueOrDie().size(), out.data(),
+                                     out.size())
+                  .ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(FloatCodecTest, SpecialValuesBitExact) {
+  std::vector<double> v = {0.0, -0.0, 1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(), 1e308};
+  // Pad so dictionary candidates repeat.
+  std::vector<double> column;
+  for (int i = 0; i < 1000; i++) column.push_back(v[i % v.size()]);
+  auto comp = FloatCodec::Compress(column);
+  ASSERT_TRUE(comp.ok());
+  std::vector<double> out(column.size());
+  ASSERT_TRUE(FloatCodec::Decompress(comp.ValueOrDie().data(),
+                                     comp.ValueOrDie().size(), out.data(),
+                                     out.size())
+                  .ok());
+  for (size_t i = 0; i < column.size(); i++) {
+    EXPECT_EQ(std::bit_cast<int64_t>(out[i]),
+              std::bit_cast<int64_t>(column[i]))
+        << i;
+  }
+  auto count = FloatCodec::Count(comp.ValueOrDie().data(),
+                                 comp.ValueOrDie().size());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), column.size());
+}
+
+}  // namespace
+}  // namespace scc

@@ -1,0 +1,116 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/huffman.h"
+#include "baselines/lzrw1.h"
+#include "baselines/lzss_huffman.h"
+#include "baselines/varbyte.h"
+#include "baselines/wordaligned.h"
+#include "core/float_codec.h"
+#include "core/segment_reader.h"
+#include "ir/posting_codec.h"
+#include "util/rng.h"
+
+// Decoder robustness fuzzing: every decompressor must survive arbitrary
+// byte soup and truncated/bit-flipped valid streams without crashing or
+// overrunning buffers — it may return any Status, or garbage values for
+// formats without integrity checks, but never UB. (Run under ASan for
+// full effect; the bounds logic is exercised either way.)
+
+namespace scc {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) b = uint8_t(rng.Next());
+  return v;
+}
+
+TEST(FuzzDecoders, RandomByteSoup) {
+  for (uint64_t seed = 0; seed < 50; seed++) {
+    auto junk = RandomBytes(64 + seed * 37, seed);
+    const size_t n = 100;
+    std::vector<uint32_t> u32(n);
+    std::vector<uint8_t> bytes;
+    std::vector<int64_t> i64(n);
+    std::vector<double> f64(n);
+
+    (void)HuffmanDecompressBytes(junk.data(), junk.size(), &bytes);
+    (void)HuffmanGapCodec::Decompress(junk.data(), junk.size(), u32.data(), n);
+    (void)LzssHuffman::Decompress(junk.data(), junk.size(), &bytes);
+    std::vector<uint8_t> out(4096);
+    (void)Lzrw1::Decompress(junk.data(), junk.size(), out.data(), out.size());
+    (void)VByte::Decompress(junk.data(), junk.size(), u32.data(), n);
+    std::vector<uint32_t> words(junk.size() / 4);
+    std::memcpy(words.data(), junk.data(), words.size() * 4);
+    (void)Simple9::Decompress(words.data(), words.size(), u32.data(), n);
+    (void)Carryover12::Decompress(words.data(), words.size(), u32.data(), n);
+    auto reader = SegmentReader<int64_t>::Open(junk.data(), junk.size());
+    (void)reader;
+    (void)FloatCodec::Decompress(junk.data(), junk.size(), f64.data(), n);
+    for (auto& codec : MakePostingCodecs()) {
+      (void)codec->Decompress(junk.data(), junk.size(), u32.data(), n);
+    }
+  }
+  SUCCEED();  // surviving without UB is the assertion (run under ASan)
+}
+
+TEST(FuzzDecoders, TruncatedValidStreams) {
+  // Compress real data, then feed every decoder successively shorter
+  // prefixes of its own valid output.
+  Rng rng(9);
+  std::vector<uint32_t> gaps(5000);
+  for (auto& g : gaps) g = uint32_t(rng.Uniform(1000)) + 1;
+  std::vector<uint32_t> ids(gaps.size());
+  uint32_t acc = 0;
+  for (size_t i = 0; i < gaps.size(); i++) {
+    acc += gaps[i];
+    ids[i] = acc;
+  }
+  for (auto& codec : MakePostingCodecs()) {
+    auto comp = codec->Compress(ids.data(), ids.size());
+    ASSERT_TRUE(comp.ok());
+    const auto& buf = comp.ValueOrDie();
+    std::vector<uint32_t> out(ids.size());
+    for (size_t cut : {size_t(0), size_t(3), buf.size() / 4, buf.size() / 2,
+                       buf.size() - 1}) {
+      (void)codec->Decompress(buf.data(), cut, out.data(), out.size());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzDecoders, BitflippedSegments) {
+  // Single-byte corruptions of a valid segment: Open() either rejects it
+  // or yields a reader whose count stays within the original bound, and
+  // decoding must not overrun the output buffer.
+  Rng rng(10);
+  std::vector<int32_t> values(5000);
+  for (auto& v : values) {
+    v = int32_t(rng.Uniform(500));
+    if (rng.Bernoulli(0.05)) v = 1 << 25;
+  }
+  auto seg = SegmentBuilder<int32_t>::BuildPFor(values,
+                                                PForParams<int32_t>{9, 0});
+  ASSERT_TRUE(seg.ok());
+  const AlignedBuffer& orig = seg.ValueOrDie();
+  std::vector<int32_t> out(values.size());
+  for (int trial = 0; trial < 300; trial++) {
+    AlignedBuffer copy = orig;
+    size_t pos = rng.Uniform(sizeof(SegmentHeader));  // header bytes only:
+    // payload corruption can silently change values (no checksums, as in
+    // the paper's format); the header governs all memory-safety bounds.
+    copy.data()[pos] ^= uint8_t(1 + rng.Uniform(255));
+    auto reader = SegmentReader<int32_t>::Open(copy.data(), copy.size());
+    if (!reader.ok()) continue;
+    const auto& r = reader.ValueOrDie();
+    if (r.count() > values.size()) continue;  // output too small: skip
+    r.DecompressRange(0, r.count(), out.data());
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace scc

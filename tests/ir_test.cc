@@ -1,0 +1,221 @@
+#include "ir/collection.h"
+#include "ir/posting_codec.h"
+#include "ir/search.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+// Inverted-file substrate tests: collection generation invariants, all
+// posting codecs round-tripping the same gap streams, ratio ordering
+// (shuff >= carryover-12 >= PFOR-DELTA on skewed gaps, as in Table 4),
+// and the top-N retrieval query against a scalar reference.
+
+namespace scc {
+namespace {
+
+TEST(CollectionTest, GeneratorInvariants) {
+  for (const auto& spec : TinyCollections()) {
+    InvertedIndex idx = BuildCollection(spec);
+    EXPECT_EQ(idx.postings.size(), spec.vocab);
+    size_t total = idx.TotalPostings();
+    EXPECT_GT(total, spec.target_postings / 4);
+    // Posting lists are strictly increasing and within the collection.
+    for (size_t t = 0; t < idx.postings.size(); t += 97) {
+      const auto& list = idx.postings[t];
+      ASSERT_EQ(list.size(), idx.tfs[t].size());
+      for (size_t i = 1; i < list.size(); i++) {
+        ASSERT_LT(list[i - 1], list[i]);
+      }
+      if (!list.empty()) {
+        ASSERT_LT(list.back(), spec.num_docs);
+      }
+      for (uint32_t f : idx.tfs[t]) ASSERT_GE(f, 1u);
+    }
+    // Zipf: the most frequent term has a far longer list than the median.
+    EXPECT_GT(idx.postings[0].size(), idx.postings[spec.vocab / 2].size());
+  }
+}
+
+TEST(CollectionTest, FlattenGapsPositive) {
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto gaps = FlattenToGaps(idx);
+  EXPECT_EQ(gaps.size(), idx.TotalPostings());
+  for (uint32_t g : gaps) ASSERT_GE(g, 1u);
+}
+
+class PostingCodecTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PostingCodecTest, RoundTripTinyCollections) {
+  auto codec = MakePostingCodec(GetParam());
+  ASSERT_NE(codec, nullptr);
+  for (const auto& spec : TinyCollections()) {
+    InvertedIndex idx = BuildCollection(spec);
+    auto ids = FlattenToIds(idx);
+    auto comp = codec->Compress(ids.data(), ids.size());
+    ASSERT_TRUE(comp.ok()) << codec->name() << " " << spec.name;
+    std::vector<uint32_t> out(ids.size());
+    auto st = codec->Decompress(comp.ValueOrDie().data(),
+                                comp.ValueOrDie().size(), out.data(),
+                                out.size());
+    ASSERT_TRUE(st.ok()) << codec->name() << ": " << st.ToString();
+    ASSERT_EQ(ids, out) << codec->name() << " " << spec.name;
+  }
+}
+
+TEST_P(PostingCodecTest, RoundTripEdgeCases) {
+  auto codec = MakePostingCodec(GetParam());
+  ASSERT_NE(codec, nullptr);
+  // Gap sequences, converted to the id-stream form codecs consume.
+  std::vector<std::vector<uint32_t>> gap_cases = {
+      {1},
+      {1, 1, 1, 1},
+      {1000000, 1, 1, 999999, 2},
+      std::vector<uint32_t>(5000, 3),
+  };
+  for (const auto& gaps : gap_cases) {
+    std::vector<uint32_t> ids(gaps.size());
+    uint32_t acc = 0;
+    for (size_t i = 0; i < gaps.size(); i++) {
+      acc += gaps[i];
+      ids[i] = acc;
+    }
+    auto comp = codec->Compress(ids.data(), ids.size());
+    ASSERT_TRUE(comp.ok());
+    std::vector<uint32_t> out(ids.size());
+    ASSERT_TRUE(codec
+                    ->Decompress(comp.ValueOrDie().data(),
+                                 comp.ValueOrDie().size(), out.data(),
+                                 out.size())
+                    .ok());
+    EXPECT_EQ(ids, out) << codec->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, PostingCodecTest,
+                         ::testing::Values("PFOR-DELTA", "carryover-12",
+                                           "simple-9", "shuff", "vbyte"));
+
+TEST(PostingCodecs, RatioOrderingMatchesTable4) {
+  // On a dense (compressible) collection: shuff compresses best,
+  // carryover-12 next, PFOR-DELTA close behind — the Table 4 ordering.
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto gaps = FlattenToIds(idx);
+  auto get_size = [&](const char* name) {
+    auto codec = MakePostingCodec(name);
+    auto comp = codec->Compress(gaps.data(), gaps.size());
+    SCC_CHECK(comp.ok(), name);
+    return comp.ValueOrDie().size();
+  };
+  size_t shuff = get_size("shuff");
+  size_t c12 = get_size("carryover-12");
+  size_t pfd = get_size("PFOR-DELTA");
+  size_t raw = gaps.size() * 4;
+  EXPECT_LT(shuff, c12);
+  EXPECT_LT(c12, pfd * 1.05);  // c12 at least roughly as dense
+  EXPECT_LT(pfd, raw);         // and PFOR-DELTA clearly beats raw
+  double pfd_ratio = double(raw) / pfd;
+  EXPECT_GT(pfd_ratio, 1.5);
+}
+
+TEST(SearchTest, TopNMatchesScalarReference) {
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto searcher = PostingSearcher::Build(idx);
+  ASSERT_TRUE(searcher.ok());
+  const auto& s = searcher.ValueOrDie();
+  for (uint32_t term : {0u, 5u, 100u, s.MostFrequentTerm()}) {
+    auto hits = s.TopN(term, 10);
+    // Scalar reference.
+    std::vector<SearchHit> ref;
+    for (size_t i = 0; i < idx.postings[term].size(); i++) {
+      ref.push_back(SearchHit{idx.postings[term][i], idx.tfs[term][i]});
+    }
+    std::sort(ref.begin(), ref.end(), [](const SearchHit& a, const SearchHit& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc < b.doc;
+    });
+    if (ref.size() > 10) ref.resize(10);
+    ASSERT_EQ(hits.size(), ref.size()) << "term " << term;
+    for (size_t i = 0; i < ref.size(); i++) {
+      EXPECT_EQ(hits[i].doc, ref[i].doc) << "term " << term << " i=" << i;
+      EXPECT_EQ(hits[i].score, ref[i].score);
+    }
+  }
+}
+
+TEST(SearchTest, ConjunctiveMatchesScalarReference) {
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto searcher = PostingSearcher::Build(idx);
+  ASSERT_TRUE(searcher.ok());
+  const auto& s = searcher.ValueOrDie();
+  // Pairs spanning short x long lists (term rank orders list length).
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = {
+      {0, 1}, {0, 500}, {3, 700}, {1500, 2}, {100, 100}};
+  for (auto [a, b] : pairs) {
+    auto hits = s.TopNConjunctive(a, b, 10);
+    // Scalar reference: intersect, score = tf_a + tf_b.
+    std::vector<SearchHit> ref;
+    const auto& da = idx.postings[a];
+    const auto& db = idx.postings[b];
+    size_t i = 0, j = 0;
+    while (i < da.size() && j < db.size()) {
+      if (da[i] < db[j]) {
+        i++;
+      } else if (da[i] > db[j]) {
+        j++;
+      } else {
+        ref.push_back(SearchHit{da[i], idx.tfs[a][i] + idx.tfs[b][j]});
+        i++;
+        j++;
+      }
+    }
+    std::sort(ref.begin(), ref.end(),
+              [](const SearchHit& x, const SearchHit& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.doc < y.doc;
+              });
+    if (ref.size() > 10) ref.resize(10);
+    ASSERT_EQ(hits.size(), ref.size()) << a << "&" << b;
+    for (size_t k = 0; k < ref.size(); k++) {
+      EXPECT_EQ(hits[k].doc, ref[k].doc) << a << "&" << b << " k=" << k;
+      EXPECT_EQ(hits[k].score, ref[k].score) << a << "&" << b;
+    }
+  }
+}
+
+TEST(SearchTest, ConjunctiveSelfIntersection) {
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto searcher = PostingSearcher::Build(idx);
+  ASSERT_TRUE(searcher.ok());
+  const auto& s = searcher.ValueOrDie();
+  uint32_t t = 10;
+  auto both = s.TopNConjunctive(t, t, 5);
+  auto single = s.TopN(t, 5);
+  ASSERT_EQ(both.size(), single.size());
+  for (size_t k = 0; k < both.size(); k++) {
+    EXPECT_EQ(both[k].doc, single[k].doc);
+    EXPECT_EQ(both[k].score, single[k].score * 2);
+  }
+}
+
+TEST(SearchTest, CompressionShrinksIndex) {
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto searcher = PostingSearcher::Build(idx);
+  ASSERT_TRUE(searcher.ok());
+  const auto& s = searcher.ValueOrDie();
+  EXPECT_LT(s.CompressedBytes(), s.RawBytes());
+  EXPECT_GT(s.term_count(), 0u);
+}
+
+TEST(SearchTest, BytesProcessedAccounting) {
+  InvertedIndex idx = BuildCollection(TinyCollections()[0]);
+  auto searcher = PostingSearcher::Build(idx);
+  ASSERT_TRUE(searcher.ok());
+  const auto& s = searcher.ValueOrDie();
+  uint32_t term = s.MostFrequentTerm();
+  s.TopN(term, 10);
+  EXPECT_EQ(s.last_bytes_processed(), idx.postings[term].size() * 8);
+}
+
+}  // namespace
+}  // namespace scc

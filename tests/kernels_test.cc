@@ -1,0 +1,209 @@
+#include "core/kernels.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+// Tests for the flat Section-3 kernels: the NAIVE, predicated, and
+// double-cursor compressors must all reconstruct the input exactly through
+// their matching decompressors, at any exception rate.
+
+namespace scc {
+namespace {
+
+// Synthetic data matching the paper's microbenchmarks: values that encode
+// into b bits with probability (1 - rate), outliers otherwise.
+template <typename T>
+std::vector<T> MakeData(size_t n, int b, T base, double rate, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  const uint32_t max_code = MaxCode(b);
+  for (size_t i = 0; i < n; i++) {
+    if (rng.Bernoulli(rate)) {
+      // Outlier: far above the frame.
+      v[i] = T(base + T(max_code) + T(1 + rng.Uniform(1000)));
+    } else {
+      v[i] = T(base + T(rng.Uniform(max_code)));  // < max_code: never escape
+    }
+  }
+  return v;
+}
+
+struct Params {
+  size_t n;
+  int b;
+  double rate;
+};
+
+class FlatKernelTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FlatKernelTest, PredRoundTrip) {
+  auto [n, b, rate] = GetParam();
+  const int64_t base = -37;
+  auto in = MakeData<int64_t>(n, b, base, rate, 1);
+  std::vector<uint32_t> code(n), miss(n);
+  std::vector<int64_t> exc(n), out(n);
+  size_t first = 0;
+  size_t nexc =
+      CompressPred(in.data(), n, b, base, code.data(), exc.data(), &first,
+                   miss.data());
+  ASSERT_LE(nexc, n);
+  DecompressPatched(code.data(), n, ForCodec<int64_t>(base), exc.data(), first,
+                    nexc, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(FlatKernelTest, DoubleCursorRoundTrip) {
+  auto [n, b, rate] = GetParam();
+  const int64_t base = 1000;
+  auto in = MakeData<int64_t>(n, b, base, rate, 2);
+  std::vector<uint32_t> code(n), miss0(n), miss1(n);
+  std::vector<int64_t> exc(n), out(n);
+  size_t first = 0;
+  size_t nexc = CompressDC(in.data(), n, b, base, code.data(), exc.data(),
+                           &first, miss0.data(), miss1.data());
+  DecompressPatched(code.data(), n, ForCodec<int64_t>(base), exc.data(), first,
+                    nexc, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(FlatKernelTest, NaiveRoundTrip) {
+  auto [n, b, rate] = GetParam();
+  const int64_t base = 5;
+  auto in = MakeData<int64_t>(n, b, base, rate, 3);
+  std::vector<uint32_t> code(n);
+  std::vector<int64_t> exc(n), out(n);
+  CompressNaive(in.data(), n, b, base, code.data(), exc.data());
+  DecompressNaive(code.data(), n, b, ForCodec<int64_t>(base), exc.data(),
+                  out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(FlatKernelTest, PredAndDCFindSameExceptionCount) {
+  auto [n, b, rate] = GetParam();
+  const int64_t base = 0;
+  auto in = MakeData<int64_t>(n, b, base, rate, 4);
+  std::vector<uint32_t> code1(n), code2(n), m0(n), m1(n), m2(n);
+  std::vector<int64_t> e1(n), e2(n);
+  size_t f1 = 0, f2 = 0;
+  size_t n1 = CompressPred(in.data(), n, b, base, code1.data(), e1.data(),
+                           &f1, m0.data());
+  size_t n2 = CompressDC(in.data(), n, b, base, code2.data(), e2.data(), &f2,
+                         m1.data(), m2.data());
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(code1, code2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlatKernelTest,
+    ::testing::Values(Params{1, 8, 0.0}, Params{2, 8, 1.0},
+                      Params{100, 8, 0.0}, Params{100, 8, 0.5},
+                      Params{1000, 8, 0.01}, Params{1000, 8, 0.3},
+                      Params{1000, 8, 1.0}, Params{4096, 4, 0.1},
+                      Params{4096, 12, 0.05}, Params{4097, 8, 0.2},
+                      Params{65536, 16, 0.02}, Params{65536, 1, 0.2},
+                      Params{333, 2, 0.15}, Params{10000, 20, 0.25}));
+
+TEST(FlatKernels, CompulsoryExceptionsBridgeLongGaps) {
+  // All values compressible -> no data exceptions; then two outliers far
+  // apart force compulsory exceptions in between for small b.
+  const size_t n = 5000;
+  const int b = 4;  // max gap 16
+  std::vector<int32_t> in(n, 7);
+  in[10] = 1000000;
+  in[4000] = 2000000;
+  std::vector<uint32_t> code(n), miss(n);
+  std::vector<int32_t> exc(n), out(n);
+  size_t first = 0;
+  size_t nexc = CompressPred(in.data(), n, b, 0, code.data(), exc.data(),
+                             &first, miss.data());
+  // (4000 - 10) / 16 - 1 compulsory exceptions plus the two real ones.
+  EXPECT_GT(nexc, 2u + (4000 - 10) / 16 - 2);
+  EXPECT_EQ(first, 10u);
+  DecompressPatched(code.data(), n, ForCodec<int32_t>(0), exc.data(), first,
+                    nexc, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST(FlatKernels, ValuesBelowBaseAreExceptions) {
+  // PFOR's base need not be the minimum: values below it become
+  // exceptions (Section 3.1).
+  std::vector<int32_t> in = {50, 49, 48, 10, 52, 51, 9, 55};
+  const int32_t base = 48;
+  const int b = 3;
+  std::vector<uint32_t> code(in.size()), miss(in.size());
+  std::vector<int32_t> exc(in.size()), out(in.size());
+  size_t first = 0;
+  size_t nexc = CompressPred(in.data(), in.size(), b, base, code.data(),
+                             exc.data(), &first, miss.data());
+  EXPECT_EQ(nexc, 2u);  // 10 and 9
+  DecompressPatched(code.data(), in.size(), ForCodec<int32_t>(base),
+                    exc.data(), first, nexc, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST(FlatKernels, DeltaDecodeRunningSum) {
+  // Monotone sequence -> deltas compress; patched delta decode must
+  // restore the absolute values.
+  const size_t n = 2048;
+  Rng rng(9);
+  std::vector<int64_t> values(n);
+  int64_t v = 1000;
+  for (size_t i = 0; i < n; i++) {
+    v += int64_t(rng.Uniform(100));       // gaps 0..99
+    if (rng.Bernoulli(0.05)) v += 100000; // occasional big jump = exception
+    values[i] = v;
+  }
+  std::vector<int64_t> deltas(n);
+  int64_t prev = 0;
+  for (size_t i = 0; i < n; i++) {
+    deltas[i] = values[i] - prev;
+    prev = values[i];
+  }
+  const int b = 7;  // codes 0..127 cover gaps 0..99 with base 0
+  std::vector<uint32_t> code(n), miss(n);
+  std::vector<int64_t> exc(n), out(n);
+  size_t first = 0;
+  size_t nexc = CompressPred(deltas.data(), n, b, int64_t(0), code.data(),
+                             exc.data(), &first, miss.data());
+  DecompressPatchedDelta(code.data(), n, ForCodec<int64_t>(0), exc.data(),
+                         first, nexc, int64_t(0), out.data());
+  EXPECT_EQ(values, out);
+}
+
+TEST(FlatKernels, DictPatchedDecode) {
+  // PDICT flat decode: codes index a dictionary; exceptions patched.
+  std::vector<int32_t> dict = {100, 200, 300, 400};
+  // dict padded so bogus gap codes stay in bounds (max in-block gap here).
+  std::vector<int32_t> padded = dict;
+  padded.resize(256, 0);
+  std::vector<uint32_t> code = {0, 1, 2, 1 /*gap to next exc*/, 3, 0, 2};
+  std::vector<int32_t> exc = {-7, -8};
+  // Exceptions at positions 3 and 5 (code[3] = gap-1 = 1 -> next at 5).
+  code[3] = 5 - 3 - 1;
+  code[5] = 0;
+  std::vector<int32_t> out(code.size());
+  DecompressPatched(code.data(), code.size(), DictCodec<int32_t>(padded.data()),
+                    exc.data(), 3, 2, out.data());
+  std::vector<int32_t> expect = {100, 200, 300, -7, 400, -8, 300};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(FlatKernels, EquationThreeOne) {
+  // Equation 3.1 sanity: with B=0.35, r=3, Q=0.58, the query stays
+  // I/O bound only if Br/C + Br/Q <= 1.
+  const double B = 350, Q = 580;
+  // Very fast decompression and a fast query: I/O bound, R = B*r.
+  EXPECT_NEAR(ResultBandwidth(B, 2.0, 5000, 1e9), 700.0, 1.0);
+  // Slow decompression: CPU bound, R = QC/(Q+C).
+  const double C = 524;  // carryover-12's decompression speed
+  EXPECT_NEAR(ResultBandwidth(B, 2.0, Q, C), Q * C / (Q + C), 1.0);
+  // The equilibrium point from Section 5: Q=580, B=350 -> C=883.
+  EXPECT_NEAR(EquilibriumDecompressionBandwidth(350, 580), 883.0, 1.0);
+}
+
+}  // namespace
+}  // namespace scc

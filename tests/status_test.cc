@@ -1,0 +1,105 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "scc.h"  // umbrella header must compile standalone
+#include "util/aligned_buffer.h"
+
+// Tests for the error-handling primitives and the aligned buffer, plus a
+// compile check that the umbrella header is self-contained.
+
+namespace scc {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status bad = Status::InvalidArgument("b too large");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "b too large");
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: b too large");
+
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.ValueOrDie(), 42);
+  EXPECT_TRUE(v.status().ok());
+
+  Result<int> e = Status::Corruption("bad");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = r.MoveValueOrDie();
+  EXPECT_EQ(*p, 7);
+}
+
+Status Propagates(bool fail) {
+  SCC_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+Result<int> Assigns(bool fail) {
+  SCC_ASSIGN_OR_RETURN(int v, Result<int>(fail ? Result<int>(Status::Internal(
+                                                     "nope"))
+                                               : Result<int>(5)));
+  return v + 1;
+}
+
+TEST(StatusMacros, ReturnNotOkAndAssignOrReturn) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(Assigns(false).ValueOrDie(), 6);
+  EXPECT_FALSE(Assigns(true).ok());
+}
+
+TEST(AlignedBufferTest, AlignmentCopyMove) {
+  AlignedBuffer a(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % AlignedBuffer::kAlignment,
+            0u);
+  EXPECT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < 100; i++) a.data()[i] = uint8_t(i);
+
+  AlignedBuffer b = a;  // copy
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.data()[42], 42);
+  b.data()[42] = 0;
+  EXPECT_EQ(a.data()[42], 42);  // deep copy
+
+  AlignedBuffer c = std::move(a);  // move
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(c.data()[42], 42);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+
+  c.Resize(16);
+  EXPECT_EQ(c.size(), 16u);
+  c.Resize(1 << 20);  // grow reallocates
+  EXPECT_EQ(c.size(), 1u << 20);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c.data()) % AlignedBuffer::kAlignment,
+            0u);
+}
+
+TEST(UmbrellaHeader, CoreSymbolsVisible) {
+  // scc.h pulled in the codec stack; exercise one symbol from each layer.
+  EXPECT_EQ(SchemeName(Scheme::kPFor), std::string("PFOR"));
+  EXPECT_EQ(MaxCode(8), 255u);
+  EXPECT_EQ(PackedByteSize(32, 8), 32u);
+  EXPECT_GT(EffectiveExceptionRate(0.1, 1), 0.1);
+}
+
+}  // namespace
+}  // namespace scc

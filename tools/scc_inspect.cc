@@ -1,0 +1,69 @@
+// scc_inspect — dump the structure of a stored column file or table
+// directory: per-chunk scheme, bit width, exception rate and compression
+// ratio. The operational "what did the analyzer do to my data" tool.
+//
+//   scc_inspect <table-dir>            # every column in the MANIFEST
+//   scc_inspect <table-dir> <column>   # one column, per-chunk detail
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/segment.h"
+#include "storage/file_store.h"
+
+namespace scc {
+namespace {
+
+void PrintColumn(const StoredColumn& col, bool per_chunk) {
+  size_t raw = col.rows * TypeSize(col.type);
+  printf("%-20s %-4s rows=%-10zu chunks=%-5zu %8.2f MB -> %8.2f MB "
+         "(%.2fx)\n",
+         col.name.c_str(), TypeName(col.type), col.rows, col.chunk_count(),
+         raw / 1048576.0, col.ByteSize() / 1048576.0,
+         col.ByteSize() ? double(raw) / col.ByteSize() : 0.0);
+  if (!per_chunk) return;
+  for (size_t i = 0; i < col.chunks.size(); i++) {
+    SegmentHeader hdr;
+    std::memcpy(&hdr, col.chunks[i].data(), sizeof(hdr));
+    printf("  chunk %-4zu %-12s b=%-3u n=%-8u exc=%-8u (%.2f%%)  "
+           "%.1f bits/value\n",
+           i, SchemeName(hdr.GetScheme()), hdr.bit_width, hdr.count,
+           hdr.exception_count,
+           hdr.count ? 100.0 * hdr.exception_count / hdr.count : 0.0,
+           hdr.count ? 8.0 * hdr.total_size / hdr.count : 0.0);
+  }
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    fprintf(stderr, "usage: %s <table-dir> [column]\n", argv[0]);
+    return 2;
+  }
+  auto table = FileStore::Load(argv[1]);
+  if (!table.ok()) {
+    fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  const Table& t = table.ValueOrDie();
+  printf("table %s: %zu columns, %zu rows, %.2f MB stored\n\n", argv[1],
+         t.column_count(), t.rows(), t.ByteSize() / 1048576.0);
+  if (argc >= 3) {
+    const StoredColumn* col = t.column(std::string(argv[2]));
+    if (col == nullptr) {
+      fprintf(stderr, "no such column: %s\n", argv[2]);
+      return 1;
+    }
+    PrintColumn(*col, /*per_chunk=*/true);
+  } else {
+    for (size_t c = 0; c < t.column_count(); c++) {
+      PrintColumn(*t.column(c), /*per_chunk=*/false);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }
