@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_decompression.dir/fig4_decompression.cc.o"
+  "CMakeFiles/fig4_decompression.dir/fig4_decompression.cc.o.d"
+  "fig4_decompression"
+  "fig4_decompression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_compulsory.dir/fig6_compulsory.cc.o"
+  "CMakeFiles/fig6_compulsory.dir/fig6_compulsory.cc.o.d"
+  "fig6_compulsory"
+  "fig6_compulsory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_compulsory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

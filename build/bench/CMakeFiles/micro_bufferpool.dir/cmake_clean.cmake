@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bufferpool.dir/micro_bufferpool.cc.o"
+  "CMakeFiles/micro_bufferpool.dir/micro_bufferpool.cc.o.d"
+  "micro_bufferpool"
+  "micro_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

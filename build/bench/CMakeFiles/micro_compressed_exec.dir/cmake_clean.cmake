@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compressed_exec.dir/micro_compressed_exec.cc.o"
+  "CMakeFiles/micro_compressed_exec.dir/micro_compressed_exec.cc.o.d"
+  "micro_compressed_exec"
+  "micro_compressed_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compressed_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

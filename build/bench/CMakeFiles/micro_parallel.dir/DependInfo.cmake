@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_parallel.cc" "bench/CMakeFiles/micro_parallel.dir/micro_parallel.cc.o" "gcc" "bench/CMakeFiles/micro_parallel.dir/micro_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/scc_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/scc_bitpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pagewise.dir/table3_pagewise.cc.o"
+  "CMakeFiles/table3_pagewise.dir/table3_pagewise.cc.o.d"
+  "table3_pagewise"
+  "table3_pagewise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pagewise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

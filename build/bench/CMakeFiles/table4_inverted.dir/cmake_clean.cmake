@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_inverted.dir/table4_inverted.cc.o"
+  "CMakeFiles/table4_inverted.dir/table4_inverted.cc.o.d"
+  "table4_inverted"
+  "table4_inverted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_inverted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_compression.dir/adaptive_compression.cpp.o"
+  "CMakeFiles/adaptive_compression.dir/adaptive_compression.cpp.o.d"
+  "adaptive_compression"
+  "adaptive_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_updates.dir/differential_updates.cpp.o"
+  "CMakeFiles/differential_updates.dir/differential_updates.cpp.o.d"
+  "differential_updates"
+  "differential_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

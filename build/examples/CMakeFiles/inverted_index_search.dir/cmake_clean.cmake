@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverted_index_search.dir/inverted_index_search.cpp.o"
+  "CMakeFiles/inverted_index_search.dir/inverted_index_search.cpp.o.d"
+  "inverted_index_search"
+  "inverted_index_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverted_index_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

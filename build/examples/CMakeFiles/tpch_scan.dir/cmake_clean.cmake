@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_scan.dir/tpch_scan.cpp.o"
+  "CMakeFiles/tpch_scan.dir/tpch_scan.cpp.o.d"
+  "tpch_scan"
+  "tpch_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

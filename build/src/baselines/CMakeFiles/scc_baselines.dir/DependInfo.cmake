@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/huffman.cc" "src/baselines/CMakeFiles/scc_baselines.dir/huffman.cc.o" "gcc" "src/baselines/CMakeFiles/scc_baselines.dir/huffman.cc.o.d"
+  "/root/repo/src/baselines/lzrw1.cc" "src/baselines/CMakeFiles/scc_baselines.dir/lzrw1.cc.o" "gcc" "src/baselines/CMakeFiles/scc_baselines.dir/lzrw1.cc.o.d"
+  "/root/repo/src/baselines/lzss_huffman.cc" "src/baselines/CMakeFiles/scc_baselines.dir/lzss_huffman.cc.o" "gcc" "src/baselines/CMakeFiles/scc_baselines.dir/lzss_huffman.cc.o.d"
+  "/root/repo/src/baselines/wordaligned.cc" "src/baselines/CMakeFiles/scc_baselines.dir/wordaligned.cc.o" "gcc" "src/baselines/CMakeFiles/scc_baselines.dir/wordaligned.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitpack/CMakeFiles/scc_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

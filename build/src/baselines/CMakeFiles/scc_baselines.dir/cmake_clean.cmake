@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_baselines.dir/huffman.cc.o"
+  "CMakeFiles/scc_baselines.dir/huffman.cc.o.d"
+  "CMakeFiles/scc_baselines.dir/lzrw1.cc.o"
+  "CMakeFiles/scc_baselines.dir/lzrw1.cc.o.d"
+  "CMakeFiles/scc_baselines.dir/lzss_huffman.cc.o"
+  "CMakeFiles/scc_baselines.dir/lzss_huffman.cc.o.d"
+  "CMakeFiles/scc_baselines.dir/wordaligned.cc.o"
+  "CMakeFiles/scc_baselines.dir/wordaligned.cc.o.d"
+  "libscc_baselines.a"
+  "libscc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

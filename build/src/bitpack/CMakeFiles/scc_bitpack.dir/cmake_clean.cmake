@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_bitpack.dir/bitpack.cc.o"
+  "CMakeFiles/scc_bitpack.dir/bitpack.cc.o.d"
+  "libscc_bitpack.a"
+  "libscc_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_core.dir/segment.cc.o"
+  "CMakeFiles/scc_core.dir/segment.cc.o.d"
+  "libscc_core.a"
+  "libscc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/merge_join.cc" "src/engine/CMakeFiles/scc_engine.dir/merge_join.cc.o" "gcc" "src/engine/CMakeFiles/scc_engine.dir/merge_join.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/scc_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/scc_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/ordered_aggregate.cc" "src/engine/CMakeFiles/scc_engine.dir/ordered_aggregate.cc.o" "gcc" "src/engine/CMakeFiles/scc_engine.dir/ordered_aggregate.cc.o.d"
+  "/root/repo/src/engine/sort.cc" "src/engine/CMakeFiles/scc_engine.dir/sort.cc.o" "gcc" "src/engine/CMakeFiles/scc_engine.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_engine.dir/merge_join.cc.o"
+  "CMakeFiles/scc_engine.dir/merge_join.cc.o.d"
+  "CMakeFiles/scc_engine.dir/operators.cc.o"
+  "CMakeFiles/scc_engine.dir/operators.cc.o.d"
+  "CMakeFiles/scc_engine.dir/ordered_aggregate.cc.o"
+  "CMakeFiles/scc_engine.dir/ordered_aggregate.cc.o.d"
+  "CMakeFiles/scc_engine.dir/sort.cc.o"
+  "CMakeFiles/scc_engine.dir/sort.cc.o.d"
+  "libscc_engine.a"
+  "libscc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/collection.cc" "src/ir/CMakeFiles/scc_ir.dir/collection.cc.o" "gcc" "src/ir/CMakeFiles/scc_ir.dir/collection.cc.o.d"
+  "/root/repo/src/ir/posting_codec.cc" "src/ir/CMakeFiles/scc_ir.dir/posting_codec.cc.o" "gcc" "src/ir/CMakeFiles/scc_ir.dir/posting_codec.cc.o.d"
+  "/root/repo/src/ir/search.cc" "src/ir/CMakeFiles/scc_ir.dir/search.cc.o" "gcc" "src/ir/CMakeFiles/scc_ir.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/scc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/scc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/scc_bitpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_ir.dir/collection.cc.o"
+  "CMakeFiles/scc_ir.dir/collection.cc.o.d"
+  "CMakeFiles/scc_ir.dir/posting_codec.cc.o"
+  "CMakeFiles/scc_ir.dir/posting_codec.cc.o.d"
+  "CMakeFiles/scc_ir.dir/search.cc.o"
+  "CMakeFiles/scc_ir.dir/search.cc.o.d"
+  "libscc_ir.a"
+  "libscc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

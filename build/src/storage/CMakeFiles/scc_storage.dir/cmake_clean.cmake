@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_storage.dir/file_store.cc.o"
+  "CMakeFiles/scc_storage.dir/file_store.cc.o.d"
+  "CMakeFiles/scc_storage.dir/merge_scan.cc.o"
+  "CMakeFiles/scc_storage.dir/merge_scan.cc.o.d"
+  "CMakeFiles/scc_storage.dir/scan.cc.o"
+  "CMakeFiles/scc_storage.dir/scan.cc.o.d"
+  "libscc_storage.a"
+  "libscc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

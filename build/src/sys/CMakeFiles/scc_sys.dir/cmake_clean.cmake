@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_sys.dir/perf_counters.cc.o"
+  "CMakeFiles/scc_sys.dir/perf_counters.cc.o.d"
+  "libscc_sys.a"
+  "libscc_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

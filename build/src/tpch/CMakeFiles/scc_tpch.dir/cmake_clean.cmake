@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/scc_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/scc_tpch.dir/queries.cc.o"
+  "CMakeFiles/scc_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/scc_tpch.dir/tbl_loader.cc.o"
+  "CMakeFiles/scc_tpch.dir/tbl_loader.cc.o.d"
+  "libscc_tpch.a"
+  "libscc_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

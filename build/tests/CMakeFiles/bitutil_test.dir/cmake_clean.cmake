@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitutil_test.dir/bitutil_test.cc.o"
+  "CMakeFiles/bitutil_test.dir/bitutil_test.cc.o.d"
+  "bitutil_test"
+  "bitutil_test.pdb"
+  "bitutil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_tree_test.dir/operator_tree_test.cc.o"
+  "CMakeFiles/operator_tree_test.dir/operator_tree_test.cc.o.d"
+  "operator_tree_test"
+  "operator_tree_test.pdb"
+  "operator_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdict_test.dir/pdict_test.cc.o"
+  "CMakeFiles/pdict_test.dir/pdict_test.cc.o.d"
+  "pdict_test"
+  "pdict_test.pdb"
+  "pdict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

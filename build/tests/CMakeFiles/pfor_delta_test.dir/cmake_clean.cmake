@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfor_delta_test.dir/pfor_delta_test.cc.o"
+  "CMakeFiles/pfor_delta_test.dir/pfor_delta_test.cc.o.d"
+  "pfor_delta_test"
+  "pfor_delta_test.pdb"
+  "pfor_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfor_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tbl_loader_test.cc" "tests/CMakeFiles/tbl_loader_test.dir/tbl_loader_test.cc.o" "gcc" "tests/CMakeFiles/tbl_loader_test.dir/tbl_loader_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/scc_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/scc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/scc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/scc_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/scc_bitpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

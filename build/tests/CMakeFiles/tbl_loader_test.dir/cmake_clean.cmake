@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_loader_test.dir/tbl_loader_test.cc.o"
+  "CMakeFiles/tbl_loader_test.dir/tbl_loader_test.cc.o.d"
+  "tbl_loader_test"
+  "tbl_loader_test.pdb"
+  "tbl_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

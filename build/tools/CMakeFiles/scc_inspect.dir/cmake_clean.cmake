@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_inspect.dir/scc_inspect.cc.o"
+  "CMakeFiles/scc_inspect.dir/scc_inspect.cc.o.d"
+  "scc_inspect"
+  "scc_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
