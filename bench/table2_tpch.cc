@@ -19,8 +19,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
+#include "sys/telemetry.h"
 #include "tpch/queries.h"
 
 namespace scc {
@@ -139,7 +141,21 @@ void RunConfig(const char* label, SimDisk::Config disk_cfg,
 }  // namespace
 
 int Main(int argc, char** argv) {
-  double sf = argc > 1 ? atof(argv[1]) : 0.05;
+  // Args: an optional scale factor plus an optional --telemetry flag,
+  // which prints the metrics snapshot and writes a chrome trace at exit.
+  double sf = 0.05;
+  bool telemetry = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
+    } else {
+      sf = atof(argv[i]);
+    }
+  }
+  if (telemetry) {
+    SetTelemetryEnabled(true);
+    SetTraceEnabled(true);
+  }
   bench::PrintHeader("TPC-H with super-scalar compression",
                      "Table 2 and Figure 8");
   printf("scale factor %.3f (all 11 Table-2 queries)\n",
@@ -164,6 +180,16 @@ int Main(int argc, char** argv) {
          "them CPU-bound and the gain is smaller.\nPAX reads whole row "
          "groups (comments included), so its ratios and gains are\nlower "
          "than DSM's.\n");
+
+  if (telemetry) {
+    printf("\n-- telemetry --\n%s",
+           MetricsRegistry::Instance().Snapshot().ToTable().c_str());
+    const char* trace_path = "table2_tpch_trace.json";
+    if (TraceRecorder::Instance().WriteChromeTrace(trace_path)) {
+      printf("wrote %zu trace events to %s\n",
+             TraceRecorder::Instance().event_count(), trace_path);
+    }
+  }
   return 0;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/codec.h"
+#include "core/codec_metrics.h"
 #include "core/exception_model.h"
 #include "util/bitutil.h"
 
@@ -68,6 +69,9 @@ class Analyzer {
     if (opts.allow_pdict) {
       ConsiderPDict(sorted, opts, &best);
     }
+    CodecMetrics& cm = CodecMetrics::Get();
+    cm.analyzer_runs->Increment();
+    cm.analyzer_choice[CodecMetrics::SchemeIndex(best.scheme)]->Increment();
     return best;
   }
 

@@ -1,0 +1,73 @@
+#ifndef SCC_CORE_CODEC_METRICS_H_
+#define SCC_CORE_CODEC_METRICS_H_
+
+#include <string>
+
+#include "core/codec.h"
+#include "sys/telemetry.h"
+
+// Pre-registered telemetry handles for the codec family. The hot loops
+// (SegmentBuilder / SegmentReader) must not pay a registry lookup per
+// vector, so every counter is resolved once and cached behind a
+// function-local static; a call site costs one static-init guard check
+// plus the counter's relaxed add.
+//
+// Metric names (see docs/OBSERVABILITY.md):
+//   codec.<scheme>.encode.values     values compressed per scheme
+//   codec.<scheme>.encode.bytes_out  segment bytes produced
+//   codec.<scheme>.encode.exceptions exception-section entries written
+//   codec.<scheme>.decode.values     values decompressed (scan path)
+//   codec.encode.nanos               wall time inside SegmentBuilder
+//   codec.random_access.calls        fine-grained Get() lookups
+//   analyzer.choice.<scheme>         scheme decisions made by the analyzer
+//   analyzer.runs                    Analyze() invocations
+
+namespace scc {
+
+struct CodecMetrics {
+  static constexpr size_t kSchemes = 4;  // indexed by enum Scheme
+
+  Counter* encode_values[kSchemes];
+  Counter* encode_bytes_out[kSchemes];
+  Counter* encode_exceptions[kSchemes];
+  Counter* decode_values[kSchemes];
+  Counter* analyzer_choice[kSchemes];
+  Counter* analyzer_runs;
+  Counter* encode_nanos;
+  Counter* random_access_calls;
+  Counter* compressed_exec_codes;
+
+  static CodecMetrics& Get() {
+    static CodecMetrics* m = [] {
+      auto* cm = new CodecMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      static const char* kScheme[kSchemes] = {"uncompressed", "pfor",
+                                              "pfordelta", "pdict"};
+      for (size_t s = 0; s < kSchemes; s++) {
+        std::string p = std::string("codec.") + kScheme[s];
+        cm->encode_values[s] = &reg.GetCounter(p + ".encode.values");
+        cm->encode_bytes_out[s] = &reg.GetCounter(p + ".encode.bytes_out");
+        cm->encode_exceptions[s] = &reg.GetCounter(p + ".encode.exceptions");
+        cm->decode_values[s] = &reg.GetCounter(p + ".decode.values");
+        cm->analyzer_choice[s] =
+            &reg.GetCounter(std::string("analyzer.choice.") + kScheme[s]);
+      }
+      cm->analyzer_runs = &reg.GetCounter("analyzer.runs");
+      cm->encode_nanos = &reg.GetCounter("codec.encode.nanos");
+      cm->random_access_calls = &reg.GetCounter("codec.random_access.calls");
+      cm->compressed_exec_codes = &reg.GetCounter("codec.compressed_exec.codes");
+      return cm;
+    }();
+    return *m;
+  }
+
+  /// Clamps an (possibly corrupt) scheme byte into the counter range.
+  static size_t SchemeIndex(Scheme s) {
+    size_t i = size_t(s);
+    return i < kSchemes ? i : 0;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_CORE_CODEC_METRICS_H_

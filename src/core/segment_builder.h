@@ -8,8 +8,10 @@
 
 #include "bitpack/bitpack.h"
 #include "core/codec.h"
+#include "core/codec_metrics.h"
 #include "core/pdict_hash.h"
 #include "core/segment.h"
+#include "sys/timer.h"
 #include "util/aligned_buffer.h"
 #include "util/bitutil.h"
 #include "util/status.h"
@@ -45,6 +47,7 @@ class SegmentBuilder {
 
   /// Raw array storage (also the fallback when data is incompressible).
   static Result<AlignedBuffer> BuildUncompressed(std::span<const T> values) {
+    EncodeTimer timer;
     SegmentHeader hdr;
     hdr.scheme = uint8_t(Scheme::kUncompressed);
     hdr.value_size = sizeof(T);
@@ -56,11 +59,15 @@ class SegmentBuilder {
     std::memcpy(buf.data(), &hdr, sizeof(hdr));
     std::memcpy(buf.data() + hdr.codes_offset, values.data(),
                 values.size() * sizeof(T));
+    CodecMetrics& cm = CodecMetrics::Get();
+    cm.encode_values[size_t(Scheme::kUncompressed)]->Add(values.size());
+    cm.encode_bytes_out[size_t(Scheme::kUncompressed)]->Add(hdr.total_size);
     return buf;
   }
 
   static Result<AlignedBuffer> BuildPFor(std::span<const T> values,
                                          const PForParams<T>& params) {
+    EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
     GroupResults g = CompressGroups(values, params, /*deltas=*/false);
     return Assemble(Scheme::kPFor, values, params, g, /*dict=*/{});
@@ -68,6 +75,7 @@ class SegmentBuilder {
 
   static Result<AlignedBuffer> BuildPForDelta(std::span<const T> values,
                                               const PForParams<T>& params) {
+    EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
     // Delta transform with wraparound; v[-1] := 0 so d[0] = v[0].
     std::vector<T> deltas(values.size());
@@ -88,6 +96,7 @@ class SegmentBuilder {
 
   static Result<AlignedBuffer> BuildPDict(std::span<const T> values,
                                           const PDictParams<T>& params) {
+    EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
     if (params.dict.empty()) {
       return Status::InvalidArgument("PDICT requires a non-empty dictionary");
@@ -103,6 +112,16 @@ class SegmentBuilder {
   }
 
  private:
+  /// Accumulates wall time of one Build* call into codec.encode.nanos.
+  /// Build() dispatches to the timed leaf builders, so it adds no timer of
+  /// its own (no double counting).
+  struct EncodeTimer {
+    Timer t;
+    ~EncodeTimer() {
+      CodecMetrics::Get().encode_nanos->Add(uint64_t(t.ElapsedNanos()));
+    }
+  };
+
   struct GroupResults {
     std::vector<uint32_t> codes;   // one machine code per value (pre-pack)
     std::vector<uint32_t> entries; // one entry point per group
@@ -295,6 +314,11 @@ class SegmentBuilder {
     for (size_t i = 0; i < g.exceptions.size(); i++) {
       exc_end[-(ptrdiff_t(i) + 1)] = g.exceptions[i];
     }
+    CodecMetrics& cm = CodecMetrics::Get();
+    const size_t si = CodecMetrics::SchemeIndex(scheme);
+    cm.encode_values[si]->Add(n);
+    cm.encode_bytes_out[si]->Add(hdr.total_size);
+    cm.encode_exceptions[si]->Add(g.exceptions.size());
     return buf;
   }
 };

@@ -7,6 +7,7 @@
 
 #include "bitpack/bitpack.h"
 #include "core/codec.h"
+#include "core/codec_metrics.h"
 #include "core/segment.h"
 #include "util/status.h"
 
@@ -59,6 +60,11 @@ class SegmentReader {
   void DecompressRange(size_t start, size_t n, T* out) const {
     SCC_DCHECK(start + n <= hdr_.count);
     if (n == 0) return;
+    // One sharded relaxed add per *vector*, not per value: the whole
+    // telemetry cost of the scan decompress hot path.
+    CodecMetrics::Get()
+        .decode_values[CodecMetrics::SchemeIndex(scheme())]
+        ->Add(n);
     if (scheme() == Scheme::kUncompressed) {
       std::memcpy(out, Raw() + start, n * sizeof(T));
       return;
@@ -85,6 +91,7 @@ class SegmentReader {
   /// finegrained_decompress).
   T Get(size_t idx) const {
     SCC_DCHECK(idx < hdr_.count);
+    CodecMetrics::Get().random_access_calls->Increment();
     switch (scheme()) {
       case Scheme::kUncompressed:
         return Raw()[idx];
@@ -135,6 +142,7 @@ class SegmentReader {
     }
     SCC_DCHECK(start + n <= hdr_.count);
     if (n == 0) return Status::OK();
+    CodecMetrics::Get().compressed_exec_codes->Add(n);
     const int b = hdr_.bit_width;
     const size_t first_group = start / kEntryGroup;
     const size_t last_group = (start + n - 1) / kEntryGroup;

@@ -1,0 +1,53 @@
+#ifndef SCC_ENGINE_ENGINE_METRICS_H_
+#define SCC_ENGINE_ENGINE_METRICS_H_
+
+#include "sys/telemetry.h"
+
+// Telemetry handles for the vectorized operators, resolved once (see
+// codec_metrics.h for the caching rationale). All adds happen at batch
+// granularity — once per Next(), never per tuple.
+//
+// Metric names:
+//   engine.select.rows_in / rows_out    selectivity of SelectOp
+//   engine.project.rows                 rows through ProjectOp
+//   engine.agg.rows_in                  rows consumed by HashAggregateOp
+//   engine.agg.groups                   distinct groups materialized
+//   engine.topn.rows_in                 rows consumed by TopNOp
+//   engine.join.build_rows              rows hashed on the build side
+//   engine.join.probe_rows / matches    probe volume and hit count
+
+namespace scc {
+
+struct EngineMetrics {
+  Counter* select_rows_in;
+  Counter* select_rows_out;
+  Counter* project_rows;
+  Counter* agg_rows_in;
+  Counter* agg_groups;
+  Counter* topn_rows_in;
+  Counter* join_build_rows;
+  Counter* join_probe_rows;
+  Counter* join_matches;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* m = [] {
+      auto* em = new EngineMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      em->select_rows_in = &reg.GetCounter("engine.select.rows_in");
+      em->select_rows_out = &reg.GetCounter("engine.select.rows_out");
+      em->project_rows = &reg.GetCounter("engine.project.rows");
+      em->agg_rows_in = &reg.GetCounter("engine.agg.rows_in");
+      em->agg_groups = &reg.GetCounter("engine.agg.groups");
+      em->topn_rows_in = &reg.GetCounter("engine.topn.rows_in");
+      em->join_build_rows = &reg.GetCounter("engine.join.build_rows");
+      em->join_probe_rows = &reg.GetCounter("engine.join.probe_rows");
+      em->join_matches = &reg.GetCounter("engine.join.matches");
+      return em;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_ENGINE_ENGINE_METRICS_H_

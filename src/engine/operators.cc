@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "engine/engine_metrics.h"
+
 namespace scc {
 
 namespace {
@@ -77,10 +79,13 @@ SelectOp::SelectOp(Operator* child, size_t pred_col, PredFn pred)
 size_t SelectOp::Next(Batch* out) {
   Batch in;
   SelVec sel;
+  EngineMetrics& em = EngineMetrics::Get();
   while (true) {
     size_t n = child_->Next(&in);
     if (n == 0) return 0;
     size_t kept = pred_(*in.col(pred_col_), n, &sel);
+    em.select_rows_in->Add(n);
+    em.select_rows_out->Add(kept);
     if (kept == 0) continue;  // fully filtered batch; pull the next one
     out->columns.clear();
     for (size_t c = 0; c < out_.size(); c++) {
@@ -106,6 +111,7 @@ ProjectOp::ProjectOp(Operator* child, TypeId out_type, ComputeFn fn)
 size_t ProjectOp::Next(Batch* out) {
   size_t n = child_->Next(&scratch_);
   if (n == 0) return 0;
+  EngineMetrics::Get().project_rows->Add(n);
   fn_(scratch_, computed_.get());
   computed_->set_count(n);
   *out = scratch_;
@@ -135,9 +141,12 @@ HashAggregateOp::HashAggregateOp(Operator* child, std::vector<size_t> key_cols,
 }
 
 void HashAggregateOp::Consume() {
+  SCC_TRACE_SPAN("engine.agg.consume");
+  EngineMetrics& em = EngineMetrics::Get();
   Batch in;
   size_t n;
   while ((n = child_->Next(&in)) > 0) {
+    em.agg_rows_in->Add(n);
     // Pack composite keys.
     uint64_t keys[kVectorSize];
     std::memset(keys, 0, n * sizeof(uint64_t));
@@ -195,6 +204,7 @@ void HashAggregateOp::Consume() {
     if (aggs_[a].kind == AggKind::kMax) init = INT64_MIN;
     agg_state_[a].resize(groups_.size(), init);
   }
+  em.agg_groups->Add(groups_.size());
 }
 
 size_t HashAggregateOp::Next(Batch* out) {
@@ -262,6 +272,7 @@ void TopNOp::Consume() {
                        : a[order_col_] < b[order_col_];
   };
   while ((n = child_->Next(&in)) > 0) {
+    EngineMetrics::Get().topn_rows_in->Add(n);
     for (size_t i = 0; i < n; i++) {
       std::vector<int64_t> row(ncols);
       for (size_t c = 0; c < ncols; c++) row[c] = WidenAt(*in.col(c), i);
@@ -327,11 +338,13 @@ HashJoinOp::HashJoinOp(Operator* probe, size_t probe_key, Operator* build,
 }
 
 void HashJoinOp::Build() {
+  SCC_TRACE_SPAN("engine.join.build");
   build_cols_.assign(build_out_cols_.size(), {});
   Batch in;
   size_t n;
   uint32_t row = 0;
   while ((n = build_->Next(&in)) > 0) {
+    EngineMetrics::Get().join_build_rows->Add(n);
     const Vector& keys = *in.col(build_key_);
     for (size_t i = 0; i < n; i++) {
       bool ok = table_.Insert(uint64_t(WidenAt(keys, i)), row + uint32_t(i));
@@ -365,6 +378,9 @@ size_t HashJoinOp::Next(Batch* out) {
       match_rows[j] = r;
       j += (r != JoinTable::kNotFound) ? 1 : 0;
     }
+    EngineMetrics& em = EngineMetrics::Get();
+    em.join_probe_rows->Add(n);
+    em.join_matches->Add(j);
     if (j == 0) continue;
     sel.count = j;
     out->columns.clear();

@@ -7,8 +7,36 @@
 #include "core/segment_builder.h"
 #include "core/segment_reader.h"
 #include "engine/vector.h"
+#include "sys/telemetry.h"
 
 namespace scc {
+
+namespace {
+
+// Telemetry handles for the inverted-file query path (see codec_metrics.h
+// for the caching rationale).
+struct IrMetrics {
+  Counter* queries;
+  Counter* conjunctive_queries;
+  Counter* postings_decoded;
+  Counter* hits_returned;
+
+  static IrMetrics& Get() {
+    static IrMetrics* m = [] {
+      auto* im = new IrMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      im->queries = &reg.GetCounter("ir.search.queries");
+      im->conjunctive_queries =
+          &reg.GetCounter("ir.search.conjunctive_queries");
+      im->postings_decoded = &reg.GetCounter("ir.search.postings_decoded");
+      im->hits_returned = &reg.GetCounter("ir.search.hits_returned");
+      return im;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 Result<PostingSearcher> PostingSearcher::Build(const InvertedIndex& index) {
   PostingSearcher s;
@@ -58,6 +86,7 @@ size_t PostingSearcher::CompressedBytes() const {
 std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
                                                         uint32_t term_b,
                                                         size_t n) const {
+  SCC_TRACE_SPAN("ir.topn_conjunctive");
   SCC_CHECK(term_a < doc_segments_.size() && term_b < doc_segments_.size(),
             "term out of range");
   // Scan the shorter list, probe the longer.
@@ -72,6 +101,8 @@ std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
     auto hits = TopNConjunctive(term_b, term_a, n);
     return hits;
   }
+  // Counted after the scan/probe swap so a swapped call counts once.
+  IrMetrics::Get().conjunctive_queries->Increment();
   SegmentReader<uint32_t> ta = open(tf_segments_[term_a]);
   SegmentReader<uint32_t> tb = open(tf_segments_[term_b]);
 
@@ -91,6 +122,7 @@ std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
     const size_t len = std::min(kVectorSize, da.count() - pos);
     da.DecompressRange(pos, len, docs);
     ta.DecompressRange(pos, len, tfs);
+    IrMetrics::Get().postings_decoded->Add(len);
     last_bytes_ += len * 8;
     for (size_t i = 0; i < len && lo < nb; i++) {
       // Galloping probe: fine-grained Get() on the compressed docids.
@@ -134,11 +166,14 @@ std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
     heap.pop();
   }
   std::reverse(hits.begin(), hits.end());
+  IrMetrics::Get().hits_returned->Add(hits.size());
   return hits;
 }
 
 std::vector<SearchHit> PostingSearcher::TopN(uint32_t term, size_t n) const {
+  SCC_TRACE_SPAN("ir.topn");
   SCC_CHECK(term < doc_segments_.size(), "term out of range");
+  IrMetrics::Get().queries->Increment();
   last_bytes_ = 0;
   auto dreader = SegmentReader<uint32_t>::Open(doc_segments_[term].data(),
                                                doc_segments_[term].size());
@@ -163,6 +198,7 @@ std::vector<SearchHit> PostingSearcher::TopN(uint32_t term, size_t n) const {
     const size_t len = std::min(kVectorSize, count - pos);
     dr.DecompressRange(pos, len, docs);
     tr.DecompressRange(pos, len, tfs);
+    IrMetrics::Get().postings_decoded->Add(len);
     last_bytes_ += len * 8;
     for (size_t i = 0; i < len; i++) {
       if (heap.size() < n) {
@@ -182,6 +218,7 @@ std::vector<SearchHit> PostingSearcher::TopN(uint32_t term, size_t n) const {
     heap.pop();
   }
   std::reverse(hits.begin(), hits.end());  // best first
+  IrMetrics::Get().hits_returned->Add(hits.size());
   return hits;
 }
 

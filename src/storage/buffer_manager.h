@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "storage/sim_disk.h"
+#include "storage/storage_metrics.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -29,21 +30,30 @@ class BufferManager {
   /// charging the simulated disk on a miss.
   const AlignedBuffer* Fetch(const Table* table, const StoredColumn* col,
                              size_t chunk_idx) {
+    StorageMetrics& sm = StorageMetrics::Get();
     const Key key = MakeKey(table, col, chunk_idx);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       hits_++;
+      sm.bm_hits->Increment();
       Touch(it->second);
       return &col->chunks[chunk_idx];
     }
     misses_++;
+    sm.bm_misses->Increment();
     if (layout_ == Layout::kDSM) {
-      disk_->ReadChunk(col->chunks[chunk_idx].size());
-      Insert(key, col->chunks[chunk_idx].size());
+      const size_t bytes = col->chunks[chunk_idx].size();
+      disk_->ReadChunk(bytes);
+      bytes_read_ += bytes;
+      sm.bm_bytes_read->Add(bytes);
+      Insert(key, bytes);
     } else {
       // PAX: one I/O brings in the entire row group; register every
       // column of the group as cached.
-      disk_->ReadChunk(table->RowGroupBytes(chunk_idx));
+      const size_t bytes = table->RowGroupBytes(chunk_idx);
+      disk_->ReadChunk(bytes);
+      bytes_read_ += bytes;
+      sm.bm_bytes_read->Add(bytes);
       for (size_t c = 0; c < table->column_count(); c++) {
         const StoredColumn* other = table->column(c);
         Key k2 = MakeKey(table, other, chunk_idx);
@@ -52,6 +62,7 @@ class BufferManager {
         }
       }
     }
+    sm.bm_resident_bytes->Set(int64_t(resident_));
     return &col->chunks[chunk_idx];
   }
 
@@ -59,15 +70,32 @@ class BufferManager {
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
   size_t resident_bytes() const { return resident_; }
+  /// Cache entries dropped by LRU pressure since construction or the last
+  /// ResetStats(), and the bytes they held.
+  size_t evictions() const { return evictions_; }
+  size_t evicted_bytes() const { return evicted_bytes_; }
+  /// Bytes charged to the disk on cache misses (compressed bytes; the
+  /// whole row group under PAX).
+  size_t bytes_read() const { return bytes_read_; }
 
+  /// Drops every cached page (resident_bytes() returns to 0) but KEEPS the
+  /// statistics: Clear() is "power off the cache", used by benches to
+  /// force cold runs while still accounting the full experiment.
   void Clear() {
     cache_.clear();
     lru_.clear();
     resident_ = 0;
   }
+  /// Zeroes hit/miss/eviction/bytes counters but KEEPS the cache contents:
+  /// ResetStats() is "start a fresh measurement window" against a warm
+  /// cache. Process-wide storage.bm.* registry counters are monotonic and
+  /// unaffected; diff MetricsRegistry snapshots for windowed readings.
   void ResetStats() {
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
+    evicted_bytes_ = 0;
+    bytes_read_ = 0;
   }
 
  private:
@@ -95,13 +123,24 @@ class BufferManager {
 
   void Touch(Entry& e) { lru_.splice(lru_.begin(), lru_, e.lru_it); }
 
+  /// Admits `key` after evicting LRU victims until it fits. An item
+  /// larger than the whole capacity still gets admitted after the cache
+  /// empties out (the loop stops on !lru_.empty()): the buffer manager
+  /// overcommits rather than refuse service, so resident_ may exceed
+  /// capacity_ by at most one item. Callers see that item evicted first
+  /// on the next insert under pressure.
   void Insert(const Key& key, size_t bytes) {
+    StorageMetrics& sm = StorageMetrics::Get();
     while (resident_ + bytes > capacity_ && !lru_.empty()) {
       Key victim = lru_.back();
       lru_.pop_back();
       auto vit = cache_.find(victim);
       if (vit != cache_.end()) {
         resident_ -= vit->second.bytes;
+        evictions_++;
+        evicted_bytes_ += vit->second.bytes;
+        sm.bm_evictions->Increment();
+        sm.bm_evicted_bytes->Add(vit->second.bytes);
         cache_.erase(vit);
       }
     }
@@ -118,6 +157,9 @@ class BufferManager {
   size_t resident_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
+  size_t evicted_bytes_ = 0;
+  size_t bytes_read_ = 0;
 };
 
 }  // namespace scc

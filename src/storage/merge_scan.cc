@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/storage_metrics.h"
+
 namespace scc {
 
 MergeScanOp::MergeScanOp(const Table* table, BufferManager* bm,
@@ -33,6 +35,7 @@ size_t MergeScanOp::EmitInserts(Batch* out) {
     out_[c]->set_count(n);
     out->columns.push_back(out_[c].get());
   }
+  StorageMetrics::Get().merge_insert_rows->Add(n);
   out->rows = n;
   insert_pos_ += n;
   return n;
@@ -49,9 +52,11 @@ size_t MergeScanOp::Next(Batch* out) {
     // Filter deleted base rows (selection-vector compaction).
     SelVec sel;
     size_t kept = 0;
+    StorageMetrics& sm = StorageMetrics::Get();
     if (delta_->delete_count() == 0) {
       *out = in;
       base_row_ += n;
+      sm.merge_base_rows->Add(n);
       return n;
     }
     for (size_t i = 0; i < n; i++) {
@@ -60,6 +65,8 @@ size_t MergeScanOp::Next(Batch* out) {
     }
     sel.count = kept;
     base_row_ += n;
+    sm.merge_base_rows->Add(kept);
+    sm.merge_deleted_rows->Add(n - kept);
     if (kept == 0) continue;
     out->columns.clear();
     for (size_t c = 0; c < out_.size(); c++) {

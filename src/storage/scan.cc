@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "core/segment_reader.h"
+#include "storage/storage_metrics.h"
+#include "sys/telemetry.h"
 #include "sys/timer.h"
 
 namespace scc {
@@ -27,6 +29,7 @@ void TableScanOp::DecompressVectorWise(ColState& cs, const AlignedBuffer& seg,
                                        size_t chunk_idx,
                                        size_t offset_in_chunk, size_t n) {
   (void)chunk_idx;
+  SCC_TRACE_SPAN("scan.decompress");
   Timer t;
   DispatchType(cs.col->type, [&](auto tag) {
     using T = decltype(tag);
@@ -47,6 +50,7 @@ void TableScanOp::DecompressVectorWise(ColState& cs, const AlignedBuffer& seg,
 void TableScanOp::DecompressPageWise(ColState& cs, const AlignedBuffer& seg,
                                      size_t chunk_idx, size_t offset_in_chunk,
                                      size_t n) {
+  SCC_TRACE_SPAN("scan.decompress_page");
   Timer t;
   DispatchType(cs.col->type, [&](auto tag) {
     using T = decltype(tag);
@@ -78,6 +82,7 @@ size_t TableScanOp::Next(Batch* out) {
   const size_t n = std::min(kVectorSize, table_->rows() - pos_);
   const size_t chunk_idx = pos_ / table_->chunk_values();
   const size_t offset_in_chunk = pos_ - chunk_idx * table_->chunk_values();
+  const double decompress0 = decompress_seconds_;
   out->columns.clear();
   for (ColState& cs : cols_) {
     const AlignedBuffer* seg = bm_->Fetch(table_, cs.col, chunk_idx);
@@ -88,6 +93,11 @@ size_t TableScanOp::Next(Batch* out) {
     }
     out->columns.push_back(cs.out.get());
   }
+  StorageMetrics& sm = StorageMetrics::Get();
+  sm.scan_vectors->Increment();
+  sm.scan_rows->Add(n);
+  sm.scan_decompress_nanos->Add(
+      uint64_t((decompress_seconds_ - decompress0) * 1e9));
   out->rows = n;
   pos_ += n;
   return n;

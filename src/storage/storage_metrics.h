@@ -1,0 +1,64 @@
+#ifndef SCC_STORAGE_STORAGE_METRICS_H_
+#define SCC_STORAGE_STORAGE_METRICS_H_
+
+#include "sys/telemetry.h"
+
+// Telemetry handles for the storage family, resolved once (see
+// codec_metrics.h for the caching rationale).
+//
+// Metric names:
+//   storage.bm.hits / misses            buffer-manager cache outcomes
+//   storage.bm.evictions                LRU victims dropped
+//   storage.bm.evicted_bytes            bytes those victims held
+//   storage.bm.bytes_read               bytes charged to the (sim) disk
+//   storage.bm.resident_bytes           gauge: current cached bytes
+//   storage.scan.vectors / rows         vectors/rows produced by TableScanOp
+//   storage.scan.decompress_nanos       time inside scan decompression
+//   storage.merge_scan.base_rows        base rows surviving delete filter
+//   storage.merge_scan.deleted_rows     base rows dropped as deleted
+//   storage.merge_scan.insert_rows      rows emitted from the delta store
+
+namespace scc {
+
+struct StorageMetrics {
+  Counter* bm_hits;
+  Counter* bm_misses;
+  Counter* bm_evictions;
+  Counter* bm_evicted_bytes;
+  Counter* bm_bytes_read;
+  Gauge* bm_resident_bytes;
+  Counter* scan_vectors;
+  Counter* scan_rows;
+  Counter* scan_decompress_nanos;
+  Counter* merge_base_rows;
+  Counter* merge_deleted_rows;
+  Counter* merge_insert_rows;
+
+  static StorageMetrics& Get() {
+    static StorageMetrics* m = [] {
+      auto* sm = new StorageMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      sm->bm_hits = &reg.GetCounter("storage.bm.hits");
+      sm->bm_misses = &reg.GetCounter("storage.bm.misses");
+      sm->bm_evictions = &reg.GetCounter("storage.bm.evictions");
+      sm->bm_evicted_bytes = &reg.GetCounter("storage.bm.evicted_bytes");
+      sm->bm_bytes_read = &reg.GetCounter("storage.bm.bytes_read");
+      sm->bm_resident_bytes = &reg.GetGauge("storage.bm.resident_bytes");
+      sm->scan_vectors = &reg.GetCounter("storage.scan.vectors");
+      sm->scan_rows = &reg.GetCounter("storage.scan.rows");
+      sm->scan_decompress_nanos =
+          &reg.GetCounter("storage.scan.decompress_nanos");
+      sm->merge_base_rows = &reg.GetCounter("storage.merge_scan.base_rows");
+      sm->merge_deleted_rows =
+          &reg.GetCounter("storage.merge_scan.deleted_rows");
+      sm->merge_insert_rows =
+          &reg.GetCounter("storage.merge_scan.insert_rows");
+      return sm;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_STORAGE_METRICS_H_

@@ -1,5 +1,6 @@
 #include "sys/perf_counters.h"
 
+#include <cstdio>
 #include <cstring>
 
 #if defined(__linux__)
@@ -10,6 +11,71 @@
 #endif
 
 namespace scc {
+
+namespace {
+
+void AppendCount(std::string* out, const char* label, int64_t v,
+                 bool trailing) {
+  char buf[64];
+  if (v < 0) {
+    snprintf(buf, sizeof(buf), "%s=n/a%s", label, trailing ? " " : "");
+  } else {
+    snprintf(buf, sizeof(buf), "%s=%lld%s", label,
+             static_cast<long long>(v), trailing ? " " : "");
+  }
+  *out += buf;
+}
+
+void AppendJsonCount(std::string* out, const char* label, int64_t v,
+                     bool trailing) {
+  char buf[64];
+  if (v < 0) {
+    snprintf(buf, sizeof(buf), "\"%s\":null%s", label, trailing ? "," : "");
+  } else {
+    snprintf(buf, sizeof(buf), "\"%s\":%lld%s", label,
+             static_cast<long long>(v), trailing ? "," : "");
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PerfReading::ToString() const {
+  std::string out;
+  AppendCount(&out, "cycles", cycles, true);
+  AppendCount(&out, "instructions", instructions, true);
+  AppendCount(&out, "branches", branches, true);
+  AppendCount(&out, "branch_misses", branch_misses, true);
+  AppendCount(&out, "cache_refs", cache_references, true);
+  AppendCount(&out, "cache_misses", cache_misses, true);
+  char buf[96];
+  if (IPC() >= 0) {
+    snprintf(buf, sizeof(buf), "ipc=%.2f ", IPC());
+    out += buf;
+  }
+  if (BranchMissRate() >= 0) {
+    snprintf(buf, sizeof(buf), "branch_miss=%.2f%% ", BranchMissRate());
+    out += buf;
+  }
+  if (CacheMissRate() >= 0) {
+    snprintf(buf, sizeof(buf), "cache_miss=%.2f%% ", CacheMissRate());
+    out += buf;
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string PerfReading::ToJson() const {
+  std::string out = "{";
+  AppendJsonCount(&out, "cycles", cycles, true);
+  AppendJsonCount(&out, "instructions", instructions, true);
+  AppendJsonCount(&out, "branches", branches, true);
+  AppendJsonCount(&out, "branch_misses", branch_misses, true);
+  AppendJsonCount(&out, "cache_references", cache_references, true);
+  AppendJsonCount(&out, "cache_misses", cache_misses, false);
+  out += "}";
+  return out;
+}
 
 #if defined(__linux__)
 

@@ -39,6 +39,12 @@ struct PerfReading {
     if (cache_references <= 0 || cache_misses < 0) return -1.0;
     return 100.0 * double(cache_misses) / double(cache_references);
   }
+
+  /// One-line human-readable rendering; unavailable counters print "n/a".
+  /// Benches and the telemetry exporters share this formatting path.
+  std::string ToString() const;
+  /// JSON object; unavailable counters are emitted as null.
+  std::string ToJson() const;
 };
 
 /// Counter group for the calling thread. Non-copyable.
@@ -66,6 +72,31 @@ class PerfCounters {
   int group_fd_ = -1;
   std::vector<Event> events_;
   PerfReading pending_;
+};
+
+/// RAII measurement window: Start() on construction, Stop() into `*out`
+/// on destruction. Lets a bench or telemetry exporter bracket a region
+/// without manual Start/Stop pairing:
+///
+///   PerfReading r;
+///   {
+///     ScopedPerfReading scope(&counters, &r);
+///     DecompressAll(...);
+///   }
+///   puts(r.ToString().c_str());
+class ScopedPerfReading {
+ public:
+  ScopedPerfReading(PerfCounters* counters, PerfReading* out)
+      : counters_(counters), out_(out) {
+    counters_->Start();
+  }
+  ~ScopedPerfReading() { *out_ = counters_->Stop(); }
+  ScopedPerfReading(const ScopedPerfReading&) = delete;
+  ScopedPerfReading& operator=(const ScopedPerfReading&) = delete;
+
+ private:
+  PerfCounters* counters_;
+  PerfReading* out_;
 };
 
 }  // namespace scc

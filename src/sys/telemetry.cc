@@ -1,0 +1,434 @@
+#include "sys/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace scc {
+
+namespace telemetry_internal {
+
+namespace {
+bool EnvFlag(const char* name, bool default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+}  // namespace
+
+std::atomic<bool> g_metrics_enabled{EnvFlag("SCC_TELEMETRY", true)};
+std::atomic<bool> g_trace_enabled{EnvFlag("SCC_TRACE", false)};
+
+}  // namespace telemetry_internal
+
+void SetTelemetryEnabled(bool enabled) {
+  telemetry_internal::g_metrics_enabled.store(enabled,
+                                              std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled) {
+  telemetry_internal::g_trace_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+double TraceNowMicros() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+// bit_width(v) is 64 for the top bucket's values; clamp into range.
+size_t HistBucket(uint64_t v) {
+  return std::min(size_t(std::bit_width(v)), kHistogramBuckets - 1);
+}
+uint64_t BucketUpperBound(size_t i) {
+  return i >= 64 ? UINT64_MAX : (uint64_t(1) << i) - 1;
+}
+}  // namespace
+
+void Histogram::Observe(uint64_t v) {
+  if (!TelemetryEnabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[HistBucket(v)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = uint64_t(q * double(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; i++) {
+    seen += bucket(i);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: element addresses are stable, so handed-out
+  // references survive later registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked on purpose: call sites cache Counter& in function-local
+  // statics, which may be touched during other statics' teardown.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  MetricsSnapshot snap;
+  snap.entries.reserve(impl_->counters.size() + impl_->gauges.size() +
+                       impl_->histograms.size());
+  for (const auto& [name, c] : impl_->counters) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kCounter;
+    e.value = int64_t(c->Value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kGauge;
+    e.value = g->Value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = MetricEntry::Kind::kHistogram;
+    e.value = int64_t(h->count());
+    e.hist_sum = h->sum();
+    e.hist_min = h->min();
+    e.hist_max = h->max();
+    e.hist_p50 = h->Quantile(0.5);
+    e.hist_p99 = h->Quantile(0.99);
+    e.hist_buckets.resize(kHistogramBuckets);
+    for (size_t i = 0; i < kHistogramBuckets; i++) {
+      e.hist_buckets[i] = h->bucket(i);
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricEntry& a, const MetricEntry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->Reset();
+  for (auto& [name, g] : impl_->gauges) g->Reset();
+  for (auto& [name, h] : impl_->histograms) h->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+const MetricEntry* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  out.entries.reserve(entries.size());
+  for (const MetricEntry& e : entries) {
+    const MetricEntry* b = base.Find(e.name);
+    MetricEntry d = e;
+    if (b != nullptr && e.kind != MetricEntry::Kind::kGauge) {
+      d.value -= b->value;
+      if (e.kind == MetricEntry::Kind::kHistogram) {
+        d.hist_sum -= std::min(d.hist_sum, b->hist_sum);
+        for (size_t i = 0;
+             i < d.hist_buckets.size() && i < b->hist_buckets.size(); i++) {
+          d.hist_buckets[i] -= std::min(d.hist_buckets[i], b->hist_buckets[i]);
+        }
+        // min/max/quantiles of the delta window are not recoverable from
+        // endpoint summaries; keep the current totals.
+      }
+    }
+    out.entries.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToTable(bool include_zero) const {
+  size_t width = 8;
+  for (const MetricEntry& e : entries) {
+    width = std::max(width, e.name.size());
+  }
+  std::string out;
+  char line[256];
+  for (const MetricEntry& e : entries) {
+    if (!include_zero && e.value == 0) continue;
+    switch (e.kind) {
+      case MetricEntry::Kind::kCounter:
+        snprintf(line, sizeof(line), "%-*s %20lld\n", int(width),
+                 e.name.c_str(), static_cast<long long>(e.value));
+        break;
+      case MetricEntry::Kind::kGauge:
+        snprintf(line, sizeof(line), "%-*s %20lld (gauge)\n", int(width),
+                 e.name.c_str(), static_cast<long long>(e.value));
+        break;
+      case MetricEntry::Kind::kHistogram:
+        snprintf(line, sizeof(line),
+                 "%-*s %20lld (hist: sum=%llu min=%llu p50<=%llu p99<=%llu "
+                 "max=%llu)\n",
+                 int(width), e.name.c_str(), static_cast<long long>(e.value),
+                 static_cast<unsigned long long>(e.hist_sum),
+                 static_cast<unsigned long long>(e.hist_min),
+                 static_cast<unsigned long long>(e.hist_p50),
+                 static_cast<unsigned long long>(e.hist_p99),
+                 static_cast<unsigned long long>(e.hist_max));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  // Metric names are dot-separated identifiers (no quotes/backslashes), so
+  // plain quoting is a faithful JSON encoding.
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  for (const MetricEntry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    switch (e.kind) {
+      case MetricEntry::Kind::kCounter:
+        snprintf(buf, sizeof(buf), "\"%s\":%lld", e.name.c_str(),
+                 static_cast<long long>(e.value));
+        out += buf;
+        break;
+      case MetricEntry::Kind::kGauge:
+        snprintf(buf, sizeof(buf), "\"%s\":{\"gauge\":%lld}", e.name.c_str(),
+                 static_cast<long long>(e.value));
+        out += buf;
+        break;
+      case MetricEntry::Kind::kHistogram:
+        snprintf(buf, sizeof(buf),
+                 "\"%s\":{\"count\":%lld,\"sum\":%llu,\"min\":%llu,"
+                 "\"p50\":%llu,\"p99\":%llu,\"max\":%llu}",
+                 e.name.c_str(), static_cast<long long>(e.value),
+                 static_cast<unsigned long long>(e.hist_sum),
+                 static_cast<unsigned long long>(e.hist_min),
+                 static_cast<unsigned long long>(e.hist_p50),
+                 static_cast<unsigned long long>(e.hist_p99),
+                 static_cast<unsigned long long>(e.hist_max));
+        out += buf;
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+struct TraceRecorder::Impl {
+  struct Event {
+    const char* name;
+    const char* category;
+    double ts_us;
+    double dur_us;
+  };
+  struct ThreadLog {
+    std::mutex mu;
+    std::vector<Event> events;
+    uint32_t tid;
+    size_t dropped = 0;
+  };
+
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  uint32_t next_tid = 1;
+
+  ThreadLog* GetThreadLog() {
+    thread_local ThreadLog* cached = nullptr;
+    if (cached == nullptr) {
+      std::lock_guard<std::mutex> lock(registry_mu);
+      logs.push_back(std::make_unique<ThreadLog>());
+      cached = logs.back().get();
+      cached->tid = next_tid++;
+    }
+    return cached;
+  }
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {}
+TraceRecorder::~TraceRecorder() { delete impl_; }
+
+TraceRecorder& TraceRecorder::Instance() {
+  // Leaked for the same reason as the registry: spans may close during
+  // static teardown.
+  static TraceRecorder* r = new TraceRecorder();
+  return *r;
+}
+
+void TraceRecorder::RecordComplete(const char* name, const char* category,
+                                   double ts_us, double dur_us) {
+  Impl::ThreadLog* log = impl_->GetThreadLog();
+  std::lock_guard<std::mutex> lock(log->mu);
+  if (log->events.size() >= kMaxEventsPerThread) {
+    log->dropped++;
+    return;
+  }
+  log->events.push_back(Impl::Event{name, category, ts_us, dur_us});
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[320];
+  bool first = true;
+  std::lock_guard<std::mutex> reg_lock(impl_->registry_mu);
+  for (const auto& log : impl_->logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    for (const Impl::Event& e : log->events) {
+      if (!first) out += ",";
+      first = false;
+      snprintf(buf, sizeof(buf),
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+               "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+               e.name, e.category, e.ts_us, e.dur_us, log->tid);
+      out += buf;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::string json = ToChromeTraceJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = (written == json.size());
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> reg_lock(impl_->registry_mu);
+  size_t n = 0;
+  for (const auto& log : impl_->logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    n += log->events.size();
+  }
+  return n;
+}
+
+size_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> reg_lock(impl_->registry_mu);
+  size_t n = 0;
+  for (const auto& log : impl_->logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    n += log->dropped;
+  }
+  return n;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> reg_lock(impl_->registry_mu);
+  for (const auto& log : impl_->logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    log->events.clear();
+    log->dropped = 0;
+  }
+}
+
+}  // namespace scc

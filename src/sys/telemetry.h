@@ -1,0 +1,317 @@
+#ifndef SCC_SYS_TELEMETRY_H_
+#define SCC_SYS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Library-wide observability. Two facilities:
+//
+//  * MetricsRegistry — a process-global registry of named counters, gauges
+//    and histograms. Counters are sharded over cache-line-padded
+//    relaxed-atomic cells indexed by a per-thread anchor, so a hot codec
+//    loop pays one uncontended relaxed add per vector; reads sum the
+//    shards. The paper's whole argument is quantitative (IPC, exception
+//    rates, RAM->cache bandwidth); this gives the library itself, not just
+//    the bench binaries, a way to report those numbers.
+//
+//  * TraceRecorder — per-thread buffers of completed spans, dumped as
+//    Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+//    Spans are created with the RAII macro SCC_TRACE_SPAN("scan.q1");
+//    span names must be string literals (the recorder stores the pointer).
+//
+// Overhead discipline:
+//  * Compile-time: building with -DSCC_TELEMETRY=0 turns SCC_TRACE_SPAN
+//    into a no-op and makes TelemetryEnabled() a constant false, so every
+//    guarded call site folds away.
+//  * Runtime: metrics honor the SCC_TELEMETRY env var (0/off disables;
+//    default enabled) and tracing honors SCC_TRACE (default DISABLED —
+//    traces accumulate memory). Disabled counters skip the atomic add;
+//    disabled spans skip the clock reads.
+//
+// Metric naming convention (see docs/OBSERVABILITY.md for the inventory):
+// dot-separated lowercase families, e.g. codec.pfor.decode.values,
+// storage.bm.evictions, engine.select.rows_out, tpch.queries.
+
+namespace scc {
+
+#ifndef SCC_TELEMETRY
+#define SCC_TELEMETRY 1
+#endif
+
+namespace telemetry_internal {
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_trace_enabled;
+
+/// Shard index for the calling thread: hashes a thread-local anchor
+/// address. Stable for a thread's lifetime; different threads usually land
+/// on different cache lines, which is all the sharding needs.
+inline size_t ThisShard(size_t nshards) {
+  thread_local char anchor;
+  size_t h = reinterpret_cast<uintptr_t>(&anchor);
+  h ^= h >> 17;
+  return (h >> 6) & (nshards - 1);
+}
+}  // namespace telemetry_internal
+
+/// True when runtime metric collection is on (and compiled in).
+inline bool TelemetryEnabled() {
+#if SCC_TELEMETRY
+  return telemetry_internal::g_metrics_enabled.load(
+      std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+void SetTelemetryEnabled(bool enabled);
+
+/// True when span recording is on (and compiled in).
+inline bool TraceEnabled() {
+#if SCC_TELEMETRY
+  return telemetry_internal::g_trace_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+void SetTraceEnabled(bool enabled);
+
+/// Microseconds since process start (steady clock); the trace time base.
+double TraceNowMicros();
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Shards per counter. Power of two; 16 covers typical core counts while
+/// keeping a counter at 1 KB.
+constexpr size_t kMetricShards = 16;
+
+/// Log2 histogram buckets: bucket i holds values v with bit_width(v) == i
+/// (v == 0 lands in bucket 0), so bucket 63 tops out any uint64.
+constexpr size_t kHistogramBuckets = 64;
+
+/// Monotonic counter. Add() is the hot-path operation: one enabled check
+/// plus one relaxed fetch_add on the calling thread's shard.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    if (!TelemetryEnabled()) return;
+    cells_[telemetry_internal::ThisShard(kMetricShards)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over shards. Racy-but-consistent under concurrent Add().
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::string name_;
+  Cell cells_[kMetricShards];
+};
+
+/// Point-in-time signed value (e.g. resident bytes). Not sharded: gauges
+/// are set at coarse granularity, not in codec loops.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!TelemetryEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!TelemetryEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed distribution (latencies in ns, segment sizes, ...).
+/// Buckets are shared atomics, not sharded: intended for events at >= µs
+/// granularity, not per-value codec work.
+class Histogram {
+ public:
+  void Observe(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Approximate quantile (upper bound of the covering bucket), q in [0,1].
+  uint64_t Quantile(double q) const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kHistogramBuckets]{};
+};
+
+/// One exported metric value, decoupled from the live objects so
+/// snapshots can be diffed and serialized offline.
+struct MetricEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;  // counter total / gauge value / histogram count
+  // Histogram detail (kind == kHistogram only).
+  uint64_t hist_sum = 0;
+  uint64_t hist_min = 0;
+  uint64_t hist_max = 0;
+  uint64_t hist_p50 = 0;
+  uint64_t hist_p99 = 0;
+  std::vector<uint64_t> hist_buckets;
+};
+
+/// A consistent-enough copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricEntry> entries;
+
+  /// Counters/histograms become (this - base); gauges keep their current
+  /// value. Metrics absent from `base` are reported as-is.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+
+  /// Human-readable aligned table, one metric per line; zero-valued
+  /// metrics are skipped unless `include_zero`.
+  std::string ToTable(bool include_zero = false) const;
+  /// JSON object keyed by metric name.
+  std::string ToJson() const;
+
+  const MetricEntry* Find(std::string_view name) const;
+};
+
+/// Process-wide registry. Get* registers on first use and returns a
+/// reference that stays valid for the process lifetime, so call sites can
+/// cache it in a function-local static and skip the map lookup.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance (never destroyed, safe during shutdown).
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (registration is kept).
+  void ResetAll();
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// Collects completed spans per thread; serializes to the Chrome
+/// trace_event format ("X" complete events). Buffers are bounded
+/// (kMaxEventsPerThread); overflow is counted, not stored.
+class TraceRecorder {
+ public:
+  static constexpr size_t kMaxEventsPerThread = 1u << 20;
+
+  static TraceRecorder& Instance();
+
+  /// Records a completed span. `name`/`category` must outlive the
+  /// recorder (string literals).
+  void RecordComplete(const char* name, const char* category, double ts_us,
+                      double dur_us);
+
+  std::string ToChromeTraceJson() const;
+  /// Writes ToChromeTraceJson() to `path`; returns false on I/O error.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  size_t event_count() const;
+  size_t dropped_count() const;
+  void Clear();
+
+ private:
+  TraceRecorder();
+  ~TraceRecorder();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII span: measures construction->destruction and records it when
+/// tracing is enabled. Prefer the SCC_TRACE_SPAN macro.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "scc") {
+    if (TraceEnabled()) {
+      name_ = name;
+      category_ = category;
+      start_us_ = TraceNowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Instance().RecordComplete(
+          name_, category_, start_us_, TraceNowMicros() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  double start_us_ = 0;
+};
+
+#define SCC_TELEM_CAT2(a, b) a##b
+#define SCC_TELEM_CAT(a, b) SCC_TELEM_CAT2(a, b)
+#if SCC_TELEMETRY
+#define SCC_TRACE_SPAN(name) \
+  ::scc::TraceSpan SCC_TELEM_CAT(scc_trace_span_, __LINE__)(name)
+#else
+#define SCC_TRACE_SPAN(name) ((void)0)
+#endif
+
+}  // namespace scc
+
+#endif  // SCC_SYS_TELEMETRY_H_

@@ -5,11 +5,52 @@
 
 #include "engine/hash_table.h"
 #include "engine/primitives.h"
+#include "sys/telemetry.h"
 #include "sys/timer.h"
 
 namespace scc {
 
 namespace {
+
+// Telemetry handles for the query driver (see codec_metrics.h for the
+// caching rationale).
+struct TpchMetrics {
+  Counter* queries;
+  Counter* result_rows;
+  Counter* cpu_nanos;
+  Counter* io_nanos;
+
+  static TpchMetrics& Get() {
+    static TpchMetrics* m = [] {
+      auto* tm = new TpchMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      tm->queries = &reg.GetCounter("tpch.queries");
+      tm->result_rows = &reg.GetCounter("tpch.result_rows");
+      tm->cpu_nanos = &reg.GetCounter("tpch.cpu_nanos");
+      tm->io_nanos = &reg.GetCounter("tpch.io_nanos");
+      return tm;
+    }();
+    return *m;
+  }
+};
+
+/// Stable literal span names (the trace recorder stores the pointer).
+const char* QuerySpanName(int q) {
+  switch (q) {
+    case 1: return "tpch.q1";
+    case 3: return "tpch.q3";
+    case 4: return "tpch.q4";
+    case 5: return "tpch.q5";
+    case 6: return "tpch.q6";
+    case 7: return "tpch.q7";
+    case 11: return "tpch.q11";
+    case 14: return "tpch.q14";
+    case 15: return "tpch.q15";
+    case 18: return "tpch.q18";
+    case 21: return "tpch.q21";
+    default: return "tpch.q_other";
+  }
+}
 
 // Nation codes used by the parameterized queries (dbgen assigns fixed
 // names; any fixed assignment preserves selectivities).
@@ -898,6 +939,7 @@ std::vector<std::pair<std::string, std::string>> QueryColumns(int query) {
 
 QueryStats RunTpchQuery(int q, const TpchDatabase& db, BufferManager* bm,
                         TableScanOp::Mode mode) {
+  TraceSpan span(QuerySpanName(q), "tpch");
   const double io0 = bm->disk()->io_seconds();
   const size_t bytes0 = bm->disk()->bytes_read();
   Timer timer;
@@ -943,6 +985,11 @@ QueryStats RunTpchQuery(int q, const TpchDatabase& db, BufferManager* bm,
   s.cpu_seconds = timer.ElapsedSeconds();
   s.io_seconds = bm->disk()->io_seconds() - io0;
   s.bytes_read = bm->disk()->bytes_read() - bytes0;
+  TpchMetrics& tm = TpchMetrics::Get();
+  tm.queries->Increment();
+  tm.result_rows->Add(s.result_rows);
+  tm.cpu_nanos->Add(uint64_t(s.cpu_seconds * 1e9));
+  tm.io_nanos->Add(uint64_t(s.io_seconds * 1e9));
   return s;
 }
 

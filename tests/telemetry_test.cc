@@ -1,0 +1,246 @@
+#include "sys/telemetry.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sys/perf_counters.h"
+
+// Telemetry subsystem tests: registry identity and exact totals under
+// concurrent sharded increments, snapshot/delta/export, span recording
+// and nesting, and the disabled-mode no-op guarantees.
+//
+// The registry is process-global and shared across TEST cases, so every
+// test uses metric names under its own "test.<case>." prefix and restores
+// the enabled flags it flips.
+
+namespace scc {
+namespace {
+
+/// Pulls ts/dur (microseconds) for the named event out of chrome-trace
+/// JSON. Relies on the serializer's fixed key order (name ... ts, dur).
+bool FindEvent(const std::string& json, const std::string& name, double* ts,
+               double* dur) {
+  size_t pos = json.find("\"name\":\"" + name + "\"");
+  if (pos == std::string::npos) return false;
+  size_t tpos = json.find("\"ts\":", pos);
+  size_t dpos = json.find("\"dur\":", pos);
+  if (tpos == std::string::npos || dpos == std::string::npos) return false;
+  *ts = std::atof(json.c_str() + tpos + 5);
+  *dur = std::atof(json.c_str() + dpos + 6);
+  return true;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetTelemetryEnabled(true); }
+  void TearDown() override {
+    SetTelemetryEnabled(true);
+    SetTraceEnabled(false);
+  }
+};
+
+TEST_F(TelemetryTest, GetCounterReturnsSameObjectForSameName) {
+  Counter& a = MetricsRegistry::Instance().GetCounter("test.identity.c");
+  Counter& b = MetricsRegistry::Instance().GetCounter("test.identity.c");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.identity.c");
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.identity.other");
+  EXPECT_NE(&a, &c);
+}
+
+TEST_F(TelemetryTest, CounterExactUnderConcurrentIncrements) {
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.concurrent.c");
+  c.Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; i++) c.Add(3);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Sharded relaxed adds must still sum exactly: no lost updates.
+  EXPECT_EQ(c.Value(), uint64_t(kThreads) * kPerThread * 3);
+}
+
+TEST_F(TelemetryTest, GaugeSetAndAdd) {
+  Gauge& g = MetricsRegistry::Instance().GetGauge("test.gauge.g");
+  g.Set(100);
+  EXPECT_EQ(g.Value(), 100);
+  g.Add(-30);
+  EXPECT_EQ(g.Value(), 70);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndQuantiles) {
+  Histogram& h = MetricsRegistry::Instance().GetHistogram("test.hist.h");
+  h.Reset();
+  // bit_width(v) picks the bucket: 0 -> 0, 1 -> 1, 2 -> 2, 1000 -> 10.
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1003u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  // Quantiles are bucket upper bounds: p100 covers the 1000 observation.
+  EXPECT_GE(h.Quantile(1.0), 1000u);
+  EXPECT_LE(h.Quantile(0.25), 1u);
+  // 64-bit values clamp into the top bucket instead of overflowing it.
+  h.Observe(UINT64_MAX);
+  EXPECT_EQ(h.bucket(kHistogramBuckets - 1), 1u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST_F(TelemetryTest, SnapshotFindAndDelta) {
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.delta.c");
+  Gauge& g = MetricsRegistry::Instance().GetGauge("test.delta.g");
+  c.Reset();
+  c.Add(5);
+  g.Set(42);
+  MetricsSnapshot base = MetricsRegistry::Instance().Snapshot();
+  const MetricEntry* e = base.Find("test.delta.c");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 5);
+  EXPECT_EQ(e->kind, MetricEntry::Kind::kCounter);
+
+  c.Add(7);
+  g.Set(17);
+  MetricsSnapshot now = MetricsRegistry::Instance().Snapshot();
+  MetricsSnapshot delta = now.DeltaSince(base);
+  // Counters difference; gauges report the current value.
+  EXPECT_EQ(delta.Find("test.delta.c")->value, 7);
+  EXPECT_EQ(delta.Find("test.delta.g")->value, 17);
+}
+
+TEST_F(TelemetryTest, SnapshotEntriesSortedByName) {
+  MetricsRegistry::Instance().GetCounter("test.sorted.b");
+  MetricsRegistry::Instance().GetCounter("test.sorted.a");
+  MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
+  for (size_t i = 1; i < snap.entries.size(); i++) {
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+}
+
+TEST_F(TelemetryTest, ExportersRenderRegisteredMetrics) {
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.export.c");
+  c.Reset();
+  c.Add(9);
+  MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
+  std::string table = snap.ToTable();
+  EXPECT_NE(table.find("test.export.c"), std::string::npos);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"test.export.c\":9"), std::string::npos);
+  // Zero-valued metrics are hidden from the table unless asked for.
+  Counter& z = MetricsRegistry::Instance().GetCounter("test.export.zero");
+  z.Reset();
+  MetricsSnapshot snap2 = MetricsRegistry::Instance().Snapshot();
+  EXPECT_EQ(snap2.ToTable().find("test.export.zero"), std::string::npos);
+  EXPECT_NE(snap2.ToTable(/*include_zero=*/true).find("test.export.zero"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, DisabledModeIsANoOp) {
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.disabled.c");
+  Gauge& g = MetricsRegistry::Instance().GetGauge("test.disabled.g");
+  Histogram& h = MetricsRegistry::Instance().GetHistogram("test.disabled.h");
+  c.Reset();
+  g.Reset();
+  h.Reset();
+  SetTelemetryEnabled(false);
+  EXPECT_FALSE(TelemetryEnabled());
+  c.Add(100);
+  g.Set(100);
+  h.Observe(100);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  SetTelemetryEnabled(true);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST_F(TelemetryTest, SpansNotRecordedWhenTracingDisabled) {
+  TraceRecorder& tr = TraceRecorder::Instance();
+  tr.Clear();
+  ASSERT_FALSE(TraceEnabled());
+  {
+    SCC_TRACE_SPAN("test.span.disabled");
+  }
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST_F(TelemetryTest, NestedSpansRecordedWithContainment) {
+  TraceRecorder& tr = TraceRecorder::Instance();
+  tr.Clear();
+  SetTraceEnabled(true);
+  {
+    SCC_TRACE_SPAN("test.span.outer");
+    {
+      SCC_TRACE_SPAN("test.span.inner");
+      // Make the inner span non-zero length.
+      volatile uint64_t sink = 0;
+      for (int i = 0; i < 10000; i++) sink += uint64_t(i);
+    }
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(tr.event_count(), 2u);
+  std::string json = tr.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  double outer_ts = 0, outer_dur = 0, inner_ts = 0, inner_dur = 0;
+  ASSERT_TRUE(FindEvent(json, "test.span.outer", &outer_ts, &outer_dur));
+  ASSERT_TRUE(FindEvent(json, "test.span.inner", &inner_ts, &inner_dur));
+  // Containment: the outer span brackets the inner one. 0.01 us slack
+  // for the %.3f serialization rounding.
+  EXPECT_LE(outer_ts, inner_ts + 0.01);
+  EXPECT_GE(outer_ts + outer_dur, inner_ts + inner_dur - 0.01);
+  EXPECT_GE(outer_dur, inner_dur - 0.01);
+}
+
+TEST_F(TelemetryTest, SpanStartsDisabledStaysUnrecordedAcrossEnable) {
+  // A span constructed while tracing is off must not record even if
+  // tracing turns on before it destructs (it never read the clock).
+  TraceRecorder& tr = TraceRecorder::Instance();
+  tr.Clear();
+  {
+    TraceSpan span("test.span.latent");
+    SetTraceEnabled(true);
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST_F(TelemetryTest, ResetAllZeroesButKeepsRegistration) {
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.resetall.c");
+  c.Add(11);
+  MetricsRegistry::Instance().ResetAll();
+  EXPECT_EQ(c.Value(), 0u);
+  // Same object is still registered under the name.
+  EXPECT_EQ(&MetricsRegistry::Instance().GetCounter("test.resetall.c"), &c);
+}
+
+TEST_F(TelemetryTest, PerfReadingSerializesUnavailableAsNa) {
+  PerfReading r;  // all fields -1 (unavailable)
+  EXPECT_NE(r.ToString().find("cycles=n/a"), std::string::npos);
+  EXPECT_NE(r.ToJson().find("\"cycles\":null"), std::string::npos);
+  r.cycles = 1000;
+  r.instructions = 2000;
+  EXPECT_NE(r.ToString().find("ipc=2.00"), std::string::npos);
+  EXPECT_NE(r.ToJson().find("\"instructions\":2000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scc

@@ -2,15 +2,21 @@
 // directory: per-chunk scheme, bit width, exception rate and compression
 // ratio. The operational "what did the analyzer do to my data" tool.
 //
-//   scc_inspect <table-dir>            # every column in the MANIFEST
-//   scc_inspect <table-dir> <column>   # one column, per-chunk detail
+//   scc_inspect <table-dir>              # every column in the MANIFEST
+//   scc_inspect <table-dir> <column>     # one column, per-chunk detail
+//   scc_inspect --telemetry <table-dir>  # also decode every chunk and
+//                                        # print the telemetry snapshot
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/segment.h"
+#include "core/segment_reader.h"
+#include "engine/operators.h"
 #include "storage/file_store.h"
+#include "sys/telemetry.h"
 
 namespace scc {
 namespace {
@@ -24,6 +30,11 @@ void PrintColumn(const StoredColumn& col, bool per_chunk) {
          col.ByteSize() ? double(raw) / col.ByteSize() : 0.0);
   if (!per_chunk) return;
   for (size_t i = 0; i < col.chunks.size(); i++) {
+    if (col.chunks[i].size() < sizeof(SegmentHeader)) {
+      printf("  chunk %-4zu TRUNCATED (%zu bytes, header needs %zu)\n", i,
+             col.chunks[i].size(), sizeof(SegmentHeader));
+      continue;
+    }
     SegmentHeader hdr;
     std::memcpy(&hdr, col.chunks[i].data(), sizeof(hdr));
     printf("  chunk %-4zu %-12s b=%-3u n=%-8u exc=%-8u (%.2f%%)  "
@@ -35,32 +46,77 @@ void PrintColumn(const StoredColumn& col, bool per_chunk) {
   }
 }
 
+/// Full decode of every chunk of `col` (validating as it goes), so the
+/// codec.*.decode metric family reflects the whole table. Returns false
+/// if any chunk fails segment validation.
+bool DecodeColumn(const StoredColumn& col) {
+  bool ok = true;
+  DispatchType(col.type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_integral_v<T>) {
+      std::vector<T> out;
+      for (const AlignedBuffer& seg : col.chunks) {
+        auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+        if (!reader.ok()) {
+          ok = false;
+          continue;
+        }
+        out.resize(reader.ValueOrDie().count());
+        reader.ValueOrDie().DecompressAll(out.data());
+      }
+    } else {
+      ok = false;  // float columns are stored via the integer codec paths
+    }
+    return 0;
+  });
+  return ok;
+}
+
 int Run(int argc, char** argv) {
-  if (argc < 2) {
-    fprintf(stderr, "usage: %s <table-dir> [column]\n", argv[0]);
+  bool telemetry = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.empty()) {
+    fprintf(stderr, "usage: %s [--telemetry] <table-dir> [column]\n",
+            argv[0]);
     return 2;
   }
-  auto table = FileStore::Load(argv[1]);
+  if (telemetry) SetTelemetryEnabled(true);
+  auto table = FileStore::Load(pos[0]);
   if (!table.ok()) {
     fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
     return 1;
   }
   const Table& t = table.ValueOrDie();
-  printf("table %s: %zu columns, %zu rows, %.2f MB stored\n\n", argv[1],
+  printf("table %s: %zu columns, %zu rows, %.2f MB stored\n\n", pos[0],
          t.column_count(), t.rows(), t.ByteSize() / 1048576.0);
-  if (argc >= 3) {
-    const StoredColumn* col = t.column(std::string(argv[2]));
+  int rc = 0;
+  if (pos.size() >= 2) {
+    const StoredColumn* col = t.column(std::string(pos[1]));
     if (col == nullptr) {
-      fprintf(stderr, "no such column: %s\n", argv[2]);
+      fprintf(stderr, "no such column: %s\n", pos[1]);
       return 1;
     }
     PrintColumn(*col, /*per_chunk=*/true);
+    if (telemetry && !DecodeColumn(*col)) rc = 1;
   } else {
     for (size_t c = 0; c < t.column_count(); c++) {
       PrintColumn(*t.column(c), /*per_chunk=*/false);
+      if (telemetry && !DecodeColumn(*t.column(c))) rc = 1;
     }
   }
-  return 0;
+  if (telemetry) {
+    printf("\n-- telemetry --\n%s",
+           MetricsRegistry::Instance().Snapshot().ToTable().c_str());
+    if (rc != 0) fprintf(stderr, "warning: some chunks failed to decode\n");
+  }
+  return rc;
 }
 
 }  // namespace
