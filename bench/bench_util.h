@@ -1,10 +1,13 @@
 #ifndef SCC_BENCH_BENCH_UTIL_H_
 #define SCC_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sys/perf_counters.h"
@@ -87,6 +90,51 @@ inline std::string FmtIpc(double v) {
 inline void PrintHeader(const char* title, const char* paper_ref) {
   printf("\n=== %s ===\n", title);
   printf("(reproduces %s)\n\n", paper_ref);
+}
+
+/// Removes every occurrence of `flag` from argv (so the remainder can be
+/// handed to a stricter parser, e.g. google-benchmark's). Returns whether
+/// the flag was present.
+inline bool StripFlag(int* argc, char** argv, const char* flag) {
+  int w = 1;
+  bool found = false;
+  for (int i = 1; i < *argc; i++) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return found;
+}
+
+/// Machine-readable output mode (--json): one JSON object per line per
+/// benchmark, so results pipe straight into jq / a tracking dashboard.
+/// `extra` appends additional numeric fields (e.g. "ipc", "speedup").
+inline void EmitJsonLine(
+    const std::string& name, double bytes_per_second, double ns_per_value,
+    const std::vector<std::pair<std::string, double>>& extra = {}) {
+  printf("{\"name\":\"%s\",\"bytes_per_second\":%.6g,\"ns_per_value\":%.6g",
+         name.c_str(), bytes_per_second, ns_per_value);
+  for (const auto& [key, value] : extra) {
+    printf(",\"%s\":%.6g", key.c_str(), value);
+  }
+  printf("}\n");
+}
+
+/// Geometric mean (the right average for throughput ratios across bit
+/// widths); zero/negative entries are skipped.
+inline double GeoMean(const std::vector<double>& values) {
+  double log_sum = 0;
+  size_t count = 0;
+  for (double v : values) {
+    if (v > 0) {
+      log_sum += std::log(v);
+      count++;
+    }
+  }
+  return count ? std::exp(log_sum / double(count)) : 0.0;
 }
 
 }  // namespace bench

@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -178,7 +182,186 @@ void BM_AnalyzeSample(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeSample)->Arg(4096)->Arg(65536);
 
+// ---------------------------------------------------------------------------
+// Kernel ISA sweep: scalar vs SIMD backends side by side
+// ---------------------------------------------------------------------------
+
+/// One measured kernel variant: best-of-reps wall time plus a hardware
+/// counter reading of a single run (ScopedPerfReading), so each row can
+/// print IPC / cache-miss / branch-miss next to its bandwidth.
+struct IsaMeasurement {
+  double seconds = 0;
+  PerfReading perf;
+};
+
+IsaMeasurement MeasureKernel(const std::function<void()>& fn) {
+  IsaMeasurement m;
+  m.seconds = bench::BestSeconds(5, fn);
+  PerfCounters counters;
+  if (counters.available()) {
+    ScopedPerfReading scope(&counters, &m.perf);
+    fn();
+  }
+  return m;
+}
+
+std::vector<KernelIsa> SupportedIsas() {
+  std::vector<KernelIsa> isas;
+  for (int i = 0; i < kNumKernelIsas; i++) {
+    if (KernelIsaSupported(KernelIsa(i))) isas.push_back(KernelIsa(i));
+  }
+  return isas;
+}
+
+void PrintIsaRow(const char* name, KernelIsa isa, const IsaMeasurement& m,
+                 double bytes, double n, double speedup, bool json) {
+  if (json) {
+    std::vector<std::pair<std::string, double>> extra;
+    if (m.perf.IPC() >= 0) {
+      extra.emplace_back("ipc", m.perf.IPC());
+      extra.emplace_back("cache_miss_rate", m.perf.CacheMissRate());
+      extra.emplace_back("branch_miss_rate", m.perf.BranchMissRate());
+    }
+    if (speedup > 0) extra.emplace_back("speedup_vs_scalar", speedup);
+    bench::EmitJsonLine(std::string(name) + "/" + KernelIsaName(isa),
+                        bytes / m.seconds, m.seconds * 1e9 / n, extra);
+  } else {
+    printf("  %-28s %-6s %8.2f GB/s  %6.2f ns/kval  ipc=%s miss=%s "
+           "br=%s",
+           name, KernelIsaName(isa), GBPerSec(bytes, m.seconds),
+           m.seconds * 1e9 / (n / 1000.0), bench::FmtIpc(m.perf.IPC()).c_str(),
+           bench::FmtRate(m.perf.CacheMissRate()).c_str(),
+           bench::FmtRate(m.perf.BranchMissRate()).c_str());
+    if (speedup > 0) printf("  %4.2fx", speedup);
+    printf("\n");
+  }
+}
+
+/// The tentpole measurement: every supported backend decoding the same
+/// packed streams, per bit width, with the scalar column as the baseline.
+/// Buffers are sized L1-resident (16 KB out) and each timed run loops the
+/// kernel kInner times, so the sweep measures kernel throughput rather
+/// than the cache-level store bandwidth a multi-MB working set hits.
+/// Restores the startup-selected backend before returning.
+void RunIsaSweep(bool json) {
+  const KernelIsa original = ActiveKernelIsa();
+  const auto isas = SupportedIsas();
+  const size_t n = 4096;
+  const size_t kInner = 2048;
+  Rng rng(42);
+
+  if (!json) {
+    printf("\n=== Kernel ISA sweep (scalar vs SIMD) ===\n");
+    printf("active backend at startup: %s\n\n", KernelIsaName(original));
+  }
+
+  // BitUnpack per bit width. Geometric-mean speedup over widths 1..16 is
+  // the acceptance number for the SIMD backends.
+  std::vector<double> simd_speedups_1_16;
+  for (int b : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 20,
+                24, 28, 32}) {
+    std::vector<uint32_t> codes(n);
+    for (auto& c : codes) c = uint32_t(rng.Next()) & MaxCode(b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 4);
+    BitPack(codes.data(), n, b, packed.data());
+    std::vector<uint32_t> out(n + 32);
+    const double bytes = double(n) * 4 * double(kInner);
+    char name[32];
+    snprintf(name, sizeof(name), "BitUnpack/%d", b);
+    double scalar_seconds = 0;
+    for (KernelIsa isa : isas) {
+      SetKernelIsa(isa);
+      auto m = MeasureKernel([&] {
+        for (size_t k = 0; k < kInner; k++) {
+          BitUnpack(packed.data(), n, b, out.data());
+        }
+      });
+      double speedup = 0;
+      if (isa == KernelIsa::kScalar) {
+        scalar_seconds = m.seconds;
+      } else if (scalar_seconds > 0) {
+        speedup = scalar_seconds / m.seconds;
+        if (isa == original && b <= 16) simd_speedups_1_16.push_back(speedup);
+      }
+      PrintIsaRow(name, isa, m, bytes, double(n) * double(kInner), speedup,
+                  json);
+    }
+  }
+
+  // Fused unpack+FOR and the PFOR-DELTA prefix sum at one representative
+  // width each — the two other decode-path kernels the dispatch serves.
+  {
+    const int b = 8;
+    std::vector<uint32_t> codes(n);
+    for (auto& c : codes) c = uint32_t(rng.Next()) & MaxCode(b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 4);
+    BitPack(codes.data(), n, b, packed.data());
+    std::vector<uint32_t> out32(n);
+    std::vector<uint64_t> out64(n);
+    const double values = double(n) * double(kInner);
+    for (KernelIsa isa : isas) {
+      SetKernelIsa(isa);
+      auto m = MeasureKernel([&] {
+        for (size_t k = 0; k < kInner; k++) {
+          BitUnpackFor32(packed.data(), n, b, 1000u, out32.data());
+        }
+      });
+      PrintIsaRow("BitUnpackFor32/8", isa, m, values * 4, values, 0, json);
+    }
+    for (KernelIsa isa : isas) {
+      SetKernelIsa(isa);
+      auto m = MeasureKernel([&] {
+        for (size_t k = 0; k < kInner; k++) {
+          BitUnpackFor64(packed.data(), n, b, 1000u, out64.data());
+        }
+      });
+      PrintIsaRow("BitUnpackFor64/8", isa, m, values * 8, values, 0, json);
+    }
+    for (KernelIsa isa : isas) {
+      SetKernelIsa(isa);
+      auto m = MeasureKernel([&] {
+        for (size_t k = 0; k < kInner; k++) {
+          std::memcpy(out32.data(), codes.data(), n * 4);
+          PrefixSum32(out32.data(), n, 0);
+        }
+      });
+      PrintIsaRow("PrefixSum32", isa, m, values * 4, values, 0, json);
+    }
+    for (KernelIsa isa : isas) {
+      SetKernelIsa(isa);
+      auto m = MeasureKernel([&] {
+        for (size_t k = 0; k < kInner; k++) {
+          for (size_t i = 0; i < n; i++) out64[i] = codes[i];
+          PrefixSum64(out64.data(), n, 0);
+        }
+      });
+      PrintIsaRow("PrefixSum64", isa, m, values * 8, values, 0, json);
+    }
+  }
+
+  SetKernelIsa(original);
+  const double geomean = bench::GeoMean(simd_speedups_1_16);
+  if (json) {
+    if (geomean > 0) {
+      bench::EmitJsonLine(std::string("BitUnpackGeoMeanSpeedup/b1-16/") +
+                              KernelIsaName(original),
+                          0, 0, {{"speedup_vs_scalar", geomean}});
+    }
+  } else if (geomean > 0) {
+    printf("\nBitUnpack geomean speedup (b=1..16, %s vs scalar): %.2fx\n\n",
+           KernelIsaName(original), geomean);
+  }
+}
+
 }  // namespace
 }  // namespace scc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool json = scc::bench::StripFlag(&argc, argv, "--json");
+  scc::RunIsaSweep(json);
+  if (json) return 0;  // machine-readable mode: sweep only, no gbench text
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

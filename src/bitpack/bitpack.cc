@@ -1,19 +1,27 @@
 #include "bitpack/bitpack.h"
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "bitpack/bitpack_kernels.h"
+#include "sys/telemetry.h"
 #include "util/status.h"
 
 namespace scc {
+
+// ---------------------------------------------------------------------------
+// Packing (scalar only: the compression side is dominated by the exception
+// logic, not the shift/or loop, so SIMD effort goes to the decode path)
+// ---------------------------------------------------------------------------
 
 namespace {
 
 // One group = 32 values = B packed 32-bit words. The template parameter
 // makes every shift amount a compile-time constant, so -O3 unrolls the
 // loop into straight-line shift/or code with no per-value branches.
-
 template <int B>
 void PackGroup(const uint32_t* __restrict in, uint32_t* __restrict out) {
   if constexpr (B == 0) {
@@ -39,46 +47,200 @@ void PackGroup(const uint32_t* __restrict in, uint32_t* __restrict out) {
   }
 }
 
-template <int B>
-void UnpackGroup(const uint32_t* __restrict in, uint32_t* __restrict out) {
-  if constexpr (B == 0) {
-    std::memset(out, 0, 32 * sizeof(uint32_t));
-  } else if constexpr (B == 32) {
-    std::memcpy(out, in, 32 * sizeof(uint32_t));
-  } else {
-    constexpr uint32_t kMask = (uint32_t(1) << B) - 1;
-    uint64_t acc = 0;
-    int bits = 0;
-    int w = 0;
-#pragma GCC unroll 32
-    for (int i = 0; i < 32; i++) {
-      if (bits < B) {
-        acc |= uint64_t(in[w++]) << bits;
-        bits += 32;
-      }
-      out[i] = uint32_t(acc) & kMask;
-      acc >>= B;
-      bits -= B;
-    }
-  }
-}
-
-using GroupFn = void (*)(const uint32_t*, uint32_t*);
+using PackFn = void (*)(const uint32_t*, uint32_t*);
 
 template <int... Bs>
-constexpr std::array<GroupFn, 33> MakePackTable(std::integer_sequence<int, Bs...>) {
+constexpr std::array<PackFn, 33> MakePackTable(
+    std::integer_sequence<int, Bs...>) {
   return {&PackGroup<Bs>...};
 }
-template <int... Bs>
-constexpr std::array<GroupFn, 33> MakeUnpackTable(
-    std::integer_sequence<int, Bs...>) {
-  return {&UnpackGroup<Bs>...};
+
+constexpr std::array<PackFn, 33> kPackTable =
+    MakePackTable(std::make_integer_sequence<int, 33>{});
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+namespace bitpack_internal {
+namespace {
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+bool CpuSupports(KernelIsa isa) {
+#if defined(SCC_BITPACK_HAVE_SIMD_TU)
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kSse4:
+      return __builtin_cpu_supports("sse4.1");
+    case KernelIsa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return isa == KernelIsa::kScalar;
+#endif
 }
 
-constexpr std::array<GroupFn, 33> kPackTable =
-    MakePackTable(std::make_integer_sequence<int, 33>{});
-constexpr std::array<GroupFn, 33> kUnpackTable =
-    MakeUnpackTable(std::make_integer_sequence<int, 33>{});
+const KernelOps* OpsFor(KernelIsa isa) {
+#if defined(SCC_BITPACK_HAVE_SIMD_TU)
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &ScalarOps();
+    case KernelIsa::kSse4:
+      return &Sse4Ops();
+    case KernelIsa::kAvx2:
+      return &Avx2Ops();
+  }
+#else
+  (void)isa;
+#endif
+  return &ScalarOps();
+}
+
+/// Installs `ops` and mirrors the selection into the codec.kernel_isa
+/// telemetry gauge (values are the KernelIsa enum).
+void Publish(const KernelOps* ops) {
+  g_active.store(ops, std::memory_order_release);
+  MetricsRegistry::Instance()
+      .GetGauge("codec.kernel_isa")
+      .Set(int64_t(ops->isa));
+}
+
+bool ParseIsaName(const char* s, KernelIsa* out) {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = KernelIsa::kScalar;
+  } else if (std::strcmp(s, "sse4") == 0 || std::strcmp(s, "sse4.1") == 0) {
+    *out = KernelIsa::kSse4;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = KernelIsa::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const KernelOps& InitActive() {
+  // Magic-static init: the first decode (from any thread) performs the
+  // CPUID probe and env-override parse exactly once.
+  static const KernelOps* chosen = [] {
+    KernelIsa best = KernelIsa::kScalar;
+    if (CpuSupports(KernelIsa::kAvx2)) {
+      best = KernelIsa::kAvx2;
+    } else if (CpuSupports(KernelIsa::kSse4)) {
+      best = KernelIsa::kSse4;
+    }
+    if (const char* env = std::getenv("SCC_KERNEL_ISA")) {
+      KernelIsa forced;
+      if (ParseIsaName(env, &forced) && CpuSupports(forced)) best = forced;
+    }
+    const KernelOps* ops = OpsFor(best);
+    Publish(ops);
+    return ops;
+  }();
+  return *chosen;
+}
+
+}  // namespace
+
+const KernelOps& Active() {
+  const KernelOps* ops = g_active.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : InitActive();
+}
+
+}  // namespace bitpack_internal
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kSse4:
+      return "sse4";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+KernelIsa ActiveKernelIsa() { return bitpack_internal::Active().isa; }
+
+bool KernelIsaSupported(KernelIsa isa) {
+  return bitpack_internal::CpuSupports(isa);
+}
+
+bool SetKernelIsa(KernelIsa isa) {
+  if (!bitpack_internal::CpuSupports(isa)) return false;
+  bitpack_internal::Active();  // env/CPUID init first, so Set wins over it
+  bitpack_internal::Publish(bitpack_internal::OpsFor(isa));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Looped drivers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using bitpack_internal::kGroupSlackBytes;
+using bitpack_internal::KernelOps;
+
+/// Padded staging for groups near the end of a stream: SIMD kernels may
+/// read up to kGroupSlackBytes past a group's b words (bitpack_kernels.h),
+/// so such groups are copied into a zero-padded stack buffer first. The
+/// padding bytes only ever land in masked-out chunk bits, so zeroes are
+/// output-neutral.
+struct TailPad {
+  uint32_t buf[32 + kGroupSlackBytes / 4];
+
+  const uint32_t* Stage(const uint32_t* group, int b) {
+    std::memcpy(buf, group, size_t(b) * sizeof(uint32_t));
+    std::memset(buf + b, 0, kGroupSlackBytes);
+    return buf;
+  }
+};
+
+/// Number of leading groups (out of `groups`, each b words, with exactly
+/// groups*b input words available) a slack-reading kernel may decode
+/// straight from the stream. A group is safe iff the words of the groups
+/// AFTER it cover the slack — for b < kGroupSlackBytes/4 that disqualifies
+/// several trailing groups, not just the last (e.g. b=1: the last 4).
+inline size_t DirectGroups(const KernelOps& ops, size_t groups, int b) {
+  if (!ops.tail_read_slack || b == 0 || b == 32) return groups;
+  const size_t slack_words = kGroupSlackBytes / 4;
+  const size_t unsafe = (slack_words + size_t(b) - 1) / size_t(b);
+  return groups > unsafe ? groups - unsafe : 0;
+}
+
+/// Shared skeleton of the exact-output unpack drivers: `call(group_in,
+/// group_out)` decodes one whole 32-value group; trailing groups are
+/// staged through TailPad for input slack and the final one through `tmp`
+/// when partial, so that neither input overreads nor output overwrites
+/// escape the contract.
+template <typename V, typename Call>
+inline void ExactUnpackDriver(const uint32_t* in, size_t n, int b,
+                              const KernelOps& ops, V* out, Call&& call) {
+  if (n == 0) return;
+  const size_t groups = (n + 31) / 32;
+  const size_t rest = n - (groups - 1) * 32;  // 1..32 values in final group
+  const size_t direct = DirectGroups(ops, groups, b);
+  TailPad pad;
+  for (size_t g = 0; g + 1 < groups; g++) {
+    const uint32_t* src = in + g * size_t(b);
+    call(g < direct ? src : pad.Stage(src, b), out + g * 32);
+  }
+  const uint32_t* last = in + (groups - 1) * size_t(b);
+  if (groups - 1 >= direct) last = pad.Stage(last, b);
+  if (rest == 32) {
+    call(last, out + (groups - 1) * 32);
+  } else {
+    V tmp[32];
+    call(last, tmp);
+    std::memcpy(out + (groups - 1) * 32, tmp, rest * sizeof(V));
+  }
+}
 
 }  // namespace
 
@@ -89,12 +251,18 @@ void BitPackGroup32(const uint32_t* in, int b, uint32_t* out) {
 
 void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out) {
   SCC_DCHECK(b >= 0 && b <= 32);
-  kUnpackTable[b](in, out);
+  const KernelOps& ops = bitpack_internal::Active();
+  if (DirectGroups(ops, 1, b) == 0) {
+    TailPad pad;
+    ops.unpack[b](pad.Stage(in, b), out);
+  } else {
+    ops.unpack[b](in, out);
+  }
 }
 
 void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out) {
   SCC_DCHECK(b >= 0 && b <= 32);
-  GroupFn pack = kPackTable[b];
+  PackFn pack = kPackTable[b];
   size_t full = n / 32;
   for (size_t g = 0; g < full; g++) {
     pack(in + g * 32, out + g * size_t(b));
@@ -109,13 +277,67 @@ void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out) {
 
 void BitUnpack(const uint32_t* in, size_t n, int b, uint32_t* out) {
   SCC_DCHECK(b >= 0 && b <= 32);
-  GroupFn unpack = kUnpackTable[b];
-  size_t groups = (n + 31) / 32;
+  if (n == 0) return;
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.unpack[b];
+  const size_t groups = (n + 31) / 32;
+  const size_t direct = DirectGroups(ops, groups, b);
   // The caller guarantees `out` has room for groups*32 values; the final
-  // partial group is unpacked whole (padding codes are zero).
+  // partial group is unpacked whole (padding codes are zero). Trailing
+  // groups within kGroupSlackBytes of the input end are staged to keep
+  // the kernels' over-read inside owned memory.
+  TailPad pad;
   for (size_t g = 0; g < groups; g++) {
-    unpack(in + g * size_t(b), out + g * 32);
+    const uint32_t* src = in + g * size_t(b);
+    fn(g < direct ? src : pad.Stage(src, b), out + g * 32);
   }
+}
+
+void BitUnpackExact(const uint32_t* in, size_t n, int b, uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.unpack[b];
+  ExactUnpackDriver<uint32_t>(
+      in, n, b, ops, out,
+      [fn](const uint32_t* gin, uint32_t* gout) { fn(gin, gout); });
+}
+
+void BitUnpackFor32(const uint32_t* in, size_t n, int b, uint32_t base,
+                    uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.unpack_for32[b];
+  ExactUnpackDriver<uint32_t>(
+      in, n, b, ops, out,
+      [fn, base](const uint32_t* gin, uint32_t* gout) { fn(gin, base, gout); });
+}
+
+void BitUnpackFor64(const uint32_t* in, size_t n, int b, uint64_t base,
+                    uint64_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.unpack_for64[b];
+  ExactUnpackDriver<uint64_t>(
+      in, n, b, ops, out,
+      [fn, base](const uint32_t* gin, uint64_t* gout) { fn(gin, base, gout); });
+}
+
+void ForDecode32(const uint32_t* codes, size_t n, uint32_t base,
+                 uint32_t* out) {
+  bitpack_internal::Active().for_decode32(codes, n, base, out);
+}
+
+void ForDecode64(const uint32_t* codes, size_t n, uint64_t base,
+                 uint64_t* out) {
+  bitpack_internal::Active().for_decode64(codes, n, base, out);
+}
+
+void PrefixSum32(uint32_t* data, size_t n, uint32_t start) {
+  bitpack_internal::Active().prefix_sum32(data, n, start);
+}
+
+void PrefixSum64(uint64_t* data, size_t n, uint64_t start) {
+  bitpack_internal::Active().prefix_sum64(data, n, start);
 }
 
 uint32_t BitExtract(const uint32_t* in, size_t idx, int b) {

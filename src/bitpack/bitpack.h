@@ -4,17 +4,21 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "bitpack/bitpack_dispatch.h"
+
 // Bit-packing / bit-unpacking kernels.
 //
 // The paper's compression schemes store each value as a b-bit integer code
 // (1 <= b <= 32) and transform between the packed on-disk form and
 // machine-addressable uint32_t arrays with "highly optimized routines that
 // are loop-unrolled to handle 32 values each iteration" (Section 3). These
-// are those routines: for each bit width there is a specialized kernel,
-// instantiated from a template so the compiler fully unrolls the 32-value
-// loop body with constant shifts. Dispatch is one indirect call per group
-// of 32 values (amortized to one per n values via the looped entry points
-// below).
+// are those routines. Every entry point routes through a per-process
+// dispatch table (bitpack_dispatch.h) holding scalar, SSE4.1 or AVX2
+// kernels selected via CPUID at startup; for each bit width there is a
+// specialized kernel, so shifts are compile-time constants and dispatch is
+// one indirect call per group of 32 values (amortized to one table load
+// per n values via the looped entry points below). All backends produce
+// byte-identical streams and decoded arrays.
 //
 // Packing works on groups of 32 values: a group of 32 b-bit codes occupies
 // exactly b 32-bit words. A partial final group is padded with zero codes;
@@ -36,10 +40,42 @@ void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out);
 /// Unpacks `n` codes of `b` bits from `in` into `out`.
 /// `in` holds PackedByteSize(n, b) bytes; `out` has space for n values
 /// rounded up to a multiple of 32 (the final group is written whole).
+/// Callers that cannot provide the rounded-up output space use
+/// BitUnpackExact instead.
 void BitUnpack(const uint32_t* in, size_t n, int b, uint32_t* out);
 
+/// Like BitUnpack, but writes exactly `n` values: the final partial group
+/// is unpacked through scratch, so `out` needs only n elements. Input is
+/// still PackedByteSize(n, b) bytes and is never read past that size.
+void BitUnpackExact(const uint32_t* in, size_t n, int b, uint32_t* out);
+
+/// Fused PFOR decode (Section 3.1 LOOP1): unpacks `n` codes and adds
+/// `base` to each inside the unpack epilogue, writing exactly `n` values
+/// of `base + code` (wraparound arithmetic). Saves the intermediate code
+/// array of the unpack-then-decode pair on the scan hot path.
+void BitUnpackFor32(const uint32_t* in, size_t n, int b, uint32_t base,
+                    uint32_t* out);
+/// 64-bit variant: codes are zero-extended before the base add.
+void BitUnpackFor64(const uint32_t* in, size_t n, int b, uint64_t base,
+                    uint64_t* out);
+
+/// FOR decode over an already-unpacked code array: out[i] = base + codes[i]
+/// (wraparound). The flat Section-3 kernels use this for LOOP1.
+void ForDecode32(const uint32_t* codes, size_t n, uint32_t base,
+                 uint32_t* out);
+void ForDecode64(const uint32_t* codes, size_t n, uint64_t base,
+                 uint64_t* out);
+
+/// In-place inclusive running sum seeded by `start` (the value preceding
+/// position 0): data[i] = start + data[0] + ... + data[i], wraparound.
+/// The PFOR-DELTA decode epilogue; SIMD backends use the shift-add
+/// prefix-sum idiom.
+void PrefixSum32(uint32_t* data, size_t n, uint32_t start);
+void PrefixSum64(uint64_t* data, size_t n, uint64_t start);
+
 /// Single-group entry points (exactly 32 values), used by the segment
-/// reader for fine-grained access. `b` in [0, 32].
+/// reader for fine-grained access. `b` in [0, 32]. `in` holds exactly
+/// b words; `out` has space for 32 values.
 void BitPackGroup32(const uint32_t* in, int b, uint32_t* out);
 void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out);
 

@@ -1,0 +1,222 @@
+// AVX2 kernel backend. Compiled with -mavx2 (see CMakeLists.txt); only
+// ever executed after the dispatcher verified CPU support.
+//
+// Unpack strategy (bit widths 1..25): 8 lanes per batch. 8 lanes * b bits
+// = b bytes, so every batch starts byte-aligned and one constant
+// offset/shift pattern serves all four batches of a 32-value group. Two
+// unaligned 16-byte loads (lanes 0..3 and 4..7 each span < 16 bytes for
+// b <= 25) feed an in-lane VPSHUFB that places each lane's byte-aligned
+// 4-byte chunk; VPSRLVD then applies the per-lane sub-byte shift directly
+// — no multiply trick needed — and a mask isolates the code.
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <utility>
+
+#include "bitpack/bitpack_kernels.h"
+
+namespace scc {
+namespace bitpack_internal {
+namespace {
+
+template <int B>
+inline __m256i ShufPattern() {
+  // Low 128-bit lane: chunk offsets relative to the low load (batch base);
+  // high lane: relative to the high load (batch base + Lane8ByteOff(B,4)).
+  constexpr int o0 = Lane8ByteOff(B, 0);
+  constexpr int o1 = Lane8ByteOff(B, 1);
+  constexpr int o2 = Lane8ByteOff(B, 2);
+  constexpr int o3 = Lane8ByteOff(B, 3);
+  constexpr int h = Lane8ByteOff(B, 4);
+  constexpr int o4 = Lane8ByteOff(B, 4) - h;
+  constexpr int o5 = Lane8ByteOff(B, 5) - h;
+  constexpr int o6 = Lane8ByteOff(B, 6) - h;
+  constexpr int o7 = Lane8ByteOff(B, 7) - h;
+  return _mm256_setr_epi8(
+      o0, o0 + 1, o0 + 2, o0 + 3, o1, o1 + 1, o1 + 2, o1 + 3, o2, o2 + 1,
+      o2 + 2, o2 + 3, o3, o3 + 1, o3 + 2, o3 + 3, o4, o4 + 1, o4 + 2, o4 + 3,
+      o5, o5 + 1, o5 + 2, o5 + 3, o6, o6 + 1, o6 + 2, o6 + 3, o7, o7 + 1,
+      o7 + 2, o7 + 3);
+}
+
+template <int B>
+inline __m256i ShiftPattern() {
+  return _mm256_setr_epi32(Lane8Shift(B, 0), Lane8Shift(B, 1),
+                           Lane8Shift(B, 2), Lane8Shift(B, 3),
+                           Lane8Shift(B, 4), Lane8Shift(B, 5),
+                           Lane8Shift(B, 6), Lane8Shift(B, 7));
+}
+
+/// Decodes the 8 codes of one batch starting at `src` (the batch's base
+/// byte, always byte-aligned). Reads < 16 + Lane8ByteOff(B,4) + 16 bytes.
+template <int B>
+inline __m256i UnpackBatch8(const uint8_t* src) {
+  static_assert(B >= 1 && B <= kMaxSimdUnpackBits);
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+  const __m128i hi = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(src + Lane8ByteOff(B, 4)));
+  const __m256i raw =
+      _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+  const __m256i chunks = _mm256_shuffle_epi8(raw, ShufPattern<B>());
+  const __m256i vals = _mm256_srlv_epi32(chunks, ShiftPattern<B>());
+  return _mm256_and_si256(vals,
+                          _mm256_set1_epi32(int((uint32_t(1) << B) - 1)));
+}
+
+/// Runs `sink(value_index, 8 codes)` over one 32-value group.
+template <int B, typename Sink>
+inline void UnpackGroupAvx2(const uint32_t* __restrict in, Sink&& sink) {
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(in);
+  sink(0, UnpackBatch8<B>(src));
+  sink(8, UnpackBatch8<B>(src + B));
+  sink(16, UnpackBatch8<B>(src + 2 * B));
+  sink(24, UnpackBatch8<B>(src + 3 * B));
+}
+
+template <int B>
+void UnpackAvx2(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  UnpackGroupAvx2<B>(in, [&](int idx, __m256i v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx), v);
+  });
+}
+
+template <int B>
+void UnpackFor32Avx2(const uint32_t* __restrict in, uint32_t base,
+                     uint32_t* __restrict out) {
+  const __m256i vb = _mm256_set1_epi32(int(base));
+  UnpackGroupAvx2<B>(in, [&](int idx, __m256i v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx),
+                        _mm256_add_epi32(v, vb));
+  });
+}
+
+template <int B>
+void UnpackFor64Avx2(const uint32_t* __restrict in, uint64_t base,
+                     uint64_t* __restrict out) {
+  const __m256i vb = _mm256_set1_epi64x(int64_t(base));
+  UnpackGroupAvx2<B>(in, [&](int idx, __m256i v) {
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx),
+                        _mm256_add_epi64(_mm256_cvtepu32_epi64(lo), vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx + 4),
+                        _mm256_add_epi64(_mm256_cvtepu32_epi64(hi), vb));
+  });
+}
+
+void ForDecode32Avx2(const uint32_t* __restrict codes, size_t n,
+                     uint32_t base, uint32_t* __restrict out) {
+  const __m256i vb = _mm256_set1_epi32(int(base));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi32(c, vb));
+  }
+  for (; i < n; i++) out[i] = base + codes[i];
+}
+
+void ForDecode64Avx2(const uint32_t* __restrict codes, size_t n,
+                     uint64_t base, uint64_t* __restrict out) {
+  const __m256i vb = _mm256_set1_epi64x(int64_t(base));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i c0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m128i c1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(_mm256_cvtepu32_epi64(c0), vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4),
+                        _mm256_add_epi64(_mm256_cvtepu32_epi64(c1), vb));
+  }
+  for (; i < n; i++) out[i] = base + codes[i];
+}
+
+// Prefix sums via the shift-add idiom (Section 3.1's data-parallel running
+// sum): in-lane shift/adds build two 4-lane scans, one cross-lane permute
+// carries the low lane's total into the high lane, and the running carry
+// is broadcast in.
+// The carry stays in a vector register across iterations and its update
+// reads only the carry-free block scan (broadcast distributes over the
+// add), so the loop-carried chain is a single VPADDD/VPADDQ — neither the
+// cross-lane permute latency nor a vector->GPR round trip serializes it.
+void PrefixSum32Avx2(uint32_t* data, size_t n, uint32_t start) {
+  __m256i carry = _mm256_set1_epi32(int(start));
+  const __m256i top = _mm256_set1_epi32(7);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    // Add the low lane's total (its element 3, broadcast) to the high lane.
+    const __m256i totals = _mm256_shuffle_epi32(x, 0xFF);
+    x = _mm256_add_epi32(x, _mm256_permute2x128_si256(totals, totals, 0x08));
+    const __m256i block_total = _mm256_permutevar8x32_epi32(x, top);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i),
+                        _mm256_add_epi32(x, carry));
+    carry = _mm256_add_epi32(carry, block_total);
+  }
+  uint32_t acc = uint32_t(_mm256_extract_epi32(carry, 0));
+  for (; i < n; i++) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+void PrefixSum64Avx2(uint64_t* data, size_t n, uint64_t start) {
+  __m256i carry = _mm256_set1_epi64x(int64_t(start));
+  size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+    // Carry element 1 (low lane total) into both high-lane elements.
+    const __m256i totals = _mm256_permute4x64_epi64(x, 0x55);
+    x = _mm256_add_epi64(x, _mm256_blend_epi32(zero, totals, 0xF0));
+    const __m256i block_total = _mm256_permute4x64_epi64(x, 0xFF);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i),
+                        _mm256_add_epi64(x, carry));
+    carry = _mm256_add_epi64(carry, block_total);
+  }
+  uint64_t acc = uint64_t(_mm256_extract_epi64(carry, 0));
+  for (; i < n; i++) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+template <int... Bs>
+void FillSimdWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
+  ((ops.unpack[Bs + 1] = &UnpackAvx2<Bs + 1>,
+    ops.unpack_for32[Bs + 1] = &UnpackFor32Avx2<Bs + 1>,
+    ops.unpack_for64[Bs + 1] = &UnpackFor64Avx2<Bs + 1>),
+   ...);
+}
+
+KernelOps MakeAvx2Ops() {
+  KernelOps ops = ScalarOps();  // widths 0 and 26..32 stay scalar
+  ops.isa = KernelIsa::kAvx2;
+  ops.tail_read_slack = true;
+  FillSimdWidths(ops,
+                 std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
+  ops.for_decode32 = &ForDecode32Avx2;
+  ops.for_decode64 = &ForDecode64Avx2;
+  ops.prefix_sum32 = &PrefixSum32Avx2;
+  ops.prefix_sum64 = &PrefixSum64Avx2;
+  return ops;
+}
+
+}  // namespace
+
+const KernelOps& Avx2Ops() {
+  static const KernelOps ops = MakeAvx2Ops();
+  return ops;
+}
+
+}  // namespace bitpack_internal
+}  // namespace scc

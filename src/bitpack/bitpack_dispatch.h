@@ -1,0 +1,49 @@
+#ifndef SCC_BITPACK_BITPACK_DISPATCH_H_
+#define SCC_BITPACK_BITPACK_DISPATCH_H_
+
+// Runtime CPU dispatch for the decode kernels (bit-unpack, fused FOR
+// decode, delta prefix sum). Three backends — scalar, SSE4.1 and AVX2 —
+// are compiled in separate translation units with per-file arch flags and
+// selected once at startup via CPUID. The indirection cost is one table
+// load per call, amortized over at least a 32-value group, matching the
+// per-group function-pointer dispatch the scalar kernels already paid.
+//
+// Selection order:
+//   1. best ISA the CPU supports (AVX2 > SSE4.1 > scalar),
+//   2. overridden by the SCC_KERNEL_ISA env var (scalar|sse4|avx2) when it
+//      names a *supported* backend,
+//   3. overridden programmatically by SetKernelIsa() (tests, benches).
+//
+// Builds with -DSCC_FORCE_SCALAR=ON (or non-x86 targets) compile only the
+// scalar backend; the dispatcher then always reports kScalar.
+
+namespace scc {
+
+/// Kernel backend identifiers. Values are stable: they are exported as the
+/// `codec.kernel_isa` telemetry gauge.
+enum class KernelIsa : int {
+  kScalar = 0,
+  kSse4 = 1,
+  kAvx2 = 2,
+};
+
+inline constexpr int kNumKernelIsas = 3;
+
+/// "scalar", "sse4" or "avx2".
+const char* KernelIsaName(KernelIsa isa);
+
+/// The backend currently routing BitUnpack/ForDecode/PrefixSum calls.
+KernelIsa ActiveKernelIsa();
+
+/// True when `isa` is compiled in AND the running CPU supports it.
+bool KernelIsaSupported(KernelIsa isa);
+
+/// Forces a backend. Returns false (selection unchanged) when `isa` is not
+/// supported on this build/CPU. Takes effect for subsequent decode calls;
+/// do not flip it concurrently with in-flight decodes (the differential
+/// tests and bench harnesses switch between runs, never during one).
+bool SetKernelIsa(KernelIsa isa);
+
+}  // namespace scc
+
+#endif  // SCC_BITPACK_BITPACK_DISPATCH_H_

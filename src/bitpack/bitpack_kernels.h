@@ -1,0 +1,104 @@
+#ifndef SCC_BITPACK_BITPACK_KERNELS_H_
+#define SCC_BITPACK_BITPACK_KERNELS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "bitpack/bitpack_dispatch.h"
+
+// Internal contract between the dispatch layer (bitpack.cc) and the
+// per-ISA backend translation units (bitpack_scalar.cc, bitpack_sse4.cc,
+// bitpack_avx2.cc). Library code includes bitpack/bitpack.h instead.
+//
+// Packed layout (unchanged from the seed, shared by every backend so all
+// backends are byte-compatible): codes are packed LSB-first into a
+// contiguous little-endian bit stream, 32 values per group occupying
+// exactly `b` 32-bit words.
+
+namespace scc {
+namespace bitpack_internal {
+
+/// Group kernels transform exactly one 32-value group: `b` packed input
+/// words -> 32 outputs. SIMD backends use byte-aligned overlapping vector
+/// loads and may READ up to kGroupSlackBytes past the group's b*4 input
+/// bytes (they never write past the 32 outputs). The drivers in bitpack.cc
+/// provide that slack: groups followed by more packed data have it for
+/// free, and the final group of a stream runs from a padded stack copy
+/// whenever ops.tail_read_slack is set.
+constexpr size_t kGroupSlackBytes = 16;
+
+using UnpackFn = void (*)(const uint32_t* __restrict in,
+                          uint32_t* __restrict out);
+using UnpackFor32Fn = void (*)(const uint32_t* __restrict in, uint32_t base,
+                               uint32_t* __restrict out);
+using UnpackFor64Fn = void (*)(const uint32_t* __restrict in, uint64_t base,
+                               uint64_t* __restrict out);
+using ForDecode32Fn = void (*)(const uint32_t* __restrict codes, size_t n,
+                               uint32_t base, uint32_t* __restrict out);
+using ForDecode64Fn = void (*)(const uint32_t* __restrict codes, size_t n,
+                               uint64_t base, uint64_t* __restrict out);
+using PrefixSum32Fn = void (*)(uint32_t* data, size_t n, uint32_t start);
+using PrefixSum64Fn = void (*)(uint64_t* data, size_t n, uint64_t start);
+
+/// One backend's full kernel table, indexed by bit width where per-width
+/// specialization pays. Backends fill SIMD entries for the widths they
+/// cover and inherit scalar entries for the rest, so every table is total.
+struct KernelOps {
+  KernelIsa isa = KernelIsa::kScalar;
+  bool tail_read_slack = false;  // see kGroupSlackBytes
+  std::array<UnpackFn, 33> unpack{};
+  std::array<UnpackFor32Fn, 33> unpack_for32{};
+  std::array<UnpackFor64Fn, 33> unpack_for64{};
+  ForDecode32Fn for_decode32 = nullptr;
+  ForDecode64Fn for_decode64 = nullptr;
+  PrefixSum32Fn prefix_sum32 = nullptr;
+  PrefixSum64Fn prefix_sum64 = nullptr;
+};
+
+/// The backend table currently selected by the dispatcher (bitpack.cc).
+const KernelOps& Active();
+
+/// Always compiled.
+const KernelOps& ScalarOps();
+
+#if !defined(SCC_FORCE_SCALAR) && (defined(__x86_64__) || defined(__i386__))
+#define SCC_BITPACK_HAVE_SIMD_TU 1
+const KernelOps& Sse4Ops();
+const KernelOps& Avx2Ops();
+#endif
+
+// ---------------------------------------------------------------------------
+// Chunk-load geometry shared by the SIMD backends
+// ---------------------------------------------------------------------------
+//
+// The SIMD unpackers decode the horizontal layout with byte-aligned 4-byte
+// chunk loads: the code at value index v occupies bits [v*b, v*b + b) of
+// the stream, i.e. bits [r, r+b) of the 4-byte chunk at byte (v*b)/8 with
+// r = (v*b) % 8. For b <= 25 the chunk always contains the whole code
+// (r <= 7, so r + b <= 32); widths 26..31 fall back to scalar.
+
+/// Highest bit width the byte-aligned-chunk SIMD unpackers cover.
+constexpr int kMaxSimdUnpackBits = 25;
+
+/// AVX2 processes 8 lanes per batch; 8 lanes * b bits = b bytes, so every
+/// batch starts byte-aligned and one offset/shift pattern serves all four
+/// batches of a group. Offsets are relative to the batch base byte.
+constexpr int Lane8ByteOff(int b, int i) { return (i * b) / 8; }
+constexpr int Lane8Shift(int b, int i) { return (i * b) % 8; }
+
+/// SSE4.1 processes 4 lanes per batch; 4 lanes * b bits = b/2 bytes, so
+/// odd widths alternate between two sub-byte phases (batch base bit 4kb is
+/// not byte-aligned for odd k). `p` is the batch parity (k % 2).
+constexpr int Lane4Phase(int b, int p) { return (b % 2) != 0 && p != 0 ? 4 : 0; }
+constexpr int Lane4ByteOff(int b, int p, int i) {
+  return (Lane4Phase(b, p) + i * b) / 8;
+}
+constexpr int Lane4Shift(int b, int p, int i) {
+  return (Lane4Phase(b, p) + i * b) % 8;
+}
+
+}  // namespace bitpack_internal
+}  // namespace scc
+
+#endif  // SCC_BITPACK_BITPACK_KERNELS_H_

@@ -1,0 +1,111 @@
+#include <cstring>
+#include <utility>
+
+#include "bitpack/bitpack_kernels.h"
+
+// Scalar kernel backend: the seed's template-unrolled shift/or loops, now
+// shaped as one skeleton with a compile-time epilogue so the FOR-base add
+// (and the 64-bit widening variant) fuse into the unpack instead of
+// running as a second pass over the group.
+
+namespace scc {
+namespace bitpack_internal {
+namespace {
+
+// One group = 32 values = B packed 32-bit words. `emit(i, code)` receives
+// the 32 codes in order; every shift amount is a compile-time constant, so
+// -O3 unrolls the body into straight-line shift/or code with no per-value
+// branches.
+template <int B, typename Emit>
+inline void UnpackGroupWith(const uint32_t* __restrict in, Emit&& emit) {
+  if constexpr (B == 0) {
+    (void)in;
+    for (int i = 0; i < 32; i++) emit(i, uint32_t(0));
+  } else if constexpr (B == 32) {
+    for (int i = 0; i < 32; i++) emit(i, in[i]);
+  } else {
+    constexpr uint32_t kMask = (uint32_t(1) << B) - 1;
+    uint64_t acc = 0;
+    int bits = 0;
+    int w = 0;
+#pragma GCC unroll 32
+    for (int i = 0; i < 32; i++) {
+      if (bits < B) {
+        acc |= uint64_t(in[w++]) << bits;
+        bits += 32;
+      }
+      emit(i, uint32_t(acc) & kMask);
+      acc >>= B;
+      bits -= B;
+    }
+  }
+}
+
+template <int B>
+void UnpackScalar(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  UnpackGroupWith<B>(in, [&](int i, uint32_t c) { out[i] = c; });
+}
+
+template <int B>
+void UnpackFor32Scalar(const uint32_t* __restrict in, uint32_t base,
+                       uint32_t* __restrict out) {
+  UnpackGroupWith<B>(in, [&](int i, uint32_t c) { out[i] = base + c; });
+}
+
+template <int B>
+void UnpackFor64Scalar(const uint32_t* __restrict in, uint64_t base,
+                       uint64_t* __restrict out) {
+  UnpackGroupWith<B>(in, [&](int i, uint32_t c) { out[i] = base + c; });
+}
+
+void ForDecode32Scalar(const uint32_t* __restrict codes, size_t n,
+                       uint32_t base, uint32_t* __restrict out) {
+  for (size_t i = 0; i < n; i++) out[i] = base + codes[i];
+}
+
+void ForDecode64Scalar(const uint32_t* __restrict codes, size_t n,
+                       uint64_t base, uint64_t* __restrict out) {
+  for (size_t i = 0; i < n; i++) out[i] = base + codes[i];
+}
+
+void PrefixSum32Scalar(uint32_t* data, size_t n, uint32_t start) {
+  uint32_t acc = start;
+  for (size_t i = 0; i < n; i++) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+void PrefixSum64Scalar(uint64_t* data, size_t n, uint64_t start) {
+  uint64_t acc = start;
+  for (size_t i = 0; i < n; i++) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+template <int... Bs>
+KernelOps MakeScalarOps(std::integer_sequence<int, Bs...>) {
+  KernelOps ops;
+  ops.isa = KernelIsa::kScalar;
+  ops.tail_read_slack = false;
+  ops.unpack = {&UnpackScalar<Bs>...};
+  ops.unpack_for32 = {&UnpackFor32Scalar<Bs>...};
+  ops.unpack_for64 = {&UnpackFor64Scalar<Bs>...};
+  ops.for_decode32 = &ForDecode32Scalar;
+  ops.for_decode64 = &ForDecode64Scalar;
+  ops.prefix_sum32 = &PrefixSum32Scalar;
+  ops.prefix_sum64 = &PrefixSum64Scalar;
+  return ops;
+}
+
+}  // namespace
+
+const KernelOps& ScalarOps() {
+  static const KernelOps ops =
+      MakeScalarOps(std::make_integer_sequence<int, 33>{});
+  return ops;
+}
+
+}  // namespace bitpack_internal
+}  // namespace scc

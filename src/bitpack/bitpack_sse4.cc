@@ -1,0 +1,195 @@
+// SSE4.1 kernel backend. Compiled with -msse4.1 (see CMakeLists.txt);
+// only ever executed after the dispatcher verified CPU support.
+//
+// Unpack strategy (bit widths 1..25): per 4-lane batch, one unaligned
+// 16-byte load covers all four byte-aligned 4-byte chunks; PSHUFB places
+// each lane's chunk, a PMULLD by 2^(7-r) aligns the code to bit 7 (SSE4.1
+// has no per-lane variable shift), and a shared logical right shift by 7
+// plus a mask isolates it. This is the classic byte-aligned decode idiom
+// from the vectorized-integer-decoding literature (Lemire & Boytsov;
+// varint-G8IU), applied to the paper's horizontal 32-value group layout.
+
+#include <smmintrin.h>
+
+#include <cstring>
+#include <utility>
+
+#include "bitpack/bitpack_kernels.h"
+
+namespace scc {
+namespace bitpack_internal {
+namespace {
+
+template <int B, int P>
+inline __m128i ShufPattern() {
+  constexpr int o0 = Lane4ByteOff(B, P, 0);
+  constexpr int o1 = Lane4ByteOff(B, P, 1);
+  constexpr int o2 = Lane4ByteOff(B, P, 2);
+  constexpr int o3 = Lane4ByteOff(B, P, 3);
+  return _mm_setr_epi8(o0, o0 + 1, o0 + 2, o0 + 3, o1, o1 + 1, o1 + 2, o1 + 3,
+                       o2, o2 + 1, o2 + 2, o2 + 3, o3, o3 + 1, o3 + 2, o3 + 3);
+}
+
+template <int B, int P>
+inline __m128i MultPattern() {
+  return _mm_setr_epi32(1 << (7 - Lane4Shift(B, P, 0)),
+                        1 << (7 - Lane4Shift(B, P, 1)),
+                        1 << (7 - Lane4Shift(B, P, 2)),
+                        1 << (7 - Lane4Shift(B, P, 3)));
+}
+
+/// Decodes the 4 codes of batch parity P starting at `src` (the batch's
+/// base byte). Reads 16 bytes.
+template <int B, int P>
+inline __m128i UnpackBatch4(const uint8_t* src) {
+  static_assert(B >= 1 && B <= kMaxSimdUnpackBits);
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+  const __m128i chunks = _mm_shuffle_epi8(raw, ShufPattern<B, P>());
+  const __m128i aligned =
+      _mm_srli_epi32(_mm_mullo_epi32(chunks, MultPattern<B, P>()), 7);
+  return _mm_and_si128(aligned, _mm_set1_epi32(int((uint32_t(1) << B) - 1)));
+}
+
+/// Runs `sink(value_index, 4 codes)` over one 32-value group.
+template <int B, typename Sink>
+inline void UnpackGroupSse4(const uint32_t* __restrict in, Sink&& sink) {
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(in);
+  for (int k = 0; k < 8; k += 2) {
+    sink(4 * k, UnpackBatch4<B, 0>(src + (4 * k * B) / 8));
+    sink(4 * (k + 1), UnpackBatch4<B, 1>(src + (4 * (k + 1) * B) / 8));
+  }
+}
+
+template <int B>
+void UnpackSse4(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  UnpackGroupSse4<B>(in, [&](int idx, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx), v);
+  });
+}
+
+template <int B>
+void UnpackFor32Sse4(const uint32_t* __restrict in, uint32_t base,
+                     uint32_t* __restrict out) {
+  const __m128i vb = _mm_set1_epi32(int(base));
+  UnpackGroupSse4<B>(in, [&](int idx, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx),
+                     _mm_add_epi32(v, vb));
+  });
+}
+
+template <int B>
+void UnpackFor64Sse4(const uint32_t* __restrict in, uint64_t base,
+                     uint64_t* __restrict out) {
+  const __m128i vb = _mm_set1_epi64x(int64_t(base));
+  UnpackGroupSse4<B>(in, [&](int idx, __m128i v) {
+    const __m128i lo = _mm_cvtepu32_epi64(v);
+    const __m128i hi = _mm_cvtepu32_epi64(_mm_srli_si128(v, 8));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx),
+                     _mm_add_epi64(lo, vb));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx + 2),
+                     _mm_add_epi64(hi, vb));
+  });
+}
+
+void ForDecode32Sse4(const uint32_t* __restrict codes, size_t n,
+                     uint32_t base, uint32_t* __restrict out) {
+  const __m128i vb = _mm_set1_epi32(int(base));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_add_epi32(c, vb));
+  }
+  for (; i < n; i++) out[i] = base + codes[i];
+}
+
+void ForDecode64Sse4(const uint32_t* __restrict codes, size_t n,
+                     uint64_t base, uint64_t* __restrict out) {
+  const __m128i vb = _mm_set1_epi64x(int64_t(base));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_add_epi64(_mm_cvtepu32_epi64(c), vb));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + i + 2),
+        _mm_add_epi64(_mm_cvtepu32_epi64(_mm_srli_si128(c, 8)), vb));
+  }
+  for (; i < n; i++) out[i] = base + codes[i];
+}
+
+// Prefix sums via the shift-add idiom: two intra-register shift/add steps
+// produce a 4-lane inclusive scan, then the running carry is broadcast in.
+// The carry stays in a vector register AND its update reads only the
+// carry-free block scan (broadcast distributes over the add), so the
+// loop-carried chain is a single PADDD per iteration — neither the
+// shuffle latency nor a vector->GPR round trip serializes it.
+void PrefixSum32Sse4(uint32_t* data, size_t n, uint32_t start) {
+  __m128i carry = _mm_set1_epi32(int(start));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+    const __m128i block_total = _mm_shuffle_epi32(x, 0xFF);  // off-chain
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(data + i),
+                     _mm_add_epi32(x, carry));
+    carry = _mm_add_epi32(carry, block_total);
+  }
+  uint32_t acc = uint32_t(_mm_cvtsi128_si32(carry));
+  for (; i < n; i++) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+void PrefixSum64Sse4(uint64_t* data, size_t n, uint64_t start) {
+  __m128i carry = _mm_set1_epi64x(int64_t(start));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    x = _mm_add_epi64(x, _mm_slli_si128(x, 8));
+    const __m128i block_total = _mm_shuffle_epi32(x, 0xEE);  // high qword
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(data + i),
+                     _mm_add_epi64(x, carry));
+    carry = _mm_add_epi64(carry, block_total);
+  }
+  uint64_t acc = uint64_t(_mm_cvtsi128_si64(carry));
+  for (; i < n; i++) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+template <int... Bs>
+void FillSimdWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
+  ((ops.unpack[Bs + 1] = &UnpackSse4<Bs + 1>,
+    ops.unpack_for32[Bs + 1] = &UnpackFor32Sse4<Bs + 1>,
+    ops.unpack_for64[Bs + 1] = &UnpackFor64Sse4<Bs + 1>),
+   ...);
+}
+
+KernelOps MakeSse4Ops() {
+  KernelOps ops = ScalarOps();  // widths 0 and 26..32 stay scalar
+  ops.isa = KernelIsa::kSse4;
+  ops.tail_read_slack = true;
+  FillSimdWidths(ops,
+                 std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
+  ops.for_decode32 = &ForDecode32Sse4;
+  ops.for_decode64 = &ForDecode64Sse4;
+  ops.prefix_sum32 = &PrefixSum32Sse4;
+  ops.prefix_sum64 = &PrefixSum64Sse4;
+  return ops;
+}
+
+}  // namespace
+
+const KernelOps& Sse4Ops() {
+  static const KernelOps ops = MakeSse4Ops();
+  return ops;
+}
+
+}  // namespace bitpack_internal
+}  // namespace scc

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "bitpack/bitpack.h"
 #include "core/codec.h"
 #include "util/bitutil.h"
 
@@ -63,6 +64,73 @@ struct DictCodec {
 // Decompression
 // ---------------------------------------------------------------------------
 
+namespace kernel_detail {
+
+/// LOOP1 of the patched decoders: decode every position. ForCodec over a
+/// 4- or 8-byte value type routes to the dispatched SIMD FOR-decode
+/// kernels (uint32_t/int32_t and uint64_t/int64_t alias legally as each
+/// other's signed/unsigned pair); everything else takes the generic loop.
+template <CodecValue T, typename Codec>
+inline void DecodeAll(const uint32_t* __restrict code, size_t n,
+                      const Codec& codec, T* __restrict out) {
+  if constexpr (std::is_same_v<Codec, ForCodec<T>> && sizeof(T) == 4) {
+    ForDecode32(code, n, uint32_t(codec.base),
+                reinterpret_cast<uint32_t*>(out));
+  } else if constexpr (std::is_same_v<Codec, ForCodec<T>> &&
+                       sizeof(T) == 8) {
+    ForDecode64(code, n, uint64_t(codec.base),
+                reinterpret_cast<uint64_t*>(out));
+  } else {
+    for (size_t i = 0; i < n; i++) {
+      out[i] = codec.Decode(code[i]);
+    }
+  }
+}
+
+/// LOOP2 of the patched decoders, restructured for ILP: the linked-list
+/// walk is a serial dependency chain (each gap code yields the next
+/// position), so positions are first gathered into a chunk and the patch
+/// stores — mutually independent — issue in a second pass that the CPU
+/// can overlap freely.
+template <CodecValue T>
+inline void ApplyPatches(const uint32_t* __restrict code,
+                         const T* __restrict exc, size_t first_exc,
+                         size_t n_exc, T* __restrict out) {
+  constexpr size_t kChunk = 64;
+  size_t pos[kChunk];
+  size_t cur = first_exc;
+  for (size_t j = 0; j < n_exc; j += kChunk) {
+    const size_t take = n_exc - j < kChunk ? n_exc - j : kChunk;
+    for (size_t k = 0; k < take; k++) {
+      pos[k] = cur;
+      cur += size_t(code[cur]) + 1;
+    }
+    for (size_t k = 0; k < take; k++) {
+      out[pos[k]] = exc[j + k];
+    }
+  }
+}
+
+/// The PFOR-DELTA running sum, routed through the dispatched prefix-sum
+/// kernels for 4/8-byte value types (wraparound in unsigned arithmetic).
+template <CodecValue T>
+inline void RunningSum(T* data, size_t n, T start) {
+  using U = std::make_unsigned_t<T>;
+  if constexpr (sizeof(T) == 4) {
+    PrefixSum32(reinterpret_cast<uint32_t*>(data), n, uint32_t(U(start)));
+  } else if constexpr (sizeof(T) == 8) {
+    PrefixSum64(reinterpret_cast<uint64_t*>(data), n, uint64_t(U(start)));
+  } else {
+    U acc = U(start);
+    for (size_t i = 0; i < n; i++) {
+      acc += U(data[i]);
+      data[i] = T(acc);
+    }
+  }
+}
+
+}  // namespace kernel_detail
+
 /// NAIVE decompression: per-value branch on the escape code 2^b - 1.
 /// Exceptions are consumed in position order from `exc`.
 template <CodecValue T, typename Codec>
@@ -90,18 +158,10 @@ template <CodecValue T, typename Codec>
 void DecompressPatched(const uint32_t* __restrict code, size_t n,
                        const Codec& codec, const T* __restrict exc,
                        size_t first_exc, size_t n_exc, T* __restrict out) {
-  (void)n;
   /* LOOP1: decode regardless */
-  for (size_t i = 0; i < n; i++) {
-    out[i] = codec.Decode(code[i]);
-  }
+  kernel_detail::DecodeAll(code, n, codec, out);
   /* LOOP2: patch it up */
-  size_t cur = first_exc;
-  for (size_t j = 0; j < n_exc; j++) {
-    size_t next = cur + size_t(code[cur]) + 1;
-    out[cur] = exc[j];
-    cur = next;
-  }
+  kernel_detail::ApplyPatches(code, exc, first_exc, n_exc, out);
 }
 
 /// Patched PFOR-DELTA decompression: patch the decoded deltas first
@@ -113,21 +173,9 @@ void DecompressPatchedDelta(const uint32_t* __restrict code, size_t n,
                             const ForCodec<T>& codec, const T* __restrict exc,
                             size_t first_exc, size_t n_exc, T start,
                             T* __restrict out) {
-  using U = std::make_unsigned_t<T>;
-  for (size_t i = 0; i < n; i++) {
-    out[i] = codec.Decode(code[i]);
-  }
-  size_t cur = first_exc;
-  for (size_t j = 0; j < n_exc; j++) {
-    size_t next = cur + size_t(code[cur]) + 1;
-    out[cur] = exc[j];
-    cur = next;
-  }
-  U acc = U(start);
-  for (size_t i = 0; i < n; i++) {
-    acc += U(out[i]);
-    out[i] = T(acc);
-  }
+  kernel_detail::DecodeAll(code, n, codec, out);
+  kernel_detail::ApplyPatches(code, exc, first_exc, n_exc, out);
+  kernel_detail::RunningSum(out, n, start);
 }
 
 // ---------------------------------------------------------------------------

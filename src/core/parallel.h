@@ -46,6 +46,10 @@ Result<size_t> ParallelDecompress(std::span<const AlignedBuffer> segments,
     }
     return total;
   }
+  // Resolve the kernel dispatch table before fanning out, so the CPUID
+  // probe + publish happens once here instead of racing lazily on every
+  // worker's first decode.
+  (void)ActiveKernelIsa();
   // Static round-robin partition: segments are similar-sized chunks, so
   // this balances well without a work queue.
   std::vector<std::thread> workers;

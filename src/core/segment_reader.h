@@ -201,11 +201,17 @@ class SegmentReader {
   }
 
   /// Sequential decode of group `g` (glen values) into `out`.
+  ///
+  /// For 4/8-byte PFOR(-DELTA) values LOOP1 runs as the fused dispatched
+  /// unpack+FOR kernel straight into `out` — no intermediate code array.
+  /// The exception walk then recovers each gap code from the decoded
+  /// output (out[cur] = base + gap before patching), so LOOP2 needs no
+  /// codes[] either. Smaller value types and PDICT keep the unpack-into-
+  /// scratch shape: PDICT needs codes as dictionary indices, and sub-4-byte
+  /// lanes are not worth a dedicated kernel family.
   void DecodeGroup(size_t g, size_t glen, T* __restrict out) const {
     const int b = hdr_.bit_width;
-    uint32_t codes[kEntryGroup];
-    BitUnpack(CodeWords() + g * (kEntryGroup / 32) * size_t(b), glen, b,
-              codes);
+    const uint32_t* words = CodeWords() + g * (kEntryGroup / 32) * size_t(b);
     const uint32_t entry = Entries()[g];
     const uint32_t first = EntryFirstOffset(entry);
     const T* exc_end = ExcEnd();
@@ -222,33 +228,21 @@ class SegmentReader {
     switch (scheme()) {
       case Scheme::kPFor: {
         const U base = U(uint64_t(hdr_.base_bits));
-        /* LOOP1: decode regardless */
-        for (size_t i = 0; i < glen; i++) out[i] = T(base + U(codes[i]));
-        /* LOOP2: patch it up */
-        for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
-          size_t next = cur + size_t(codes[cur]) + 1;
-          out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];
-          cur = next;
-        }
+        UnpackForInto(words, glen, b, base, out);
+        PatchFused(base, glen, first, group_exc, j, exc_end, out);
         break;
       }
       case Scheme::kPForDelta: {
         const U base = U(uint64_t(hdr_.base_bits));
-        for (size_t i = 0; i < glen; i++) out[i] = T(base + U(codes[i]));
+        UnpackForInto(words, glen, b, base, out);
         /* patch BEFORE the running sum (paper footnote 3) */
-        for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
-          size_t next = cur + size_t(codes[cur]) + 1;
-          out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];
-          cur = next;
-        }
-        U acc = U(Bases()[g]);
-        for (size_t i = 0; i < glen; i++) {
-          acc += U(out[i]);
-          out[i] = T(acc);
-        }
+        PatchFused(base, glen, first, group_exc, j, exc_end, out);
+        RunningSumInto(out, glen, U(Bases()[g]));
         break;
       }
       case Scheme::kPDict: {
+        uint32_t codes[kEntryGroup];
+        BitUnpack(words, glen, b, codes);
         const T* dict = Dict();
         for (size_t i = 0; i < glen; i++) out[i] = dict[codes[i]];
         for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
@@ -261,6 +255,51 @@ class SegmentReader {
       case Scheme::kUncompressed:
         SCC_DCHECK(false);
         break;
+    }
+  }
+
+  /// LOOP1 for PFOR(-DELTA): dispatched fused unpack+base-add for 4/8-byte
+  /// values (writes exactly glen values — safe for DecompressRange's
+  /// direct-into-caller-buffer path), scratch-array shape otherwise.
+  static void UnpackForInto(const uint32_t* words, size_t glen, int b,
+                            U base, T* __restrict out) {
+    if constexpr (sizeof(T) == 4) {
+      BitUnpackFor32(words, glen, b, uint32_t(base),
+                     reinterpret_cast<uint32_t*>(out));
+    } else if constexpr (sizeof(T) == 8) {
+      BitUnpackFor64(words, glen, b, uint64_t(base),
+                     reinterpret_cast<uint64_t*>(out));
+    } else {
+      uint32_t codes[kEntryGroup];
+      BitUnpack(words, glen, b, codes);
+      for (size_t i = 0; i < glen; i++) out[i] = T(base + U(codes[i]));
+    }
+  }
+
+  /// LOOP2 without a code array: before patching, out[cur] still holds
+  /// base + gap_code, so the next-position step recovers the gap from the
+  /// decoded value itself.
+  static void PatchFused(U base, size_t glen, size_t first, size_t group_exc,
+                         size_t j, const T* exc_end, T* __restrict out) {
+    for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
+      size_t next = cur + size_t(uint32_t(U(out[cur]) - base)) + 1;
+      out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];
+      cur = next;
+    }
+  }
+
+  /// PFOR-DELTA epilogue via the dispatched prefix-sum kernels.
+  static void RunningSumInto(T* out, size_t glen, U start) {
+    if constexpr (sizeof(T) == 4) {
+      PrefixSum32(reinterpret_cast<uint32_t*>(out), glen, uint32_t(start));
+    } else if constexpr (sizeof(T) == 8) {
+      PrefixSum64(reinterpret_cast<uint64_t*>(out), glen, uint64_t(start));
+    } else {
+      U acc = start;
+      for (size_t i = 0; i < glen; i++) {
+        acc += U(out[i]);
+        out[i] = T(acc);
+      }
     }
   }
 

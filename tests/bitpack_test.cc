@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "kernel_isa_test_util.h"
 #include "util/rng.h"
 
 namespace scc {
@@ -80,6 +81,148 @@ TEST(BitPack, PackMasksHighBits) {
   BitPackGroup32(in.data(), 3, packed.data());
   BitUnpackGroup32(packed.data(), 3, out.data());
   for (uint32_t v : out) EXPECT_EQ(v, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend differential tests: every supported SIMD backend must produce
+// byte-identical output to the scalar backend for every entry point.
+// ---------------------------------------------------------------------------
+
+class BackendDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendDifferential, UnpackMatchesScalar) {
+  const int b = GetParam();
+  for (size_t n : {1u, 31u, 32u, 33u, 100u, 128u, 1000u, 4096u}) {
+    auto in = RandomCodes(n, b, 31 + b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1, 0);
+    BitPack(in.data(), n, b, packed.data());
+    const size_t rounded = (n + 31) / 32 * 32;
+    std::vector<uint32_t> want(rounded, 0);
+    {
+      ScopedKernelIsa force(KernelIsa::kScalar);
+      BitUnpack(packed.data(), n, b, want.data());
+    }
+    for (KernelIsa isa : SupportedIsas()) {
+      ScopedKernelIsa force(isa);
+      std::vector<uint32_t> got(rounded, 0xABABABAB);
+      BitUnpack(packed.data(), n, b, got.data());
+      ASSERT_EQ(want, got) << "isa=" << KernelIsaName(isa) << " b=" << b
+                           << " n=" << n;
+      std::vector<uint32_t> got32(32, 0);
+      BitUnpackGroup32(packed.data(), b, got32.data());
+      for (size_t i = 0; i < 32; i++) {
+        ASSERT_EQ(want[i], got32[i])
+            << "isa=" << KernelIsaName(isa) << " b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(BackendDifferential, ExactWritesOnlyN) {
+  const int b = GetParam();
+  for (size_t n : {1u, 17u, 32u, 33u, 127u, 128u, 129u, 1000u}) {
+    auto in = RandomCodes(n, b, 77 + b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1, 0);
+    BitPack(in.data(), n, b, packed.data());
+    for (KernelIsa isa : SupportedIsas()) {
+      ScopedKernelIsa force(isa);
+      // Guard canary directly after position n must survive.
+      std::vector<uint32_t> got(n + 8, 0xCAFEF00D);
+      BitUnpackExact(packed.data(), n, b, got.data());
+      for (size_t i = 0; i < n; i++) {
+        ASSERT_EQ(in[i], got[i])
+            << "isa=" << KernelIsaName(isa) << " b=" << b << " n=" << n;
+      }
+      for (size_t i = n; i < got.size(); i++) {
+        ASSERT_EQ(got[i], 0xCAFEF00D)
+            << "overwrite past n: isa=" << KernelIsaName(isa) << " b=" << b
+            << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(BackendDifferential, FusedForMatchesScalar) {
+  const int b = GetParam();
+  const uint32_t base32 = 0xFFFF0101u;  // exercises wraparound
+  const uint64_t base64 = 0xFFFFFFFF00000101ull;
+  for (size_t n : {1u, 32u, 63u, 128u, 1000u}) {
+    auto in = RandomCodes(n, b, 5 + b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1, 0);
+    BitPack(in.data(), n, b, packed.data());
+    for (KernelIsa isa : SupportedIsas()) {
+      ScopedKernelIsa force(isa);
+      std::vector<uint32_t> got32(n, 0);
+      std::vector<uint64_t> got64(n, 0);
+      BitUnpackFor32(packed.data(), n, b, base32, got32.data());
+      BitUnpackFor64(packed.data(), n, b, base64, got64.data());
+      for (size_t i = 0; i < n; i++) {
+        ASSERT_EQ(uint32_t(base32 + in[i]), got32[i])
+            << "isa=" << KernelIsaName(isa) << " b=" << b << " i=" << i;
+        ASSERT_EQ(base64 + in[i], got64[i])
+            << "isa=" << KernelIsaName(isa) << " b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitWidths, BackendDifferential,
+                         ::testing::Range(0, 33));
+
+TEST(BackendDifferentialFlat, ForDecodeAndPrefixSum) {
+  Rng rng(2024);
+  for (size_t n : {0u, 1u, 3u, 4u, 7u, 8u, 64u, 1000u, 4097u}) {
+    std::vector<uint32_t> codes(n);
+    for (auto& c : codes) c = uint32_t(rng.Next());
+    const uint32_t base32 = 0x80000001u;
+    const uint64_t base64 = 0xFF00000000000001ull;
+    // Scalar reference.
+    std::vector<uint32_t> want_for32(n);
+    std::vector<uint64_t> want_for64(n);
+    std::vector<uint32_t> want_ps32(codes.begin(), codes.end());
+    std::vector<uint64_t> want_ps64(codes.begin(), codes.end());
+    {
+      ScopedKernelIsa force(KernelIsa::kScalar);
+      ForDecode32(codes.data(), n, base32, want_for32.data());
+      ForDecode64(codes.data(), n, base64, want_for64.data());
+      PrefixSum32(want_ps32.data(), n, base32);
+      PrefixSum64(want_ps64.data(), n, base64);
+    }
+    for (KernelIsa isa : SupportedIsas()) {
+      ScopedKernelIsa force(isa);
+      std::vector<uint32_t> got_for32(n);
+      std::vector<uint64_t> got_for64(n);
+      std::vector<uint32_t> got_ps32(codes.begin(), codes.end());
+      std::vector<uint64_t> got_ps64(codes.begin(), codes.end());
+      ForDecode32(codes.data(), n, base32, got_for32.data());
+      ForDecode64(codes.data(), n, base64, got_for64.data());
+      PrefixSum32(got_ps32.data(), n, base32);
+      PrefixSum64(got_ps64.data(), n, base64);
+      ASSERT_EQ(want_for32, got_for32) << KernelIsaName(isa) << " n=" << n;
+      ASSERT_EQ(want_for64, got_for64) << KernelIsaName(isa) << " n=" << n;
+      ASSERT_EQ(want_ps32, got_ps32) << KernelIsaName(isa) << " n=" << n;
+      ASSERT_EQ(want_ps64, got_ps64) << KernelIsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelDispatch, QueryAndForce) {
+  // Scalar is always available and forcible; the active backend is always
+  // one of the supported ones.
+  EXPECT_TRUE(KernelIsaSupported(KernelIsa::kScalar));
+  EXPECT_TRUE(KernelIsaSupported(ActiveKernelIsa()));
+  const KernelIsa original = ActiveKernelIsa();
+  EXPECT_TRUE(SetKernelIsa(KernelIsa::kScalar));
+  EXPECT_EQ(ActiveKernelIsa(), KernelIsa::kScalar);
+  for (KernelIsa isa : SupportedIsas()) {
+    EXPECT_TRUE(SetKernelIsa(isa));
+    EXPECT_EQ(ActiveKernelIsa(), isa);
+    EXPECT_STRNE(KernelIsaName(isa), "?");
+  }
+  if (!KernelIsaSupported(KernelIsa::kAvx2)) {
+    EXPECT_FALSE(SetKernelIsa(KernelIsa::kAvx2));
+  }
+  SetKernelIsa(original);
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 #include "baselines/lzss_huffman.h"
 #include "baselines/varbyte.h"
 #include "baselines/wordaligned.h"
+#include "bitpack/bitpack.h"
 #include "core/float_codec.h"
+#include "core/kernels.h"
 #include "core/segment_reader.h"
 #include "ir/posting_codec.h"
+#include "kernel_isa_test_util.h"
 #include "util/rng.h"
 
 // Decoder robustness fuzzing: every decompressor must survive arbitrary
@@ -110,6 +113,82 @@ TEST(FuzzDecoders, BitflippedSegments) {
     r.DecompressRange(0, r.count(), out.data());
   }
   SUCCEED();
+}
+
+TEST(FuzzDecoders, BackendsAgreeOnRandomStreams) {
+  // Differential fuzz across kernel backends: random codes packed at a
+  // random width, plus randomized patched-decode inputs, must produce
+  // byte-identical output from every backend. This is the freeform
+  // counterpart of the structured differential suites in
+  // bitpack_test/property_test.
+  const auto isas = SupportedIsas();
+  for (uint64_t seed = 0; seed < 200; seed++) {
+    Rng rng(seed * 31 + 7);
+    const int b = int(rng.Uniform(33));
+    const size_t n = 1 + rng.Uniform(3000);
+    std::vector<uint32_t> codes(n);
+    const uint64_t mask =
+        (b == 32) ? 0xFFFFFFFFull : ((uint64_t(1) << b) - 1);
+    for (auto& c : codes) c = uint32_t(rng.Next() & mask);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1, 0);
+    BitPack(codes.data(), n, b, packed.data());
+
+    std::vector<uint32_t> want((n + 31) / 32 * 32, 0);
+    std::vector<uint32_t> want_exact(n, 0);
+    {
+      ScopedKernelIsa force(KernelIsa::kScalar);
+      BitUnpack(packed.data(), n, b, want.data());
+      BitUnpackExact(packed.data(), n, b, want_exact.data());
+    }
+    for (KernelIsa isa : isas) {
+      ScopedKernelIsa force(isa);
+      std::vector<uint32_t> got(want.size(), 1);
+      std::vector<uint32_t> got_exact(n, 1);
+      BitUnpack(packed.data(), n, b, got.data());
+      BitUnpackExact(packed.data(), n, b, got_exact.data());
+      ASSERT_EQ(want, got)
+          << "isa=" << KernelIsaName(isa) << " seed=" << seed << " b=" << b;
+      ASSERT_EQ(want_exact, got_exact)
+          << "isa=" << KernelIsaName(isa) << " seed=" << seed << " b=" << b;
+    }
+
+    // Patched decode over a random exception population.
+    std::vector<int64_t> data(n);
+    const int vb = std::max(1, b % 16);
+    const uint64_t vmask = (uint64_t(1) << vb) - 1;
+    for (auto& v : data) {
+      v = int64_t(rng.Next() & vmask);
+      if (rng.Bernoulli(0.1)) v = int64_t(rng.Next());  // exception
+    }
+    std::vector<uint32_t> code(n), miss(n);
+    std::vector<int64_t> exc(n);
+    size_t first = 0;
+    size_t nexc = CompressPred(data.data(), n, vb, int64_t(0), code.data(),
+                               exc.data(), &first, miss.data());
+    std::vector<int64_t> want_p(n), want_d(n);
+    {
+      ScopedKernelIsa force(KernelIsa::kScalar);
+      DecompressPatched(code.data(), n, ForCodec<int64_t>(0), exc.data(),
+                        first, nexc, want_p.data());
+      DecompressPatchedDelta(code.data(), n, ForCodec<int64_t>(0),
+                             exc.data(), first, nexc, int64_t(seed),
+                             want_d.data());
+    }
+    ASSERT_EQ(want_p, data) << "seed=" << seed;
+    for (KernelIsa isa : isas) {
+      ScopedKernelIsa force(isa);
+      std::vector<int64_t> got_p(n), got_d(n);
+      DecompressPatched(code.data(), n, ForCodec<int64_t>(0), exc.data(),
+                        first, nexc, got_p.data());
+      DecompressPatchedDelta(code.data(), n, ForCodec<int64_t>(0),
+                             exc.data(), first, nexc, int64_t(seed),
+                             got_d.data());
+      ASSERT_EQ(want_p, got_p)
+          << "isa=" << KernelIsaName(isa) << " seed=" << seed;
+      ASSERT_EQ(want_d, got_d)
+          << "isa=" << KernelIsaName(isa) << " seed=" << seed;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+#ifndef SCC_TESTS_KERNEL_ISA_TEST_UTIL_H_
+#define SCC_TESTS_KERNEL_ISA_TEST_UTIL_H_
+
+#include <vector>
+
+#include "bitpack/bitpack.h"
+
+// Helpers for differential tests that pin the kernel dispatch to a
+// specific backend. Tests iterate SupportedIsas() so the same binary
+// exercises whatever the host CPU (or an SCC_FORCE_SCALAR build) offers,
+// and CI forces individual backends via the SCC_KERNEL_ISA env var.
+
+namespace scc {
+
+inline std::vector<KernelIsa> SupportedIsas() {
+  std::vector<KernelIsa> isas;
+  for (int i = 0; i < kNumKernelIsas; i++) {
+    if (KernelIsaSupported(KernelIsa(i))) isas.push_back(KernelIsa(i));
+  }
+  return isas;
+}
+
+/// Forces a backend for the enclosing scope, restoring the previously
+/// active one (which may itself come from SCC_KERNEL_ISA) on exit.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(KernelIsa isa) : prev_(ActiveKernelIsa()) {
+    SetKernelIsa(isa);
+  }
+  ~ScopedKernelIsa() { SetKernelIsa(prev_); }
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  KernelIsa prev_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_TESTS_KERNEL_ISA_TEST_UTIL_H_

@@ -6,12 +6,15 @@
 //   scc_inspect <table-dir> <column>     # one column, per-chunk detail
 //   scc_inspect --telemetry <table-dir>  # also decode every chunk and
 //                                        # print the telemetry snapshot
+//   scc_inspect --isa                    # print the selected decode
+//                                        # kernel backend and exit
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bitpack/bitpack.h"
 #include "core/segment.h"
 #include "core/segment_reader.h"
 #include "engine/operators.h"
@@ -72,18 +75,33 @@ bool DecodeColumn(const StoredColumn& col) {
   return ok;
 }
 
+/// Reports the dispatch decision: which kernel ISA decodes will use on
+/// this host (honours SCC_KERNEL_ISA), plus what the CPU would support.
+void PrintIsa() {
+  printf("active kernel isa: %s\n", KernelIsaName(ActiveKernelIsa()));
+  printf("supported:        ");
+  for (int i = 0; i < kNumKernelIsas; i++) {
+    KernelIsa isa = KernelIsa(i);
+    if (KernelIsaSupported(isa)) printf(" %s", KernelIsaName(isa));
+  }
+  printf("\n");
+}
+
 int Run(int argc, char** argv) {
   bool telemetry = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--telemetry") == 0) {
       telemetry = true;
+    } else if (std::strcmp(argv[i], "--isa") == 0) {
+      PrintIsa();
+      return 0;
     } else {
       pos.push_back(argv[i]);
     }
   }
   if (pos.empty()) {
-    fprintf(stderr, "usage: %s [--telemetry] <table-dir> [column]\n",
+    fprintf(stderr, "usage: %s [--telemetry] [--isa] <table-dir> [column]\n",
             argv[0]);
     return 2;
   }
