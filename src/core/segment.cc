@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "core/codec_metrics.h"
+#include "util/crc32c.h"
+
 namespace scc {
 
 namespace {
@@ -14,11 +17,53 @@ std::string Fmt(const char* what, uint64_t got, uint64_t want) {
   return buf;
 }
 
+/// Byte spans of the three checksummed payload sections. Only meaningful
+/// after Validate() has established the section ordering the spans assume.
+struct SectionSpans {
+  size_t meta_off = 0, meta_len = 0;  // entry points + bases + dict + padding
+  size_t codes_off = 0, codes_len = 0;
+  size_t exc_off = 0, exc_len = 0;
+};
+
+SectionSpans SegmentSections(const SegmentHeader& hdr) {
+  SectionSpans s;
+  const size_t body = hdr.BodyOffset();
+  if (hdr.GetScheme() == Scheme::kUncompressed) {
+    // No metadata sections; the "code" section is the raw value array.
+    // exceptions_offset is 0 (legacy) or total_size (v2): either way the
+    // exception span is empty.
+    const size_t codes_end =
+        hdr.exceptions_offset != 0 ? hdr.exceptions_offset : hdr.total_size;
+    s.meta_off = body;
+    s.codes_off = hdr.codes_offset;
+    s.codes_len = codes_end - hdr.codes_offset;
+    s.exc_off = codes_end;
+  } else {
+    s.meta_off = body;
+    s.meta_len = hdr.codes_offset - body;
+    s.codes_off = hdr.codes_offset;
+    s.codes_len = hdr.exceptions_offset - hdr.codes_offset;
+    s.exc_off = hdr.exceptions_offset;
+    s.exc_len = hdr.total_size - hdr.exceptions_offset;
+  }
+  return s;
+}
+
 }  // namespace
 
 Status SegmentHeader::Validate(size_t buffer_size) const {
   if (magic != kMagic) {
     return Status::Corruption("segment header: bad magic");
+  }
+  if ((flags & kSegmentFlagsReservedMask) != 0) {
+    return Status::Corruption(Fmt("flags (reserved bits)", flags, 0));
+  }
+  if (FormatVersion() > kSegmentVersionMax) {
+    return Status::Corruption(
+        Fmt("format version", FormatVersion(), kSegmentVersionMax));
+  }
+  if (HasChecksums() && FormatVersion() == 0) {
+    return Status::Corruption("segment header: checksum flag on v0 layout");
   }
   if (scheme > uint8_t(Scheme::kPDict)) {
     return Status::Corruption(Fmt("scheme", scheme, uint8_t(Scheme::kPDict)));
@@ -32,6 +77,10 @@ Status SegmentHeader::Validate(size_t buffer_size) const {
   }
   if (total_size > buffer_size) {
     return Status::Corruption(Fmt("total_size", total_size, buffer_size));
+  }
+  const uint64_t body = BodyOffset();
+  if (total_size < body) {
+    return Status::Corruption(Fmt("total_size vs body", total_size, body));
   }
   const uint64_t expect_entries = (uint64_t(count) + kEntryGroup - 1) / kEntryGroup;
   const bool compressed = GetScheme() != Scheme::kUncompressed;
@@ -54,13 +103,16 @@ Status SegmentHeader::Validate(size_t buffer_size) const {
       exceptions_offset % value_size != 0 || total_size % value_size != 0) {
     return Status::Corruption(Fmt("value alignment", total_size, value_size));
   }
-  // Section ordering within the buffer.
+  // Section ordering within the buffer: every offset is bounded below by
+  // the body start and the sections must not overlap. Decoders rely on
+  // these bounds for memory safety, so the checks run on every Open.
   if (compressed) {
-    if (entries_offset < sizeof(SegmentHeader) ||
+    if (entries_offset < body ||
         entries_offset + uint64_t(entry_count) * 4 > total_size) {
       return Status::Corruption(Fmt("entries_offset", entries_offset, total_size));
     }
-    if (codes_offset > total_size || exceptions_offset > total_size) {
+    if (codes_offset < entries_offset + uint64_t(entry_count) * 4 ||
+        codes_offset > total_size || exceptions_offset > total_size) {
       return Status::Corruption(Fmt("codes_offset", codes_offset, total_size));
     }
     // The bit-packed code section must fit between codes_offset and the
@@ -77,25 +129,84 @@ Status SegmentHeader::Validate(size_t buffer_size) const {
           Fmt("exceptions_offset", exceptions_offset, total_size));
     }
     if (GetScheme() == Scheme::kPForDelta) {
-      if (bases_offset < sizeof(SegmentHeader) ||
-          bases_offset + uint64_t(entry_count) * value_size > total_size) {
+      if (bases_offset < entries_offset + uint64_t(entry_count) * 4 ||
+          bases_offset + uint64_t(entry_count) * value_size > codes_offset) {
         return Status::Corruption(Fmt("bases_offset", bases_offset, total_size));
       }
     }
   } else {
-    if (codes_offset + uint64_t(count) * value_size > total_size) {
+    if (codes_offset < body ||
+        codes_offset + uint64_t(count) * value_size > total_size) {
       return Status::Corruption(Fmt("codes_offset", codes_offset, total_size));
+    }
+    // Raw segments have no exception section: 0 (legacy) or total_size.
+    if (exceptions_offset != 0 &&
+        (exceptions_offset < codes_offset + uint64_t(count) * value_size ||
+         exceptions_offset > total_size)) {
+      return Status::Corruption(
+          Fmt("exceptions_offset (raw)", exceptions_offset, total_size));
     }
   }
   if (GetScheme() == Scheme::kPDict) {
-    if (dict_offset < sizeof(SegmentHeader) || dict_offset >= total_size) {
-      return Status::Corruption(Fmt("dict_offset", dict_offset, total_size));
-    }
     if (dict_size == 0 || (bit_width < 32 && dict_size > (1u << bit_width))) {
       return Status::Corruption(Fmt("dict_size", dict_size, 1u << bit_width));
     }
+    // The dictionary section is padded to >= kEntryGroup entries and the
+    // whole padded region must sit below the code section: LOOP1 reads
+    // dict[code] for clamped codes, so the bound is a memory-safety
+    // invariant, not just a formatting nicety.
+    const uint64_t padded =
+        dict_size > kEntryGroup ? uint64_t(dict_size) : uint64_t(kEntryGroup);
+    if (dict_offset < body ||
+        dict_offset + padded * value_size > codes_offset) {
+      return Status::Corruption(Fmt("dict_offset", dict_offset, codes_offset));
+    }
   }
   return Status::OK();
+}
+
+SegmentChecksums ComputeSegmentChecksums(const uint8_t* data,
+                                         const SegmentHeader& hdr) {
+  SegmentChecksums sums;
+  sums.header_crc = Crc32c(data, sizeof(SegmentHeader));
+  const SectionSpans s = SegmentSections(hdr);
+  sums.meta_crc = Crc32c(data + s.meta_off, s.meta_len);
+  sums.codes_crc = Crc32c(data + s.codes_off, s.codes_len);
+  sums.exceptions_crc = Crc32c(data + s.exc_off, s.exc_len);
+  return sums;
+}
+
+SegmentChecksumReport CheckSegmentChecksums(const uint8_t* data,
+                                            const SegmentHeader& hdr) {
+  SegmentChecksumReport report;
+  if (!hdr.HasChecksums()) return report;
+  report.present = true;
+  SegmentChecksums stored;
+  std::memcpy(&stored, data + sizeof(SegmentHeader), sizeof(stored));
+  const SegmentChecksums want = ComputeSegmentChecksums(data, hdr);
+  report.header_ok = stored.header_crc == want.header_crc;
+  report.meta_ok = stored.meta_crc == want.meta_crc;
+  report.codes_ok = stored.codes_crc == want.codes_crc;
+  report.exceptions_ok = stored.exceptions_crc == want.exceptions_crc;
+  return report;
+}
+
+Status VerifySegmentChecksums(const uint8_t* data, size_t size) {
+  if (size < sizeof(SegmentHeader)) {
+    return Status::Corruption("segment shorter than header");
+  }
+  SegmentHeader hdr;
+  std::memcpy(&hdr, data, sizeof(hdr));
+  SCC_RETURN_NOT_OK(hdr.Validate(size));
+  const SegmentChecksumReport report = CheckSegmentChecksums(data, hdr);
+  if (report.ok()) return Status::OK();
+  CodecMetrics::Get().checksum_failures->Increment();
+  std::string bad;
+  if (!report.header_ok) bad += " header";
+  if (!report.meta_ok) bad += " meta";
+  if (!report.codes_ok) bad += " codes";
+  if (!report.exceptions_ok) bad += " exceptions";
+  return Status::Corruption("segment checksum mismatch in section(s):" + bad);
 }
 
 }  // namespace scc

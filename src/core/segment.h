@@ -36,11 +36,40 @@
 // paper; we split them 8/24 instead of 7/25 (see DESIGN.md) which bounds a
 // segment at 2^24 exceptions instead of 2^25 values — irrelevant at the
 // 1-8 MB chunk sizes ColumnBM uses.
+//
+// Format v2 (corruption hardening): `flags` bit 0 set means a 16-byte
+// SegmentChecksums block sits between the header and the first section
+// (CRC32C of the header, the metadata sections, the code section, and the
+// exception section). Bits 4..7 of `flags` carry the format version: 0 is
+// the original unversioned layout above, 1 is the v2 layout with the
+// optional checksum block. Readers accept both; writers emit v2.
 
 namespace scc {
 
 /// Marker in an entry point's low byte: this 128-group has no exceptions.
 constexpr uint32_t kNoException = 0x80;
+
+/// SegmentHeader::flags bit 0: a SegmentChecksums block follows the header.
+constexpr uint8_t kSegmentFlagChecksums = 0x01;
+/// Bits 1..3 of flags are reserved and must be zero.
+constexpr uint8_t kSegmentFlagsReservedMask = 0x0E;
+/// Bits 4..7 of flags: on-disk format version. 0 = original unversioned
+/// layout; 1 = v2 (version nibble + optional checksum block).
+constexpr uint8_t kSegmentVersionShift = 4;
+constexpr uint8_t kSegmentVersionMax = 1;
+
+/// Per-section CRC32C block, present when flags & kSegmentFlagChecksums.
+/// Lives at byte offset sizeof(SegmentHeader); every section offset in a
+/// checksummed segment accounts for it.
+struct SegmentChecksums {
+  uint32_t header_crc = 0;      // the 64 header bytes
+  uint32_t meta_crc = 0;        // [body start, codes_offset): entry points,
+                                // running bases, dictionary, padding
+  uint32_t codes_crc = 0;       // [codes_offset, exceptions end)
+  uint32_t exceptions_crc = 0;  // the backward-growing exception section
+};
+
+static_assert(sizeof(SegmentChecksums) == 16, "checksum block is 16 bytes");
 
 /// Fixed-size segment header. All offsets are bytes from segment start.
 struct SegmentHeader {
@@ -66,6 +95,19 @@ struct SegmentHeader {
 
   Scheme GetScheme() const { return static_cast<Scheme>(scheme); }
 
+  /// On-disk format version carried in the flags nibble (0 = legacy v1).
+  uint8_t FormatVersion() const { return flags >> kSegmentVersionShift; }
+
+  /// True when a SegmentChecksums block follows the header.
+  bool HasChecksums() const { return (flags & kSegmentFlagChecksums) != 0; }
+
+  /// First byte past the header and (if present) the checksum block — the
+  /// lower bound for every section offset.
+  size_t BodyOffset() const {
+    return sizeof(SegmentHeader) +
+           (HasChecksums() ? sizeof(SegmentChecksums) : 0);
+  }
+
   /// Compression ratio of this segment vs. raw array storage.
   double CompressionRatio() const {
     if (total_size == 0) return 1.0;
@@ -77,6 +119,37 @@ struct SegmentHeader {
 };
 
 static_assert(sizeof(SegmentHeader) == 64, "header must stay 64 bytes");
+
+/// Per-section checksum verification outcome, for diagnostics
+/// (scc_inspect --verify). `present` false means a legacy/uncheck-
+/// summed segment: the *_ok fields are vacuously true.
+struct SegmentChecksumReport {
+  bool present = false;
+  bool header_ok = true;
+  bool meta_ok = true;
+  bool codes_ok = true;
+  bool exceptions_ok = true;
+  bool ok() const { return header_ok && meta_ok && codes_ok && exceptions_ok; }
+};
+
+/// Computes the checksum block for a fully assembled segment whose header
+/// (already carrying the checksum flag) is at data[0]. Used by the
+/// builder; exposed for tests and tools.
+SegmentChecksums ComputeSegmentChecksums(const uint8_t* data,
+                                         const SegmentHeader& hdr);
+
+/// Re-derives every section CRC of a checksummed segment and compares it
+/// against the stored block. The header must already have passed
+/// Validate(). Legacy segments report present = false.
+SegmentChecksumReport CheckSegmentChecksums(const uint8_t* data,
+                                            const SegmentHeader& hdr);
+
+/// Type-agnostic end-to-end verification of a segment buffer: header
+/// validation plus (when present) all section CRCs. Returns Corruption —
+/// and bumps the codec.checksum_failures counter — on any mismatch. This
+/// is the page-fix-time check the buffer manager and FileStore run; it
+/// needs no knowledge of the value type.
+Status VerifySegmentChecksums(const uint8_t* data, size_t size);
 
 /// Packs a group's entry point.
 inline uint32_t MakeEntryPoint(uint32_t first_offset, uint32_t exc_index) {

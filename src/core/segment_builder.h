@@ -24,6 +24,14 @@
 
 namespace scc {
 
+/// Build-time format options. Checksums default ON: new segments carry the
+/// v2 per-section CRC32C block (~16 bytes per segment, computed at the
+/// hardware CRC rate). Turn off for byte-compatibility experiments and the
+/// checksum-cost bench rows.
+struct SegmentBuildOptions {
+  bool with_checksums = true;
+};
+
 template <CodecValue T>
 class SegmentBuilder {
  public:
@@ -31,34 +39,40 @@ class SegmentBuilder {
 
   /// Dispatches on the analyzer's choice.
   static Result<AlignedBuffer> Build(std::span<const T> values,
-                                     const CompressionChoice<T>& choice) {
+                                     const CompressionChoice<T>& choice,
+                                     const SegmentBuildOptions& opts = {}) {
     switch (choice.scheme) {
       case Scheme::kUncompressed:
-        return BuildUncompressed(values);
+        return BuildUncompressed(values, opts);
       case Scheme::kPFor:
-        return BuildPFor(values, choice.pfor);
+        return BuildPFor(values, choice.pfor, opts);
       case Scheme::kPForDelta:
-        return BuildPForDelta(values, choice.pfor);
+        return BuildPForDelta(values, choice.pfor, opts);
       case Scheme::kPDict:
-        return BuildPDict(values, choice.pdict);
+        return BuildPDict(values, choice.pdict, opts);
     }
     return Status::InvalidArgument("unknown scheme");
   }
 
   /// Raw array storage (also the fallback when data is incompressible).
-  static Result<AlignedBuffer> BuildUncompressed(std::span<const T> values) {
+  static Result<AlignedBuffer> BuildUncompressed(
+      std::span<const T> values, const SegmentBuildOptions& opts = {}) {
     EncodeTimer timer;
     SegmentHeader hdr;
     hdr.scheme = uint8_t(Scheme::kUncompressed);
     hdr.value_size = sizeof(T);
     hdr.count = uint32_t(values.size());
-    hdr.codes_offset = sizeof(SegmentHeader);
+    hdr.flags = FormatFlags(opts);
+    hdr.codes_offset = uint32_t(hdr.BodyOffset());
     hdr.total_size =
-        uint32_t(sizeof(SegmentHeader) + values.size() * sizeof(T));
+        uint32_t(hdr.BodyOffset() + values.size() * sizeof(T));
+    // v2 marks the (empty) exception section explicitly; legacy wrote 0.
+    hdr.exceptions_offset = hdr.total_size;
     AlignedBuffer buf(hdr.total_size);
     std::memcpy(buf.data(), &hdr, sizeof(hdr));
     std::memcpy(buf.data() + hdr.codes_offset, values.data(),
                 values.size() * sizeof(T));
+    StampChecksums(&buf, hdr);
     CodecMetrics& cm = CodecMetrics::Get();
     cm.encode_values[size_t(Scheme::kUncompressed)]->Add(values.size());
     cm.encode_bytes_out[size_t(Scheme::kUncompressed)]->Add(hdr.total_size);
@@ -66,15 +80,17 @@ class SegmentBuilder {
   }
 
   static Result<AlignedBuffer> BuildPFor(std::span<const T> values,
-                                         const PForParams<T>& params) {
+                                         const PForParams<T>& params,
+                                         const SegmentBuildOptions& opts = {}) {
     EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
     GroupResults g = CompressGroups(values, params, /*deltas=*/false);
-    return Assemble(Scheme::kPFor, values, params, g, /*dict=*/{});
+    return Assemble(Scheme::kPFor, values, params, g, /*dict=*/{}, opts);
   }
 
-  static Result<AlignedBuffer> BuildPForDelta(std::span<const T> values,
-                                              const PForParams<T>& params) {
+  static Result<AlignedBuffer> BuildPForDelta(
+      std::span<const T> values, const PForParams<T>& params,
+      const SegmentBuildOptions& opts = {}) {
     EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
     // Delta transform with wraparound; v[-1] := 0 so d[0] = v[0].
@@ -91,11 +107,12 @@ class SegmentBuilder {
     for (size_t grp = 0; grp < g.entries.size(); grp++) {
       g.bases[grp] = grp == 0 ? T(0) : values[grp * kEntryGroup - 1];
     }
-    return Assemble(Scheme::kPForDelta, values, params, g, /*dict=*/{});
+    return Assemble(Scheme::kPForDelta, values, params, g, /*dict=*/{}, opts);
   }
 
   static Result<AlignedBuffer> BuildPDict(std::span<const T> values,
-                                          const PDictParams<T>& params) {
+                                          const PDictParams<T>& params,
+                                          const SegmentBuildOptions& opts = {}) {
     EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
     if (params.dict.empty()) {
@@ -108,10 +125,27 @@ class SegmentBuilder {
     PDictHash<T> hash(params.dict);
     GroupResults g = CompressGroupsDict(values, params, hash);
     return Assemble(Scheme::kPDict, values,
-                    PForParams<T>{params.bit_width, T(0)}, g, params.dict);
+                    PForParams<T>{params.bit_width, T(0)}, g, params.dict,
+                    opts);
   }
 
  private:
+  /// flags byte for newly built segments: always version v2; checksum bit
+  /// per the build options.
+  static uint8_t FormatFlags(const SegmentBuildOptions& opts) {
+    uint8_t f = uint8_t(1u << kSegmentVersionShift);
+    if (opts.with_checksums) f |= kSegmentFlagChecksums;
+    return f;
+  }
+
+  /// Computes and writes the SegmentChecksums block of a fully assembled
+  /// segment. No-op for segments built without checksums.
+  static void StampChecksums(AlignedBuffer* buf, const SegmentHeader& hdr) {
+    if (!hdr.HasChecksums()) return;
+    const SegmentChecksums sums = ComputeSegmentChecksums(buf->data(), hdr);
+    std::memcpy(buf->data() + sizeof(SegmentHeader), &sums, sizeof(sums));
+  }
+
   /// Accumulates wall time of one Build* call into codec.encode.nanos.
   /// Build() dispatches to the timed leaf builders, so it adds no timer of
   /// its own (no double counting).
@@ -250,7 +284,8 @@ class SegmentBuilder {
                                         std::span<const T> values,
                                         const PForParams<T>& params,
                                         const GroupResults& g,
-                                        std::span<const T> dict) {
+                                        std::span<const T> dict,
+                                        const SegmentBuildOptions& opts) {
     if (g.exceptions.size() >= (1u << 24)) {
       return Status::ResourceExhausted(
           "more than 2^24 exceptions in one segment; use smaller segments");
@@ -266,8 +301,9 @@ class SegmentBuilder {
     hdr.entry_count = uint32_t(g.entries.size());
     hdr.base_bits = uint64_t(U(params.base));
     hdr.start_bits = 0;
+    hdr.flags = FormatFlags(opts);
 
-    size_t off = sizeof(SegmentHeader);
+    size_t off = hdr.BodyOffset();
     hdr.entries_offset = uint32_t(off);
     off += g.entries.size() * sizeof(uint32_t);
     if (!g.bases.empty()) {
@@ -314,6 +350,7 @@ class SegmentBuilder {
     for (size_t i = 0; i < g.exceptions.size(); i++) {
       exc_end[-(ptrdiff_t(i) + 1)] = g.exceptions[i];
     }
+    StampChecksums(&buf, hdr);
     CodecMetrics& cm = CodecMetrics::Get();
     const size_t si = CodecMetrics::SchemeIndex(scheme);
     cm.encode_values[si]->Add(n);

@@ -26,14 +26,24 @@
 
 namespace scc {
 
+/// Open-time verification options. Checksum verification defaults OFF here
+/// because the scan path Opens a reader per vector over buffer-manager
+/// memory that was already verified at page-fix time; FileStore and the
+/// buffer manager opt in at their I/O boundaries instead.
+struct SegmentOpenOptions {
+  bool verify_checksums = false;
+};
+
 template <CodecValue T>
 class SegmentReader {
  public:
   using U = std::make_unsigned_t<T>;
 
   /// Validates the header and wraps `data` (not copied; must outlive the
-  /// reader).
-  static Result<SegmentReader<T>> Open(const uint8_t* data, size_t size) {
+  /// reader). With opts.verify_checksums, additionally recomputes every
+  /// section CRC of a checksummed segment before returning.
+  static Result<SegmentReader<T>> Open(const uint8_t* data, size_t size,
+                                       const SegmentOpenOptions& opts = {}) {
     if (size < sizeof(SegmentHeader)) {
       return Status::Corruption("segment shorter than header");
     }
@@ -42,6 +52,9 @@ class SegmentReader {
     SCC_RETURN_NOT_OK(hdr.Validate(size));
     if (hdr.value_size != sizeof(T)) {
       return Status::InvalidArgument("segment value width mismatch");
+    }
+    if (opts.verify_checksums) {
+      SCC_RETURN_NOT_OK(VerifySegmentChecksums(data, size));
     }
     return SegmentReader<T>(data, hdr);
   }
@@ -100,7 +113,8 @@ class SegmentReader {
           return T(U(uint64_t(hdr_.base_bits)) + U(c));
         });
       case Scheme::kPDict:
-        return GetPatched(idx, [this](uint32_t c) { return Dict()[c]; });
+        return GetPatched(
+            idx, [this](uint32_t c) { return Dict()[ClampDictCode(c)]; });
       case Scheme::kPForDelta: {
         // The running sum makes point access decode the enclosing group.
         const size_t g = idx / kEntryGroup;
@@ -200,6 +214,16 @@ class SegmentReader {
     return reinterpret_cast<const T*>(data_ + hdr_.total_size);
   }
 
+  /// Bounds a (possibly corrupt) dictionary code to the padded dictionary
+  /// section, whose extent Validate() guarantees. Exception slots carry
+  /// gap codes, not dictionary indices, so clamping them to 0 is harmless:
+  /// LOOP2 patches those positions with the stored exception value.
+  uint32_t ClampDictCode(uint32_t c) const {
+    const uint32_t lim =
+        std::max<uint32_t>(hdr_.dict_size, uint32_t(kEntryGroup));
+    return c < lim ? c : 0;
+  }
+
   /// Sequential decode of group `g` (glen values) into `out`.
   ///
   /// For 4/8-byte PFOR(-DELTA) values LOOP1 runs as the fused dispatched
@@ -244,7 +268,17 @@ class SegmentReader {
         uint32_t codes[kEntryGroup];
         BitUnpack(words, glen, b, codes);
         const T* dict = Dict();
-        for (size_t i = 0; i < glen; i++) out[i] = dict[codes[i]];
+        if (b <= 7) {
+          // 2^b <= kEntryGroup: every code lands inside the padded
+          // dictionary section by construction, no clamp needed.
+          for (size_t i = 0; i < glen; i++) out[i] = dict[codes[i]];
+        } else {
+          // Wider codes can exceed the padded region on corrupt input;
+          // clamp keeps the read in-bounds (LOOP2 overwrites gap slots).
+          for (size_t i = 0; i < glen; i++) {
+            out[i] = dict[ClampDictCode(codes[i])];
+          }
+        }
         for (size_t cur = first, k = 0; k < group_exc && cur < glen; k++) {
           size_t next = cur + size_t(codes[cur]) + 1;
           out[cur] = exc_end[-(ptrdiff_t(j++) + 1)];

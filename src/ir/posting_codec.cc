@@ -90,8 +90,12 @@ class PForDeltaPostingCodec : public PostingCodec {
       uint32_t sz;
       std::memcpy(&sz, data + 4 + 4 * blk, 4);
       if (off + sz > size) return Status::Corruption("pfor-delta: overflow");
-      SCC_ASSIGN_OR_RETURN(auto reader,
-                           SegmentReader<uint32_t>::Open(data + off, sz));
+      // Posting payloads arrive straight from untrusted index bytes (no
+      // buffer-manager fix step), so CRC verification happens here.
+      SCC_ASSIGN_OR_RETURN(
+          auto reader,
+          SegmentReader<uint32_t>::Open(data + off, sz,
+                                        {.verify_checksums = true}));
       size_t len = reader.count();
       if (pos + len > n) return Status::Corruption("pfor-delta: too long");
       reader.DecompressAll(ids + pos);  // running sum happens in-decode

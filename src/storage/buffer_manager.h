@@ -4,6 +4,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "core/segment.h"
 #include "storage/sim_disk.h"
 #include "storage/storage_metrics.h"
 #include "storage/table.h"
@@ -18,6 +19,14 @@
 // (column, chunk) segment; under PAX it is a whole row group (all columns
 // of a row range), so fetching one column of an uncached row group
 // charges the disk for every column — the effect Table 2 measures.
+//
+// Fault tolerance: when the SimDisk carries a FaultInjector (or checksum
+// verification is enabled), Fetch switches from aliasing the pristine
+// column memory to materializing an OWNED copy of each page through the
+// fault path, verifying it, and retrying failed reads a bounded number of
+// times. Every failed attempt counts into storage.io_faults; a read that
+// exhausts its retries is NOT cached (so a later Fetch retries from
+// "disk") and surfaces as a non-OK Result instead of an abort.
 
 namespace scc {
 
@@ -27,9 +36,13 @@ class BufferManager {
       : disk_(disk), capacity_(capacity_bytes), layout_(layout) {}
 
   /// Returns the (compressed) bytes of `col`'s chunk `chunk_idx`,
-  /// charging the simulated disk on a miss.
-  const AlignedBuffer* Fetch(const Table* table, const StoredColumn* col,
-                             size_t chunk_idx) {
+  /// charging the simulated disk on a miss. Fails with IOError /
+  /// Corruption when the page cannot be read intact within the retry
+  /// budget; the returned pointer is valid until the entry is evicted or
+  /// the cache is cleared.
+  Result<const AlignedBuffer*> Fetch(const Table* table,
+                                     const StoredColumn* col,
+                                     size_t chunk_idx) {
     StorageMetrics& sm = StorageMetrics::Get();
     const Key key = MakeKey(table, col, chunk_idx);
     auto it = cache_.find(key);
@@ -37,34 +50,82 @@ class BufferManager {
       hits_++;
       sm.bm_hits->Increment();
       Touch(it->second);
-      return &col->chunks[chunk_idx];
+      return it->second.owned ? &it->second.page : &col->chunks[chunk_idx];
     }
     misses_++;
     sm.bm_misses->Increment();
-    if (layout_ == Layout::kDSM) {
-      const size_t bytes = col->chunks[chunk_idx].size();
-      disk_->ReadChunk(bytes);
-      bytes_read_ += bytes;
-      sm.bm_bytes_read->Add(bytes);
-      Insert(key, bytes);
-    } else {
-      // PAX: one I/O brings in the entire row group; register every
-      // column of the group as cached.
-      const size_t bytes = table->RowGroupBytes(chunk_idx);
-      disk_->ReadChunk(bytes);
-      bytes_read_ += bytes;
-      sm.bm_bytes_read->Add(bytes);
-      for (size_t c = 0; c < table->column_count(); c++) {
-        const StoredColumn* other = table->column(c);
-        Key k2 = MakeKey(table, other, chunk_idx);
-        if (cache_.find(k2) == cache_.end()) {
-          Insert(k2, other->chunks[chunk_idx].size());
+    const AlignedBuffer& src = col->chunks[chunk_idx];
+    const bool guarded = disk_->faults() != nullptr || verify_checksums_;
+    Status last = Status::OK();
+    for (int attempt = 0; attempt <= max_read_retries_; attempt++) {
+      // Charge the I/O unit. Retries re-read (and re-charge) the device.
+      const size_t unit_bytes = layout_ == Layout::kDSM
+                                    ? src.size()
+                                    : table->RowGroupBytes(chunk_idx);
+      AlignedBuffer page;
+      Status st;
+      if (guarded) {
+        // PAX simplification: the whole row group is charged as one I/O
+        // but faults/verification apply to the requested column's page —
+        // sibling columns get their own guarded read when first fetched.
+        if (layout_ == Layout::kDSM) {
+          st = disk_->ReadChunkInto(src.data(), src.size(), &page);
+        } else {
+          disk_->ReadChunk(unit_bytes);
+          st = MaterializeFaulted(src, &page);
+        }
+        if (st.ok() && page.size() != src.size()) {
+          st = Status::Corruption("short page read: got " +
+                                  std::to_string(page.size()) + " of " +
+                                  std::to_string(src.size()) + " bytes");
+        }
+        if (st.ok() && verify_checksums_) {
+          st = VerifySegmentChecksums(page.data(), page.size());
+        }
+      } else {
+        disk_->ReadChunk(unit_bytes);
+      }
+      bytes_read_ += unit_bytes;
+      sm.bm_bytes_read->Add(unit_bytes);
+      if (!st.ok()) {
+        io_faults_++;
+        sm.io_faults->Increment();
+        last = st;
+        continue;
+      }
+      const AlignedBuffer* result;
+      if (guarded) {
+        Entry& e = Insert(key, src.size(), std::move(page), /*owned=*/true);
+        result = &e.page;
+      } else {
+        Insert(key, src.size(), AlignedBuffer(), /*owned=*/false);
+        result = &src;
+      }
+      if (layout_ == Layout::kPAX) {
+        // Register the rest of the row group as cached (pass-through
+        // entries aliasing pristine memory; see the PAX note above).
+        for (size_t c = 0; c < table->column_count(); c++) {
+          const StoredColumn* other = table->column(c);
+          Key k2 = MakeKey(table, other, chunk_idx);
+          if (cache_.find(k2) == cache_.end()) {
+            Insert(k2, other->chunks[chunk_idx].size(), AlignedBuffer(),
+                   /*owned=*/false);
+          }
         }
       }
+      sm.bm_resident_bytes->Set(int64_t(resident_));
+      return result;
     }
-    sm.bm_resident_bytes->Set(int64_t(resident_));
-    return &col->chunks[chunk_idx];
+    return last;
   }
+
+  /// Verify per-section segment CRCs at page-fix time (the Figure 1
+  /// boundary where bytes enter the cache). Off by default; corruption
+  /// campaigns and durability-minded callers opt in.
+  void SetVerifyChecksums(bool on) { verify_checksums_ = on; }
+  bool verify_checksums() const { return verify_checksums_; }
+  /// Failed page reads are retried this many times before Fetch gives up.
+  void set_max_read_retries(int n) { max_read_retries_ = n; }
 
   SimDisk* disk() const { return disk_; }
   size_t hits() const { return hits_; }
@@ -77,6 +138,10 @@ class BufferManager {
   /// Bytes charged to the disk on cache misses (compressed bytes; the
   /// whole row group under PAX).
   size_t bytes_read() const { return bytes_read_; }
+  /// Failed page-read attempts (injected I/O errors, truncations, and
+  /// checksum mismatches), including attempts that later succeeded on
+  /// retry. Mirrors the storage.io_faults registry counter.
+  size_t io_faults() const { return io_faults_; }
 
   /// Drops every cached page (resident_bytes() returns to 0) but KEEPS the
   /// statistics: Clear() is "power off the cache", used by benches to
@@ -96,6 +161,7 @@ class BufferManager {
     evictions_ = 0;
     evicted_bytes_ = 0;
     bytes_read_ = 0;
+    io_faults_ = 0;
   }
 
  private:
@@ -115,6 +181,8 @@ class BufferManager {
   struct Entry {
     std::list<Key>::iterator lru_it;
     size_t bytes;
+    AlignedBuffer page;  // owned copy when `owned`; empty otherwise
+    bool owned = false;
   };
 
   static Key MakeKey(const Table*, const StoredColumn* col, size_t chunk) {
@@ -123,13 +191,28 @@ class BufferManager {
 
   void Touch(Entry& e) { lru_.splice(lru_.begin(), lru_, e.lru_it); }
 
+  /// Copies `src` through the attached fault injector without charging
+  /// the disk (the caller already charged the I/O unit).
+  Status MaterializeFaulted(const AlignedBuffer& src, AlignedBuffer* out) {
+    out->Resize(src.size());
+    if (src.size() > 0) std::memcpy(out->data(), src.data(), src.size());
+    if (FaultInjector* f = disk_->faults()) {
+      size_t got = src.size();
+      SCC_RETURN_NOT_OK(f->OnRead(out->data(), &got));
+      if (got != src.size()) out->Resize(got);
+    }
+    return Status::OK();
+  }
+
   /// Admits `key` after evicting LRU victims until it fits. An item
   /// larger than the whole capacity still gets admitted after the cache
   /// empties out (the loop stops on !lru_.empty()): the buffer manager
   /// overcommits rather than refuse service, so resident_ may exceed
   /// capacity_ by at most one item. Callers see that item evicted first
-  /// on the next insert under pressure.
-  void Insert(const Key& key, size_t bytes) {
+  /// on the next insert under pressure. Returns the admitted entry
+  /// (stable across rehashes until evicted).
+  Entry& Insert(const Key& key, size_t bytes, AlignedBuffer&& page,
+                bool owned) {
     StorageMetrics& sm = StorageMetrics::Get();
     while (resident_ + bytes > capacity_ && !lru_.empty()) {
       Key victim = lru_.back();
@@ -145,13 +228,17 @@ class BufferManager {
       }
     }
     lru_.push_front(key);
-    cache_[key] = Entry{lru_.begin(), bytes};
+    Entry& e = cache_[key];
+    e = Entry{lru_.begin(), bytes, std::move(page), owned};
     resident_ += bytes;
+    return e;
   }
 
   SimDisk* disk_;
   size_t capacity_;
   Layout layout_;
+  bool verify_checksums_ = false;
+  int max_read_retries_ = 2;
   std::unordered_map<Key, Entry, KeyHash> cache_;
   std::list<Key> lru_;
   size_t resident_ = 0;
@@ -160,6 +247,7 @@ class BufferManager {
   size_t evictions_ = 0;
   size_t evicted_bytes_ = 0;
   size_t bytes_read_ = 0;
+  size_t io_faults_ = 0;
 };
 
 }  // namespace scc

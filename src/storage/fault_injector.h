@@ -1,0 +1,104 @@
+#ifndef SCC_STORAGE_FAULT_INJECTOR_H_
+#define SCC_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+// Deterministic storage-fault model for the corruption test battery. The
+// injector sits between SimDisk and the buffer manager and perturbs page
+// I/O the way real storage fails: whole-read errors (controller/medium),
+// silent bit flips (the case per-section CRCs exist for), short reads
+// (truncation after a crash), and torn writes (partial sector persistence
+// on power loss).
+//
+// Determinism contract: faults are pure functions of (seed, call order).
+// Two runs that attach injectors with the same Config and issue the same
+// sequence of OnRead/OnWrite calls observe byte-identical faults, which is
+// what lets corruption tests replay a failing campaign from its seed
+// alone. Reset() rewinds the injector to its post-construction state.
+
+namespace scc {
+
+class FaultInjector {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    double io_error_prob = 0.0;    // whole read fails with Status::IOError
+    double bit_flip_prob = 0.0;    // payload corrupted in place
+    double truncate_prob = 0.0;    // short read: size shrinks
+    double torn_write_prob = 0.0;  // write persists only a prefix
+    int flips_per_fault = 1;       // bits flipped per bit-flip event
+  };
+
+  struct Stats {
+    size_t reads = 0;
+    size_t writes = 0;
+    size_t io_errors = 0;
+    size_t bit_flips = 0;
+    size_t truncations = 0;
+    size_t torn_writes = 0;
+    size_t faults() const {
+      return io_errors + bit_flips + truncations + torn_writes;
+    }
+  };
+
+  explicit FaultInjector(Config config) : config_(config), rng_(config.seed) {}
+
+  /// Perturbs one page read. `data`/`*size` must refer to a private copy
+  /// of the page (the injector mutates it in place); on a short read
+  /// `*size` shrinks. Returns IOError when the whole read fails — the
+  /// buffer contents are unspecified in that case, exactly like a real
+  /// failed pread.
+  Status OnRead(uint8_t* data, size_t* size) {
+    stats_.reads++;
+    if (rng_.Bernoulli(config_.io_error_prob)) {
+      stats_.io_errors++;
+      return Status::IOError("injected read error");
+    }
+    if (*size > 0 && rng_.Bernoulli(config_.bit_flip_prob)) {
+      stats_.bit_flips++;
+      for (int i = 0; i < config_.flips_per_fault; i++) {
+        const size_t byte = size_t(rng_.Uniform(*size));
+        data[byte] ^= uint8_t(1u << rng_.Uniform(8));
+      }
+    }
+    if (*size > 0 && rng_.Bernoulli(config_.truncate_prob)) {
+      stats_.truncations++;
+      *size = size_t(rng_.Uniform(*size));  // anywhere in [0, size)
+    }
+    return Status::OK();
+  }
+
+  /// Models one page write of `size` bytes; returns how many bytes
+  /// actually persist (a torn write keeps only a prefix).
+  size_t OnWrite(size_t size) {
+    stats_.writes++;
+    if (size > 0 && rng_.Bernoulli(config_.torn_write_prob)) {
+      stats_.torn_writes++;
+      return size_t(rng_.Uniform(size));
+    }
+    return size;
+  }
+
+  /// Rewinds to the post-construction state: the next call sequence
+  /// reproduces the same faults again.
+  void Reset() {
+    rng_ = Rng(config_.seed);
+    stats_ = Stats{};
+  }
+
+  const Config& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_FAULT_INJECTOR_H_

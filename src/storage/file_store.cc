@@ -72,7 +72,8 @@ Status FileStore::Save(const Table& table, const std::string& dir) {
   return Status::OK();
 }
 
-Result<Table> FileStore::Load(const std::string& dir) {
+Result<Table> FileStore::Load(const std::string& dir,
+                              const LoadOptions& opts) {
   std::ifstream manifest(fs::path(dir) / "MANIFEST");
   if (!manifest) return Status::InvalidArgument("no MANIFEST in " + dir);
   Table table;
@@ -123,6 +124,9 @@ Result<Table> FileStore::Load(const std::string& dir) {
       SCC_RETURN_NOT_OK(hdr.Validate(buf.size()));
       if (hdr.value_size != TypeSize(type)) {
         return Status::Corruption("chunk value width mismatch: " + name);
+      }
+      if (opts.verify_checksums) {
+        SCC_RETURN_NOT_OK(VerifySegmentChecksums(buf.data(), buf.size()));
       }
       col->compressed |= hdr.GetScheme() != Scheme::kUncompressed;
       total_rows += hdr.count;

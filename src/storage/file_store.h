@@ -20,15 +20,31 @@
 
 namespace scc {
 
+/// Options for FileStore::Load (namespace scope so the default argument
+/// below can default-construct it — a nested class's member initializers
+/// are not usable in the enclosing class's default arguments).
+struct FileStoreLoadOptions {
+  /// Verify per-section segment CRCs of every checksummed chunk while
+  /// loading. Default ON: load is the trust boundary where bytes come
+  /// back from storage, and the CRC pass runs at hardware-CRC speed on
+  /// data the loader just touched anyway. Legacy (v1, unchecksummed)
+  /// chunks pass through unverified either way.
+  bool verify_checksums = true;
+};
+
 class FileStore {
  public:
   static constexpr uint32_t kColMagic = 0x53434346;  // "SCCF"
 
+  using LoadOptions = FileStoreLoadOptions;
+
   /// Writes `table` under `dir` (created if needed). Overwrites files.
   static Status Save(const Table& table, const std::string& dir);
 
-  /// Reads a table back. Validates every chunk header.
-  static Result<Table> Load(const std::string& dir);
+  /// Reads a table back. Validates every chunk header (and, by default,
+  /// every chunk's checksum block).
+  static Result<Table> Load(const std::string& dir,
+                            const FileStoreLoadOptions& opts = {});
 };
 
 }  // namespace scc

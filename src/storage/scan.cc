@@ -85,7 +85,11 @@ size_t TableScanOp::Next(Batch* out) {
   const double decompress0 = decompress_seconds_;
   out->columns.clear();
   for (ColState& cs : cols_) {
-    const AlignedBuffer* seg = bm_->Fetch(table_, cs.col, chunk_idx);
+    Result<const AlignedBuffer*> page = bm_->Fetch(table_, cs.col, chunk_idx);
+    // The scan operator has no error channel in Next(); an unreadable page
+    // after the buffer manager's retries is a hard stop, not silent data.
+    SCC_CHECK(page.ok(), page.status().ToString().c_str());
+    const AlignedBuffer* seg = page.ValueOrDie();
     if (mode_ == Mode::kVectorWise) {
       DecompressVectorWise(cs, *seg, chunk_idx, offset_in_chunk, n);
     } else {

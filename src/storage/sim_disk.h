@@ -3,6 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+
+#include "storage/fault_injector.h"
+#include "util/aligned_buffer.h"
+#include "util/status.h"
 
 // Virtual-time RAID model. The paper's experiments run on real 4-disk
 // (~80 MB/s) and 12-disk (~350 MB/s) RAID arrays; we substitute a
@@ -16,6 +21,12 @@
 //
 // which reproduces exactly the I/O-bound -> CPU-bound crossover the
 // paper's Figure 8 decomposes.
+//
+// For the corruption battery the disk optionally carries a FaultInjector:
+// ReadChunkInto then materializes a (possibly perturbed) private copy of
+// the page instead of letting callers alias pristine memory, so injected
+// bit flips, short reads, and I/O errors surface exactly where a real
+// device would produce them.
 
 namespace scc {
 
@@ -45,22 +56,61 @@ class SimDisk {
                    double(bytes) / (config_.bandwidth_mb_per_s * 1024 * 1024);
   }
 
+  /// Charges one chunk read AND materializes the page into `out`,
+  /// applying any attached fault injector to the copy. Time and bandwidth
+  /// are charged even when the read fails — the device did the work.
+  /// On a short (truncated) read, `out->size()` reports the bytes that
+  /// actually arrived.
+  Status ReadChunkInto(const uint8_t* src, size_t bytes, AlignedBuffer* out) {
+    ReadChunk(bytes);
+    out->Resize(bytes);
+    if (bytes > 0) std::memcpy(out->data(), src, bytes);
+    if (faults_ != nullptr) {
+      size_t got = bytes;
+      SCC_RETURN_NOT_OK(faults_->OnRead(out->data(), &got));
+      if (got != bytes) out->Resize(got);  // short read: shrink in place
+    }
+    return Status::OK();
+  }
+
+  /// Charges one sequential chunk write of `bytes`; returns the bytes
+  /// that actually persisted (less than `bytes` under a torn write).
+  size_t WriteChunk(size_t bytes) {
+    writes_++;
+    size_t persisted = faults_ != nullptr ? faults_->OnWrite(bytes) : bytes;
+    bytes_written_ += persisted;
+    io_seconds_ += config_.seek_ms / 1000.0 +
+                   double(bytes) / (config_.bandwidth_mb_per_s * 1024 * 1024);
+    return persisted;
+  }
+
+  /// Attaches (or detaches, with nullptr) a fault injector. Not owned.
+  void AttachFaults(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* faults() const { return faults_; }
+
   double io_seconds() const { return io_seconds_; }
   size_t bytes_read() const { return bytes_read_; }
+  size_t bytes_written() const { return bytes_written_; }
   size_t read_count() const { return reads_; }
+  size_t write_count() const { return writes_; }
   const Config& config() const { return config_; }
 
   void Reset() {
     io_seconds_ = 0;
     bytes_read_ = 0;
+    bytes_written_ = 0;
     reads_ = 0;
+    writes_ = 0;
   }
 
  private:
   Config config_;
+  FaultInjector* faults_ = nullptr;
   double io_seconds_ = 0;
   size_t bytes_read_ = 0;
+  size_t bytes_written_ = 0;
   size_t reads_ = 0;
+  size_t writes_ = 0;
 };
 
 }  // namespace scc

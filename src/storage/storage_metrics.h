@@ -12,6 +12,8 @@
 //   storage.bm.evicted_bytes            bytes those victims held
 //   storage.bm.bytes_read               bytes charged to the (sim) disk
 //   storage.bm.resident_bytes           gauge: current cached bytes
+//   storage.io_faults                   failed page-read attempts (injected
+//                                       I/O errors, truncations, CRC fails)
 //   storage.scan.vectors / rows         vectors/rows produced by TableScanOp
 //   storage.scan.decompress_nanos       time inside scan decompression
 //   storage.merge_scan.base_rows        base rows surviving delete filter
@@ -26,6 +28,7 @@ struct StorageMetrics {
   Counter* bm_evictions;
   Counter* bm_evicted_bytes;
   Counter* bm_bytes_read;
+  Counter* io_faults;
   Gauge* bm_resident_bytes;
   Counter* scan_vectors;
   Counter* scan_rows;
@@ -43,6 +46,7 @@ struct StorageMetrics {
       sm->bm_evictions = &reg.GetCounter("storage.bm.evictions");
       sm->bm_evicted_bytes = &reg.GetCounter("storage.bm.evicted_bytes");
       sm->bm_bytes_read = &reg.GetCounter("storage.bm.bytes_read");
+      sm->io_faults = &reg.GetCounter("storage.io_faults");
       sm->bm_resident_bytes = &reg.GetGauge("storage.bm.resident_bytes");
       sm->scan_vectors = &reg.GetCounter("storage.scan.vectors");
       sm->scan_rows = &reg.GetCounter("storage.scan.rows");

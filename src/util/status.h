@@ -22,6 +22,7 @@ enum class StatusCode {
   kCorruption,
   kResourceExhausted,
   kInternal,
+  kIOError,
 };
 
 /// A success-or-error value. Cheap to copy on the success path.
@@ -50,6 +51,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +80,8 @@ class Status {
         return "ResourceExhausted";
       case StatusCode::kInternal:
         return "Internal";
+      case StatusCode::kIOError:
+        return "IOError";
     }
     return "Unknown";
   }

@@ -1,9 +1,11 @@
 #include "util/bitutil.h"
 
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/crc32c.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 
@@ -86,6 +88,91 @@ TEST(Zipf, FrequenciesAreMonotone) {
   EXPECT_GT(counts[0], counts[10] * 2);
   EXPECT_GT(counts[10], counts[90] * 2);
   EXPECT_EQ(zipf.domain(), 100u);
+}
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // RFC 3720 (iSCSI) appendix B.4 test vectors for CRC32C.
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32cSoftware(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32cSoftware(ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<uint8_t> inc(32);
+  for (size_t i = 0; i < inc.size(); i++) inc[i] = uint8_t(i);
+  EXPECT_EQ(Crc32cSoftware(inc.data(), inc.size()), 0x46DD794Eu);
+  std::vector<uint8_t> dec(32);
+  for (size_t i = 0; i < dec.size(); i++) dec[i] = uint8_t(31 - i);
+  EXPECT_EQ(Crc32cSoftware(dec.data(), dec.size()), 0x113FDB5Cu);
+  // The classic check string.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32cSoftware(s, 9), 0xE3069283u);
+  // The dispatcher (whatever backend it picked) must match.
+  EXPECT_EQ(Crc32c(s, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, BackendsAgreeOnRandomBuffers) {
+  // Differential: dispatcher vs the always-available software reference,
+  // across lengths that hit the 8-byte main loop and the byte tail.
+  Rng rng(17);
+  // 3071..3073 straddle the hardware path's 3-stripe interleave
+  // threshold; the large lengths run several merge rounds plus a tail.
+  for (size_t len : {size_t(0), size_t(1), size_t(7), size_t(8), size_t(9),
+                     size_t(63), size_t(64), size_t(1000), size_t(3071),
+                     size_t(3072), size_t(3073), size_t(4097), size_t(20000),
+                     size_t(100003)}) {
+    std::vector<uint8_t> buf(len);
+    for (auto& b : buf) b = uint8_t(rng.Next());
+    EXPECT_EQ(Crc32c(buf.data(), len), Crc32cSoftware(buf.data(), len))
+        << "len=" << len << " backend=" << Crc32cBackendName();
+  }
+}
+
+TEST(Crc32c, SeedChainsSplitBuffers) {
+  Rng rng(23);
+  std::vector<uint8_t> buf(777);
+  for (auto& b : buf) b = uint8_t(rng.Next());
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  for (size_t cut : {size_t(0), size_t(1), size_t(8), size_t(100),
+                     buf.size() - 1, buf.size()}) {
+    uint32_t first = Crc32c(buf.data(), cut);
+    EXPECT_EQ(Crc32c(buf.data() + cut, buf.size() - cut, first), whole)
+        << "cut=" << cut;
+    uint32_t first_sw = Crc32cSoftware(buf.data(), cut);
+    EXPECT_EQ(
+        Crc32cSoftware(buf.data() + cut, buf.size() - cut, first_sw), whole)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Crc32c, SeedChainsLargeBuffers) {
+  // Same chaining property across the large-buffer dispatch threshold,
+  // so the fused kernel runs with nonzero seeds on both sides of a cut.
+  Rng rng(31);
+  std::vector<uint8_t> buf(50000);
+  for (auto& b : buf) b = uint8_t(rng.Next());
+  const uint32_t whole = Crc32cSoftware(buf.data(), buf.size());
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), whole);
+  for (size_t cut : {size_t(100), size_t(16384), size_t(25000),
+                     size_t(33000), buf.size() - 5}) {
+    uint32_t first = Crc32c(buf.data(), cut);
+    EXPECT_EQ(Crc32c(buf.data() + cut, buf.size() - cut, first), whole)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  Rng rng(29);
+  std::vector<uint8_t> buf(256);
+  for (auto& b : buf) b = uint8_t(rng.Next());
+  const uint32_t good = Crc32c(buf.data(), buf.size());
+  for (size_t pos = 0; pos < buf.size(); pos++) {
+    for (int bit = 0; bit < 8; bit++) {
+      buf[pos] ^= uint8_t(1u << bit);
+      ASSERT_NE(Crc32c(buf.data(), buf.size()), good)
+          << "pos=" << pos << " bit=" << bit;
+      buf[pos] ^= uint8_t(1u << bit);
+    }
+  }
 }
 
 TEST(Rng, DeterministicAndRoughlyUniform) {

@@ -1,0 +1,354 @@
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/segment_builder.h"
+#include "core/segment_reader.h"
+#include "kernel_isa_test_util.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+// Hostile-input battery for the segment format. The contract under test:
+// for ANY mutation of a segment buffer, every decode entry point either
+// returns a non-OK Status or produces bit-exact original values — and in
+// no case reads out of bounds or crashes (run under ASan/UBSan in CI for
+// full effect).
+//
+// Campaigns:
+//   * exhaustive single-byte flips (one random bit + full byte invert at
+//     every position) of small checksummed segments across the
+//     distribution zoo, every scheme, every supported kernel ISA
+//   * exhaustive truncation at every prefix length (covers all section
+//     boundaries by construction)
+//   * seeded random multi-corruption rounds, scaled by SCC_FUZZ_ITERS
+//   * the same flip campaign against checksum-less segments, where silent
+//     value changes are allowed but memory safety still is not
+//
+// Campaign size: the exhaustive flip sweep alone mutates every byte of
+// ~24 (distribution, scheme) segment variants twice — tens of thousands
+// of mutated segments per run before SCC_FUZZ_ITERS scaling.
+
+namespace scc {
+namespace {
+
+size_t FuzzIters(size_t dflt) {
+  const char* env = std::getenv("SCC_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return dflt;
+  long v = std::atol(env);
+  return v > 0 ? size_t(v) : dflt;
+}
+
+// Same family as property_test's zoo, kept small so exhaustive byte
+// sweeps stay fast.
+std::vector<int64_t> MakeDistribution(int kind, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  switch (kind % 6) {
+    case 0:  // uniform small domain
+      for (auto& x : v) x = int64_t(rng.Uniform(1000));
+      break;
+    case 1:  // clustered with outliers
+      for (auto& x : v) {
+        x = 500000 + int64_t(rng.Uniform(300));
+        if (rng.Bernoulli(0.02)) x = int64_t(rng.Next());
+      }
+      break;
+    case 2: {  // monotone with jumps
+      int64_t acc = -1000;
+      for (auto& x : v) {
+        acc += int64_t(rng.Uniform(50));
+        if (rng.Bernoulli(0.01)) acc += 1 << 20;
+        x = acc;
+      }
+      break;
+    }
+    case 3: {  // zipf-skewed domain
+      ZipfGenerator zipf(2000, 1.2, seed + 1);
+      for (auto& x : v) x = int64_t(zipf.Next()) * 7919 - 40000;
+      break;
+    }
+    case 4:  // adversarial: alternating tiny/huge
+      for (size_t i = 0; i < n; i++) {
+        v[i] = (i % 2 == 0) ? int64_t(i % 7) : (int64_t(1) << 50) + int64_t(i);
+      }
+      break;
+    default:  // constant with a single outlier
+      std::fill(v.begin(), v.end(), 123456);
+      if (n > 3) v[n / 3] = -987654321;
+      break;
+  }
+  return v;
+}
+
+struct SegmentCase {
+  std::string label;
+  std::vector<int64_t> values;
+  AlignedBuffer seg;
+};
+
+// One segment per scheme for a distribution, forced params so every
+// scheme (and the exception machinery) is represented regardless of what
+// the analyzer would pick.
+std::vector<SegmentCase> BuildCases(int kind, size_t n, uint64_t seed,
+                                    const SegmentBuildOptions& opts) {
+  auto v = MakeDistribution(kind, n, seed);
+  std::vector<SegmentCase> cases;
+  auto add = [&](const char* scheme, Result<AlignedBuffer> r) {
+    SCC_CHECK(r.ok(), r.status().ToString().c_str());
+    cases.push_back(SegmentCase{std::string(scheme) + "/kind" +
+                                    std::to_string(kind % 6),
+                                v, r.MoveValueOrDie()});
+  };
+  add("raw", SegmentBuilder<int64_t>::BuildUncompressed(v, opts));
+  add("pfor",
+      SegmentBuilder<int64_t>::BuildPFor(v, PForParams<int64_t>{7, 0}, opts));
+  add("pfordelta", SegmentBuilder<int64_t>::BuildPForDelta(
+                       v, PForParams<int64_t>{7, 0}, opts));
+  // PDICT over the distribution's most frequent values; everything else
+  // becomes an exception. bit_width 8 exercises the wide-code clamp.
+  std::vector<int64_t> dict(v);
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  if (dict.size() > 256) dict.resize(256);
+  add("pdict", SegmentBuilder<int64_t>::BuildPDict(
+                   v, PDictParams<int64_t>{8, dict}, opts));
+  return cases;
+}
+
+// Exercises every decode entry point of a (possibly corrupt) buffer.
+// Returns true iff the segment was accepted AND decoded bit-exact; false
+// means it was rejected with a Status. A wrong silent decode fails the
+// test via ADD_FAILURE. `require_exact` is off for checksum-less
+// segments, where payload corruption may legitimately change values.
+bool DriveEntryPoints(const uint8_t* data, size_t size,
+                      const std::vector<int64_t>& original,
+                      bool require_exact, const std::string& label) {
+  auto reader =
+      SegmentReader<int64_t>::Open(data, size, {.verify_checksums = true});
+  if (!reader.ok()) return false;
+  const auto& r = reader.ValueOrDie();
+  const size_t n = r.count();
+  std::vector<int64_t> out(n);
+  r.DecompressRange(0, n, out.data());
+  // Point access and a sub-range, through the same corrupt structures.
+  if (n > 0) {
+    (void)r.Get(0);
+    (void)r.Get(n - 1);
+    (void)r.Get(n / 2);
+    std::vector<int64_t> range(std::min<size_t>(n, 64));
+    r.DecompressRange(n / 3, range.size() <= n - n / 3 ? range.size()
+                                                       : n - n / 3,
+                      range.data());
+  }
+  if (r.scheme() == Scheme::kPFor || r.scheme() == Scheme::kPDict) {
+    std::vector<uint32_t> codes(n);
+    std::vector<uint32_t> exc_pos;
+    (void)r.DecompressCodes(0, n, codes.data(), &exc_pos);
+  }
+  if (require_exact) {
+    if (n != original.size()) {
+      ADD_FAILURE() << label << ": accepted segment with count " << n
+                    << " != " << original.size();
+      return true;
+    }
+    if (out != original) {
+      ADD_FAILURE() << label << ": accepted segment decoded non-exact";
+    }
+  }
+  return true;
+}
+
+// Flips every byte of `seg` two ways (one seeded bit, full invert) and
+// drives the decoders on each mutant. Returns the number of mutants.
+size_t ByteFlipSweep(const SegmentCase& c, uint64_t seed, bool require_exact,
+                     size_t* accepted) {
+  Rng rng(seed);
+  AlignedBuffer copy = c.seg;
+  size_t mutants = 0;
+  for (size_t pos = 0; pos < c.seg.size(); pos++) {
+    const uint8_t orig_byte = copy.data()[pos];
+    const uint8_t patterns[2] = {uint8_t(1u << rng.Uniform(8)), 0xFF};
+    for (uint8_t pat : patterns) {
+      copy.data()[pos] = orig_byte ^ pat;
+      mutants++;
+      *accepted += DriveEntryPoints(copy.data(), copy.size(), c.values,
+                                    require_exact,
+                                    c.label + " byte " + std::to_string(pos))
+                       ? 1
+                       : 0;
+    }
+    copy.data()[pos] = orig_byte;  // restore for the next position
+  }
+  return mutants;
+}
+
+TEST(CorruptionBattery, ExhaustiveByteFlipsChecksummed) {
+  // Checksummed segments: a flipped byte must be rejected, except for the
+  // one benign mutation (clearing the checksum flag yields a valid
+  // unchecksummed v2 header over an unchanged layout) — which still must
+  // decode bit-exact. DriveEntryPoints enforces exactly that contract.
+  size_t mutants = 0, accepted = 0;
+  for (int kind = 0; kind < 6; kind++) {
+    for (auto& c : BuildCases(kind, 300, uint64_t(kind) * 101 + 1, {})) {
+      mutants += ByteFlipSweep(c, uint64_t(kind) + 7,
+                               /*require_exact=*/true, &accepted);
+    }
+  }
+  // The sweep is the 10k-mutant floor of the battery on its own.
+  EXPECT_GE(mutants, 10000u);
+  // Nearly everything must be rejected; the benign flag-bit flip is ~1
+  // accepted mutant per segment (plus inverts that restore the same bit).
+  EXPECT_LT(accepted, mutants / 100);
+}
+
+TEST(CorruptionBattery, ExhaustiveByteFlipsChecksumless) {
+  // Without checksums the format cannot promise detection — only memory
+  // safety. Silent value changes are allowed; crashes and overruns are
+  // not (ASan/UBSan legs make this assertion sharp).
+  size_t mutants = 0, accepted = 0;
+  for (int kind = 0; kind < 6; kind++) {
+    for (auto& c : BuildCases(kind, 300, uint64_t(kind) * 131 + 5,
+                              {.with_checksums = false})) {
+      mutants += ByteFlipSweep(c, uint64_t(kind) + 11,
+                               /*require_exact=*/false, &accepted);
+    }
+  }
+  EXPECT_GE(mutants, 10000u);
+  EXPECT_GT(accepted, 0u);  // payload flips pass header validation
+}
+
+TEST(CorruptionBattery, EveryTruncationRejected) {
+  // Validate() bounds total_size by the buffer, so EVERY proper prefix —
+  // including every section boundary — must fail to open.
+  for (int kind = 0; kind < 6; kind++) {
+    for (auto& c : BuildCases(kind, 300, uint64_t(kind) * 17 + 3, {})) {
+      for (size_t cut = 0; cut < c.seg.size(); cut++) {
+        auto reader = SegmentReader<int64_t>::Open(c.seg.data(), cut);
+        ASSERT_FALSE(reader.ok()) << c.label << " cut=" << cut;
+      }
+      // The full buffer still opens.
+      ASSERT_TRUE(
+          SegmentReader<int64_t>::Open(c.seg.data(), c.seg.size()).ok())
+          << c.label;
+    }
+  }
+}
+
+TEST(CorruptionBattery, SeededRandomCorruptionRounds) {
+  // Random multi-byte corruption, truncation, and byte-soup rounds.
+  // SCC_FUZZ_ITERS scales the campaign (CI nightly raises it).
+  const size_t iters = FuzzIters(2000);
+  auto cases = BuildCases(1, 900, 42, {});
+  {
+    auto more = BuildCases(4, 900, 43, {});
+    for (auto& c : more) cases.push_back(std::move(c));
+  }
+  Rng rng(20260806);
+  for (size_t it = 0; it < iters; it++) {
+    const SegmentCase& c = cases[it % cases.size()];
+    AlignedBuffer copy = c.seg;
+    const size_t ncorrupt = 1 + rng.Uniform(8);
+    for (size_t k = 0; k < ncorrupt; k++) {
+      copy.data()[rng.Uniform(copy.size())] ^= uint8_t(1 + rng.Uniform(255));
+    }
+    size_t size = copy.size();
+    if (rng.Bernoulli(0.2)) size = rng.Uniform(copy.size() + 1);
+    (void)DriveEntryPoints(copy.data(), size, c.values,
+                           /*require_exact=*/false,
+                           c.label + " round " + std::to_string(it));
+  }
+  SUCCEED();
+}
+
+TEST(CorruptionBattery, AllIsasSurviveFlippedSegments) {
+  // The SIMD decode kernels must be as corruption-proof as the scalar
+  // path: replay a reduced flip sweep under every supported backend.
+  const auto isas = SupportedIsas();
+  for (KernelIsa isa : isas) {
+    ScopedKernelIsa force(isa);
+    size_t accepted = 0;
+    for (int kind : {1, 4}) {
+      for (auto& c : BuildCases(kind, 300, uint64_t(kind) * 101 + 1, {})) {
+        ByteFlipSweep(c, uint64_t(kind) + 7, /*require_exact=*/true,
+                      &accepted);
+      }
+      for (auto& c : BuildCases(kind, 300, uint64_t(kind) * 131 + 5,
+                                {.with_checksums = false})) {
+        ByteFlipSweep(c, uint64_t(kind) + 11, /*require_exact=*/false,
+                      &accepted);
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CorruptionBattery, ChecksumReportNamesTheBadSection) {
+  auto v = MakeDistribution(1, 2000, 9);
+  auto seg = SegmentBuilder<int64_t>::BuildPFor(v, PForParams<int64_t>{7, 0});
+  ASSERT_TRUE(seg.ok());
+  AlignedBuffer buf = seg.MoveValueOrDie();
+  SegmentHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  ASSERT_TRUE(hdr.HasChecksums());
+  ASSERT_TRUE(VerifySegmentChecksums(buf.data(), buf.size()).ok());
+
+  struct Probe {
+    size_t pos;
+    bool SegmentChecksumReport::* field;
+  };
+  const Probe probes[] = {
+      {hdr.entries_offset, &SegmentChecksumReport::meta_ok},
+      {hdr.codes_offset, &SegmentChecksumReport::codes_ok},
+      {hdr.exceptions_offset, &SegmentChecksumReport::exceptions_ok},
+  };
+  for (const Probe& p : probes) {
+    if (p.pos >= buf.size()) continue;  // no exceptions in this segment
+    AlignedBuffer copy = buf;
+    copy.data()[p.pos] ^= 0x40;
+    const SegmentChecksumReport report =
+        CheckSegmentChecksums(copy.data(), hdr);
+    EXPECT_TRUE(report.present);
+    EXPECT_FALSE(report.*(p.field)) << "pos=" << p.pos;
+    EXPECT_FALSE(VerifySegmentChecksums(copy.data(), copy.size()).ok());
+  }
+  // Header corruption that still parses: flip a base bit.
+  AlignedBuffer copy = buf;
+  copy.data()[offsetof(SegmentHeader, base_bits)] ^= 0x01;
+  SegmentHeader bad_hdr;
+  std::memcpy(&bad_hdr, copy.data(), sizeof(bad_hdr));
+  ASSERT_TRUE(bad_hdr.Validate(copy.size()).ok());
+  EXPECT_FALSE(CheckSegmentChecksums(copy.data(), bad_hdr).header_ok);
+}
+
+TEST(CorruptionBattery, LegacyUnversionedSegmentsStillOpen) {
+  // A v1 segment is exactly a v2 no-checksum segment with flags == 0:
+  // rewriting the flags byte (and its CRC-free layout) must stay
+  // readable, bit-exact.
+  auto v = MakeDistribution(2, 1500, 77);
+  for (int scheme = 0; scheme < 2; scheme++) {
+    auto seg = scheme == 0
+                   ? SegmentBuilder<int64_t>::BuildPFor(
+                         v, PForParams<int64_t>{7, 0},
+                         {.with_checksums = false})
+                   : SegmentBuilder<int64_t>::BuildUncompressed(
+                         v, {.with_checksums = false});
+    ASSERT_TRUE(seg.ok());
+    AlignedBuffer buf = seg.MoveValueOrDie();
+    buf.data()[offsetof(SegmentHeader, flags)] = 0;  // pre-versioning file
+    auto reader = SegmentReader<int64_t>::Open(buf.data(), buf.size(),
+                                               {.verify_checksums = true});
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader.ValueOrDie().header().FormatVersion(), 0);
+    std::vector<int64_t> out(v.size());
+    reader.ValueOrDie().DecompressAll(out.data());
+    EXPECT_EQ(out, v);
+  }
+}
+
+}  // namespace
+}  // namespace scc

@@ -24,6 +24,15 @@
 namespace scc {
 namespace {
 
+// SCC_FUZZ_ITERS overrides each campaign's trial count (the CI nightly
+// corruption job raises it well past the interactive defaults).
+size_t FuzzIters(size_t dflt) {
+  const char* env = std::getenv("SCC_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return dflt;
+  long v = std::atol(env);
+  return v > 0 ? size_t(v) : dflt;
+}
+
 std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
   Rng rng(seed);
   std::vector<uint8_t> v(n);
@@ -32,7 +41,7 @@ std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
 }
 
 TEST(FuzzDecoders, RandomByteSoup) {
-  for (uint64_t seed = 0; seed < 50; seed++) {
+  for (uint64_t seed = 0; seed < FuzzIters(50); seed++) {
     auto junk = RandomBytes(64 + seed * 37, seed);
     const size_t n = 100;
     std::vector<uint32_t> u32(n);
@@ -100,11 +109,11 @@ TEST(FuzzDecoders, BitflippedSegments) {
   ASSERT_TRUE(seg.ok());
   const AlignedBuffer& orig = seg.ValueOrDie();
   std::vector<int32_t> out(values.size());
-  for (int trial = 0; trial < 300; trial++) {
+  for (int trial = 0; trial < int(FuzzIters(300)); trial++) {
     AlignedBuffer copy = orig;
     size_t pos = rng.Uniform(sizeof(SegmentHeader));  // header bytes only:
-    // payload corruption can silently change values (no checksums, as in
-    // the paper's format); the header governs all memory-safety bounds.
+    // the header governs all memory-safety bounds. (Payload flips are the
+    // corruption_test battery's job, where per-section CRCs catch them.)
     copy.data()[pos] ^= uint8_t(1 + rng.Uniform(255));
     auto reader = SegmentReader<int32_t>::Open(copy.data(), copy.size());
     if (!reader.ok()) continue;
@@ -115,6 +124,98 @@ TEST(FuzzDecoders, BitflippedSegments) {
   SUCCEED();
 }
 
+TEST(FuzzDecoders, StructureAwareMutantsAgreeAcrossBackends) {
+  // Structure-aware segment mutator: instead of blind byte soup, corrupt
+  // the fields the decoders actually steer by — section offsets, counts,
+  // bit widths, entry points, and section payload bytes — then require
+  // every kernel backend to behave IDENTICALLY on the mutant: same
+  // accept/reject decision, and bit-identical decode when accepted. This
+  // pins the SIMD paths to the scalar reference on hostile input, not
+  // just on valid streams.
+  const auto isas = SupportedIsas();
+  Rng rng(2026);
+  std::vector<int64_t> values(4000);
+  for (auto& v : values) {
+    v = int64_t(rng.Uniform(100));
+    if (rng.Bernoulli(0.08)) v = int64_t(rng.Next());  // exceptions
+  }
+  std::vector<AlignedBuffer> bases;
+  bases.push_back(SegmentBuilder<int64_t>::BuildPFor(
+                      values, PForParams<int64_t>{6, 0})
+                      .MoveValueOrDie());
+  bases.push_back(SegmentBuilder<int64_t>::BuildPForDelta(
+                      values, PForParams<int64_t>{6, 0})
+                      .MoveValueOrDie());
+
+  for (int trial = 0; trial < int(FuzzIters(600)); trial++) {
+    const AlignedBuffer& orig = bases[size_t(trial) % bases.size()];
+    AlignedBuffer copy = orig;
+    SegmentHeader hdr;
+    std::memcpy(&hdr, copy.data(), sizeof(hdr));
+    // Pick a structural mutation; some target the header fields that
+    // bound sections, some the entry points / payload they bound.
+    switch (rng.Uniform(7)) {
+      case 0:
+        hdr.count = uint32_t(rng.Next());
+        break;
+      case 1:
+        hdr.entry_count = uint32_t(rng.Uniform(hdr.entry_count * 2 + 2));
+        break;
+      case 2:
+        hdr.codes_offset = uint32_t(rng.Uniform(hdr.total_size + 64));
+        break;
+      case 3:
+        hdr.exceptions_offset = uint32_t(rng.Uniform(hdr.total_size + 64));
+        break;
+      case 4:
+        hdr.bit_width = uint8_t(rng.Uniform(64));
+        break;
+      case 5: {  // entry point: bogus first-offset / exception index
+        if (hdr.entry_count > 0) {
+          size_t e = hdr.entries_offset + 4 * rng.Uniform(hdr.entry_count);
+          uint32_t bogus = uint32_t(rng.Next());
+          std::memcpy(copy.data() + e, &bogus, 4);
+        }
+        break;
+      }
+      default: {  // payload bytes in the code/exception sections
+        size_t lo = hdr.codes_offset;
+        size_t pos = lo + rng.Uniform(hdr.total_size - lo);
+        copy.data()[pos] ^= uint8_t(1 + rng.Uniform(255));
+        break;
+      }
+    }
+    std::memcpy(copy.data(), &hdr, sizeof(hdr));
+
+    // Scalar is the reference behavior (checksums off: these mutants are
+    // about decoder bounds, not detection).
+    bool want_ok;
+    std::vector<int64_t> want;
+    {
+      ScopedKernelIsa force(KernelIsa::kScalar);
+      auto reader = SegmentReader<int64_t>::Open(copy.data(), copy.size());
+      want_ok = reader.ok();
+      if (want_ok) {
+        const auto& r = reader.ValueOrDie();
+        want.resize(r.count());
+        r.DecompressRange(0, r.count(), want.data());
+      }
+    }
+    for (KernelIsa isa : isas) {
+      ScopedKernelIsa force(isa);
+      auto reader = SegmentReader<int64_t>::Open(copy.data(), copy.size());
+      ASSERT_EQ(reader.ok(), want_ok)
+          << "isa=" << KernelIsaName(isa) << " trial=" << trial;
+      if (!want_ok) continue;
+      const auto& r = reader.ValueOrDie();
+      std::vector<int64_t> got(r.count());
+      r.DecompressRange(0, r.count(), got.data());
+      ASSERT_EQ(want, got)
+          << "isa=" << KernelIsaName(isa) << " trial=" << trial;
+    }
+  }
+}
+
 TEST(FuzzDecoders, BackendsAgreeOnRandomStreams) {
   // Differential fuzz across kernel backends: random codes packed at a
   // random width, plus randomized patched-decode inputs, must produce
@@ -122,7 +223,7 @@ TEST(FuzzDecoders, BackendsAgreeOnRandomStreams) {
   // counterpart of the structured differential suites in
   // bitpack_test/property_test.
   const auto isas = SupportedIsas();
-  for (uint64_t seed = 0; seed < 200; seed++) {
+  for (uint64_t seed = 0; seed < FuzzIters(200); seed++) {
     Rng rng(seed * 31 + 7);
     const int b = int(rng.Uniform(33));
     const size_t n = 1 + rng.Uniform(3000);

@@ -84,8 +84,9 @@ TEST(PDictSegment, AllValuesInDictNoExceptions) {
   std::vector<int32_t> out(in.size());
   reader.ValueOrDie().DecompressAll(out.data());
   EXPECT_EQ(in, out);
-  // 2 bits/value: 5000 values ~ 1250 bytes of codes + overhead.
-  EXPECT_LT(seg.ValueOrDie().size(), 2000u);
+  // 2 bits/value: 5000 values ~ 1250 bytes of codes + overhead (header,
+  // checksum block, padded dictionary).
+  EXPECT_LT(seg.ValueOrDie().size(), 2100u);
 }
 
 TEST(PDictSegment, NothingInDictAllExceptions) {

@@ -185,8 +185,9 @@ TEST(SegmentUncompressed, RoundTripAndGet) {
   auto reader = SegmentReader<int64_t>::Open(seg.ValueOrDie().data(),
                                              seg.ValueOrDie().size());
   EXPECT_EQ(reader.ValueOrDie().Get(1234), in[1234]);
+  // v2 overhead: 64-byte header + 16-byte checksum block.
   EXPECT_EQ(reader.ValueOrDie().compression_ratio(), 1.0 * 3000 * 8 /
-                                                         (3000 * 8 + 64));
+                                                         (3000 * 8 + 80));
 }
 
 TEST(SegmentCorruption, BadMagicRejected) {

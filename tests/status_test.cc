@@ -28,6 +28,11 @@ TEST(StatusTest, OkAndErrors) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+
+  Status io = Status::IOError("disk unplugged");
+  EXPECT_FALSE(io.ok());
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_EQ(io.ToString(), "IOError: disk unplugged");
 }
 
 TEST(ResultTest, ValueAndError) {

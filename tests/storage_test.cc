@@ -144,7 +144,7 @@ TEST(BufferManagerTest, ItemLargerThanCapacityIsStillAdmitted) {
   // Capacity below a single chunk: the manager overcommits rather than
   // refuse service, holding at most that one oversized item.
   BufferManager bm(&disk, one_chunk / 2, Layout::kDSM);
-  const AlignedBuffer* seg = bm.Fetch(&t, t.column("a"), 0);
+  const AlignedBuffer* seg = bm.Fetch(&t, t.column("a"), 0).ValueOrDie();
   ASSERT_NE(seg, nullptr);
   EXPECT_EQ(bm.resident_bytes(), one_chunk);  // over capacity by design
   // It stays cached until the next insert under pressure...

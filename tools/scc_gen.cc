@@ -1,0 +1,88 @@
+// scc_gen — write a small synthetic table to a directory. Gives CI and
+// operators a real on-disk artifact to point scc_inspect / scc_stats at
+// without shipping binary fixtures in the repo.
+//
+//   scc_gen --rows N --out <dir> [--seed S] [--chunk V]
+//
+// Columns cover the analyzer's main regimes: a dense sequential id, a
+// low-cardinality dictionary-ish code, a skewed price with outliers
+// (exercises the PFOR exception path), and a delta-friendly timestamp.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/file_store.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace scc {
+namespace {
+
+int Run(int argc, char** argv) {
+  size_t rows = 100000;
+  size_t chunk = 1u << 16;
+  uint64_t seed = 2026;
+  std::string out;
+  for (int i = 1; i < argc; i++) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      if (const char* v = next()) rows = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--chunk") == 0) {
+      if (const char* v = next()) chunk = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (const char* v = next()) seed = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (const char* v = next()) out = v;
+    }
+  }
+  if (out.empty() || rows == 0 || chunk == 0) {
+    fprintf(stderr, "usage: %s --rows N --out <dir> [--seed S] [--chunk V]\n",
+            argv[0]);
+    return 2;
+  }
+
+  Rng rng(seed);
+  ZipfGenerator zipf(1000, 1.1, seed + 1);
+  std::vector<int64_t> id(rows), price(rows), ts(rows);
+  std::vector<int32_t> code(rows);
+  int64_t t = 1700000000;
+  for (size_t i = 0; i < rows; i++) {
+    id[i] = int64_t(i);
+    code[i] = int32_t(zipf.Next());
+    price[i] = int64_t(100 + rng.Uniform(900));
+    if (rng.Bernoulli(0.01)) price[i] = int64_t(rng.Uniform(1u << 30));
+    t += int64_t(rng.Uniform(30));
+    ts[i] = t;
+  }
+
+  Table table(chunk);
+  Status st = table.AddColumn<int64_t>("id", id, ColumnCompression::kAuto);
+  if (st.ok()) {
+    st = table.AddColumn<int32_t>("code", code, ColumnCompression::kAuto);
+  }
+  if (st.ok()) {
+    st = table.AddColumn<int64_t>("l_extendedprice", price,
+                                  ColumnCompression::kPFor);
+  }
+  if (st.ok()) {
+    st = table.AddColumn<int64_t>("ts", ts, ColumnCompression::kPForDelta);
+  }
+  if (st.ok()) st = FileStore::Save(table, out);
+  if (!st.ok()) {
+    fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  printf("wrote %zu rows x %zu columns to %s (%.2f MB)\n", table.rows(),
+         table.column_count(), out.c_str(), table.ByteSize() / 1048576.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }

@@ -6,6 +6,9 @@
 //   scc_inspect <table-dir> <column>     # one column, per-chunk detail
 //   scc_inspect --telemetry <table-dir>  # also decode every chunk and
 //                                        # print the telemetry snapshot
+//   scc_inspect --verify <table-dir>     # re-derive every chunk's
+//                                        # per-section CRCs; non-zero
+//                                        # exit on any mismatch
 //   scc_inspect --isa                    # print the selected decode
 //                                        # kernel backend and exit
 
@@ -20,6 +23,7 @@
 #include "engine/operators.h"
 #include "storage/file_store.h"
 #include "sys/telemetry.h"
+#include "util/crc32c.h"
 
 namespace scc {
 namespace {
@@ -75,6 +79,39 @@ bool DecodeColumn(const StoredColumn& col) {
   return ok;
 }
 
+/// Re-derives every chunk's section CRCs and prints a per-chunk verdict.
+/// Returns the number of chunks whose stored checksum block mismatches.
+size_t VerifyColumn(const StoredColumn& col) {
+  size_t bad = 0;
+  printf("%-20s ", col.name.c_str());
+  for (size_t i = 0; i < col.chunks.size(); i++) {
+    const AlignedBuffer& seg = col.chunks[i];
+    SegmentHeader hdr;
+    if (seg.size() < sizeof(hdr)) {
+      printf("\n  chunk %-4zu TRUNCATED (%zu bytes)", i, seg.size());
+      bad++;
+      continue;
+    }
+    std::memcpy(&hdr, seg.data(), sizeof(hdr));
+    if (Status st = hdr.Validate(seg.size()); !st.ok()) {
+      printf("\n  chunk %-4zu INVALID HEADER: %s", i, st.ToString().c_str());
+      bad++;
+      continue;
+    }
+    const SegmentChecksumReport r = CheckSegmentChecksums(seg.data(), hdr);
+    if (!r.present || !r.ok()) {
+      printf("\n  chunk %-4zu v%u %s%s%s%s%s", i, hdr.FormatVersion(),
+             r.present ? "CRC MISMATCH:" : "no checksums (legacy)",
+             r.header_ok ? "" : " header", r.meta_ok ? "" : " meta",
+             r.codes_ok ? "" : " codes", r.exceptions_ok ? "" : " exceptions");
+      if (r.present) bad++;
+    }
+  }
+  printf(bad == 0 ? "%zu chunks OK\n" : "\n  => %zu chunks FAILED\n",
+         bad == 0 ? col.chunk_count() : bad);
+  return bad;
+}
+
 /// Reports the dispatch decision: which kernel ISA decodes will use on
 /// this host (honours SCC_KERNEL_ISA), plus what the CPU would support.
 void PrintIsa() {
@@ -89,10 +126,13 @@ void PrintIsa() {
 
 int Run(int argc, char** argv) {
   bool telemetry = false;
+  bool verify = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--telemetry") == 0) {
       telemetry = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
     } else if (std::strcmp(argv[i], "--isa") == 0) {
       PrintIsa();
       return 0;
@@ -101,12 +141,17 @@ int Run(int argc, char** argv) {
     }
   }
   if (pos.empty()) {
-    fprintf(stderr, "usage: %s [--telemetry] [--isa] <table-dir> [column]\n",
+    fprintf(stderr,
+            "usage: %s [--telemetry] [--verify] [--isa] <table-dir> "
+            "[column]\n",
             argv[0]);
     return 2;
   }
   if (telemetry) SetTelemetryEnabled(true);
-  auto table = FileStore::Load(pos[0]);
+  // --verify reports per-chunk status itself, so skip load-time
+  // verification — otherwise a single bad chunk would abort the scan
+  // before we could say which sections disagree.
+  auto table = FileStore::Load(pos[0], {.verify_checksums = !verify});
   if (!table.ok()) {
     fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
     return 1;
@@ -115,6 +160,24 @@ int Run(int argc, char** argv) {
   printf("table %s: %zu columns, %zu rows, %.2f MB stored\n\n", pos[0],
          t.column_count(), t.rows(), t.ByteSize() / 1048576.0);
   int rc = 0;
+  if (verify) {
+    printf("checksum backend: crc32c-%s\n\n", Crc32cBackendName());
+    size_t bad = 0;
+    if (pos.size() >= 2) {
+      const StoredColumn* col = t.column(std::string(pos[1]));
+      if (col == nullptr) {
+        fprintf(stderr, "no such column: %s\n", pos[1]);
+        return 1;
+      }
+      bad += VerifyColumn(*col);
+    } else {
+      for (size_t c = 0; c < t.column_count(); c++) {
+        bad += VerifyColumn(*t.column(c));
+      }
+    }
+    printf("\nverify: %s\n", bad == 0 ? "all chunks OK" : "FAILED");
+    return bad == 0 ? 0 : 1;
+  }
   if (pos.size() >= 2) {
     const StoredColumn* col = t.column(std::string(pos[1]));
     if (col == nullptr) {
