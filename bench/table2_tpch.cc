@@ -138,16 +138,51 @@ void RunConfig(const char* label, SimDisk::Config disk_cfg,
   printf("\n");
 }
 
+/// `--threads N` leg: morsel-driven parallel Q1/Q6 vs their serial plans,
+/// same data, same disk, checksums cross-checked. cpu time is the wall
+/// time of the parallel region; on a single-core host expect ~1x.
+void RunParallelLeg(const TpchDatabase& comp_db, SimDisk::Config disk_cfg,
+                    unsigned threads) {
+  printf("--- parallel scan queries (%u threads, mid-range RAID) ---\n",
+         threads);
+  printf("query   serial cpu (s)  parallel cpu (s)  speedup  checksum\n");
+  for (int q : TpchQuerySet()) {
+    if (!TpchQueryHasParallelPlan(q)) continue;
+    QueryStats serial, par;
+    {
+      SimDisk disk(disk_cfg);
+      BufferManager bm(&disk, size_t(1) << 34, Layout::kDSM);
+      serial = RunTpchQuery(q, comp_db, &bm, TableScanOp::Mode::kVectorWise);
+    }
+    {
+      SimDisk disk(disk_cfg);
+      BufferManager bm(&disk, size_t(1) << 34, Layout::kDSM);
+      par = RunTpchQueryParallel(q, comp_db, &bm,
+                                 TableScanOp::Mode::kVectorWise, threads);
+    }
+    SCC_CHECK(serial.checksum == par.checksum,
+              "parallel and serial plans disagree");
+    printf("%5d   %14.3f  %16.3f  %6.2fx  match\n", q, serial.cpu_seconds,
+           par.cpu_seconds,
+           par.cpu_seconds > 0 ? serial.cpu_seconds / par.cpu_seconds : 0.0);
+  }
+  printf("\n");
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
-  // Args: an optional scale factor plus an optional --telemetry flag,
-  // which prints the metrics snapshot and writes a chrome trace at exit.
+  // Args: an optional scale factor plus optional --telemetry (metrics
+  // snapshot + chrome trace at exit) and --threads N (parallel-scan
+  // comparison leg on the shared pool).
   double sf = 0.05;
   bool telemetry = false;
+  unsigned threads = 0;
   for (int i = 1; i < argc; i++) {
     if (strcmp(argv[i], "--telemetry") == 0) {
       telemetry = true;
+    } else if (strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = unsigned(atoi(argv[++i]));
     } else {
       sf = atof(argv[i]);
     }
@@ -173,6 +208,10 @@ int Main(int argc, char** argv) {
             unc_db, comp_db);
   RunConfig("mid-range (paper: Pentium4, 12-disk RAID)",
             SimDisk::MidRangeRaid(), unc_db, comp_db);
+
+  if (threads > 0) {
+    RunParallelLeg(comp_db, SimDisk::MidRangeRaid(), threads);
+  }
 
   printf("Paper reference (Table 2 / Fig. 8): on the low-end RAID, queries "
          "stay\nI/O-bound even compressed, so speedup tracks the "

@@ -11,6 +11,7 @@
 // analysis only PFOR-DELTA exceeds the 883 MB/s equilibrium point and
 // actually accelerates the 350 MB/s-disk query.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -91,6 +92,30 @@ void QueryBandwidthAnalysis() {
   double full_seconds = bench::BestSeconds(5, [&] { s.TopN(term, 10); });
   double full_bw = MBPerSec(double(s.last_bytes_processed()), full_seconds);
 
+  // Query-throughput leg: a batch of independent top-N queries fanned
+  // out over the shared thread pool vs the same batch run serially.
+  // Results must agree query-for-query; on a 1-core host expect ~1x.
+  std::vector<uint32_t> batch_terms;
+  for (uint32_t t = 0; t < uint32_t(s.term_count()); t += 7) {
+    batch_terms.push_back(t);
+    if (batch_terms.size() == 64) break;
+  }
+  std::vector<std::vector<SearchHit>> batch_hits;
+  double batch_seconds = bench::BestSeconds(3, [&] {
+    batch_hits = s.TopNBatch(batch_terms, 10);
+  });
+  double serial_seconds = bench::BestSeconds(3, [&] {
+    for (size_t i = 0; i < batch_terms.size(); i++) {
+      auto hits = s.TopN(batch_terms[i], 10);
+      SCC_CHECK(hits.size() == batch_hits[i].size() &&
+                    std::equal(hits.begin(), hits.end(), batch_hits[i].begin(),
+                               [](const SearchHit& a, const SearchHit& b) {
+                                 return a.doc == b.doc && a.score == b.score;
+                               }),
+                "batch and serial top-N disagree");
+    }
+  });
+
   std::vector<uint32_t> gaps = FlattenToIds(idx);
   const double raw_bytes = double(gaps.size()) * 4;
   const double B = 350.0;
@@ -98,7 +123,11 @@ void QueryBandwidthAnalysis() {
          docs.size(), Q);
   printf("equilibrium decompression bandwidth C* = QB/(Q-B) = %.0f MB/s\n",
          EquilibriumDecompressionBandwidth(B, Q));
-  printf("end-to-end compressed top-N bandwidth: %.0f MB/s\n\n", full_bw);
+  printf("end-to-end compressed top-N bandwidth: %.0f MB/s\n", full_bw);
+  printf("batch of %zu top-N queries: serial %.3fs, pooled %.3fs "
+         "(%.2fx)\n\n",
+         batch_terms.size(), serial_seconds, batch_seconds,
+         batch_seconds > 0 ? serial_seconds / batch_seconds : 0.0);
   printf("  %-14s %7s %9s %22s\n", "codec", "r", "C MB/s",
          "R = modeled result MB/s");
   for (auto& codec : MakePostingCodecs()) {

@@ -2,10 +2,10 @@
 #define SCC_CORE_PARALLEL_H_
 
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "core/segment_reader.h"
+#include "exec/thread_pool.h"
 #include "util/aligned_buffer.h"
 #include "util/status.h"
 
@@ -13,19 +13,23 @@
 // "with the upcoming families of multi-core CPUs ... our high-performance
 // (de-)compression routines can already improve [memory] bandwidth on
 // parallel architectures". Segments are independent decode units (every
-// 128-value group even more so), so a set of chunks fans out across
-// threads with no synchronization beyond the join.
+// 128-value group even more so), so a set of chunks fans out across the
+// shared work-stealing pool with no synchronization beyond the join.
+//
+// Header-only but requires linking scc_exec (the pool).
 
 namespace scc {
 
-/// Decompresses `segments` back-to-back into `out` using up to `threads`
-/// worker threads. `out` must hold the sum of the segments' counts.
-/// Segments are validated up front; workers then run pure decode loops.
+/// Decompresses `segments` back-to-back into `out` on the shared thread
+/// pool, using at most `threads` concurrent workers (0 = pool size).
+/// `out` must hold the sum of the segments' counts. Segments are
+/// validated up front; workers then run pure decode loops. Safe to call
+/// from any thread, including from inside a pool task (the caller helps
+/// execute work while it waits, so nested use cannot deadlock).
 template <CodecValue T>
 Result<size_t> ParallelDecompress(std::span<const AlignedBuffer> segments,
                                   T* out, size_t out_capacity,
-                                  unsigned threads) {
-  if (threads == 0) threads = 1;
+                                  unsigned threads = 0) {
   // Validate and compute output offsets serially (cheap: header reads).
   std::vector<size_t> offsets(segments.size() + 1, 0);
   for (size_t i = 0; i < segments.size(); i++) {
@@ -50,22 +54,17 @@ Result<size_t> ParallelDecompress(std::span<const AlignedBuffer> segments,
   // probe + publish happens once here instead of racing lazily on every
   // worker's first decode.
   (void)ActiveKernelIsa();
-  // Static round-robin partition: segments are similar-sized chunks, so
-  // this balances well without a work queue.
-  std::vector<std::thread> workers;
-  const unsigned nworkers = std::min<unsigned>(threads,
-                                               unsigned(segments.size()));
-  workers.reserve(nworkers);
-  for (unsigned w = 0; w < nworkers; w++) {
-    workers.emplace_back([&, w] {
-      for (size_t i = w; i < segments.size(); i += nworkers) {
+  // One task per segment, handed out dynamically by the pool: similar-
+  // sized chunks balance like the old round-robin did, and a straggler
+  // (cold page, stolen core) no longer serializes its whole stripe.
+  ThreadPool::Instance().ParallelFor(
+      segments.size(),
+      [&](size_t i) {
         auto reader =
             SegmentReader<T>::Open(segments[i].data(), segments[i].size());
         reader.ValueOrDie().DecompressAll(out + offsets[i]);
-      }
-    });
-  }
-  for (auto& t : workers) t.join();
+      },
+      /*max_workers=*/threads == 0 ? 0 : threads - 1);
   return total;
 }
 

@@ -1,0 +1,51 @@
+#ifndef SCC_EXEC_EXEC_METRICS_H_
+#define SCC_EXEC_EXEC_METRICS_H_
+
+#include "sys/telemetry.h"
+
+// Telemetry handles for the concurrent execution subsystem, resolved once
+// (see codec_metrics.h for the caching rationale).
+//
+// Metric names:
+//   exec.workers                  gauge: workers in the shared pool
+//   exec.tasks                    tasks executed by the pool
+//   exec.steals                   tasks obtained by stealing from another
+//                                 worker's deque (vs. own deque / global
+//                                 injection queue)
+//   exec.queue.overflow           owner-deque overflows spilled to the
+//                                 global injection queue
+//   exec.scan.morsels             morsels processed by parallel scans
+//   exec.scan.rows                rows emitted by parallel scans
+//   exec.scan.prefetches          pages enqueued by the async prefetcher
+
+namespace scc {
+
+struct ExecMetrics {
+  Gauge* workers;
+  Counter* tasks;
+  Counter* steals;
+  Counter* queue_overflow;
+  Counter* scan_morsels;
+  Counter* scan_rows;
+  Counter* scan_prefetches;
+
+  static ExecMetrics& Get() {
+    static ExecMetrics* m = [] {
+      auto* em = new ExecMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      em->workers = &reg.GetGauge("exec.workers");
+      em->tasks = &reg.GetCounter("exec.tasks");
+      em->steals = &reg.GetCounter("exec.steals");
+      em->queue_overflow = &reg.GetCounter("exec.queue.overflow");
+      em->scan_morsels = &reg.GetCounter("exec.scan.morsels");
+      em->scan_rows = &reg.GetCounter("exec.scan.rows");
+      em->scan_prefetches = &reg.GetCounter("exec.scan.prefetches");
+      return em;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_EXEC_EXEC_METRICS_H_

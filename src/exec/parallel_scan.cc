@@ -1,0 +1,224 @@
+#include "exec/parallel_scan.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/segment_reader.h"
+#include "exec/exec_metrics.h"
+#include "sys/telemetry.h"
+#include "sys/timer.h"
+
+namespace scc {
+
+/// One decoded morsel awaiting ordered emission: per-column images of the
+/// whole chunk, decompressed by whichever worker claimed it.
+struct ParallelScan::Morsel {
+  size_t rows = 0;
+  std::vector<AlignedBuffer> columns;
+};
+
+ParallelScan::ParallelScan(const Table* table, BufferManager* bm,
+                           std::vector<std::string> columns, Options options)
+    : table_(table), bm_(bm), pool_(ThreadPool::Instance()),
+      options_(options) {
+  SCC_CHECK(table->chunk_values() % kVectorSize == 0,
+            "chunk size must be a multiple of the vector size");
+  for (const std::string& name : columns) {
+    const StoredColumn* col = table->column(name);
+    SCC_CHECK(col != nullptr, name.c_str());
+    cols_.push_back(col);
+  }
+  morsels_ = table->chunk_count();
+  unsigned slots = pool_.worker_count() + 1;  // workers + the caller
+  if (options_.threads != 0 && options_.threads < slots) {
+    slots = options_.threads;
+  }
+  if (morsels_ != 0 && slots > morsels_) slots = unsigned(morsels_);
+  slots_ = slots == 0 ? 1 : slots;
+}
+
+void ParallelScan::DecodeVector(const StoredColumn* col,
+                                const AlignedBuffer& seg,
+                                size_t offset_in_chunk, size_t n, Vector* out,
+                                double* decompress_seconds) const {
+  Timer t;
+  DispatchType(col->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_integral_v<T>) {
+      auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+      SCC_CHECK(reader.ok(), "parallel scan: segment failed validation");
+      reader.ValueOrDie().DecompressRange(offset_in_chunk, n, out->data<T>());
+    } else {
+      SCC_CHECK(false, "parallel scan: unsupported column type");
+    }
+    return 0;
+  });
+  out->set_count(n);
+  *decompress_seconds += t.ElapsedSeconds();
+}
+
+void ParallelScan::IssuePrefetch(size_t morsel, TaskGroup* group) {
+  if (morsel >= morsels_) return;
+  // A dedicated I/O task per read-ahead morsel: the fetch (and its
+  // simulated latency) runs on whichever worker is idle, overlapping the
+  // claimer's decode. Demand fetches on the same page coalesce with it.
+  // The task joins the scan's TaskGroup so Run() cannot return while a
+  // prefetch still holds the table/buffer-manager pointers.
+  const Table* table = table_;
+  BufferManager* bm = bm_;
+  auto cols = cols_;
+  group->Run([table, bm, cols = std::move(cols), morsel] {
+    ExecMetrics& em = ExecMetrics::Get();
+    for (const StoredColumn* col : cols) {
+      // Prefetch failures are ignored by design: nothing is cached, so
+      // the demand fetch retries and reports the error where it matters.
+      (void)bm->Prefetch(table, col, morsel);
+      em.scan_prefetches->Increment();
+    }
+  });
+}
+
+void ParallelScan::Run(const Visitor& visitor) {
+  decompress_seconds_ = 0;
+  if (morsels_ == 0 || cols_.empty()) return;
+  ExecMetrics& em = ExecMetrics::Get();
+
+  // Per-slot state, touched by one thread at a time.
+  std::vector<std::vector<std::unique_ptr<Vector>>> scratch(slots_);
+  for (auto& vecs : scratch) {
+    for (const StoredColumn* col : cols_) {
+      vecs.push_back(std::make_unique<Vector>(col->type));
+    }
+  }
+  std::vector<double> decompress(slots_, 0.0);
+
+  // Ordered-merge reorder buffer. Bounded so a slow head morsel cannot
+  // make the window buffer the whole table; a worker whose morsel is
+  // ahead of the window parks until the emitter catches up. The worker
+  // holding the head morsel always fits (window >= slots), so the
+  // pipeline cannot deadlock.
+  std::mutex emit_mu;
+  std::condition_variable emit_cv;
+  std::map<size_t, Morsel> pending;
+  size_t next_emit = 0;
+  const size_t window = slots_ + options_.prefetch_depth + 1;
+
+  auto emit_ready = [&](std::unique_lock<std::mutex>& lock) {
+    // Caller holds emit_mu. Emission itself is single-threaded by
+    // construction: only the thread that completed morsel `next_emit`
+    // reaches the body. Visitor slot is always 0 in ordered mode.
+    while (true) {
+      auto it = pending.find(next_emit);
+      if (it == pending.end()) return;
+      Morsel m = std::move(it->second);
+      pending.erase(it);
+      Batch batch;
+      for (size_t c = 0; c < cols_.size(); c++) {
+        batch.columns.push_back(scratch[0][c].get());
+      }
+      for (size_t off = 0; off < m.rows; off += kVectorSize) {
+        const size_t n = std::min(kVectorSize, m.rows - off);
+        for (size_t c = 0; c < cols_.size(); c++) {
+          DispatchType(cols_[c]->type, [&](auto tag) {
+            using T = decltype(tag);
+            if constexpr (std::is_integral_v<T>) {
+              std::memcpy(scratch[0][c]->data<T>(),
+                          m.columns[c].as<T>() + off, n * sizeof(T));
+            }
+            return 0;
+          });
+          scratch[0][c]->set_count(n);
+        }
+        batch.rows = n;
+        visitor(batch, next_emit, /*slot=*/0);
+      }
+      next_emit++;
+      emit_cv.notify_all();
+      (void)lock;
+    }
+  };
+
+  std::atomic<size_t> next{0};
+  TaskGroup group(pool_);
+  auto work = [&](size_t slot) {
+    SCC_TRACE_SPAN("exec.parallel_scan.worker");
+    size_t m;
+    while ((m = next.fetch_add(1, std::memory_order_relaxed)) < morsels_) {
+      if (options_.prefetch_depth > 0) {
+        IssuePrefetch(m + options_.prefetch_depth, &group);
+      }
+      const size_t chunk_rows =
+          std::min(table_->chunk_values(),
+                   table_->rows() - m * table_->chunk_values());
+      // Pin every column page for the morsel's lifetime: decode can then
+      // never race an eviction, no matter what other workers admit.
+      std::vector<BufferManager::PageGuard> guards;
+      guards.reserve(cols_.size());
+      for (const StoredColumn* col : cols_) {
+        Result<BufferManager::PageGuard> g = bm_->FetchPinned(table_, col, m);
+        SCC_CHECK(g.ok(), g.status().ToString().c_str());
+        guards.push_back(g.MoveValueOrDie());
+      }
+      if (!options_.ordered) {
+        Batch batch;
+        for (size_t c = 0; c < cols_.size(); c++) {
+          batch.columns.push_back(scratch[slot][c].get());
+        }
+        for (size_t off = 0; off < chunk_rows; off += kVectorSize) {
+          const size_t n = std::min(kVectorSize, chunk_rows - off);
+          for (size_t c = 0; c < cols_.size(); c++) {
+            DecodeVector(cols_[c], *guards[c].page(), off, n,
+                         scratch[slot][c].get(), &decompress[slot]);
+          }
+          batch.rows = n;
+          visitor(batch, m, slot);
+        }
+      } else {
+        // Decode the whole morsel off to the side, then hand it to the
+        // in-order emitter.
+        Morsel result;
+        result.rows = chunk_rows;
+        Timer t;
+        for (size_t c = 0; c < cols_.size(); c++) {
+          AlignedBuffer image;
+          DispatchType(cols_[c]->type, [&](auto tag) {
+            using T = decltype(tag);
+            if constexpr (std::is_integral_v<T>) {
+              const AlignedBuffer& seg = *guards[c].page();
+              auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+              SCC_CHECK(reader.ok(),
+                        "parallel scan: segment failed validation");
+              image.Resize(chunk_rows * sizeof(T));
+              reader.ValueOrDie().DecompressAll(image.as<T>());
+            } else {
+              SCC_CHECK(false, "parallel scan: unsupported column type");
+            }
+            return 0;
+          });
+          result.columns.push_back(std::move(image));
+        }
+        decompress[slot] += t.ElapsedSeconds();
+        std::unique_lock<std::mutex> lock(emit_mu);
+        emit_cv.wait(lock, [&] { return m < next_emit + window; });
+        pending.emplace(m, std::move(result));
+        emit_ready(lock);
+      }
+      guards.clear();  // unpin before claiming the next morsel
+      em.scan_morsels->Increment();
+      em.scan_rows->Add(chunk_rows);
+    }
+  };
+
+  for (unsigned s = 1; s < slots_; s++) {
+    group.Run([&work, s] { work(s); });
+  }
+  work(0);  // the caller participates
+  group.Wait();
+  for (double d : decompress) decompress_seconds_ += d;
+}
+
+}  // namespace scc

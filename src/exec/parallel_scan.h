@@ -1,0 +1,98 @@
+#ifndef SCC_EXEC_PARALLEL_SCAN_H_
+#define SCC_EXEC_PARALLEL_SCAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/operators.h"
+#include "exec/thread_pool.h"
+#include "storage/buffer_manager.h"
+#include "storage/table.h"
+
+// Morsel-driven parallel table scan (Leis et al.'s morsel model applied
+// to the paper's RAM->cache pipeline). A morsel is one compressed chunk
+// — the buffer manager's I/O unit — so a worker that claims a morsel
+// owns the whole page fetch + decode for it:
+//
+//   claim morsel (atomic counter)  ->  prefetch morsel+K async
+//   FetchPinned all column pages   ->  pages can't be evicted mid-decode
+//   decode vector-at-a-time        ->  visitor(batch, morsel, slot)
+//   drop pins                      ->  pages become evictable again
+//
+// Two emit modes:
+//  * Unordered (default): the visitor runs on whatever worker decoded the
+//    morsel, concurrently. Use the `slot` argument to index per-slot
+//    partial state (e.g. aggregation partials) — slots are dense in
+//    [0, slot_count()) and a slot is never used by two threads at once.
+//  * Ordered: morsels are decoded in parallel but delivered to the
+//    visitor strictly in table order, single-threaded, through a bounded
+//    reorder window. Costs one extra materialize+copy per value — the tax
+//    for operators that need sequence.
+//
+// The async prefetcher (`prefetch_depth` = K) issues the next K morsels'
+// page fetches as separate pool tasks, so SimDisk latency overlaps
+// decode — double-buffering the paper's RAM->cache pipeline.
+//
+// Telemetry: exec.scan.morsels / exec.scan.rows / exec.scan.prefetches.
+
+namespace scc {
+
+struct ParallelScanOptions {
+  /// Max threads working the scan including the caller (0 = pool
+  /// workers + caller).
+  unsigned threads = 0;
+  /// Morsels of read-ahead issued as async pool tasks (0 = off).
+  size_t prefetch_depth = 2;
+  /// Deliver morsels to the visitor in table order, single-threaded.
+  bool ordered = false;
+};
+
+class ParallelScan {
+ public:
+  using Options = ParallelScanOptions;
+
+  /// visitor(batch, morsel, slot): `batch` holds one vector (<= kVectorSize
+  /// rows) per scanned column; valid only during the call.
+  using Visitor =
+      std::function<void(const Batch& batch, size_t morsel, size_t slot)>;
+
+  ParallelScan(const Table* table, BufferManager* bm,
+               std::vector<std::string> columns, Options options = {});
+
+  /// Runs the scan to completion on the shared pool; the calling thread
+  /// participates. Unreadable pages (after the buffer manager's retries)
+  /// are a hard stop, matching TableScanOp.
+  void Run(const Visitor& visitor);
+
+  /// Parallel slots handed to the visitor; size per-slot partials to this.
+  /// (Worker threads + the participating caller, capped by
+  /// Options::threads and the morsel count.)
+  unsigned slot_count() const { return slots_; }
+  size_t morsel_count() const { return morsels_; }
+
+  /// Summed across slots: total CPU seconds inside decompression after
+  /// Run() (wall time is less — slots overlap).
+  double decompress_seconds() const { return decompress_seconds_; }
+
+ private:
+  struct Morsel;  // decoded per-column images (ordered mode)
+
+  void DecodeVector(const StoredColumn* col, const AlignedBuffer& seg,
+                    size_t offset_in_chunk, size_t n, Vector* out,
+                    double* decompress_seconds) const;
+  void IssuePrefetch(size_t morsel, TaskGroup* group);
+
+  const Table* table_;
+  BufferManager* bm_;
+  ThreadPool& pool_;
+  Options options_;
+  std::vector<const StoredColumn*> cols_;
+  size_t morsels_ = 0;
+  unsigned slots_ = 0;
+  double decompress_seconds_ = 0;
+};
+
+}  // namespace scc
+
+#endif  // SCC_EXEC_PARALLEL_SCAN_H_

@@ -1,0 +1,296 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "exec/exec_metrics.h"
+#include "util/status.h"
+
+namespace scc {
+
+namespace {
+
+struct WorkerTls {
+  ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerTls g_worker_tls;
+
+}  // namespace
+
+struct ThreadPool::Task {
+  std::function<void()> fn;
+};
+
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05), fixed capacity:
+// the owner pushes/pops at the bottom, thieves CAS the top. We use
+// seq_cst on the top/bottom orderings instead of standalone fences — the
+// store->load ordering the algorithm needs, expressed in a form TSan
+// models precisely — and spill to the pool's injection queue when full
+// rather than growing, so there is no buffer reclamation to reason about.
+// Tasks are coarse (a morsel is >= one compressed chunk), so none of this
+// is ever the bottleneck; what matters is that an owner push/pop is
+// uncontended and a steal is one CAS.
+struct ThreadPool::Deque {
+  static constexpr size_t kCapacity = size_t(1) << 13;
+  static constexpr size_t kMask = kCapacity - 1;
+
+  std::atomic<int64_t> top{0};
+  std::atomic<int64_t> bottom{0};
+  std::atomic<Task*> slots[kCapacity] = {};
+
+  /// Owner only. False when full (caller spills to the injection queue).
+  bool Push(Task* t) {
+    const int64_t b = bottom.load(std::memory_order_relaxed);
+    const int64_t s = top.load(std::memory_order_acquire);
+    if (b - s >= int64_t(kCapacity)) return false;
+    slots[size_t(b) & kMask].store(t, std::memory_order_relaxed);
+    bottom.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. LIFO: the most recently pushed (cache-warm) task.
+  Task* Pop() {
+    const int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+    bottom.store(b, std::memory_order_seq_cst);
+    int64_t s = top.load(std::memory_order_seq_cst);
+    if (s > b) {  // empty: undo
+      bottom.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* t = slots[size_t(b) & kMask].load(std::memory_order_relaxed);
+    if (s == b) {
+      // Last element: race the thieves for it.
+      if (!top.compare_exchange_strong(s, s + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        t = nullptr;  // a thief won
+      }
+      bottom.store(b + 1, std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  /// Any thread. FIFO: the oldest task (largest remaining work first).
+  Task* Steal() {
+    int64_t s = top.load(std::memory_order_seq_cst);
+    const int64_t b = bottom.load(std::memory_order_seq_cst);
+    if (s >= b) return nullptr;
+    // Safe to read before the CAS: a slot is only reused after top has
+    // advanced past it, and that would make this CAS fail.
+    Task* t = slots[size_t(s) & kMask].load(std::memory_order_relaxed);
+    if (!top.compare_exchange_strong(s, s + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      return nullptr;  // lost to the owner or another thief
+    }
+    return t;
+  }
+};
+
+struct ThreadPool::Worker {
+  Deque deque;
+  // Per-worker steal cursor so concurrent thieves fan out over victims.
+  size_t victim_cursor = 0;
+};
+
+unsigned ThreadPool::DefaultWorkerCount() {
+  if (const char* env = std::getenv("SCC_THREADS")) {
+    long v = std::atol(env);
+    if (v >= 1 && v <= 1024) return unsigned(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::Instance() {
+  // Leaked like MetricsRegistry: callers may submit work during other
+  // statics' teardown, and joining workers at exit is needless risk.
+  static ThreadPool* pool = new ThreadPool(DefaultWorkerCount());
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return g_worker_tls.pool != nullptr; }
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = DefaultWorkerCount();
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; i++) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_[i]->victim_cursor = i + 1;
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; i++) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  ExecMetrics::Get().workers->Add(int64_t(workers));
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  WakeAll();
+  for (auto& t : threads_) t.join();
+  // Run any tasks the workers never got to, so TaskGroups waiting in
+  // other (non-worker) threads still complete.
+  for (auto& w : workers_) {
+    while (Task* t = w->deque.Pop()) Execute(t);
+  }
+  for (size_t i = inject_head_; i < inject_.size(); i++) Execute(inject_[i]);
+  ExecMetrics::Get().workers->Add(-int64_t(workers_.size()));
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (stop_.load(std::memory_order_relaxed)) {  // shutting down: run inline
+    fn();
+    return;
+  }
+  Task* t = new Task{std::move(fn)};
+  const WorkerTls& tls = g_worker_tls;
+  if (tls.pool == this && workers_[tls.index]->deque.Push(t)) {
+    // Spawned by a worker: owner deque, stolen if the owner stays busy.
+  } else {
+    if (tls.pool == this) ExecMetrics::Get().queue_overflow->Increment();
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    // Compact the drained prefix occasionally so the vector stays small.
+    if (inject_head_ > 0 && inject_head_ == inject_.size()) {
+      inject_.clear();
+      inject_head_ = 0;
+    }
+    inject_.push_back(t);
+  }
+  WakeOne();
+}
+
+ThreadPool::Task* ThreadPool::FindTask(size_t self) {
+  // 1. Own deque (workers only): newest first, cache-warm.
+  if (self != SIZE_MAX) {
+    if (Task* t = workers_[self]->deque.Pop()) return t;
+  }
+  // 2. Injection queue: external submissions, FIFO.
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (inject_head_ < inject_.size()) return inject_[inject_head_++];
+  }
+  // 3. Steal a round across the other workers' deques.
+  const size_t n = workers_.size();
+  size_t start = self != SIZE_MAX ? workers_[self]->victim_cursor : 0;
+  for (size_t k = 0; k < n; k++) {
+    const size_t v = (start + k) % n;
+    if (v == self) continue;
+    if (Task* t = workers_[v]->deque.Steal()) {
+      if (self != SIZE_MAX) {
+        workers_[self]->victim_cursor = v;  // stick with a loaded victim
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        ExecMetrics::Get().steals->Increment();
+      }
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::Execute(Task* t) {
+  ExecMetrics::Get().tasks->Increment();
+  t->fn();
+  delete t;
+}
+
+bool ThreadPool::RunOneTask() {
+  const WorkerTls& tls = g_worker_tls;
+  Task* t = FindTask(tls.pool == this ? tls.index : SIZE_MAX);
+  if (t == nullptr) return false;
+  Execute(t);
+  return true;
+}
+
+void ThreadPool::WakeOne() {
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(sleep_mu_);
+  sleep_cv_.notify_one();
+}
+
+void ThreadPool::WakeAll() {
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(sleep_mu_);
+  sleep_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  g_worker_tls.pool = this;
+  g_worker_tls.index = self;
+  while (true) {
+    if (Task* t = FindTask(self)) {
+      Execute(t);
+      continue;
+    }
+    if (stop_.load(std::memory_order_seq_cst)) break;
+    // Arm the epoch, recheck, then sleep. A Submit between the recheck
+    // and the wait bumps the epoch and fails the predicate; the timeout
+    // is a belt-and-braces backstop, not the wakeup mechanism.
+    const uint64_t epoch = work_epoch_.load(std::memory_order_seq_cst);
+    if (Task* t = FindTask(self)) {
+      Execute(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             work_epoch_.load(std::memory_order_relaxed) != epoch;
+    });
+  }
+  g_worker_tls.pool = nullptr;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             unsigned max_workers) {
+  if (n == 0) return;
+  unsigned helpers = worker_count();
+  if (max_workers != 0 && max_workers < helpers) helpers = max_workers;
+  if (helpers > n) helpers = unsigned(n);
+  if (n == 1 || helpers == 0) {
+    for (size_t i = 0; i < n; i++) body(i);
+    return;
+  }
+  // Dynamic index handout (the morsel pattern in miniature): uneven
+  // bodies rebalance instead of pre-partitioned stragglers dominating.
+  std::atomic<size_t> next{0};
+  auto loop = [&next, n, &body] {
+    size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) body(i);
+  };
+  {
+    TaskGroup group(*this);
+    for (unsigned h = 0; h < helpers; h++) group.Run(loop);
+    loop();  // the caller participates; Wait() in ~TaskGroup helps too
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_++;
+  }
+  pool_.Submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    // Help drain the pool instead of blocking a worker slot; this is what
+    // makes nested Wait() (a worker waiting on a subgroup) deadlock-free.
+    if (pool_.RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cv_.wait_for(lock, std::chrono::milliseconds(1),
+                     [&] { return pending_ == 0; })) {
+      return;
+    }
+  }
+}
+
+}  // namespace scc

@@ -7,6 +7,7 @@
 #include "core/segment_builder.h"
 #include "core/segment_reader.h"
 #include "engine/vector.h"
+#include "exec/thread_pool.h"
 #include "sys/telemetry.h"
 
 namespace scc {
@@ -113,7 +114,7 @@ std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
   std::priority_queue<SearchHit, std::vector<SearchHit>, decltype(worse)>
       heap(worse);
 
-  last_bytes_ = 0;
+  size_t bytes = 0;
   uint32_t docs[kVectorSize];
   uint32_t tfs[kVectorSize];
   const size_t nb = db.count();
@@ -123,7 +124,7 @@ std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
     da.DecompressRange(pos, len, docs);
     ta.DecompressRange(pos, len, tfs);
     IrMetrics::Get().postings_decoded->Add(len);
-    last_bytes_ += len * 8;
+    bytes += len * 8;
     for (size_t i = 0; i < len && lo < nb; i++) {
       // Galloping probe: fine-grained Get() on the compressed docids.
       size_t step = 1;
@@ -167,14 +168,38 @@ std::vector<SearchHit> PostingSearcher::TopNConjunctive(uint32_t term_a,
   }
   std::reverse(hits.begin(), hits.end());
   IrMetrics::Get().hits_returned->Add(hits.size());
+  last_bytes_.store(bytes, std::memory_order_relaxed);
   return hits;
 }
 
 std::vector<SearchHit> PostingSearcher::TopN(uint32_t term, size_t n) const {
+  size_t bytes = 0;
+  std::vector<SearchHit> hits = TopNImpl(term, n, &bytes);
+  last_bytes_.store(bytes, std::memory_order_relaxed);
+  return hits;
+}
+
+std::vector<std::vector<SearchHit>> PostingSearcher::TopNBatch(
+    std::span<const uint32_t> terms, size_t n) const {
+  SCC_TRACE_SPAN("ir.topn_batch");
+  std::vector<std::vector<SearchHit>> hits(terms.size());
+  std::vector<size_t> bytes(terms.size(), 0);
+  // One task per query: posting lists are Zipf-skewed, so dynamic handout
+  // keeps a worker stuck with the head term from serializing the tail.
+  ThreadPool::Instance().ParallelFor(terms.size(), [&](size_t i) {
+    hits[i] = TopNImpl(terms[i], n, &bytes[i]);
+  });
+  size_t total = 0;
+  for (size_t b : bytes) total += b;
+  last_bytes_.store(total, std::memory_order_relaxed);
+  return hits;
+}
+
+std::vector<SearchHit> PostingSearcher::TopNImpl(uint32_t term, size_t n,
+                                                 size_t* bytes) const {
   SCC_TRACE_SPAN("ir.topn");
   SCC_CHECK(term < doc_segments_.size(), "term out of range");
   IrMetrics::Get().queries->Increment();
-  last_bytes_ = 0;
   auto dreader = SegmentReader<uint32_t>::Open(doc_segments_[term].data(),
                                                doc_segments_[term].size());
   auto treader = SegmentReader<uint32_t>::Open(tf_segments_[term].data(),
@@ -199,7 +224,7 @@ std::vector<SearchHit> PostingSearcher::TopN(uint32_t term, size_t n) const {
     dr.DecompressRange(pos, len, docs);
     tr.DecompressRange(pos, len, tfs);
     IrMetrics::Get().postings_decoded->Add(len);
-    last_bytes_ += len * 8;
+    *bytes += len * 8;
     for (size_t i = 0; i < len; i++) {
       if (heap.size() < n) {
         heap.push(SearchHit{docs[i], tfs[i]});

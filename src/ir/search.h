@@ -1,7 +1,9 @@
 #ifndef SCC_IR_SEARCH_H_
 #define SCC_IR_SEARCH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ir/collection.h"
@@ -24,12 +26,39 @@ struct SearchHit {
 
 class PostingSearcher {
  public:
+  PostingSearcher() = default;
+  // The atomic byte counter suppresses the implicit moves that Build's
+  // by-value return needs; moving a searcher mid-query is not supported.
+  PostingSearcher(PostingSearcher&& o) noexcept
+      : doc_segments_(std::move(o.doc_segments_)),
+        tf_segments_(std::move(o.tf_segments_)),
+        raw_bytes_(o.raw_bytes_),
+        most_frequent_(o.most_frequent_),
+        last_bytes_(o.last_bytes_.load(std::memory_order_relaxed)) {}
+  PostingSearcher& operator=(PostingSearcher&& o) noexcept {
+    doc_segments_ = std::move(o.doc_segments_);
+    tf_segments_ = std::move(o.tf_segments_);
+    raw_bytes_ = o.raw_bytes_;
+    most_frequent_ = o.most_frequent_;
+    last_bytes_.store(o.last_bytes_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Compresses the index's postings. Terms keep their ids.
   static Result<PostingSearcher> Build(const InvertedIndex& index);
 
   /// Top-`n` documents for `term` by term frequency (descending score,
   /// ascending doc for ties).
   std::vector<SearchHit> TopN(uint32_t term, size_t n) const;
+
+  /// Runs TopN for every term in `terms` concurrently on the shared
+  /// thread pool — the query-throughput shape of the Section 5 workload,
+  /// where independent queries (not one query's vectors) are the natural
+  /// parallel grain. hits[i] corresponds to terms[i];
+  /// last_bytes_processed() reports the batch total.
+  std::vector<std::vector<SearchHit>> TopNBatch(
+      std::span<const uint32_t> terms, size_t n) const;
 
   /// Conjunctive top-`n`: documents containing BOTH terms, scored by the
   /// sum of their term frequencies. The shorter posting list is scanned
@@ -39,8 +68,11 @@ class PostingSearcher {
   std::vector<SearchHit> TopNConjunctive(uint32_t term_a, uint32_t term_b,
                                          size_t n) const;
 
-  /// Decompressed posting bytes processed by the last TopN call.
-  size_t last_bytes_processed() const { return last_bytes_; }
+  /// Decompressed posting bytes processed by the last TopN /
+  /// TopNConjunctive / TopNBatch call (batch: summed over the batch).
+  size_t last_bytes_processed() const {
+    return last_bytes_.load(std::memory_order_relaxed);
+  }
 
   size_t term_count() const { return doc_segments_.size(); }
   size_t CompressedBytes() const;
@@ -51,11 +83,16 @@ class PostingSearcher {
   uint32_t MostFrequentTerm() const { return most_frequent_; }
 
  private:
+  /// TopN's scan loop with the byte accounting returned to the caller, so
+  /// concurrent batch queries never contend on shared state mid-scan.
+  std::vector<SearchHit> TopNImpl(uint32_t term, size_t n,
+                                  size_t* bytes) const;
+
   std::vector<AlignedBuffer> doc_segments_;  // PFOR-DELTA over docids
   std::vector<AlignedBuffer> tf_segments_;   // PFOR over tfs
   size_t raw_bytes_ = 0;
   uint32_t most_frequent_ = 0;
-  mutable size_t last_bytes_ = 0;
+  mutable std::atomic<size_t> last_bytes_{0};
 };
 
 }  // namespace scc

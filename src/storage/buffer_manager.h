@@ -1,7 +1,11 @@
 #ifndef SCC_STORAGE_BUFFER_MANAGER_H_
 #define SCC_STORAGE_BUFFER_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/segment.h"
@@ -20,158 +24,262 @@
 // of a row range), so fetching one column of an uncached row group
 // charges the disk for every column — the effect Table 2 measures.
 //
+// Concurrency (docs/PARALLELISM.md): the cache is lock-striped over
+// kShards shards keyed by page id, so morsel workers fetching different
+// chunks rarely contend. Three mechanisms make shared use safe:
+//
+//  * Pins — FetchPinned returns a PageGuard that holds a per-page pin
+//    count; pinned pages are never evicted, so a decode can never race an
+//    eviction freeing the owned copy under it. The pointer-returning
+//    Fetch remains for single-threaded callers and keeps its historical
+//    valid-until-evicted contract.
+//  * Miss coalescing — N workers faulting the same I/O unit join one
+//    in-flight read (a single disk charge); followers block until the
+//    leader publishes the page or its final error.
+//  * Global capacity — eviction picks the globally oldest unpinned page
+//    across shards (per-entry stamps from a shared clock), preserving the
+//    single-LRU behavior the accounting tests pin down.
+//
 // Fault tolerance: when the SimDisk carries a FaultInjector (or checksum
-// verification is enabled), Fetch switches from aliasing the pristine
+// verification is enabled), a miss switches from aliasing the pristine
 // column memory to materializing an OWNED copy of each page through the
 // fault path, verifying it, and retrying failed reads a bounded number of
 // times. Every failed attempt counts into storage.io_faults; a read that
 // exhausts its retries is NOT cached (so a later Fetch retries from
-// "disk") and surfaces as a non-OK Result instead of an abort.
+// "disk") and surfaces as a non-OK Result instead of an abort — and under
+// coalescing every joined waiter sees that same error.
 
 namespace scc {
 
 class BufferManager {
  public:
+  /// Lock stripes. Power of two; 16 keeps cross-chunk contention
+  /// negligible at typical core counts.
+  static constexpr size_t kShards = 16;
+
   BufferManager(SimDisk* disk, size_t capacity_bytes, Layout layout)
       : disk_(disk), capacity_(capacity_bytes), layout_(layout) {}
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+ private:
+  struct Key {
+    const void* col = nullptr;
+    size_t chunk = 0;
+    bool operator==(const Key& o) const {
+      return col == o.col && chunk == o.chunk;
+    }
+  };
+
+ public:
+  /// RAII pin on a cached page. The page cannot be evicted (and an owned
+  /// copy cannot be freed) while any guard on it is alive. Move-only.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+    PageGuard& operator=(PageGuard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        bm_ = o.bm_;
+        key_ = o.key_;
+        page_ = o.page_;
+        o.bm_ = nullptr;
+        o.page_ = nullptr;
+      }
+      return *this;
+    }
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+    ~PageGuard() { Release(); }
+
+    const AlignedBuffer* page() const { return page_; }
+    const AlignedBuffer& operator*() const { return *page_; }
+    const AlignedBuffer* operator->() const { return page_; }
+    explicit operator bool() const { return page_ != nullptr; }
+
+    /// Drops the pin early (idempotent).
+    void Release() {
+      if (bm_ != nullptr) {
+        bm_->Unpin(key_);
+        bm_ = nullptr;
+        page_ = nullptr;
+      }
+    }
+
+   private:
+    friend class BufferManager;
+    PageGuard(BufferManager* bm, Key key, const AlignedBuffer* page)
+        : bm_(bm), key_(key), page_(page) {}
+    BufferManager* bm_ = nullptr;
+    Key key_{};
+    const AlignedBuffer* page_ = nullptr;
+  };
+
+  /// Thread-safe fetch of `col`'s chunk `chunk_idx`, pinned against
+  /// eviction for the guard's lifetime. Concurrent misses on the same I/O
+  /// unit coalesce into a single disk read. Fails with IOError /
+  /// Corruption when the page cannot be read intact within the retry
+  /// budget.
+  Result<PageGuard> FetchPinned(const Table* table, const StoredColumn* col,
+                                size_t chunk_idx) {
+    StorageMetrics& sm = StorageMetrics::Get();
+    const Key key = MakeKey(table, col, chunk_idx);
+    Shard& sh = shards_[ShardOf(key)];
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.cache.find(key);
+        if (it != sh.cache.end()) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          sm.bm_hits->Increment();
+          Touch(sh, it->second);
+          it->second.pins++;
+          return PageGuard(this, key,
+                           it->second.owned ? &it->second.page
+                                            : &col->chunks[chunk_idx]);
+        }
+      }
+      // Miss. Coalesce concurrent faults on the same I/O unit: under PAX
+      // the unit is the whole row group, so the coalescing key uses a
+      // representative column and covers sibling-column misses too.
+      const Key ck = layout_ == Layout::kPAX
+                         ? Key{table->column(size_t(0)), chunk_idx}
+                         : key;
+      std::shared_ptr<InFlight> flight;
+      bool leader = false;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        auto it = inflight_.find(ck);
+        if (it == inflight_.end()) {
+          flight = std::make_shared<InFlight>();
+          inflight_.emplace(ck, flight);
+          leader = true;
+        } else {
+          flight = it->second;
+        }
+      }
+      if (!leader) {
+        coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+        sm.bm_coalesced_misses->Increment();
+        std::unique_lock<std::mutex> lock(flight->mu);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (!flight->status.ok()) return flight->status;
+        continue;  // page is cached now (barring an eviction storm: retry)
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      sm.bm_misses->Increment();
+      AlignedBuffer page;
+      bool owned = false;
+      Status st = ReadPage(table, col, chunk_idx, &page, &owned);
+      Result<PageGuard> result = st;
+      if (st.ok()) {
+        result = Admit(table, col, chunk_idx, key, std::move(page), owned);
+      }
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(ck);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->done = true;
+        flight->status = st;
+        flight->cv.notify_all();
+      }
+      return result;
+    }
+  }
 
   /// Returns the (compressed) bytes of `col`'s chunk `chunk_idx`,
-  /// charging the simulated disk on a miss. Fails with IOError /
-  /// Corruption when the page cannot be read intact within the retry
-  /// budget; the returned pointer is valid until the entry is evicted or
-  /// the cache is cleared.
+  /// charging the simulated disk on a miss. The returned pointer is valid
+  /// until the entry is evicted or the cache is cleared — an UNPINNED
+  /// contract that is only sound single-threaded; concurrent readers must
+  /// use FetchPinned.
   Result<const AlignedBuffer*> Fetch(const Table* table,
                                      const StoredColumn* col,
                                      size_t chunk_idx) {
-    StorageMetrics& sm = StorageMetrics::Get();
-    const Key key = MakeKey(table, col, chunk_idx);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      hits_++;
-      sm.bm_hits->Increment();
-      Touch(it->second);
-      return it->second.owned ? &it->second.page : &col->chunks[chunk_idx];
-    }
-    misses_++;
-    sm.bm_misses->Increment();
-    const AlignedBuffer& src = col->chunks[chunk_idx];
-    const bool guarded = disk_->faults() != nullptr || verify_checksums_;
-    Status last = Status::OK();
-    for (int attempt = 0; attempt <= max_read_retries_; attempt++) {
-      // Charge the I/O unit. Retries re-read (and re-charge) the device.
-      const size_t unit_bytes = layout_ == Layout::kDSM
-                                    ? src.size()
-                                    : table->RowGroupBytes(chunk_idx);
-      AlignedBuffer page;
-      Status st;
-      if (guarded) {
-        // PAX simplification: the whole row group is charged as one I/O
-        // but faults/verification apply to the requested column's page —
-        // sibling columns get their own guarded read when first fetched.
-        if (layout_ == Layout::kDSM) {
-          st = disk_->ReadChunkInto(src.data(), src.size(), &page);
-        } else {
-          disk_->ReadChunk(unit_bytes);
-          st = MaterializeFaulted(src, &page);
-        }
-        if (st.ok() && page.size() != src.size()) {
-          st = Status::Corruption("short page read: got " +
-                                  std::to_string(page.size()) + " of " +
-                                  std::to_string(src.size()) + " bytes");
-        }
-        if (st.ok() && verify_checksums_) {
-          st = VerifySegmentChecksums(page.data(), page.size());
-        }
-      } else {
-        disk_->ReadChunk(unit_bytes);
-      }
-      bytes_read_ += unit_bytes;
-      sm.bm_bytes_read->Add(unit_bytes);
-      if (!st.ok()) {
-        io_faults_++;
-        sm.io_faults->Increment();
-        last = st;
-        continue;
-      }
-      const AlignedBuffer* result;
-      if (guarded) {
-        Entry& e = Insert(key, src.size(), std::move(page), /*owned=*/true);
-        result = &e.page;
-      } else {
-        Insert(key, src.size(), AlignedBuffer(), /*owned=*/false);
-        result = &src;
-      }
-      if (layout_ == Layout::kPAX) {
-        // Register the rest of the row group as cached (pass-through
-        // entries aliasing pristine memory; see the PAX note above).
-        for (size_t c = 0; c < table->column_count(); c++) {
-          const StoredColumn* other = table->column(c);
-          Key k2 = MakeKey(table, other, chunk_idx);
-          if (cache_.find(k2) == cache_.end()) {
-            Insert(k2, other->chunks[chunk_idx].size(), AlignedBuffer(),
-                   /*owned=*/false);
-          }
-        }
-      }
-      sm.bm_resident_bytes->Set(int64_t(resident_));
-      return result;
-    }
-    return last;
+    SCC_ASSIGN_OR_RETURN(PageGuard guard, FetchPinned(table, col, chunk_idx));
+    const AlignedBuffer* page = guard.page();
+    return page;  // guard unpins on scope exit
+  }
+
+  /// Warms the cache with `col`'s chunk `chunk_idx` (the async
+  /// prefetcher's entry point). Errors are returned but safe to ignore:
+  /// failed prefetches are not cached, so the demand fetch retries.
+  Status Prefetch(const Table* table, const StoredColumn* col,
+                  size_t chunk_idx) {
+    return FetchPinned(table, col, chunk_idx).status();
   }
 
   /// Verify per-section segment CRCs at page-fix time (the Figure 1
   /// boundary where bytes enter the cache). Off by default; corruption
-  /// campaigns and durability-minded callers opt in.
+  /// campaigns and durability-minded callers opt in. Configure before
+  /// sharing the manager across threads.
   void SetVerifyChecksums(bool on) { verify_checksums_ = on; }
   bool verify_checksums() const { return verify_checksums_; }
   /// Failed page reads are retried this many times before Fetch gives up.
+  /// Configure before sharing the manager across threads.
   void set_max_read_retries(int n) { max_read_retries_ = n; }
 
   SimDisk* disk() const { return disk_; }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t resident_bytes() const { return resident_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t resident_bytes() const {
+    return resident_.load(std::memory_order_relaxed);
+  }
   /// Cache entries dropped by LRU pressure since construction or the last
   /// ResetStats(), and the bytes they held.
-  size_t evictions() const { return evictions_; }
-  size_t evicted_bytes() const { return evicted_bytes_; }
+  size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t evicted_bytes() const {
+    return evicted_bytes_.load(std::memory_order_relaxed);
+  }
   /// Bytes charged to the disk on cache misses (compressed bytes; the
   /// whole row group under PAX).
-  size_t bytes_read() const { return bytes_read_; }
+  size_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
   /// Failed page-read attempts (injected I/O errors, truncations, and
   /// checksum mismatches), including attempts that later succeeded on
   /// retry. Mirrors the storage.io_faults registry counter.
-  size_t io_faults() const { return io_faults_; }
+  size_t io_faults() const {
+    return io_faults_.load(std::memory_order_relaxed);
+  }
+  /// Misses that joined another thread's in-flight read instead of
+  /// charging the disk themselves. Mirrors storage.bm.coalesced_misses.
+  size_t coalesced_misses() const {
+    return coalesced_misses_.load(std::memory_order_relaxed);
+  }
 
   /// Drops every cached page (resident_bytes() returns to 0) but KEEPS the
   /// statistics: Clear() is "power off the cache", used by benches to
-  /// force cold runs while still accounting the full experiment.
+  /// force cold runs while still accounting the full experiment. Must not
+  /// run concurrently with fetches holding pins.
   void Clear() {
-    cache_.clear();
-    lru_.clear();
-    resident_ = 0;
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.cache.clear();
+      sh.lru.clear();
+    }
+    resident_.store(0, std::memory_order_relaxed);
+    StorageMetrics::Get().bm_resident_bytes->Set(0);
   }
   /// Zeroes hit/miss/eviction/bytes counters but KEEPS the cache contents:
   /// ResetStats() is "start a fresh measurement window" against a warm
   /// cache. Process-wide storage.bm.* registry counters are monotonic and
   /// unaffected; diff MetricsRegistry snapshots for windowed readings.
   void ResetStats() {
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
-    evicted_bytes_ = 0;
-    bytes_read_ = 0;
-    io_faults_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    evicted_bytes_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    io_faults_.store(0, std::memory_order_relaxed);
+    coalesced_misses_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  struct Key {
-    const void* col;
-    size_t chunk;
-    bool operator==(const Key& o) const {
-      return col == o.col && chunk == o.chunk;
-    }
-  };
   struct KeyHash {
     size_t operator()(const Key& k) const {
       return std::hash<const void*>()(k.col) * 1000003u ^
@@ -180,23 +288,195 @@ class BufferManager {
   };
   struct Entry {
     std::list<Key>::iterator lru_it;
-    size_t bytes;
+    size_t bytes = 0;
     AlignedBuffer page;  // owned copy when `owned`; empty otherwise
     bool owned = false;
+    uint32_t pins = 0;
+    uint64_t stamp = 0;  // global LRU clock at last touch
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> cache;
+    std::list<Key> lru;  // front = most recent within this shard
+  };
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
   };
 
   static Key MakeKey(const Table*, const StoredColumn* col, size_t chunk) {
     return Key{col, chunk};
   }
+  size_t ShardOf(const Key& key) const {
+    return KeyHash()(key) & (kShards - 1);
+  }
 
-  void Touch(Entry& e) { lru_.splice(lru_.begin(), lru_, e.lru_it); }
+  /// Caller holds sh.mu.
+  void Touch(Shard& sh, Entry& e) {
+    sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_it);
+    e.stamp = clock_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  /// Copies `src` through the attached fault injector without charging
-  /// the disk (the caller already charged the I/O unit).
-  Status MaterializeFaulted(const AlignedBuffer& src, AlignedBuffer* out) {
+  /// The miss read path: charges the disk per attempt and retries failed
+  /// reads. On success `*page`/`*owned` describe what to cache. Runs
+  /// without any shard lock held; SimDisk serializes device access
+  /// internally.
+  Status ReadPage(const Table* table, const StoredColumn* col,
+                  size_t chunk_idx, AlignedBuffer* page, bool* owned) {
+    StorageMetrics& sm = StorageMetrics::Get();
+    const AlignedBuffer& src = col->chunks[chunk_idx];
+    const bool guarded = disk_->faults() != nullptr || verify_checksums_;
+    Status last = Status::OK();
+    for (int attempt = 0; attempt <= max_read_retries_; attempt++) {
+      // Charge the I/O unit. Retries re-read (and re-charge) the device.
+      const size_t unit_bytes = layout_ == Layout::kDSM
+                                    ? src.size()
+                                    : table->RowGroupBytes(chunk_idx);
+      Status st;
+      if (guarded) {
+        // PAX simplification: the whole row group is charged as one I/O
+        // but faults/verification apply to the requested column's page —
+        // sibling columns get their own guarded read when first fetched.
+        if (layout_ == Layout::kDSM) {
+          st = disk_->ReadChunkInto(src.data(), src.size(), page);
+        } else {
+          // Charge the row group and run the column's faulted copy inside
+          // the device's critical section, so concurrent readers see the
+          // injector's fault sequence at whole-read granularity.
+          st = disk_->WithLockedFaults(unit_bytes, [&](FaultInjector* f) {
+            return MaterializeFaulted(f, src, page);
+          });
+        }
+        if (st.ok() && page->size() != src.size()) {
+          st = Status::Corruption("short page read: got " +
+                                  std::to_string(page->size()) + " of " +
+                                  std::to_string(src.size()) + " bytes");
+        }
+        if (st.ok() && verify_checksums_) {
+          st = VerifySegmentChecksums(page->data(), page->size());
+        }
+      } else {
+        disk_->ReadChunk(unit_bytes);
+      }
+      bytes_read_.fetch_add(unit_bytes, std::memory_order_relaxed);
+      sm.bm_bytes_read->Add(unit_bytes);
+      if (!st.ok()) {
+        io_faults_.fetch_add(1, std::memory_order_relaxed);
+        sm.io_faults->Increment();
+        last = st;
+        continue;
+      }
+      *owned = guarded;
+      return Status::OK();
+    }
+    return last;
+  }
+
+  /// Inserts the fetched page (pinned for the caller) plus, under PAX,
+  /// pass-through entries for the row group's sibling columns.
+  PageGuard Admit(const Table* table, const StoredColumn* col,
+                  size_t chunk_idx, const Key& key, AlignedBuffer&& page,
+                  bool owned) {
+    const AlignedBuffer& src = col->chunks[chunk_idx];
+    const AlignedBuffer* result;
+    {
+      EnsureCapacity(src.size());
+      Shard& sh = shards_[ShardOf(key)];
+      std::lock_guard<std::mutex> lock(sh.mu);
+      Entry& e = Insert(sh, key, src.size(), std::move(page), owned);
+      e.pins++;
+      result = e.owned ? &e.page : &src;
+    }
+    if (layout_ == Layout::kPAX) {
+      // Register the rest of the row group as cached (pass-through
+      // entries aliasing pristine memory; see the PAX note above). Shards
+      // are locked one at a time — no nesting, no ordering concerns.
+      for (size_t c = 0; c < table->column_count(); c++) {
+        const StoredColumn* other = table->column(c);
+        if (other == col) continue;
+        Key k2 = MakeKey(table, other, chunk_idx);
+        const size_t bytes = other->chunks[chunk_idx].size();
+        EnsureCapacity(bytes);
+        Shard& sh2 = shards_[ShardOf(k2)];
+        std::lock_guard<std::mutex> lock(sh2.mu);
+        if (sh2.cache.find(k2) == sh2.cache.end()) {
+          Insert(sh2, k2, bytes, AlignedBuffer(), /*owned=*/false);
+        }
+      }
+    }
+    StorageMetrics::Get().bm_resident_bytes->Set(
+        int64_t(resident_.load(std::memory_order_relaxed)));
+    return PageGuard(this, key, result);
+  }
+
+  void Unpin(const Key& key) {
+    Shard& sh = shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.cache.find(key);
+    if (it != sh.cache.end() && it->second.pins > 0) it->second.pins--;
+    // A missing entry means Clear() ran with the pin outstanding; the
+    // guard's pointer was already invalid then, nothing to do here.
+  }
+
+  /// Evicts globally-oldest unpinned pages until `incoming` fits. An item
+  /// larger than the whole capacity still gets admitted after the cache
+  /// empties out: the buffer manager overcommits rather than refuse
+  /// service, so resident_ may exceed capacity_ (by one item, or briefly
+  /// by one item per concurrent inserter). Callers see overcommitted
+  /// items evicted first on the next insert under pressure. Holds at most
+  /// one shard lock at a time.
+  void EnsureCapacity(size_t incoming) {
+    StorageMetrics& sm = StorageMetrics::Get();
+    while (resident_.load(std::memory_order_relaxed) + incoming >
+           capacity_) {
+      // Pick the shard whose oldest unpinned entry is globally oldest.
+      size_t victim_shard = SIZE_MAX;
+      uint64_t victim_stamp = UINT64_MAX;
+      for (size_t s = 0; s < kShards; s++) {
+        std::lock_guard<std::mutex> lock(shards_[s].mu);
+        for (auto rit = shards_[s].lru.rbegin();
+             rit != shards_[s].lru.rend(); ++rit) {
+          auto it = shards_[s].cache.find(*rit);
+          if (it == shards_[s].cache.end() || it->second.pins > 0) continue;
+          if (it->second.stamp < victim_stamp) {
+            victim_stamp = it->second.stamp;
+            victim_shard = s;
+          }
+          break;  // only the shard's oldest unpinned entry competes
+        }
+      }
+      if (victim_shard == SIZE_MAX) return;  // all pinned/empty: overcommit
+      Shard& sh = shards_[victim_shard];
+      std::lock_guard<std::mutex> lock(sh.mu);
+      // Re-scan under the lock; the candidate may have been touched,
+      // pinned, or evicted since the peek. Evict the shard's oldest
+      // unpinned entry if one still exists, else retry the outer loop.
+      for (auto rit = sh.lru.rbegin(); rit != sh.lru.rend(); ++rit) {
+        auto it = sh.cache.find(*rit);
+        if (it == sh.cache.end() || it->second.pins > 0) continue;
+        const size_t bytes = it->second.bytes;
+        resident_.fetch_sub(bytes, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        evicted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        sm.bm_evictions->Increment();
+        sm.bm_evicted_bytes->Add(bytes);
+        sh.lru.erase(it->second.lru_it);
+        sh.cache.erase(it);
+        break;
+      }
+    }
+  }
+
+  /// Copies `src` through the fault injector without charging the disk
+  /// (the caller already charged the I/O unit, and holds the device lock
+  /// via WithLockedFaults).
+  static Status MaterializeFaulted(FaultInjector* f, const AlignedBuffer& src,
+                                   AlignedBuffer* out) {
     out->Resize(src.size());
     if (src.size() > 0) std::memcpy(out->data(), src.data(), src.size());
-    if (FaultInjector* f = disk_->faults()) {
+    if (f != nullptr) {
       size_t got = src.size();
       SCC_RETURN_NOT_OK(f->OnRead(out->data(), &got));
       if (got != src.size()) out->Resize(got);
@@ -204,33 +484,15 @@ class BufferManager {
     return Status::OK();
   }
 
-  /// Admits `key` after evicting LRU victims until it fits. An item
-  /// larger than the whole capacity still gets admitted after the cache
-  /// empties out (the loop stops on !lru_.empty()): the buffer manager
-  /// overcommits rather than refuse service, so resident_ may exceed
-  /// capacity_ by at most one item. Callers see that item evicted first
-  /// on the next insert under pressure. Returns the admitted entry
-  /// (stable across rehashes until evicted).
-  Entry& Insert(const Key& key, size_t bytes, AlignedBuffer&& page,
+  /// Caller holds sh.mu and ran EnsureCapacity. Returns the admitted
+  /// entry (address stable until eviction: node-based map).
+  Entry& Insert(Shard& sh, const Key& key, size_t bytes, AlignedBuffer&& page,
                 bool owned) {
-    StorageMetrics& sm = StorageMetrics::Get();
-    while (resident_ + bytes > capacity_ && !lru_.empty()) {
-      Key victim = lru_.back();
-      lru_.pop_back();
-      auto vit = cache_.find(victim);
-      if (vit != cache_.end()) {
-        resident_ -= vit->second.bytes;
-        evictions_++;
-        evicted_bytes_ += vit->second.bytes;
-        sm.bm_evictions->Increment();
-        sm.bm_evicted_bytes->Add(vit->second.bytes);
-        cache_.erase(vit);
-      }
-    }
-    lru_.push_front(key);
-    Entry& e = cache_[key];
-    e = Entry{lru_.begin(), bytes, std::move(page), owned};
-    resident_ += bytes;
+    sh.lru.push_front(key);
+    Entry& e = sh.cache[key];
+    e = Entry{sh.lru.begin(), bytes, std::move(page), owned, /*pins=*/0,
+              clock_.fetch_add(1, std::memory_order_relaxed)};
+    resident_.fetch_add(bytes, std::memory_order_relaxed);
     return e;
   }
 
@@ -239,15 +501,20 @@ class BufferManager {
   Layout layout_;
   bool verify_checksums_ = false;
   int max_read_retries_ = 2;
-  std::unordered_map<Key, Entry, KeyHash> cache_;
-  std::list<Key> lru_;
-  size_t resident_ = 0;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t evictions_ = 0;
-  size_t evicted_bytes_ = 0;
-  size_t bytes_read_ = 0;
-  size_t io_faults_ = 0;
+
+  Shard shards_[kShards];
+  std::mutex inflight_mu_;
+  std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHash> inflight_;
+
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<size_t> resident_{0};
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> evicted_bytes_{0};
+  std::atomic<size_t> bytes_read_{0};
+  std::atomic<size_t> io_faults_{0};
+  std::atomic<size_t> coalesced_misses_{0};
 };
 
 }  // namespace scc

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 
 #include "storage/fault_injector.h"
 #include "util/aligned_buffer.h"
@@ -27,6 +28,13 @@
 // the page instead of letting callers alias pristine memory, so injected
 // bit flips, short reads, and I/O errors surface exactly where a real
 // device would produce them.
+//
+// Thread safety: a device is a serial resource, so one mutex guards the
+// accounting AND the attached fault injector — concurrent readers are
+// serialized exactly like requests queueing at a real controller, which
+// also keeps the injector's determinism contract (faults are a pure
+// function of seed and call order) intact per completed schedule.
+// AttachFaults/Reset are configuration, not I/O: call them quiesced.
 
 namespace scc {
 
@@ -50,10 +58,8 @@ class SimDisk {
 
   /// Charges one sequential chunk read of `bytes`.
   void ReadChunk(size_t bytes) {
-    reads_++;
-    bytes_read_ += bytes;
-    io_seconds_ += config_.seek_ms / 1000.0 +
-                   double(bytes) / (config_.bandwidth_mb_per_s * 1024 * 1024);
+    std::lock_guard<std::mutex> lock(mu_);
+    ChargeReadLocked(bytes);
   }
 
   /// Charges one chunk read AND materializes the page into `out`,
@@ -62,7 +68,10 @@ class SimDisk {
   /// On a short (truncated) read, `out->size()` reports the bytes that
   /// actually arrived.
   Status ReadChunkInto(const uint8_t* src, size_t bytes, AlignedBuffer* out) {
-    ReadChunk(bytes);
+    // One critical section for charge + copy + fault so the injector sees
+    // whole reads in a definite order, never interleaved halves.
+    std::lock_guard<std::mutex> lock(mu_);
+    ChargeReadLocked(bytes);
     out->Resize(bytes);
     if (bytes > 0) std::memcpy(out->data(), src, bytes);
     if (faults_ != nullptr) {
@@ -76,6 +85,7 @@ class SimDisk {
   /// Charges one sequential chunk write of `bytes`; returns the bytes
   /// that actually persisted (less than `bytes` under a torn write).
   size_t WriteChunk(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
     writes_++;
     size_t persisted = faults_ != nullptr ? faults_->OnWrite(bytes) : bytes;
     bytes_written_ += persisted;
@@ -84,18 +94,45 @@ class SimDisk {
     return persisted;
   }
 
+  /// Runs `fn(faults())` inside the device's critical section — for
+  /// callers that need the injector's fault sequence and the disk charge
+  /// to be one atomic step (e.g. the buffer manager's PAX read path).
+  /// `fn` must not call back into this SimDisk.
+  template <typename Fn>
+  auto WithLockedFaults(size_t charge_bytes, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ChargeReadLocked(charge_bytes);
+    return fn(faults_);
+  }
+
   /// Attaches (or detaches, with nullptr) a fault injector. Not owned.
   void AttachFaults(FaultInjector* faults) { faults_ = faults; }
   FaultInjector* faults() const { return faults_; }
 
-  double io_seconds() const { return io_seconds_; }
-  size_t bytes_read() const { return bytes_read_; }
-  size_t bytes_written() const { return bytes_written_; }
-  size_t read_count() const { return reads_; }
-  size_t write_count() const { return writes_; }
+  double io_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return io_seconds_;
+  }
+  size_t bytes_read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_read_;
+  }
+  size_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+  }
+  size_t read_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_;
+  }
+  size_t write_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_;
+  }
   const Config& config() const { return config_; }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     io_seconds_ = 0;
     bytes_read_ = 0;
     bytes_written_ = 0;
@@ -104,8 +141,16 @@ class SimDisk {
   }
 
  private:
+  void ChargeReadLocked(size_t bytes) {
+    reads_++;
+    bytes_read_ += bytes;
+    io_seconds_ += config_.seek_ms / 1000.0 +
+                   double(bytes) / (config_.bandwidth_mb_per_s * 1024 * 1024);
+  }
+
   Config config_;
   FaultInjector* faults_ = nullptr;
+  mutable std::mutex mu_;
   double io_seconds_ = 0;
   size_t bytes_read_ = 0;
   size_t bytes_written_ = 0;

@@ -11,6 +11,8 @@
 //   storage.bm.evictions                LRU victims dropped
 //   storage.bm.evicted_bytes            bytes those victims held
 //   storage.bm.bytes_read               bytes charged to the (sim) disk
+//   storage.bm.coalesced_misses         misses that joined another thread's
+//                                       in-flight read (no disk charge)
 //   storage.bm.resident_bytes           gauge: current cached bytes
 //   storage.io_faults                   failed page-read attempts (injected
 //                                       I/O errors, truncations, CRC fails)
@@ -28,6 +30,7 @@ struct StorageMetrics {
   Counter* bm_evictions;
   Counter* bm_evicted_bytes;
   Counter* bm_bytes_read;
+  Counter* bm_coalesced_misses;
   Counter* io_faults;
   Gauge* bm_resident_bytes;
   Counter* scan_vectors;
@@ -46,6 +49,8 @@ struct StorageMetrics {
       sm->bm_evictions = &reg.GetCounter("storage.bm.evictions");
       sm->bm_evicted_bytes = &reg.GetCounter("storage.bm.evicted_bytes");
       sm->bm_bytes_read = &reg.GetCounter("storage.bm.bytes_read");
+      sm->bm_coalesced_misses =
+          &reg.GetCounter("storage.bm.coalesced_misses");
       sm->io_faults = &reg.GetCounter("storage.io_faults");
       sm->bm_resident_bytes = &reg.GetGauge("storage.bm.resident_bytes");
       sm->scan_vectors = &reg.GetCounter("storage.scan.vectors");

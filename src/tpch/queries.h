@@ -74,6 +74,22 @@ std::vector<std::pair<std::string, std::string>> QueryColumns(int query);
 QueryStats RunTpchQuery(int q, const TpchDatabase& db, BufferManager* bm,
                         TableScanOp::Mode mode);
 
+/// True when query `q` has a morsel-driven parallel plan (the pure-scan
+/// queries; the rest run serial plans regardless of `threads`).
+bool TpchQueryHasParallelPlan(int q);
+
+/// Runs TPC-H query `q` with its scan pipeline fanned out over the shared
+/// thread pool (`threads` slots including the caller; 0 = pool size).
+/// Checksums match RunTpchQuery exactly — the partial aggregates are
+/// integer sums, merged before the serial finalization. `bm` must be
+/// shared safely, which the sharded buffer manager is; cpu_seconds is
+/// wall time of the parallel region, decompress_seconds the summed
+/// per-slot decode time (so decompress may exceed cpu when slots
+/// overlap). Queries without a parallel plan fall back to RunTpchQuery.
+QueryStats RunTpchQueryParallel(int q, const TpchDatabase& db,
+                                BufferManager* bm, TableScanOp::Mode mode,
+                                unsigned threads = 0);
+
 }  // namespace scc
 
 #endif  // SCC_TPCH_QUERIES_H_

@@ -1,0 +1,172 @@
+#include <cstdint>
+#include <vector>
+
+#include "engine/primitives.h"
+#include "exec/parallel_scan.h"
+#include "sys/telemetry.h"
+#include "sys/timer.h"
+#include "tpch/queries.h"
+
+// Morsel-driven parallel plans for the pure-scan TPC-H queries (Q1, Q6):
+// the scan fans out chunk-granular morsels over the shared pool, each
+// slot aggregates into private partials, and the partials are merged
+// before the exact serial finalization. All aggregates are integer sums,
+// so merge order cannot change a single bit of the checksum — parallel
+// and serial runs must agree exactly, which tpch_test pins down.
+//
+// The join-heavy queries keep their serial plans: their hash-build sides
+// are stateful pipelines whose parallelization is a separate effort, and
+// Table 2's I/O-vs-CPU story is told by the scan queries.
+
+namespace scc {
+
+namespace {
+
+void Mix(uint64_t* h, uint64_t v) {
+  *h = (*h ^ v) * 0x100000001B3ull;
+  *h ^= *h >> 31;
+}
+
+QueryStats Q1Parallel(const TpchDatabase& db, BufferManager* bm,
+                      unsigned threads) {
+  QueryStats s;
+  ParallelScan::Options opt;
+  opt.threads = threads;
+  ParallelScan scan(&db.lineitem, bm,
+                    {"l_shipdate", "l_returnflag", "l_linestatus",
+                     "l_quantity", "l_extendedprice", "l_discount", "l_tax"},
+                    opt);
+  const int32_t cutoff = TpchDate(1998, 9, 2);
+  struct Partials {
+    int64_t sum_qty[8] = {0}, sum_base[8] = {0}, sum_disc_price[8] = {0},
+            sum_charge[8] = {0}, sum_disc[8] = {0}, count[8] = {0};
+    // Pad out a cache line so slots never false-share.
+    char pad[64];
+  };
+  std::vector<Partials> partials(scan.slot_count());
+  // Selection vectors are per-slot too: a slot runs one morsel at a time.
+  std::vector<SelVec> sels(scan.slot_count());
+  scan.Run([&](const Batch& b, size_t /*morsel*/, size_t slot) {
+    Partials& p = partials[slot];
+    SelVec& sel = sels[slot];
+    const size_t n = b.rows;
+    SelectLE(b.col(0)->data<int32_t>(), n, cutoff, &sel);
+    const int8_t* rf = b.col(1)->data<int8_t>();
+    const int8_t* ls = b.col(2)->data<int8_t>();
+    const int8_t* qty = b.col(3)->data<int8_t>();
+    const int64_t* ep = b.col(4)->data<int64_t>();
+    const int8_t* dc = b.col(5)->data<int8_t>();
+    const int8_t* tx = b.col(6)->data<int8_t>();
+    for (size_t k = 0; k < sel.count; k++) {
+      const uint32_t i = sel.idx[k];
+      const int g = rf[i] * 2 + ls[i];
+      const int64_t disc_price = ep[i] * (100 - dc[i]);
+      p.sum_qty[g] += qty[i];
+      p.sum_base[g] += ep[i];
+      p.sum_disc_price[g] += disc_price;
+      p.sum_charge[g] += disc_price * (100 + tx[i]);
+      p.sum_disc[g] += dc[i];
+      p.count[g]++;
+    }
+  });
+  // Merge, then finalize exactly like the serial plan.
+  int64_t sum_qty[8] = {0}, sum_base[8] = {0}, sum_disc_price[8] = {0},
+          sum_charge[8] = {0}, sum_disc[8] = {0}, count[8] = {0};
+  for (const Partials& p : partials) {
+    for (int g = 0; g < 8; g++) {
+      sum_qty[g] += p.sum_qty[g];
+      sum_base[g] += p.sum_base[g];
+      sum_disc_price[g] += p.sum_disc_price[g];
+      sum_charge[g] += p.sum_charge[g];
+      sum_disc[g] += p.sum_disc[g];
+      count[g] += p.count[g];
+    }
+  }
+  for (int g = 0; g < 8; g++) {
+    if (count[g] == 0) continue;
+    s.result_rows++;
+    Mix(&s.checksum, uint64_t(g));
+    Mix(&s.checksum, uint64_t(sum_qty[g]));
+    Mix(&s.checksum, uint64_t(sum_base[g]));
+    Mix(&s.checksum, uint64_t(sum_disc_price[g]));
+    Mix(&s.checksum, uint64_t(sum_charge[g]));
+    Mix(&s.checksum, uint64_t(sum_disc[g]));
+    Mix(&s.checksum, uint64_t(count[g]));
+  }
+  s.decompress_seconds = scan.decompress_seconds();
+  return s;
+}
+
+QueryStats Q6Parallel(const TpchDatabase& db, BufferManager* bm,
+                      unsigned threads) {
+  QueryStats s;
+  ParallelScan::Options opt;
+  opt.threads = threads;
+  ParallelScan scan(&db.lineitem, bm,
+                    {"l_shipdate", "l_discount", "l_quantity",
+                     "l_extendedprice"},
+                    opt);
+  const int32_t lo = TpchDate(1994, 1, 1);
+  const int32_t hi = TpchDate(1995, 1, 1);
+  struct Partial {
+    int64_t revenue = 0;
+    char pad[64];
+  };
+  std::vector<Partial> partials(scan.slot_count());
+  std::vector<SelVec> sels(scan.slot_count());
+  scan.Run([&](const Batch& b, size_t /*morsel*/, size_t slot) {
+    SelVec& sel = sels[slot];
+    const size_t n = b.rows;
+    SelectBetween(b.col(0)->data<int32_t>(), n, lo, hi - 1, &sel);
+    RefineIf(b.col(1)->data<int8_t>(), &sel,
+             [](int8_t d) { return d >= 5 && d <= 7; });
+    RefineIf(b.col(2)->data<int8_t>(), &sel,
+             [](int8_t q) { return q < 24; });
+    const int64_t* ep = b.col(3)->data<int64_t>();
+    const int8_t* dc = b.col(1)->data<int8_t>();
+    int64_t revenue = 0;
+    for (size_t k = 0; k < sel.count; k++) {
+      const uint32_t i = sel.idx[k];
+      revenue += ep[i] * dc[i];
+    }
+    partials[slot].revenue += revenue;
+  });
+  int64_t revenue = 0;
+  for (const Partial& p : partials) revenue += p.revenue;
+  s.decompress_seconds = scan.decompress_seconds();
+  s.result_rows = 1;
+  Mix(&s.checksum, uint64_t(revenue));
+  return s;
+}
+
+}  // namespace
+
+bool TpchQueryHasParallelPlan(int q) { return q == 1 || q == 6; }
+
+QueryStats RunTpchQueryParallel(int q, const TpchDatabase& db,
+                                BufferManager* bm, TableScanOp::Mode mode,
+                                unsigned threads) {
+  // The morsel scan decodes vector-at-a-time by construction, so a
+  // page-wise comparison run keeps the serial path.
+  if (!TpchQueryHasParallelPlan(q) || mode != TableScanOp::Mode::kVectorWise) {
+    return RunTpchQuery(q, db, bm, mode);
+  }
+  TraceSpan span(q == 1 ? "tpch.q1.parallel" : "tpch.q6.parallel", "tpch");
+  const double io0 = bm->disk()->io_seconds();
+  const size_t bytes0 = bm->disk()->bytes_read();
+  Timer timer;
+  QueryStats s = q == 1 ? Q1Parallel(db, bm, threads)
+                        : Q6Parallel(db, bm, threads);
+  s.query = q;
+  s.cpu_seconds = timer.ElapsedSeconds();
+  s.io_seconds = bm->disk()->io_seconds() - io0;
+  s.bytes_read = bm->disk()->bytes_read() - bytes0;
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("tpch.queries").Increment();
+  reg.GetCounter("tpch.result_rows").Add(s.result_rows);
+  reg.GetCounter("tpch.cpu_nanos").Add(uint64_t(s.cpu_seconds * 1e9));
+  reg.GetCounter("tpch.io_nanos").Add(uint64_t(s.io_seconds * 1e9));
+  return s;
+}
+
+}  // namespace scc

@@ -1,0 +1,239 @@
+#include "exec/parallel_scan.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+#include "storage/buffer_manager.h"
+#include "storage/sim_disk.h"
+#include "storage/table.h"
+#include "sys/telemetry.h"
+#include "util/rng.h"
+
+// Execution subsystem tests: the shared work-stealing pool (ParallelFor
+// coverage, TaskGroup joins, nested waits) and the morsel-driven parallel
+// scan in both emit modes, cross-checked against the source data.
+
+namespace scc {
+namespace {
+
+Table MakeTable(size_t rows, size_t chunk_values = 8192) {
+  Table t(chunk_values);
+  Rng rng(42);
+  std::vector<int64_t> a(rows), b(rows);
+  std::vector<int32_t> c(rows);
+  for (size_t i = 0; i < rows; i++) {
+    a[i] = int64_t(i);                         // monotone -> PFOR-DELTA
+    b[i] = 5000 + int64_t(rng.Uniform(1000));  // clustered -> PFOR
+    c[i] = int32_t(rng.Uniform(4));            // tiny domain -> PDICT/PFOR
+  }
+  SCC_CHECK(t.AddColumn<int64_t>("a", a, ColumnCompression::kAuto).ok(), "a");
+  SCC_CHECK(t.AddColumn<int64_t>("b", b, ColumnCompression::kAuto).ok(), "b");
+  SCC_CHECK(t.AddColumn<int32_t>("c", c, ColumnCompression::kAuto).ok(), "c");
+  return t;
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool::Instance().ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; i++) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEdgeSizes) {
+  std::atomic<size_t> ran{0};
+  ThreadPool::Instance().ParallelFor(0, [&](size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 0u);
+  ThreadPool::Instance().ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran++;
+  });
+  EXPECT_EQ(ran.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsWorkerCap) {
+  // With helpers capped to 1, at most two threads (caller + one worker)
+  // may ever be inside the body at once.
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  ThreadPool::Instance().ParallelFor(
+      256,
+      [&](size_t) {
+        int now = inside.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        inside.fetch_sub(1);
+      },
+      /*max_workers=*/1);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, TaskGroupWaitsForAllTasks) {
+  std::atomic<size_t> done{0};
+  {
+    TaskGroup group(ThreadPool::Instance());
+    for (int i = 0; i < 200; i++) {
+      group.Run([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+    EXPECT_EQ(done.load(), 200u);
+  }
+  // Destructor re-Wait() on an already-drained group must be a no-op.
+  EXPECT_EQ(done.load(), 200u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // ParallelFor from inside pool tasks: the waiting owner helps execute
+  // queued work, so nesting can never starve the pool.
+  std::atomic<uint64_t> total{0};
+  ThreadPool::Instance().ParallelFor(8, [&](size_t) {
+    ThreadPool::Instance().ParallelFor(64, [&](size_t j) {
+      total.fetch_add(j, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * (63u * 64u / 2));
+}
+
+TEST(ThreadPoolTest, InWorkerDistinguishesPoolThreads) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  // Poll instead of TaskGroup::Wait: Wait() helps execute queued tasks,
+  // so the caller itself could run the task (InWorker() == false there,
+  // by design). Plain Submit + spin guarantees a pool thread ran it.
+  std::atomic<int> state{0};  // 0 pending, 1 ran-in-worker, 2 ran-outside
+  ThreadPool::Instance().Submit(
+      [&] { state.store(ThreadPool::InWorker() ? 1 : 2); });
+  while (state.load() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(state.load(), 1);
+}
+
+TEST(ParallelScanTest, UnorderedSlotPartialsMatchSourceData) {
+  constexpr size_t kRows = 50000;  // 6 full chunks + an 848-row tail
+  Table t = MakeTable(kRows);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+
+  // Expected sums straight from the generator (same seed as MakeTable).
+  Rng rng(42);
+  uint64_t want_a = 0, want_b = 0, want_c = 0;
+  for (size_t i = 0; i < kRows; i++) {
+    want_a += uint64_t(i);
+    want_b += uint64_t(5000 + rng.Uniform(1000));
+    want_c += uint64_t(rng.Uniform(4));
+  }
+
+  ParallelScan scan(&t, &bm, {"a", "b", "c"});
+  struct Partial {
+    uint64_t a = 0, b = 0, c = 0;
+    size_t rows = 0;
+    char pad[32];
+  };
+  std::vector<Partial> parts(scan.slot_count());
+  scan.Run([&](const Batch& batch, size_t morsel, size_t slot) {
+    ASSERT_LT(slot, parts.size());
+    ASSERT_LT(morsel, scan.morsel_count());
+    const int64_t* a = batch.col(0)->data<int64_t>();
+    const int64_t* b = batch.col(1)->data<int64_t>();
+    const int32_t* c = batch.col(2)->data<int32_t>();
+    for (size_t i = 0; i < batch.rows; i++) {
+      parts[slot].a += uint64_t(a[i]);
+      parts[slot].b += uint64_t(b[i]);
+      parts[slot].c += uint64_t(c[i]);
+    }
+    parts[slot].rows += batch.rows;
+  });
+  uint64_t got_a = 0, got_b = 0, got_c = 0;
+  size_t got_rows = 0;
+  for (const Partial& p : parts) {
+    got_a += p.a;
+    got_b += p.b;
+    got_c += p.c;
+    got_rows += p.rows;
+  }
+  EXPECT_EQ(got_rows, kRows);
+  EXPECT_EQ(got_a, want_a);
+  EXPECT_EQ(got_b, want_b);
+  EXPECT_EQ(got_c, want_c);
+  EXPECT_EQ(scan.morsel_count(), t.chunk_count());
+  EXPECT_GT(scan.decompress_seconds(), 0.0);
+}
+
+TEST(ParallelScanTest, OrderedModeDeliversTableOrderSingleThreaded) {
+  constexpr size_t kRows = 40000;
+  Table t = MakeTable(kRows);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+
+  ParallelScan::Options opt;
+  opt.ordered = true;
+  opt.threads = 4;
+  ParallelScan scan(&t, &bm, {"a"}, opt);
+  std::vector<int64_t> got;
+  got.reserve(kRows);
+  size_t last_morsel = 0;
+  scan.Run([&](const Batch& batch, size_t morsel, size_t slot) {
+    // Ordered emission is single-threaded through slot 0 and morsels
+    // arrive monotonically; no lock needed around `got`.
+    EXPECT_EQ(slot, 0u);
+    EXPECT_GE(morsel, last_morsel);
+    last_morsel = morsel;
+    const int64_t* a = batch.col(0)->data<int64_t>();
+    got.insert(got.end(), a, a + batch.rows);
+  });
+  ASSERT_EQ(got.size(), kRows);
+  for (size_t i = 0; i < kRows; i++) {
+    ASSERT_EQ(got[i], int64_t(i)) << "row " << i;
+  }
+}
+
+TEST(ParallelScanTest, PrefetcherIssuesAsyncFetches) {
+  Table t = MakeTable(50000);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+  Counter& prefetches =
+      MetricsRegistry::Instance().GetCounter("exec.scan.prefetches");
+  const uint64_t before = prefetches.Value();
+
+  ParallelScan::Options opt;
+  opt.prefetch_depth = 2;
+  ParallelScan scan(&t, &bm, {"a", "b"}, opt);
+  std::atomic<size_t> rows{0};
+  scan.Run([&](const Batch& batch, size_t, size_t) {
+    rows.fetch_add(batch.rows, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(rows.load(), 50000u);
+#if SCC_TELEMETRY
+  // Counter asserts only when metrics are compiled in (the
+  // -DSCC_TELEMETRY=0 tree stubs Increment/Value out).
+  EXPECT_GT(prefetches.Value(), before);
+#else
+  (void)before;
+#endif
+  // Prefetch must never double-charge the disk: every chunk of the two
+  // columns is read at most once.
+  EXPECT_LE(disk.read_count(), 2 * t.chunk_count());
+}
+
+TEST(ParallelScanTest, ThreadsOptionBoundsSlotCount) {
+  Table t = MakeTable(50000);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+  ParallelScan::Options opt;
+  opt.threads = 2;
+  ParallelScan scan(&t, &bm, {"a"}, opt);
+  EXPECT_LE(scan.slot_count(), 2u);
+  EXPECT_GE(scan.slot_count(), 1u);
+}
+
+}  // namespace
+}  // namespace scc

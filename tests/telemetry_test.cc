@@ -232,6 +232,44 @@ TEST_F(TelemetryTest, ResetAllZeroesButKeepsRegistration) {
   EXPECT_EQ(&MetricsRegistry::Instance().GetCounter("test.resetall.c"), &c);
 }
 
+TEST_F(TelemetryTest, ConcurrentFirstUseRegistrationIsRaceFree) {
+  // The exec subsystem's workers can all touch a metric for the first
+  // time simultaneously, so first-use registration must be safe: every
+  // thread resolves the same Counter object per name (node-based map +
+  // registry mutex), and no increment is lost while registration races.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  constexpr int kIncrements = 500;
+  std::vector<std::vector<Counter*>> seen(kThreads,
+                                          std::vector<Counter*>(kNames));
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; id++) {
+    threads.emplace_back([&, id] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }  // spin: maximize first-use overlap
+      for (int n = 0; n < kNames; n++) {
+        Counter& c = MetricsRegistry::Instance().GetCounter(
+            "test.firstuse.c" + std::to_string(n));
+        seen[id][n] = &c;
+        for (int i = 0; i < kIncrements; i++) c.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int n = 0; n < kNames; n++) {
+    for (int id = 1; id < kThreads; id++) {
+      ASSERT_EQ(seen[id][n], seen[0][n]) << "name split across objects";
+    }
+#if SCC_TELEMETRY
+    // Value asserts only with metrics compiled in; registration identity
+    // above must hold either way.
+    EXPECT_EQ(seen[0][n]->Value(), uint64_t(kThreads) * kIncrements);
+#endif
+  }
+}
+
 TEST_F(TelemetryTest, PerfReadingSerializesUnavailableAsNa) {
   PerfReading r;  // all fields -1 (unavailable)
   EXPECT_NE(r.ToString().find("cycles=n/a"), std::string::npos);
