@@ -57,6 +57,9 @@ Result<size_t> ParallelDecompress(std::span<const AlignedBuffer> segments,
   // One task per segment, handed out dynamically by the pool: similar-
   // sized chunks balance like the old round-robin did, and a straggler
   // (cold page, stolen core) no longer serializes its whole stripe.
+  // `threads` counts the caller, so the pool-side cap is threads - 1;
+  // threads == 1 took the serial path above, so the cap never underflows
+  // or decays into kNoWorkerCap.
   ThreadPool::Instance().ParallelFor(
       segments.size(),
       [&](size_t i) {
@@ -64,7 +67,7 @@ Result<size_t> ParallelDecompress(std::span<const AlignedBuffer> segments,
             SegmentReader<T>::Open(segments[i].data(), segments[i].size());
         reader.ValueOrDie().DecompressAll(out + offsets[i]);
       },
-      /*max_workers=*/threads == 0 ? 0 : threads - 1);
+      /*max_workers=*/threads == 0 ? ThreadPool::kNoWorkerCap : threads - 1);
   return total;
 }
 

@@ -244,7 +244,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
                              unsigned max_workers) {
   if (n == 0) return;
   unsigned helpers = worker_count();
-  if (max_workers != 0 && max_workers < helpers) helpers = max_workers;
+  if (max_workers < helpers) helpers = max_workers;  // kNoWorkerCap: never
   if (helpers > n) helpers = unsigned(n);
   if (n == 1 || helpers == 0) {
     for (size_t i = 0; i < n; i++) body(i);
@@ -285,8 +285,13 @@ void TaskGroup::Wait() {
     // Help drain the pool instead of blocking a worker slot; this is what
     // makes nested Wait() (a worker waiting on a subgroup) deadlock-free.
     if (pool_.RunOneTask()) continue;
+    // Nothing runnable anywhere: block until the group's final decrement
+    // notifies cv_ (Run()'s completion wrapper decrements under mu_, so
+    // the notification cannot be missed). The long timeout is only a
+    // backstop that re-attempts helping in case nested tasks appeared
+    // after the scan above — not a polling cadence.
     std::unique_lock<std::mutex> lock(mu_);
-    if (cv_.wait_for(lock, std::chrono::milliseconds(1),
+    if (cv_.wait_for(lock, std::chrono::milliseconds(50),
                      [&] { return pending_ == 0; })) {
       return;
     }

@@ -57,13 +57,21 @@ class ThreadPool {
   /// child first; elders get stolen).
   void Submit(std::function<void()> fn);
 
+  /// Sentinel for ParallelFor's `max_workers`: no cap on pool-side
+  /// helpers.
+  static constexpr unsigned kNoWorkerCap = ~0u;
+
   /// Runs body(i) for every i in [0, n). The calling thread participates,
   /// so this works (and stays deadlock-free) even with a busy pool or on
   /// a single-core host. Indices are handed out dynamically (morsel
   /// style), not pre-partitioned, so uneven bodies balance.
-  /// `max_workers` caps pool-side helpers (0 = no cap).
+  /// `max_workers` caps pool-side helpers; total concurrency is the cap
+  /// plus the calling thread. 0 is a real cap — no helpers, the caller
+  /// runs the whole loop serially — so callers translating a
+  /// total-thread-count knob can pass `threads - 1` without a 1-thread
+  /// request decaying into the kNoWorkerCap default.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body,
-                   unsigned max_workers = 0);
+                   unsigned max_workers = kNoWorkerCap);
 
   /// Successful steals since construction (mirrors exec.steals).
   size_t steals() const { return steals_.load(std::memory_order_relaxed); }

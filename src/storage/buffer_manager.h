@@ -46,8 +46,12 @@
 // fault path, verifying it, and retrying failed reads a bounded number of
 // times. Every failed attempt counts into storage.io_faults; a read that
 // exhausts its retries is NOT cached (so a later Fetch retries from
-// "disk") and surfaces as a non-OK Result instead of an abort — and under
-// coalescing every joined waiter sees that same error.
+// "disk") and surfaces as a non-OK Result instead of an abort. Coalesced
+// waiters do NOT inherit the leader's error blindly: the leader's fault
+// need not apply to them at all (under PAX faults hit the leader's column
+// page, not the whole row group), so each waiter re-attempts its own
+// fetch, bounded by its own retry budget, before surfacing the last
+// published error.
 
 namespace scc {
 
@@ -125,21 +129,9 @@ class BufferManager {
                                 size_t chunk_idx) {
     StorageMetrics& sm = StorageMetrics::Get();
     const Key key = MakeKey(table, col, chunk_idx);
-    Shard& sh = shards_[ShardOf(key)];
+    int waiter_failures = 0;
     for (;;) {
-      {
-        std::lock_guard<std::mutex> lock(sh.mu);
-        auto it = sh.cache.find(key);
-        if (it != sh.cache.end()) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
-          sm.bm_hits->Increment();
-          Touch(sh, it->second);
-          it->second.pins++;
-          return PageGuard(this, key,
-                           it->second.owned ? &it->second.page
-                                            : &col->chunks[chunk_idx]);
-        }
-      }
+      if (PageGuard g = TryPinCached(key, col, chunk_idx)) return g;
       // Miss. Coalesce concurrent faults on the same I/O unit: under PAX
       // the unit is the whole row group, so the coalescing key uses a
       // representative column and covers sibling-column misses too.
@@ -164,17 +156,40 @@ class BufferManager {
         sm.bm_coalesced_misses->Increment();
         std::unique_lock<std::mutex> lock(flight->mu);
         flight->cv.wait(lock, [&] { return flight->done; });
-        if (!flight->status.ok()) return flight->status;
-        continue;  // page is cached now (barring an eviction storm: retry)
+        if (flight->status.ok()) {
+          continue;  // page is cached now (barring an eviction storm: retry)
+        }
+        // The leader failed, but its error is not necessarily ours: under
+        // PAX faults apply to the leader's column page while this row
+        // group's other columns may read fine. Re-attempt our own fetch
+        // instead of inheriting the error — each pass through the leader
+        // path spends a full retry budget, so bound the passes by the
+        // same knob before surfacing the last published error.
+        if (waiter_failures++ >= max_read_retries_) return flight->status;
+        continue;
       }
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      sm.bm_misses->Increment();
-      AlignedBuffer page;
-      bool owned = false;
-      Status st = ReadPage(table, col, chunk_idx, &page, &owned);
-      Result<PageGuard> result = st;
-      if (st.ok()) {
-        result = Admit(table, col, chunk_idx, key, std::move(page), owned);
+      // Leadership won — but not necessarily a cold page: a thread that
+      // missed in the cache before the previous leader's Admit, then
+      // checked inflight_ after that leader retired its entry, lands here
+      // with the page already resident (second-leader race). Re-check
+      // before touching the disk (and again in Admit): a blind re-read
+      // would double-charge the disk and Insert a duplicate entry over
+      // one whose pins and buffer outstanding PageGuards still use.
+      Status st;
+      Result<PageGuard> result = Status::OK();
+      if (PageGuard g = TryPinCached(key, col, chunk_idx)) {
+        result = std::move(g);
+      } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        sm.bm_misses->Increment();
+        AlignedBuffer page;
+        bool owned = false;
+        st = ReadPage(table, col, chunk_idx, &page, &owned);
+        if (st.ok()) {
+          result = Admit(table, col, chunk_idx, key, std::move(page), owned);
+        } else {
+          result = st;
+        }
       }
       {
         std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -319,6 +334,23 @@ class BufferManager {
     e.stamp = clock_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Pins `key`'s entry (counting a hit) and returns a guard on it when
+  /// cached; an empty guard means the key is absent. Takes the shard lock.
+  PageGuard TryPinCached(const Key& key, const StoredColumn* col,
+                         size_t chunk_idx) {
+    Shard& sh = shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.cache.find(key);
+    if (it == sh.cache.end()) return PageGuard();
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    StorageMetrics::Get().bm_hits->Increment();
+    Touch(sh, it->second);
+    it->second.pins++;
+    return PageGuard(this, key,
+                     it->second.owned ? &it->second.page
+                                      : &col->chunks[chunk_idx]);
+  }
+
   /// The miss read path: charges the disk per attempt and retries failed
   /// reads. On success `*page`/`*owned` describe what to cache. Runs
   /// without any shard lock held; SimDisk serializes device access
@@ -385,9 +417,20 @@ class BufferManager {
       EnsureCapacity(src.size());
       Shard& sh = shards_[ShardOf(key)];
       std::lock_guard<std::mutex> lock(sh.mu);
-      Entry& e = Insert(sh, key, src.size(), std::move(page), owned);
-      e.pins++;
-      result = e.owned ? &e.page : &src;
+      auto it = sh.cache.find(key);
+      if (it != sh.cache.end()) {
+        // Defense in depth against an uncoalesced duplicate read (the
+        // coalescing recheck in FetchPinned should make this
+        // unreachable): keep the live entry — outstanding guards own its
+        // pins and point into its buffer — and drop the fresh copy.
+        Touch(sh, it->second);
+        it->second.pins++;
+        result = it->second.owned ? &it->second.page : &src;
+      } else {
+        Entry& e = Insert(sh, key, src.size(), std::move(page), owned);
+        e.pins++;
+        result = e.owned ? &e.page : &src;
+      }
     }
     if (layout_ == Layout::kPAX) {
       // Register the rest of the row group as cached (pass-through

@@ -230,6 +230,50 @@ TEST(ConcurrencyTest, PaxStormCoalescesSiblingColumns) {
   EXPECT_GT(bm.hits(), 0u);
 }
 
+TEST(ConcurrencyTest, PaxStormWithFaultsRecoversPerColumn) {
+  // PAX + fault injection: faults apply to the page of the column that
+  // leads the row-group read, so a coalesced waiter on a sibling column
+  // must not blindly inherit the leader's error — it retries its own
+  // fetch. With a generous per-fetch budget every fetch must succeed.
+  const size_t kRows = 8 * kChunkValues;
+  Table t = MakeTable(kRows);
+  SimDisk disk;
+  FaultInjector faults(FaultInjector::Config{
+      .seed = 11, .io_error_prob = 0.02, .bit_flip_prob = 0.05});
+  disk.AttachFaults(&faults);
+  // Capacity for ~3 pages of "a": eviction churn keeps re-electing
+  // leaders instead of settling into an all-hit steady state.
+  size_t capacity = 0;
+  for (size_t c = 0; c < 3; c++) capacity += t.column("a")->chunks[c].size();
+  BufferManager bm(&disk, capacity, Layout::kPAX);
+  bm.SetVerifyChecksums(true);
+  bm.set_max_read_retries(16);
+
+  constexpr int kThreads = 6;
+  const char* cols[] = {"a", "b", "c"};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; id++) {
+    threads.emplace_back([&, id] {
+      Rng rng(uint64_t(id) + 50);
+      for (int f = 0; f < 150; f++) {
+        const size_t chunk = rng.Uniform(uint32_t(t.chunk_count()));
+        const StoredColumn* col = t.column(cols[rng.Uniform(3)]);
+        auto guard = bm.FetchPinned(&t, col, chunk);
+        ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+        if (col == t.column("a")) {
+          VerifyChunkA(t, *guard.ValueOrDie().page(), chunk);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_GT(faults.stats().faults(), 0u);
+  EXPECT_GT(bm.io_faults(), 0u);
+  // Retries re-charge the disk, so reads >= misses still holds.
+  EXPECT_GE(disk.read_count(), bm.misses());
+}
+
 TEST(ConcurrencyTest, LegacyFetchStaysValidSingleThreaded) {
   // The unpinned Fetch contract is single-threaded only, but it must
   // keep working (the serial query paths still use it).

@@ -77,6 +77,23 @@ TEST(ThreadPoolTest, ParallelForHonorsWorkerCap) {
   EXPECT_LE(peak.load(), 2);
 }
 
+TEST(ThreadPoolTest, ParallelForZeroCapRunsSerialOnCaller) {
+  // max_workers == 0 is a real cap (no pool-side helpers), distinct from
+  // the kNoWorkerCap default: the caller runs every index itself, in
+  // order, so total-thread-count knobs can map threads==1 to a cap of 0.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  ThreadPool::Instance().ParallelFor(
+      64,
+      [&](size_t i) {
+        ASSERT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+      },
+      /*max_workers=*/0);
+  ASSERT_EQ(order.size(), 64u);
+  for (size_t i = 0; i < order.size(); i++) EXPECT_EQ(order[i], i);
+}
+
 TEST(ThreadPoolTest, TaskGroupWaitsForAllTasks) {
   std::atomic<size_t> done{0};
   {

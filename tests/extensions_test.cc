@@ -6,6 +6,7 @@
 
 #include "core/float_codec.h"
 #include "core/parallel.h"
+#include "exec/exec_metrics.h"
 #include "engine/merge_join.h"
 #include "engine/ordered_aggregate.h"
 #include "util/rng.h"
@@ -230,6 +231,31 @@ TEST(ParallelDecompressTest, MatchesSerialAnyThreadCount) {
     EXPECT_EQ(r.ValueOrDie(), all.size());
     EXPECT_EQ(out, all) << "threads=" << threads;
   }
+}
+
+TEST(ParallelDecompressTest, SingleThreadNeverTouchesThePool) {
+  // threads == 1 must decode serially on the caller: routing it through
+  // the pool would hand the "1-thread" baseline full-pool parallelism
+  // and corrupt every scaling curve measured against it.
+  Rng rng(3);
+  std::vector<int32_t> all;
+  std::vector<AlignedBuffer> segments;
+  for (int s = 0; s < 6; s++) {
+    std::vector<int32_t> chunk(4096);
+    for (auto& v : chunk) v = int32_t(rng.Uniform(5000));
+    all.insert(all.end(), chunk.begin(), chunk.end());
+    auto seg = SegmentBuilder<int32_t>::Build(chunk,
+                                              Analyzer<int32_t>::Analyze(chunk));
+    ASSERT_TRUE(seg.ok());
+    segments.push_back(seg.MoveValueOrDie());
+  }
+  const uint64_t tasks_before = ExecMetrics::Get().tasks->Value();
+  std::vector<int32_t> out(all.size());
+  auto r = ParallelDecompress<int32_t>(segments, out.data(), out.size(),
+                                       /*threads=*/1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, all);
+  EXPECT_EQ(ExecMetrics::Get().tasks->Value(), tasks_before);
 }
 
 TEST(ParallelDecompressTest, RejectsSmallBuffer) {
