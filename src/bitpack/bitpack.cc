@@ -13,54 +13,6 @@
 namespace scc {
 
 // ---------------------------------------------------------------------------
-// Packing (scalar only: the compression side is dominated by the exception
-// logic, not the shift/or loop, so SIMD effort goes to the decode path)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-// One group = 32 values = B packed 32-bit words. The template parameter
-// makes every shift amount a compile-time constant, so -O3 unrolls the
-// loop into straight-line shift/or code with no per-value branches.
-template <int B>
-void PackGroup(const uint32_t* __restrict in, uint32_t* __restrict out) {
-  if constexpr (B == 0) {
-    (void)in;
-    (void)out;
-  } else if constexpr (B == 32) {
-    std::memcpy(out, in, 32 * sizeof(uint32_t));
-  } else {
-    constexpr uint32_t kMask = (uint32_t(1) << B) - 1;
-    uint64_t acc = 0;
-    int bits = 0;
-    int w = 0;
-#pragma GCC unroll 32
-    for (int i = 0; i < 32; i++) {
-      acc |= uint64_t(in[i] & kMask) << bits;
-      bits += B;
-      if (bits >= 32) {
-        out[w++] = uint32_t(acc);
-        acc >>= 32;
-        bits -= 32;
-      }
-    }
-  }
-}
-
-using PackFn = void (*)(const uint32_t*, uint32_t*);
-
-template <int... Bs>
-constexpr std::array<PackFn, 33> MakePackTable(
-    std::integer_sequence<int, Bs...>) {
-  return {&PackGroup<Bs>...};
-}
-
-constexpr std::array<PackFn, 33> kPackTable =
-    MakePackTable(std::make_integer_sequence<int, 33>{});
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
@@ -186,6 +138,7 @@ namespace {
 
 using bitpack_internal::kGroupSlackBytes;
 using bitpack_internal::KernelOps;
+using bitpack_internal::kMaxSimdPackBits;
 
 /// Padded staging for groups near the end of a stream: SIMD kernels may
 /// read up to kGroupSlackBytes past a group's b words (bitpack_kernels.h),
@@ -212,6 +165,42 @@ inline size_t DirectGroups(const KernelOps& ops, size_t groups, int b) {
   const size_t slack_words = kGroupSlackBytes / 4;
   const size_t unsafe = (slack_words + size_t(b) - 1) / size_t(b);
   return groups > unsafe ? groups - unsafe : 0;
+}
+
+/// Pack mirror of DirectGroups: leading groups (out of `groups`, with
+/// exactly groups*b destination words) a slack-WRITING pack kernel may
+/// store straight into the stream. Same geometry — a group is safe iff the
+/// words of the groups after it cover the slack; those zeroed-ahead bytes
+/// are rewritten when their own group packs (ascending order). Widths above
+/// kMaxSimdPackBits use the inherited scalar kernels, which write exactly.
+inline size_t DirectPackGroups(const KernelOps& ops, size_t groups, int b) {
+  if (!ops.pack_write_slack || b == 0 || b > kMaxSimdPackBits) return groups;
+  const size_t slack_words = kGroupSlackBytes / 4;
+  const size_t unsafe = (slack_words + size_t(b) - 1) / size_t(b);
+  return groups > unsafe ? groups - unsafe : 0;
+}
+
+/// Shared skeleton of the pack drivers: `call(g, dst)` packs group g's 32
+/// codes (the caller stages a partial final group's INPUT itself) into
+/// dst = b words + slack. Trailing groups too close to the destination end
+/// for the kernels' 16-byte stores are packed into a padded stack buffer
+/// and memcpy'd, so no write escapes the PackedByteSize(n, b) contract.
+template <typename Call>
+inline void PackStreamDriver(size_t n, int b, const KernelOps& ops,
+                             uint32_t* out, Call&& call) {
+  if (n == 0) return;
+  const size_t groups = (n + 31) / 32;
+  const size_t direct = DirectPackGroups(ops, groups, b);
+  uint32_t padbuf[32 + kGroupSlackBytes / 4];
+  for (size_t g = 0; g < groups; g++) {
+    uint32_t* dst = out + g * size_t(b);
+    if (g < direct) {
+      call(g, dst);
+    } else {
+      call(g, padbuf);
+      std::memcpy(dst, padbuf, size_t(b) * sizeof(uint32_t));
+    }
+  }
 }
 
 /// Shared skeleton of the exact-output unpack drivers: `call(group_in,
@@ -246,7 +235,14 @@ inline void ExactUnpackDriver(const uint32_t* in, size_t n, int b,
 
 void BitPackGroup32(const uint32_t* in, int b, uint32_t* out) {
   SCC_DCHECK(b >= 0 && b <= 32);
-  kPackTable[b](in, out);
+  const KernelOps& ops = bitpack_internal::Active();
+  if (DirectPackGroups(ops, 1, b) == 0) {
+    uint32_t padbuf[32 + kGroupSlackBytes / 4];
+    ops.pack[b](in, padbuf);
+    std::memcpy(out, padbuf, size_t(b) * sizeof(uint32_t));
+  } else {
+    ops.pack[b](in, out);
+  }
 }
 
 void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out) {
@@ -262,17 +258,70 @@ void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out) {
 
 void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out) {
   SCC_DCHECK(b >= 0 && b <= 32);
-  PackFn pack = kPackTable[b];
-  size_t full = n / 32;
-  for (size_t g = 0; g < full; g++) {
-    pack(in + g * 32, out + g * size_t(b));
-  }
-  size_t rest = n - full * 32;
-  if (rest > 0) {
-    uint32_t tmp[32] = {0};
-    std::memcpy(tmp, in + full * 32, rest * sizeof(uint32_t));
-    pack(tmp, out + full * size_t(b));
-  }
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.pack[b];
+  const size_t full = n / 32;
+  PackStreamDriver(n, b, ops, out, [&](size_t g, uint32_t* dst) {
+    if (g < full) {
+      fn(in + g * 32, dst);
+    } else {
+      // Partial final group: stage the input so the kernel never reads
+      // past the n codes; zero pad codes keep the stream canonical.
+      uint32_t tmp[32] = {0};
+      std::memcpy(tmp, in + g * 32, (n - g * 32) * sizeof(uint32_t));
+      fn(tmp, dst);
+    }
+  });
+}
+
+void ForEncodePack32(const uint32_t* in, size_t n, int b, uint32_t base,
+                     uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.pack_for32[b];
+  const size_t full = n / 32;
+  PackStreamDriver(n, b, ops, out, [&](size_t g, uint32_t* dst) {
+    if (g < full) {
+      fn(in + g * 32, base, dst);
+    } else {
+      // Pad with `base` so padding codes come out zero, matching the
+      // canonical stream BitPack produces from zero-padded codes.
+      uint32_t tmp[32];
+      const size_t rest = n - g * 32;
+      std::memcpy(tmp, in + g * 32, rest * sizeof(uint32_t));
+      for (size_t i = rest; i < 32; i++) tmp[i] = base;
+      fn(tmp, base, dst);
+    }
+  });
+}
+
+void ForEncodePack64(const uint64_t* in, size_t n, int b, uint64_t base,
+                     uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.pack_for64[b];
+  const size_t full = n / 32;
+  PackStreamDriver(n, b, ops, out, [&](size_t g, uint32_t* dst) {
+    if (g < full) {
+      fn(in + g * 32, base, dst);
+    } else {
+      uint64_t tmp[32];
+      const size_t rest = n - g * 32;
+      std::memcpy(tmp, in + g * 32, rest * sizeof(uint64_t));
+      for (size_t i = rest; i < 32; i++) tmp[i] = base;
+      fn(tmp, base, dst);
+    }
+  });
+}
+
+void DeltaEncode32(const uint32_t* in, size_t n, uint32_t prev,
+                   uint32_t* out) {
+  bitpack_internal::Active().delta_encode32(in, n, prev, out);
+}
+
+void DeltaEncode64(const uint64_t* in, size_t n, uint64_t prev,
+                   uint64_t* out) {
+  bitpack_internal::Active().delta_encode64(in, n, prev, out);
 }
 
 void BitUnpack(const uint32_t* in, size_t n, int b, uint32_t* out) {

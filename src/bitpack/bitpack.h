@@ -33,9 +33,32 @@ inline size_t PackedByteSize(size_t n, int b) {
   return groups * size_t(b) * 4;
 }
 
-/// Packs `n` codes (each must fit in `b` bits) into `out`.
-/// `out` must have PackedByteSize(n, b) writable bytes, 4-byte aligned.
+/// Packs `n` codes (each must fit in `b` bits; wider codes are masked)
+/// into `out`. `out` must have PackedByteSize(n, b) writable bytes, 4-byte
+/// aligned; neither input reads nor output writes escape those exact
+/// extents (trailing groups stage through stack buffers when the SIMD
+/// kernels' 16-byte stores would).
 void BitPack(const uint32_t* in, size_t n, int b, uint32_t* out);
+
+/// Fused FOR encode + pack (the exception-free half of Section 3.1 LOOP1):
+/// packs (in[i] - base) & (2^b - 1) for `n` values in one pass, skipping
+/// the intermediate code array. Same output contract as BitPack; a partial
+/// final group is padded with `base` so padding codes are zero and the
+/// stream is byte-identical to the BitPack(zero-padded codes) form. The
+/// caller guarantees every in[i] - base fits `b` bits (no exceptions).
+void ForEncodePack32(const uint32_t* in, size_t n, int b, uint32_t base,
+                     uint32_t* out);
+/// 64-bit variant: diffs are truncated to their low 32 bits before masking.
+void ForEncodePack64(const uint64_t* in, size_t n, int b, uint64_t base,
+                     uint32_t* out);
+
+/// Delta transform, the inverse of PrefixSum32/64: out[i] = in[i] -
+/// in[i-1] with in[-1] := prev (wraparound). `out` must not alias `in`.
+/// The PFOR-DELTA encode prologue.
+void DeltaEncode32(const uint32_t* in, size_t n, uint32_t prev,
+                   uint32_t* out);
+void DeltaEncode64(const uint64_t* in, size_t n, uint64_t prev,
+                   uint64_t* out);
 
 /// Unpacks `n` codes of `b` bits from `in` into `out`.
 /// `in` holds PackedByteSize(n, b) bytes; `out` has space for n values
@@ -74,8 +97,9 @@ void PrefixSum32(uint32_t* data, size_t n, uint32_t start);
 void PrefixSum64(uint64_t* data, size_t n, uint64_t start);
 
 /// Single-group entry points (exactly 32 values), used by the segment
-/// reader for fine-grained access. `b` in [0, 32]. `in` holds exactly
-/// b words; `out` has space for 32 values.
+/// reader for fine-grained access. `b` in [0, 32]. Packed storage is
+/// exactly b words on both sides (BitPackGroup32 stages its store when the
+/// SIMD kernels would overshoot).
 void BitPackGroup32(const uint32_t* in, int b, uint32_t* out);
 void BitUnpackGroup32(const uint32_t* in, int b, uint32_t* out);
 

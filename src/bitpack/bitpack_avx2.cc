@@ -190,6 +190,128 @@ void PrefixSum64Avx2(uint64_t* data, size_t n, uint64_t start) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pack kernels (bit widths 1..16): the merge tree. Each batch of 8 codes is
+// combined entirely with full-width shift/ors — mask to B bits, fold odd
+// 32-bit lanes onto even ones (one 2B-bit run per 64-bit lane), fold odd
+// qword runs onto even ones (one 4B-bit run in lanes 0 and 2) — and the two
+// runs are spliced into a 128-bit store with two scalar shifts. 8 codes * B
+// bits = B bytes, so every batch store lands byte-aligned at dst + k*B.
+// Stores are 16 bytes wide; bits past 8*B are zero, and batches are stored
+// in ascending order, so the overhang only pre-zeroes bytes the next batch
+// (or the next group) overwrites — the write-slack contract of
+// bitpack_kernels.h.
+// ---------------------------------------------------------------------------
+
+/// Packs one batch of 8 codes (32-bit lanes of `x`) into B bytes at `dst`
+/// (16 bytes stored, tail zero).
+template <int B>
+inline void PackBatch8(__m256i x, uint8_t* dst) {
+  static_assert(B >= 1 && B <= kMaxSimdPackBits);
+  x = _mm256_and_si256(x, _mm256_set1_epi32(int((uint32_t(1) << B) - 1)));
+  const __m256i even = _mm256_and_si256(x, _mm256_set1_epi64x(0xFFFFFFFFll));
+  const __m256i odd = _mm256_srli_epi64(x, 32);
+  const __m256i pairs = _mm256_or_si256(even, _mm256_slli_epi64(odd, B));
+  // Swap qwords within each 128-bit lane; lanes 0/2 then hold run(i)|run(i+1).
+  const __m256i swapped = _mm256_shuffle_epi32(pairs, _MM_SHUFFLE(1, 0, 3, 2));
+  const __m256i quads =
+      _mm256_or_si256(pairs, _mm256_slli_epi64(swapped, 2 * B));
+  const uint64_t lo = uint64_t(_mm256_extract_epi64(quads, 0));
+  const uint64_t hi = uint64_t(_mm256_extract_epi64(quads, 2));
+  uint64_t w0, w1;
+  if constexpr (B == 16) {  // 4*B == 64: the two runs are exactly the words
+    w0 = lo;
+    w1 = hi;
+  } else {
+    w0 = lo | (hi << (4 * B));
+    w1 = hi >> (64 - 4 * B);
+  }
+  std::memcpy(dst, &w0, 8);
+  std::memcpy(dst + 8, &w1, 8);
+}
+
+/// Runs `source(value_index)` -> 8 lanes over one 32-value group, packing
+/// each batch at its byte-aligned offset.
+template <int B, typename Source>
+inline void PackGroupAvx2(uint32_t* __restrict out, Source&& source) {
+  uint8_t* dst = reinterpret_cast<uint8_t*>(out);
+  PackBatch8<B>(source(0), dst);
+  PackBatch8<B>(source(8), dst + B);
+  PackBatch8<B>(source(16), dst + 2 * B);
+  PackBatch8<B>(source(24), dst + 3 * B);
+}
+
+template <int B>
+void PackAvx2(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  PackGroupAvx2<B>(out, [&](int idx) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + idx));
+  });
+}
+
+template <int B>
+void PackFor32Avx2(const uint32_t* __restrict in, uint32_t base,
+                   uint32_t* __restrict out) {
+  const __m256i vb = _mm256_set1_epi32(int(base));
+  PackGroupAvx2<B>(out, [&](int idx) {
+    return _mm256_sub_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + idx)), vb);
+  });
+}
+
+template <int B>
+void PackFor64Avx2(const uint64_t* __restrict in, uint64_t base,
+                   uint32_t* __restrict out) {
+  const __m256i vb = _mm256_set1_epi64x(int64_t(base));
+  PackGroupAvx2<B>(out, [&](int idx) {
+    const __m256i a = _mm256_sub_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + idx)), vb);
+    const __m256i b = _mm256_sub_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + idx + 4)),
+        vb);
+    // Gather the low dwords of the 8 qword diffs into one 8-lane vector:
+    // shuffle_ps picks lanes {0,2} of each 128-bit half, permute4x64
+    // restores source order.
+    const __m256i mixed = _mm256_castps_si256(
+        _mm256_shuffle_ps(_mm256_castsi256_ps(a), _mm256_castsi256_ps(b),
+                          _MM_SHUFFLE(2, 0, 2, 0)));
+    return _mm256_permute4x64_epi64(mixed, _MM_SHUFFLE(3, 1, 2, 0));
+  });
+}
+
+// Delta transforms — the inverse of the prefix sums: a shifted unaligned
+// load turns the serial dependence into independent lane subtractions.
+void DeltaEncode32Avx2(const uint32_t* __restrict in, size_t n, uint32_t prev,
+                       uint32_t* __restrict out) {
+  if (n == 0) return;
+  out[0] = in[0] - prev;
+  size_t i = 1;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i pred =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i - 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi32(cur, pred));
+  }
+  for (; i < n; i++) out[i] = in[i] - in[i - 1];
+}
+
+void DeltaEncode64Avx2(const uint64_t* __restrict in, size_t n, uint64_t prev,
+                       uint64_t* __restrict out) {
+  if (n == 0) return;
+  out[0] = in[0] - prev;
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i pred =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i - 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi64(cur, pred));
+  }
+  for (; i < n; i++) out[i] = in[i] - in[i - 1];
+}
+
 template <int... Bs>
 void FillSimdWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
   ((ops.unpack[Bs + 1] = &UnpackAvx2<Bs + 1>,
@@ -198,16 +320,29 @@ void FillSimdWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
    ...);
 }
 
+template <int... Bs>
+void FillSimdPackWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
+  ((ops.pack[Bs + 1] = &PackAvx2<Bs + 1>,
+    ops.pack_for32[Bs + 1] = &PackFor32Avx2<Bs + 1>,
+    ops.pack_for64[Bs + 1] = &PackFor64Avx2<Bs + 1>),
+   ...);
+}
+
 KernelOps MakeAvx2Ops() {
   KernelOps ops = ScalarOps();  // widths 0 and 26..32 stay scalar
   ops.isa = KernelIsa::kAvx2;
   ops.tail_read_slack = true;
+  ops.pack_write_slack = true;  // pack widths 17..32 stay scalar
   FillSimdWidths(ops,
                  std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
+  FillSimdPackWidths(ops,
+                     std::make_integer_sequence<int, kMaxSimdPackBits>{});
   ops.for_decode32 = &ForDecode32Avx2;
   ops.for_decode64 = &ForDecode64Avx2;
   ops.prefix_sum32 = &PrefixSum32Avx2;
   ops.prefix_sum64 = &PrefixSum64Avx2;
+  ops.delta_encode32 = &DeltaEncode32Avx2;
+  ops.delta_encode64 = &DeltaEncode64Avx2;
   return ops;
 }
 

@@ -26,6 +26,15 @@ namespace bitpack_internal {
 /// provide that slack: groups followed by more packed data have it for
 /// free, and the final group of a stream runs from a padded stack copy
 /// whenever ops.tail_read_slack is set.
+///
+/// The pack side mirrors the contract on the OUTPUT: SIMD pack kernels
+/// store 16-byte vectors whose tail bits are zero, so they may WRITE up to
+/// kGroupSlackBytes past the group's b*4 output bytes (they read exactly 32
+/// input values — no input slack). The extra bytes are always zero, and the
+/// kernels store batches in ascending stream order, so inside a multi-group
+/// stream the slack of group g only ever pre-zeroes bytes that group g+1
+/// immediately overwrites. Only groups near the END of the destination
+/// need staging (ops.pack_write_slack; drivers in bitpack.cc).
 constexpr size_t kGroupSlackBytes = 16;
 
 using UnpackFn = void (*)(const uint32_t* __restrict in,
@@ -41,19 +50,42 @@ using ForDecode64Fn = void (*)(const uint32_t* __restrict codes, size_t n,
 using PrefixSum32Fn = void (*)(uint32_t* data, size_t n, uint32_t start);
 using PrefixSum64Fn = void (*)(uint64_t* data, size_t n, uint64_t start);
 
+// Pack-side kernels (write path). Group kernels consume exactly 32 values
+// and produce `b` packed words (plus zero slack, see above). The fused FOR
+// variants subtract `base` (wraparound) before masking to b bits — the
+// single-pass encode for exception-free groups. Delta kernels are the
+// inverse of the prefix sums: out[i] = in[i] - in[i-1] with in[-1] := prev
+// (out must not alias in).
+using PackFn = void (*)(const uint32_t* __restrict in,
+                        uint32_t* __restrict out);
+using PackFor32Fn = void (*)(const uint32_t* __restrict in, uint32_t base,
+                             uint32_t* __restrict out);
+using PackFor64Fn = void (*)(const uint64_t* __restrict in, uint64_t base,
+                             uint32_t* __restrict out);
+using DeltaEncode32Fn = void (*)(const uint32_t* __restrict in, size_t n,
+                                 uint32_t prev, uint32_t* __restrict out);
+using DeltaEncode64Fn = void (*)(const uint64_t* __restrict in, size_t n,
+                                 uint64_t prev, uint64_t* __restrict out);
+
 /// One backend's full kernel table, indexed by bit width where per-width
 /// specialization pays. Backends fill SIMD entries for the widths they
 /// cover and inherit scalar entries for the rest, so every table is total.
 struct KernelOps {
   KernelIsa isa = KernelIsa::kScalar;
-  bool tail_read_slack = false;  // see kGroupSlackBytes
+  bool tail_read_slack = false;   // decode side, see kGroupSlackBytes
+  bool pack_write_slack = false;  // pack side, widths 1..kMaxSimdPackBits
   std::array<UnpackFn, 33> unpack{};
   std::array<UnpackFor32Fn, 33> unpack_for32{};
   std::array<UnpackFor64Fn, 33> unpack_for64{};
+  std::array<PackFn, 33> pack{};
+  std::array<PackFor32Fn, 33> pack_for32{};
+  std::array<PackFor64Fn, 33> pack_for64{};
   ForDecode32Fn for_decode32 = nullptr;
   ForDecode64Fn for_decode64 = nullptr;
   PrefixSum32Fn prefix_sum32 = nullptr;
   PrefixSum64Fn prefix_sum64 = nullptr;
+  DeltaEncode32Fn delta_encode32 = nullptr;
+  DeltaEncode64Fn delta_encode64 = nullptr;
 };
 
 /// The backend table currently selected by the dispatcher (bitpack.cc).
@@ -80,6 +112,14 @@ const KernelOps& Avx2Ops();
 
 /// Highest bit width the byte-aligned-chunk SIMD unpackers cover.
 constexpr int kMaxSimdUnpackBits = 25;
+
+/// Highest bit width the SIMD packers cover. The merge-tree packer (see
+/// bitpack_avx2.cc) combines 8 codes into a 8*b-bit run in two shift/or
+/// levels plus one scalar splice; at b <= 16 the run fits 128 bits and each
+/// batch store stays byte-aligned (8*b bits = b bytes). Wider codes pack
+/// scalar — by then the stream is barely narrower than raw and the encode
+/// cost is dominated by the exception path anyway.
+constexpr int kMaxSimdPackBits = 16;
 
 /// AVX2 processes 8 lanes per batch; 8 lanes * b bits = b bytes, so every
 /// batch starts byte-aligned and one offset/shift pattern serves all four

@@ -84,18 +84,89 @@ void PrefixSum64Scalar(uint64_t* data, size_t n, uint64_t start) {
   }
 }
 
+// Pack mirror of UnpackGroupWith: `produce(i)` yields the 32 codes in
+// order; the shift/or accumulator emits exactly B packed words. Codes are
+// masked to B bits, so out-of-range inputs cannot smear into neighbours —
+// all backends share that masking, which keeps them byte-identical even on
+// contract-violating inputs.
+template <int B, typename Produce>
+inline void PackGroupWith(uint32_t* __restrict out, Produce&& produce) {
+  if constexpr (B == 0) {
+    (void)out;
+    (void)produce;
+  } else if constexpr (B == 32) {
+    for (int i = 0; i < 32; i++) out[i] = produce(i);
+  } else {
+    constexpr uint32_t kMask = (uint32_t(1) << B) - 1;
+    uint64_t acc = 0;
+    int bits = 0;
+    int w = 0;
+#pragma GCC unroll 32
+    for (int i = 0; i < 32; i++) {
+      acc |= uint64_t(produce(i) & kMask) << bits;
+      bits += B;
+      if (bits >= 32) {
+        out[w++] = uint32_t(acc);
+        acc >>= 32;
+        bits -= 32;
+      }
+    }
+  }
+}
+
+template <int B>
+void PackScalar(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  PackGroupWith<B>(out, [&](int i) { return in[i]; });
+}
+
+template <int B>
+void PackFor32Scalar(const uint32_t* __restrict in, uint32_t base,
+                     uint32_t* __restrict out) {
+  PackGroupWith<B>(out, [&](int i) { return in[i] - base; });
+}
+
+template <int B>
+void PackFor64Scalar(const uint64_t* __restrict in, uint64_t base,
+                     uint32_t* __restrict out) {
+  PackGroupWith<B>(out, [&](int i) { return uint32_t(in[i] - base); });
+}
+
+void DeltaEncode32Scalar(const uint32_t* __restrict in, size_t n,
+                         uint32_t prev, uint32_t* __restrict out) {
+  for (size_t i = 0; i < n; i++) {
+    const uint32_t v = in[i];
+    out[i] = v - prev;
+    prev = v;
+  }
+}
+
+void DeltaEncode64Scalar(const uint64_t* __restrict in, size_t n,
+                         uint64_t prev, uint64_t* __restrict out) {
+  for (size_t i = 0; i < n; i++) {
+    const uint64_t v = in[i];
+    out[i] = v - prev;
+    prev = v;
+  }
+}
+
 template <int... Bs>
 KernelOps MakeScalarOps(std::integer_sequence<int, Bs...>) {
   KernelOps ops;
   ops.isa = KernelIsa::kScalar;
   ops.tail_read_slack = false;
+  ops.pack_write_slack = false;
   ops.unpack = {&UnpackScalar<Bs>...};
   ops.unpack_for32 = {&UnpackFor32Scalar<Bs>...};
   ops.unpack_for64 = {&UnpackFor64Scalar<Bs>...};
+  ops.pack = {&PackScalar<Bs>...};
+  ops.pack_for32 = {&PackFor32Scalar<Bs>...};
+  ops.pack_for64 = {&PackFor64Scalar<Bs>...};
   ops.for_decode32 = &ForDecode32Scalar;
   ops.for_decode64 = &ForDecode64Scalar;
   ops.prefix_sum32 = &PrefixSum32Scalar;
   ops.prefix_sum64 = &PrefixSum64Scalar;
+  ops.delta_encode32 = &DeltaEncode32Scalar;
+  ops.delta_encode64 = &DeltaEncode64Scalar;
   return ops;
 }
 

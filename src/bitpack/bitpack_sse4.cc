@@ -163,6 +163,121 @@ void PrefixSum64Sse4(uint64_t* data, size_t n, uint64_t start) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pack kernels (bit widths 1..16): the 128-bit half of the AVX2 merge tree
+// (see bitpack_avx2.cc). Each register folds its 4 masked codes into one
+// 4B-bit run with two shift/or levels; two runs splice into a 16-byte store
+// at the batch's byte-aligned offset (8 codes * B bits = B bytes). Stores
+// carry zero tail bits and land in ascending order — the write-slack
+// contract of bitpack_kernels.h.
+// ---------------------------------------------------------------------------
+
+/// Folds 4 masked 32-bit codes into one 4B-bit run (low qword).
+template <int B>
+inline uint64_t FoldQuad(__m128i x) {
+  const __m128i even = _mm_and_si128(x, _mm_set1_epi64x(0xFFFFFFFFll));
+  const __m128i odd = _mm_srli_epi64(x, 32);
+  const __m128i pairs = _mm_or_si128(even, _mm_slli_epi64(odd, B));
+  const __m128i swapped = _mm_shuffle_epi32(pairs, _MM_SHUFFLE(1, 0, 3, 2));
+  const __m128i quads = _mm_or_si128(pairs, _mm_slli_epi64(swapped, 2 * B));
+  return uint64_t(_mm_cvtsi128_si64(quads));
+}
+
+/// Packs one batch of 8 codes (lanes of x0, x1) into B bytes at `dst`
+/// (16 bytes stored, tail zero).
+template <int B>
+inline void PackBatch8(__m128i x0, __m128i x1, uint8_t* dst) {
+  static_assert(B >= 1 && B <= kMaxSimdPackBits);
+  const __m128i mask = _mm_set1_epi32(int((uint32_t(1) << B) - 1));
+  const uint64_t lo = FoldQuad<B>(_mm_and_si128(x0, mask));
+  const uint64_t hi = FoldQuad<B>(_mm_and_si128(x1, mask));
+  uint64_t w0, w1;
+  if constexpr (B == 16) {
+    w0 = lo;
+    w1 = hi;
+  } else {
+    w0 = lo | (hi << (4 * B));
+    w1 = hi >> (64 - 4 * B);
+  }
+  std::memcpy(dst, &w0, 8);
+  std::memcpy(dst + 8, &w1, 8);
+}
+
+/// Runs `source(value_index)` -> 4 lanes over one 32-value group.
+template <int B, typename Source>
+inline void PackGroupSse4(uint32_t* __restrict out, Source&& source) {
+  uint8_t* dst = reinterpret_cast<uint8_t*>(out);
+  for (int k = 0; k < 4; k++) {
+    PackBatch8<B>(source(8 * k), source(8 * k + 4), dst + k * B);
+  }
+}
+
+template <int B>
+void PackSse4(const uint32_t* __restrict in, uint32_t* __restrict out) {
+  PackGroupSse4<B>(out, [&](int idx) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + idx));
+  });
+}
+
+template <int B>
+void PackFor32Sse4(const uint32_t* __restrict in, uint32_t base,
+                   uint32_t* __restrict out) {
+  const __m128i vb = _mm_set1_epi32(int(base));
+  PackGroupSse4<B>(out, [&](int idx) {
+    return _mm_sub_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + idx)), vb);
+  });
+}
+
+template <int B>
+void PackFor64Sse4(const uint64_t* __restrict in, uint64_t base,
+                   uint32_t* __restrict out) {
+  const __m128i vb = _mm_set1_epi64x(int64_t(base));
+  PackGroupSse4<B>(out, [&](int idx) {
+    const __m128i a = _mm_sub_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + idx)), vb);
+    const __m128i b = _mm_sub_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + idx + 2)), vb);
+    // Low dwords of the 4 qword diffs, in source order.
+    return _mm_castps_si128(_mm_shuffle_ps(
+        _mm_castsi128_ps(a), _mm_castsi128_ps(b), _MM_SHUFFLE(2, 0, 2, 0)));
+  });
+}
+
+// Delta transforms — inverse of the prefix sums; the shifted unaligned
+// load removes the serial dependence.
+void DeltaEncode32Sse4(const uint32_t* __restrict in, size_t n, uint32_t prev,
+                       uint32_t* __restrict out) {
+  if (n == 0) return;
+  out[0] = in[0] - prev;
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i cur =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i pred =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i - 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_sub_epi32(cur, pred));
+  }
+  for (; i < n; i++) out[i] = in[i] - in[i - 1];
+}
+
+void DeltaEncode64Sse4(const uint64_t* __restrict in, size_t n, uint64_t prev,
+                       uint64_t* __restrict out) {
+  if (n == 0) return;
+  out[0] = in[0] - prev;
+  size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i cur =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i pred =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i - 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_sub_epi64(cur, pred));
+  }
+  for (; i < n; i++) out[i] = in[i] - in[i - 1];
+}
+
 template <int... Bs>
 void FillSimdWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
   ((ops.unpack[Bs + 1] = &UnpackSse4<Bs + 1>,
@@ -171,16 +286,29 @@ void FillSimdWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
    ...);
 }
 
+template <int... Bs>
+void FillSimdPackWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
+  ((ops.pack[Bs + 1] = &PackSse4<Bs + 1>,
+    ops.pack_for32[Bs + 1] = &PackFor32Sse4<Bs + 1>,
+    ops.pack_for64[Bs + 1] = &PackFor64Sse4<Bs + 1>),
+   ...);
+}
+
 KernelOps MakeSse4Ops() {
   KernelOps ops = ScalarOps();  // widths 0 and 26..32 stay scalar
   ops.isa = KernelIsa::kSse4;
   ops.tail_read_slack = true;
+  ops.pack_write_slack = true;  // pack widths 17..32 stay scalar
   FillSimdWidths(ops,
                  std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
+  FillSimdPackWidths(ops,
+                     std::make_integer_sequence<int, kMaxSimdPackBits>{});
   ops.for_decode32 = &ForDecode32Sse4;
   ops.for_decode64 = &ForDecode64Sse4;
   ops.prefix_sum32 = &PrefixSum32Sse4;
   ops.prefix_sum64 = &PrefixSum64Sse4;
+  ops.delta_encode32 = &DeltaEncode32Sse4;
+  ops.delta_encode64 = &DeltaEncode64Sse4;
   return ops;
 }
 

@@ -56,12 +56,18 @@ class Analyzer {
     if (opts.allow_pfor) {
       ConsiderPFor(sorted, Scheme::kPFor, &best);
     }
-    if (opts.allow_pfor_delta) {
-      std::vector<T> deltas(sample.size());
-      U prev = 0;
-      for (size_t i = 0; i < sample.size(); i++) {
-        deltas[i] = T(U(sample[i]) - prev);
-        prev = U(sample[i]);
+    if (opts.allow_pfor_delta && sample.size() > 1) {
+      // Analyze the n-1 TRUE deltas, seeding prev with sample[0]. Seeding
+      // with 0 would smuggle the first value's absolute magnitude in as
+      // deltas[0]; on a large-base, small-delta column that one outlier
+      // widens the sorted-delta range, inflates the modeled exception rate
+      // at small b (a sample exception rate of 1/n is compulsory-heavy at
+      // n <= 128), and mis-picks the bit width or even the scheme. The
+      // encoder still stores d[0] = v[0] — as group 0's one exception —
+      // which is noise the rate model shouldn't see.
+      std::vector<T> deltas(sample.size() - 1);
+      for (size_t i = 1; i < sample.size(); i++) {
+        deltas[i - 1] = T(U(sample[i]) - U(sample[i - 1]));
       }
       std::sort(deltas.begin(), deltas.end());
       ConsiderPFor(deltas, Scheme::kPForDelta, &best);
@@ -96,6 +102,13 @@ class Analyzer {
   }
 
  private:
+  /// 2^b dictionary capacity, shift-safe for ANY non-negative b (saturates
+  /// instead of shifting past the word width).
+  static size_t DictCapacity(int b) {
+    if (b >= int(sizeof(size_t)) * 8) return SIZE_MAX;
+    return size_t(1) << b;
+  }
+
   static void ConsiderPFor(std::span<const T> sorted, Scheme scheme,
                            CompressionChoice<T>* best) {
     constexpr int kValueBits = int(sizeof(T)) * 8;
@@ -103,8 +116,15 @@ class Analyzer {
     // b is capped one below the value width: at b == value_bits the codes
     // are as wide as the values and raw storage wins anyway.
     const int max_b = std::min(kMaxBitWidth, kValueBits - 1);
+    // Once some width's best stretch covers the whole sample, every wider
+    // width trivially does too (same window, larger allowed range) with
+    // the same {0, n} answer — skip the O(n) rescans. This is exact, not
+    // a heuristic; it just prunes the per-width sweep, which dominates
+    // analyzer time on wide-span samples.
+    std::pair<size_t, size_t> cut{0, 0};
     for (int b = 0; b <= max_b; b++) {
-      auto [lo, len] = AnalyzeBits(sorted, b);
+      if (cut.second < n) cut = AnalyzeBits(sorted, b);
+      auto [lo, len] = cut;
       const double e = double(n - len) / double(n);
       const double bits = EstimatedBitsPerValue(
           e, b, kValueBits, scheme == Scheme::kPForDelta);
@@ -143,10 +163,14 @@ class Analyzer {
     for (size_t i = 0; i < hist.size(); i++) {
       covered[i + 1] = covered[i] + hist[i].first;
     }
-    const int max_b = std::min(opts.max_dict_bits, kValueBits);
+    // Codes are 32-bit and the builder rejects widths above kMaxBitWidth,
+    // so clamp the candidate range regardless of what max_dict_bits says:
+    // without the clamp a 64-bit type with max_dict_bits > 32 could select
+    // a pdict.bit_width the builder must then refuse, and the capacity
+    // computation sat one branch away from an out-of-range shift.
+    const int max_b = std::min({opts.max_dict_bits, kValueBits, kMaxBitWidth});
     for (int b = 0; b <= max_b; b++) {
-      const size_t dict_size =
-          std::min(hist.size(), b >= 32 ? hist.size() : size_t(1) << b);
+      const size_t dict_size = std::min(hist.size(), DictCapacity(b));
       if (dict_size == 0) continue;
       const double e = 1.0 - double(covered[dict_size]) / double(n);
       double bits = EstimatedBitsPerValue(e, b, kValueBits);

@@ -18,6 +18,10 @@
 //   codec.<scheme>.encode.exceptions exception-section entries written
 //   codec.<scheme>.decode.values     values decompressed (scan path)
 //   codec.encode.nanos               wall time inside SegmentBuilder
+//   codec.pack.values                values bit-packed on the encode path
+//   codec.pack.fused_groups          exception-free 128-value groups that
+//                                    took the single-pass ForEncodePack
+//   codec.pack.patched_groups        groups that went through LOOP1+LOOP2
 //   codec.random_access.calls        fine-grained Get() lookups
 //   codec.checksum_failures          segment CRC mismatches detected
 //   analyzer.choice.<scheme>         scheme decisions made by the analyzer
@@ -35,6 +39,9 @@ struct CodecMetrics {
   Counter* analyzer_choice[kSchemes];
   Counter* analyzer_runs;
   Counter* encode_nanos;
+  Counter* pack_values;
+  Counter* pack_fused_groups;
+  Counter* pack_patched_groups;
   Counter* random_access_calls;
   Counter* compressed_exec_codes;
   Counter* checksum_failures;
@@ -56,6 +63,9 @@ struct CodecMetrics {
       }
       cm->analyzer_runs = &reg.GetCounter("analyzer.runs");
       cm->encode_nanos = &reg.GetCounter("codec.encode.nanos");
+      cm->pack_values = &reg.GetCounter("codec.pack.values");
+      cm->pack_fused_groups = &reg.GetCounter("codec.pack.fused_groups");
+      cm->pack_patched_groups = &reg.GetCounter("codec.pack.patched_groups");
       cm->random_access_calls = &reg.GetCounter("codec.random_access.calls");
       cm->compressed_exec_codes = &reg.GetCounter("codec.compressed_exec.codes");
       cm->checksum_failures = &reg.GetCounter("codec.checksum_failures");

@@ -21,6 +21,14 @@
 // exception detection (LOOP1), patch-list construction with compulsory
 // exceptions (LOOP2), then bit packing — a faithful production version of
 // the paper's Section 3.1 compressors.
+//
+// The packing stage runs through the dispatched pack kernels
+// (bitpack/bitpack.h): groups are packed as they are compressed, and an
+// exception-free group skips the intermediate code array entirely via the
+// fused ForEncodePack kernels (subtract base + mask + pack in one pass).
+// Every path masks codes to b bits and zero-pads partial groups the same
+// way, so segment bytes are identical across scalar/SSE4/AVX2 backends and
+// across the fused vs. patched paths.
 
 namespace scc {
 
@@ -93,12 +101,24 @@ class SegmentBuilder {
       const SegmentBuildOptions& opts = {}) {
     EncodeTimer timer;
     SCC_RETURN_NOT_OK(CheckBitWidth(params.bit_width));
-    // Delta transform with wraparound; v[-1] := 0 so d[0] = v[0].
+    // Delta transform with wraparound; v[-1] := 0 so d[0] = v[0]. The
+    // dispatched kernels vectorize the shifted subtraction for the machine
+    // widths; narrow types stay scalar.
     std::vector<T> deltas(values.size());
-    U prev = 0;
-    for (size_t i = 0; i < values.size(); i++) {
-      deltas[i] = T(U(values[i]) - prev);
-      prev = U(values[i]);
+    if constexpr (sizeof(T) == 8) {
+      DeltaEncode64(reinterpret_cast<const uint64_t*>(values.data()),
+                    values.size(), 0,
+                    reinterpret_cast<uint64_t*>(deltas.data()));
+    } else if constexpr (sizeof(T) == 4) {
+      DeltaEncode32(reinterpret_cast<const uint32_t*>(values.data()),
+                    values.size(), 0,
+                    reinterpret_cast<uint32_t*>(deltas.data()));
+    } else {
+      U prev = 0;
+      for (size_t i = 0; i < values.size(); i++) {
+        deltas[i] = T(U(values[i]) - prev);
+        prev = U(values[i]);
+      }
     }
     GroupResults g =
         CompressGroups(std::span<const T>(deltas), params, /*deltas=*/true);
@@ -157,10 +177,12 @@ class SegmentBuilder {
   };
 
   struct GroupResults {
-    std::vector<uint32_t> codes;   // one machine code per value (pre-pack)
+    std::vector<uint32_t> packed;  // bit-packed codes, PackedByteSize(n, b)
     std::vector<uint32_t> entries; // one entry point per group
     std::vector<T> exceptions;     // in linked-list walk order
     std::vector<T> bases;          // PFOR-DELTA running bases (else empty)
+    size_t fused_groups = 0;       // took the single-pass ForEncodePack
+    size_t patched_groups = 0;     // went through LOOP1 + LOOP2 + BitPack
   };
 
   static Status CheckBitWidth(int b) {
@@ -202,6 +224,38 @@ class SegmentBuilder {
     return first;
   }
 
+  /// True when no value of the group escapes [base, base + 2^b) modulo the
+  /// value width. Branch-free accumulation the compiler auto-vectorizes, so
+  /// the clean-group fast path costs one cheap scan plus the fused pack.
+  static bool GroupClean(const T* in, size_t glen, U base,
+                         uint32_t max_code) {
+    uint32_t bad = 0;
+    for (size_t i = 0; i < glen; i++) {
+      const U diff = U(in[i]) - base;
+      if constexpr (sizeof(T) > 4) {
+        bad |= uint32_t((diff >> 32) != 0) |
+               uint32_t(uint32_t(diff) > max_code);
+      } else {
+        bad |= uint32_t(uint32_t(diff) > max_code);
+      }
+    }
+    return bad == 0;
+  }
+
+  /// Single-pass encode for an exception-free group: subtract base, mask,
+  /// pack — no intermediate code array.
+  static void FusedEncodePack(const T* in, size_t glen, int b, U base,
+                              uint32_t* dst) {
+    static_assert(sizeof(T) >= 4, "narrow types take the code-array path");
+    if constexpr (sizeof(T) == 8) {
+      ForEncodePack64(reinterpret_cast<const uint64_t*>(in), glen, b,
+                      uint64_t(base), dst);
+    } else {
+      ForEncodePack32(reinterpret_cast<const uint32_t*>(in), glen, b,
+                      uint32_t(base), dst);
+    }
+  }
+
   static GroupResults CompressGroups(std::span<const T> values,
                                      const PForParams<T>& params,
                                      bool /*deltas*/) {
@@ -210,19 +264,33 @@ class SegmentBuilder {
     const U base = U(params.base);
     const size_t n = values.size();
     const size_t groups = (n + kEntryGroup - 1) / kEntryGroup;
+    // One 128-value group packs to exactly this many words.
+    const size_t group_words = (kEntryGroup / 32) * size_t(b);
 
     GroupResults out;
-    out.codes.resize(AlignUp(n, 32));
+    out.packed.resize(PackedByteSize(n, b) / 4);
     out.entries.resize(groups);
     out.exceptions.reserve(n / 16);
 
+    uint32_t codes[kEntryGroup];
     uint32_t miss[kEntryGroup];
     for (size_t g = 0; g < groups; g++) {
       const size_t lo = g * kEntryGroup;
       const size_t glen = std::min(kEntryGroup, n - lo);
       const T* in = values.data() + lo;
-      uint32_t* codes = out.codes.data() + lo;
+      uint32_t* dst = out.packed.data() + g * group_words;
       const uint32_t exc_index = uint32_t(out.exceptions.size());
+      if constexpr (sizeof(T) >= 4) {
+        // Exception-free groups (the common case at a well-chosen b) skip
+        // LOOP2 and the code array entirely: one vectorizable scan, then
+        // the fused subtract+pack kernel.
+        if (GroupClean(in, glen, base, max_code)) {
+          FusedEncodePack(in, glen, b, base, dst);
+          out.entries[g] = MakeEntryPoint(kNoException, exc_index);
+          out.fused_groups++;
+          continue;
+        }
+      }
       size_t j = 0;
       /* LOOP1: encode and find exceptions (predicated append) */
       for (size_t i = 0; i < glen; i++) {
@@ -242,7 +310,9 @@ class SegmentBuilder {
       }
       uint32_t first =
           PatchGroup(in, glen, b, miss, j, codes, &out.exceptions);
+      BitPack(codes, glen, b, dst);
       out.entries[g] = MakeEntryPoint(first, exc_index);
+      out.patched_groups++;
     }
     return out;
   }
@@ -253,18 +323,20 @@ class SegmentBuilder {
     const int b = params.bit_width;
     const size_t n = values.size();
     const size_t groups = (n + kEntryGroup - 1) / kEntryGroup;
+    const size_t group_words = (kEntryGroup / 32) * size_t(b);
 
     GroupResults out;
-    out.codes.resize(AlignUp(n, 32));
+    out.packed.resize(PackedByteSize(n, b) / 4);
     out.entries.resize(groups);
     out.exceptions.reserve(n / 16);
 
+    uint32_t codes[kEntryGroup];
     uint32_t miss[kEntryGroup];
     for (size_t g = 0; g < groups; g++) {
       const size_t lo = g * kEntryGroup;
       const size_t glen = std::min(kEntryGroup, n - lo);
       const T* in = values.data() + lo;
-      uint32_t* codes = out.codes.data() + lo;
+      uint32_t* dst = out.packed.data() + g * group_words;
       const uint32_t exc_index = uint32_t(out.exceptions.size());
       size_t j = 0;
       for (size_t i = 0; i < glen; i++) {
@@ -275,7 +347,9 @@ class SegmentBuilder {
       }
       uint32_t first =
           PatchGroup(in, glen, b, miss, j, codes, &out.exceptions);
+      BitPack(codes, glen, b, dst);
       out.entries[g] = MakeEntryPoint(first, exc_index);
+      out.patched_groups++;
     }
     return out;
   }
@@ -342,8 +416,11 @@ class SegmentBuilder {
       // Remaining padded entries stay zero; bogus gap codes in LOOP1 may
       // read them but LOOP2 overwrites the results.
     }
-    BitPack(g.codes.data(), n, b,
-            reinterpret_cast<uint32_t*>(buf.data() + hdr.codes_offset));
+    // Codes were packed group-at-a-time during compression.
+    if (!g.packed.empty()) {
+      std::memcpy(buf.data() + hdr.codes_offset, g.packed.data(),
+                  PackedByteSize(n, b));
+    }
     // Exception section grows backward from total_size: exception i lives
     // at total_size - (i+1)*sizeof(T).
     T* exc_end = reinterpret_cast<T*>(buf.data() + hdr.total_size);
@@ -356,6 +433,10 @@ class SegmentBuilder {
     cm.encode_values[si]->Add(n);
     cm.encode_bytes_out[si]->Add(hdr.total_size);
     cm.encode_exceptions[si]->Add(g.exceptions.size());
+    // Batched per segment, not per group: one relaxed add each.
+    cm.pack_values->Add(n);
+    cm.pack_fused_groups->Add(g.fused_groups);
+    cm.pack_patched_groups->Add(g.patched_groups);
     return buf;
   }
 };

@@ -21,6 +21,11 @@
 //   storage.merge_scan.base_rows        base rows surviving delete filter
 //   storage.merge_scan.deleted_rows     base rows dropped as deleted
 //   storage.merge_scan.insert_rows      rows emitted from the delta store
+//   storage.load.columns                columns ingested by the bulk loader
+//   storage.load.chunks                 chunk-build tasks executed
+//   storage.load.rows                   rows ingested
+//   storage.load.bytes_out              stored segment bytes produced
+//   storage.load.nanos                  wall time inside BulkLoadColumn
 
 namespace scc {
 
@@ -39,6 +44,11 @@ struct StorageMetrics {
   Counter* merge_base_rows;
   Counter* merge_deleted_rows;
   Counter* merge_insert_rows;
+  Counter* load_columns;
+  Counter* load_chunks;
+  Counter* load_rows;
+  Counter* load_bytes_out;
+  Counter* load_nanos;
 
   static StorageMetrics& Get() {
     static StorageMetrics* m = [] {
@@ -62,6 +72,11 @@ struct StorageMetrics {
           &reg.GetCounter("storage.merge_scan.deleted_rows");
       sm->merge_insert_rows =
           &reg.GetCounter("storage.merge_scan.insert_rows");
+      sm->load_columns = &reg.GetCounter("storage.load.columns");
+      sm->load_chunks = &reg.GetCounter("storage.load.chunks");
+      sm->load_rows = &reg.GetCounter("storage.load.rows");
+      sm->load_bytes_out = &reg.GetCounter("storage.load.bytes_out");
+      sm->load_nanos = &reg.GetCounter("storage.load.nanos");
       return sm;
     }();
     return *m;

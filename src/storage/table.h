@@ -59,6 +59,46 @@ enum class ColumnCompression {
   kPForDelta,    // force PFOR-DELTA
 };
 
+/// Builds one chunk's segment under `mode`, sampling up to `sample_values`
+/// values from the chunk head for the analyzer (Section 3.1). Pure
+/// function of its arguments — the unit of work both the serial
+/// Table::AddColumn loop and the parallel bulk loader
+/// (storage/bulk_load.h) fan out, which is what makes their outputs
+/// byte-identical.
+template <CodecValue T>
+Result<AlignedBuffer> BuildColumnChunk(
+    std::span<const T> chunk, ColumnCompression mode,
+    size_t sample_values = size_t(64) * 1024,
+    const SegmentBuildOptions& build_opts = {}) {
+  const size_t sample_n = std::min(chunk.size(), sample_values);
+  switch (mode) {
+    case ColumnCompression::kNone:
+      return SegmentBuilder<T>::BuildUncompressed(chunk, build_opts);
+    case ColumnCompression::kAuto: {
+      CompressionChoice<T> choice =
+          Analyzer<T>::Analyze(chunk.subspan(0, sample_n));
+      return SegmentBuilder<T>::Build(chunk, choice, build_opts);
+    }
+    case ColumnCompression::kPFor: {
+      AnalyzerOptions<T> opts;
+      opts.allow_pfor_delta = false;
+      opts.allow_pdict = false;
+      CompressionChoice<T> choice =
+          Analyzer<T>::Analyze(chunk.subspan(0, sample_n), opts);
+      return SegmentBuilder<T>::Build(chunk, choice, build_opts);
+    }
+    case ColumnCompression::kPForDelta: {
+      AnalyzerOptions<T> opts;
+      opts.allow_pfor = false;
+      opts.allow_pdict = false;
+      CompressionChoice<T> choice =
+          Analyzer<T>::Analyze(chunk.subspan(0, sample_n), opts);
+      return SegmentBuilder<T>::Build(chunk, choice, build_opts);
+    }
+  }
+  return Status::InvalidArgument("bad compression mode");
+}
+
 class Table {
  public:
   explicit Table(size_t chunk_values = 1u << 18)
@@ -156,36 +196,7 @@ class Table {
   template <CodecValue T>
   Result<AlignedBuffer> BuildChunk(std::span<const T> chunk,
                                    ColumnCompression mode) {
-    switch (mode) {
-      case ColumnCompression::kNone:
-        return SegmentBuilder<T>::BuildUncompressed(chunk);
-      case ColumnCompression::kAuto: {
-        // Sample up to 64K values for the analyzer (Section 3.1).
-        size_t sample_n = std::min(chunk.size(), size_t(64) * 1024);
-        CompressionChoice<T> choice =
-            Analyzer<T>::Analyze(chunk.subspan(0, sample_n));
-        return SegmentBuilder<T>::Build(chunk, choice);
-      }
-      case ColumnCompression::kPFor: {
-        AnalyzerOptions<T> opts;
-        opts.allow_pfor_delta = false;
-        opts.allow_pdict = false;
-        size_t sample_n = std::min(chunk.size(), size_t(64) * 1024);
-        CompressionChoice<T> choice =
-            Analyzer<T>::Analyze(chunk.subspan(0, sample_n), opts);
-        return SegmentBuilder<T>::Build(chunk, choice);
-      }
-      case ColumnCompression::kPForDelta: {
-        AnalyzerOptions<T> opts;
-        opts.allow_pfor = false;
-        opts.allow_pdict = false;
-        size_t sample_n = std::min(chunk.size(), size_t(64) * 1024);
-        CompressionChoice<T> choice =
-            Analyzer<T>::Analyze(chunk.subspan(0, sample_n), opts);
-        return SegmentBuilder<T>::Build(chunk, choice);
-      }
-    }
-    return Status::InvalidArgument("bad compression mode");
+    return BuildColumnChunk<T>(chunk, mode);
   }
 
   size_t chunk_values_;

@@ -69,6 +69,52 @@ TEST(Analyzer, ZipfTailBecomesExceptions) {
   EXPECT_LT(choice.est_exception_rate, 0.35);
 }
 
+TEST(Analyzer, SmallSampleLargeBaseRampPicksPForDelta) {
+  // Regression: the delta analysis used to seed prev = 0, so the first
+  // "delta" was the first value's absolute magnitude. On a small sample
+  // (n <= 128 makes a 1/n sample exception compulsory-heavy) of a ramp
+  // with a huge base, that phantom outlier inflated the modeled exception
+  // cost until PFOR-DELTA lost to PFOR — here a 6-bit PFOR (est 6.25
+  // bits/value) instead of the 0-bit delta encoding (est 0.75).
+  std::vector<int64_t> v(64);
+  for (size_t i = 0; i < v.size(); i++) {
+    v[i] = (int64_t(1) << 40) + int64_t(i);
+  }
+  auto choice = Analyzer<int64_t>::Analyze(v);
+  EXPECT_EQ(choice.scheme, Scheme::kPForDelta);
+  EXPECT_EQ(choice.pfor.bit_width, 0);
+  EXPECT_LT(choice.est_bits_per_value, 1.0);
+}
+
+TEST(Analyzer, SingleValueSampleDoesNotConsiderDeltas) {
+  // One value has zero true deltas; the chooser must not divide by the
+  // empty delta count (and kPFor at b=0 covers it exactly).
+  std::vector<int64_t> v = {int64_t(1) << 40};
+  auto choice = Analyzer<int64_t>::Analyze(v);
+  EXPECT_NE(choice.scheme, Scheme::kPForDelta);
+  EXPECT_NE(choice.scheme, Scheme::kUncompressed);
+}
+
+TEST(Analyzer, PDictBitWidthClampedToCodeWidth) {
+  // max_dict_bits beyond the 32-bit code width must neither shift out of
+  // range while sizing the dictionary nor select a width the segment
+  // builder would then reject.
+  std::vector<int64_t> domain = {1ll << 60, -(1ll << 59), 17, -4242424242ll};
+  Rng rng(31);
+  std::vector<int64_t> v(10000);
+  for (auto& x : v) x = domain[rng.Uniform(domain.size())];
+  for (int max_bits : {31, 32, 33, 64}) {
+    AnalyzerOptions<int64_t> opts;
+    opts.max_dict_bits = max_bits;
+    auto choice = Analyzer<int64_t>::Analyze(v, opts);
+    ASSERT_EQ(choice.scheme, Scheme::kPDict) << "max_dict_bits=" << max_bits;
+    EXPECT_LE(choice.pdict.bit_width, kMaxBitWidth);
+    auto seg = SegmentBuilder<int64_t>::Build(v, choice);
+    EXPECT_TRUE(seg.ok()) << "max_dict_bits=" << max_bits << ": "
+                          << seg.status().ToString();
+  }
+}
+
 TEST(Analyzer, IncompressibleFallsBackToRaw) {
   Rng rng(5);
   std::vector<int64_t> v(20000);

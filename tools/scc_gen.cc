@@ -2,11 +2,13 @@
 // operators a real on-disk artifact to point scc_inspect / scc_stats at
 // without shipping binary fixtures in the repo.
 //
-//   scc_gen --rows N --out <dir> [--seed S] [--chunk V]
+//   scc_gen --rows N --out <dir> [--seed S] [--chunk V] [--threads N]
 //
 // Columns cover the analyzer's main regimes: a dense sequential id, a
 // low-cardinality dictionary-ish code, a skewed price with outliers
 // (exercises the PFOR exception path), and a delta-friendly timestamp.
+// --threads compresses chunks in parallel via the bulk loader; the output
+// bytes are identical for every thread count (see storage/bulk_load.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/bulk_load.h"
 #include "storage/file_store.h"
 #include "util/rng.h"
 #include "util/zipf.h"
@@ -25,6 +28,7 @@ int Run(int argc, char** argv) {
   size_t rows = 100000;
   size_t chunk = 1u << 16;
   uint64_t seed = 2026;
+  unsigned threads = 1;
   std::string out;
   for (int i = 1; i < argc; i++) {
     auto next = [&]() -> const char* {
@@ -36,12 +40,16 @@ int Run(int argc, char** argv) {
       if (const char* v = next()) chunk = size_t(std::atoll(v));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       if (const char* v = next()) seed = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (const char* v = next()) threads = unsigned(std::atoi(v));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       if (const char* v = next()) out = v;
     }
   }
   if (out.empty() || rows == 0 || chunk == 0) {
-    fprintf(stderr, "usage: %s --rows N --out <dir> [--seed S] [--chunk V]\n",
+    fprintf(stderr,
+            "usage: %s --rows N --out <dir> [--seed S] [--chunk V] "
+            "[--threads N]\n",
             argv[0]);
     return 2;
   }
@@ -61,16 +69,25 @@ int Run(int argc, char** argv) {
   }
 
   Table table(chunk);
-  Status st = table.AddColumn<int64_t>("id", id, ColumnCompression::kAuto);
+  BulkLoadOptions opts;
+  opts.threads = threads;
+  auto load = [&](const char* name, auto span, ColumnCompression mode) {
+    opts.mode = mode;
+    return BulkLoadColumn(&table, name, span, opts);
+  };
+  Status st =
+      load("id", std::span<const int64_t>(id), ColumnCompression::kAuto);
   if (st.ok()) {
-    st = table.AddColumn<int32_t>("code", code, ColumnCompression::kAuto);
+    st = load("code", std::span<const int32_t>(code),
+              ColumnCompression::kAuto);
   }
   if (st.ok()) {
-    st = table.AddColumn<int64_t>("l_extendedprice", price,
-                                  ColumnCompression::kPFor);
+    st = load("l_extendedprice", std::span<const int64_t>(price),
+              ColumnCompression::kPFor);
   }
   if (st.ok()) {
-    st = table.AddColumn<int64_t>("ts", ts, ColumnCompression::kPForDelta);
+    st = load("ts", std::span<const int64_t>(ts),
+              ColumnCompression::kPForDelta);
   }
   if (st.ok()) st = FileStore::Save(table, out);
   if (!st.ok()) {
