@@ -1,0 +1,322 @@
+// tail_latency — workload-level latency distribution harness. Where the
+// fig*/table* benches reproduce the paper's throughput numbers, this one
+// measures what a scan *service* built on the library would quote in an
+// SLO: per-operation latency quantiles under concurrent clients, for
+//
+//   read_only    100% point reads — fine-grained access decodes exactly
+//                one 128-value group (Section 5.2) behind the buffer
+//                manager, so a hit is a few µs and a miss pays the
+//                (virtual-time) disk fetch
+//   mixed_80_20  80% point reads / 20% chunk scans — the scans evict and
+//                recompress the working set under the readers, which is
+//                what drags the read tail out
+//
+// The table is synthetic (same column shapes as scc_load: sequential id,
+// zipf-skewed code, price with 1% outliers, timestamp), loaded through
+// the morsel-parallel bulk loader, and sized ~4x the buffer-manager
+// capacity so misses and evictions are part of steady state. Row choice
+// is zipf-skewed: the hot set mostly hits, the cold tail mostly misses.
+//
+// Quantiles are computed two ways and both reported: exactly, from the
+// sorted per-op latency vector, and interpolated, from the log2-bucket
+// telemetry histogram (bench.tail.op_ns) — so the bench continuously
+// cross-checks the estimator the service would rely on against ground
+// truth (tests/telemetry_test.cc pins the bound; here it is printed).
+//
+//   tail_latency [--rows N] [--ops N] [--threads N] [--seed S]
+//                [--json PATH] [--trace PATH]
+//
+// --json writes the BenchReport format tools/scc_bench_diff consumes
+// (flat "metrics" map); the checked-in BENCH_PR6.json baseline was
+// recorded with the defaults. --trace wraps each mix in a TraceOperation
+// and dumps the chrome trace. Defaults are CI-smoke sized (< 1 s).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/segment_reader.h"
+#include "exec/thread_pool.h"
+#include "storage/buffer_manager.h"
+#include "storage/bulk_load.h"
+#include "storage/sim_disk.h"
+#include "sys/telemetry.h"
+#include "sys/timer.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace scc {
+namespace {
+
+struct MixResult {
+  std::string name;
+  std::vector<uint64_t> latencies_ns;  // merged across clients, sorted
+  double wall_seconds = 0;
+
+  uint64_t Exact(double q) const {
+    if (latencies_ns.empty()) return 0;
+    double r = q * double(latencies_ns.size() - 1);
+    return latencies_ns[size_t(r + 0.5)];
+  }
+  double OpsPerSec() const {
+    return wall_seconds > 0 ? double(latencies_ns.size()) / wall_seconds : 0;
+  }
+};
+
+struct Workload {
+  Table table{size_t(1) << 14};
+  SimDisk disk{SimDisk::MidRangeRaid()};
+  std::unique_ptr<BufferManager> bm;
+  std::vector<const StoredColumn*> cols;
+};
+
+void BuildTable(Workload* w, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(1000, 1.1, seed + 1);
+  std::vector<int64_t> id(rows), code(rows), price(rows), ts(rows);
+  int64_t t = 1700000000;
+  for (size_t i = 0; i < rows; i++) {
+    id[i] = int64_t(i);
+    code[i] = int64_t(zipf.Next());
+    price[i] = int64_t(100 + rng.Uniform(900));
+    if (rng.Bernoulli(0.01)) price[i] = int64_t(rng.Uniform(1u << 30));
+    t += int64_t(rng.Uniform(30));
+    ts[i] = t;
+  }
+  for (const auto& [name, vec] :
+       {std::pair<const char*, std::vector<int64_t>*>{"id", &id},
+        {"code", &code},
+        {"price", &price},
+        {"ts", &ts}}) {
+    Status st = BulkLoadColumn<int64_t>(&w->table, name, *vec);
+    SCC_CHECK(st.ok(), st.ToString().c_str());
+  }
+  // Working set ~4x capacity: steady-state misses and eviction churn are
+  // the point, not an artifact.
+  w->bm = std::make_unique<BufferManager>(&w->disk,
+                                          w->table.ByteSize() / 4 + 1,
+                                          Layout::kDSM);
+  for (size_t c = 0; c < w->table.column_count(); c++) {
+    w->cols.push_back(w->table.column(c));
+  }
+}
+
+/// One point read: pin the chunk's page and decode exactly the 128-value
+/// group holding `row` (SegmentReader::Get — the paper's fine-grained
+/// access path). Returns the value to keep the work observable.
+uint64_t PointRead(Workload* w, const StoredColumn* col, size_t row) {
+  const size_t chunk = row / w->table.chunk_values();
+  Result<BufferManager::PageGuard> g =
+      w->bm->FetchPinned(&w->table, col, chunk);
+  SCC_CHECK(g.ok(), g.status().ToString().c_str());
+  BufferManager::PageGuard guard = g.MoveValueOrDie();
+  auto reader = SegmentReader<int64_t>::Open(guard->data(), guard->size());
+  SCC_CHECK(reader.ok(), "tail_latency: segment failed validation");
+  return uint64_t(
+      reader.ValueOrDie().Get(row % w->table.chunk_values()));
+}
+
+/// One scan op: decompress a whole random chunk of one column (the unit
+/// of work a morsel worker performs), thrashing the cache the point
+/// reads depend on.
+uint64_t ScanChunk(Workload* w, const StoredColumn* col, size_t chunk,
+                   std::vector<int64_t>* scratch) {
+  Result<BufferManager::PageGuard> g =
+      w->bm->FetchPinned(&w->table, col, chunk);
+  SCC_CHECK(g.ok(), g.status().ToString().c_str());
+  BufferManager::PageGuard guard = g.MoveValueOrDie();
+  auto reader = SegmentReader<int64_t>::Open(guard->data(), guard->size());
+  SCC_CHECK(reader.ok(), "tail_latency: segment failed validation");
+  const SegmentReader<int64_t>& r = reader.ValueOrDie();
+  scratch->resize(r.count());
+  r.DecompressAll(scratch->data());
+  return uint64_t(r.count());
+}
+
+/// Runs one mix with `threads` concurrent clients on the shared pool
+/// (ops split evenly; each client keeps a local latency vector, merged
+/// and sorted afterwards so the measurement itself never contends).
+MixResult RunMix(Workload* w, const std::string& name, size_t ops,
+                 unsigned threads, int scan_pct, uint64_t seed,
+                 Histogram* hist) {
+  MixResult result;
+  result.name = name;
+  // Per-operation attribution: everything below — including work stolen
+  // by other pool threads — exports under this mix's trace tree.
+  TraceOperation op("bench.tail_latency." + name);
+
+  const size_t rows = w->table.rows();
+  const size_t chunks = w->table.chunk_count();
+  std::vector<std::vector<uint64_t>> per_client(threads);
+  const size_t per = (ops + threads - 1) / threads;
+
+  Timer wall;
+  ThreadPool::Instance().ParallelFor(
+      threads,
+      [&](size_t client) {
+        Rng rng(seed + 7919 * client);
+        // Zipf over rows: a hot head that hits cache and a long cold
+        // tail that faults — the shape that produces a real p99/p50 gap.
+        ZipfGenerator row_pick(rows, 0.9, seed + 13 * client);
+        std::vector<uint64_t>& lat = per_client[client];
+        lat.reserve(per);
+        std::vector<int64_t> scratch;
+        uint64_t sink = 0;
+        for (size_t i = 0; i < per; i++) {
+          const StoredColumn* col = w->cols[rng.Uniform(w->cols.size())];
+          const bool scan = int(rng.Uniform(100)) < scan_pct;
+          Timer t;
+          if (scan) {
+            sink += ScanChunk(w, col, rng.Uniform(chunks), &scratch);
+          } else {
+            sink += PointRead(w, col, row_pick.Next());
+          }
+          const uint64_t ns = uint64_t(t.ElapsedNanos());
+          lat.push_back(ns);
+          hist->Observe(ns);
+        }
+        if (sink == 0xdeadbeef) printf("%llu\n", (unsigned long long)sink);
+      },
+      threads > 0 ? threads - 1 : 0);
+  result.wall_seconds = wall.ElapsedSeconds();
+
+  for (auto& v : per_client) {
+    result.latencies_ns.insert(result.latencies_ns.end(), v.begin(), v.end());
+  }
+  std::sort(result.latencies_ns.begin(), result.latencies_ns.end());
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  size_t rows = size_t(1) << 17;  // 128K rows x 4 cols: CI-smoke sized
+  size_t ops = 4000;              // per mix, split across clients
+  unsigned threads = 4;
+  uint64_t seed = 2026;
+  const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; i++) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      if (const char* v = next()) rows = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      if (const char* v = next()) ops = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (const char* v = next()) threads = unsigned(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (const char* v = next()) seed = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next();
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = next();
+    } else {
+      fprintf(stderr,
+              "usage: %s [--rows N] [--ops N] [--threads N] [--seed S] "
+              "[--json PATH] [--trace PATH]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+
+  SetTelemetryEnabled(true);
+  if (trace_path != nullptr) SetTraceEnabled(true);
+
+  bench::PrintHeader("Tail latency under concurrent point-read/scan mixes",
+                     "the workload-observability harness; Section 5.2 "
+                     "fine-grained access");
+
+  Workload w;
+  BuildTable(&w, rows, seed);
+  printf("table: %zu rows x %zu cols, %.2f MB stored, bm capacity %.2f MB, "
+         "%u clients, %zu ops/mix\n\n",
+         w.table.rows(), w.table.column_count(),
+         w.table.ByteSize() / 1048576.0,
+         (w.table.ByteSize() / 4 + 1) / 1048576.0, threads, ops);
+
+  struct Mix {
+    const char* name;
+    int scan_pct;
+  };
+  const Mix mixes[] = {{"read_only", 0}, {"mixed_80_20", 20}};
+
+  std::string metrics_json;
+  char buf[256];
+  printf("%-12s %10s %10s %10s %10s %10s %12s\n", "mix", "p50(us)",
+         "p95(us)", "p99(us)", "p999(us)", "max(us)", "ops/s");
+  for (const Mix& mix : mixes) {
+    Histogram& hist = MetricsRegistry::Instance().GetHistogram(
+        std::string("bench.tail.") + mix.name + ".op_ns");
+    hist.Reset();
+    // Warm nothing: cold cache is part of the distribution for the first
+    // ops; steady-state dominates at default op counts.
+    MixResult r = RunMix(&w, mix.name, ops, threads, mix.scan_pct, seed,
+                         &hist);
+    printf("%-12s %10.1f %10.1f %10.1f %10.1f %10.1f %12.0f\n",
+           mix.name, r.Exact(0.50) / 1e3, r.Exact(0.95) / 1e3,
+           r.Exact(0.99) / 1e3, r.Exact(0.999) / 1e3,
+           r.latencies_ns.empty() ? 0.0 : r.latencies_ns.back() / 1e3,
+           r.OpsPerSec());
+    // Estimator cross-check: interpolated quantiles from the log2
+    // histogram vs the exact ones (log-scale bound, so report the ratio).
+    HistogramSnapshot hs = hist.SnapshotNow();
+    printf("%-12s   histogram-interpolated: p50 %.1f p99 %.1f p999 %.1f "
+           "(x%.2f / x%.2f / x%.2f of exact)\n",
+           "", hs.Quantile(0.5) / 1e3, hs.Quantile(0.99) / 1e3,
+           hs.Quantile(0.999) / 1e3,
+           r.Exact(0.5) ? hs.Quantile(0.5) / double(r.Exact(0.5)) : 0.0,
+           r.Exact(0.99) ? hs.Quantile(0.99) / double(r.Exact(0.99)) : 0.0,
+           r.Exact(0.999) ? hs.Quantile(0.999) / double(r.Exact(0.999))
+                          : 0.0);
+    for (const auto& [q, label] :
+         {std::pair<double, const char*>{0.50, "p50_ns"},
+          {0.95, "p95_ns"},
+          {0.99, "p99_ns"},
+          {0.999, "p999_ns"}}) {
+      snprintf(buf, sizeof(buf), "\"%s.%s\":%llu,", mix.name, label,
+               (unsigned long long)r.Exact(q));
+      metrics_json += buf;
+    }
+    snprintf(buf, sizeof(buf), "\"%s.ops_per_sec\":%.1f,", mix.name,
+             r.OpsPerSec());
+    metrics_json += buf;
+  }
+  printf("\nbm: %zu hits, %zu misses, %zu evictions, %zu coalesced\n",
+         w.bm->hits(), w.bm->misses(), w.bm->evictions(),
+         w.bm->coalesced_misses());
+
+  if (json_path != nullptr) {
+    if (!metrics_json.empty()) metrics_json.pop_back();  // trailing comma
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f,
+            "{\"bench\":\"tail_latency\",\"config\":{\"rows\":%zu,"
+            "\"ops\":%zu,\"threads\":%u,\"seed\":%llu},\"metrics\":{%s}}\n",
+            rows, ops, threads, (unsigned long long)seed,
+            metrics_json.c_str());
+    std::fclose(f);
+    printf("wrote %s\n", json_path);
+  }
+  if (trace_path != nullptr) {
+    TraceRecorder& tr = TraceRecorder::Instance();
+    if (!tr.WriteChromeTrace(trace_path)) {
+      fprintf(stderr, "error: cannot write trace to %s\n", trace_path);
+      return 1;
+    }
+    printf("wrote %zu trace events to %s\n", tr.event_count(), trace_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }

@@ -17,6 +17,18 @@
 //   exec.scan.morsels             morsels processed by parallel scans
 //   exec.scan.rows                rows emitted by parallel scans
 //   exec.scan.prefetches          pages enqueued by the async prefetcher
+//
+// Pool health family (docs/OBSERVABILITY.md), fed by thread_pool.cc:
+//   exec.pool.steals              alias of exec.steals under the pool
+//                                 family (kept both for compatibility)
+//   exec.pool.queue_depth         gauge: injection-queue backlog
+//   exec.pool.idle_ns             time workers spent parked waiting
+//   exec.pool.queue_wait_ns       hist: task submit -> start latency
+//   exec.pool.task_run_ns         hist: task body execution time
+//   exec.pool.caller.run_ns       task time burned by non-worker threads
+//                                 (helping Wait / ParallelFor callers)
+//   exec.pool.worker.<i>.run_ns   task time per worker (registered by the
+//                                 pool constructor, not cached here)
 
 namespace scc {
 
@@ -28,6 +40,12 @@ struct ExecMetrics {
   Counter* scan_morsels;
   Counter* scan_rows;
   Counter* scan_prefetches;
+  Counter* pool_steals;
+  Gauge* pool_queue_depth;
+  Counter* pool_idle_ns;
+  Histogram* pool_queue_wait_ns;
+  Histogram* pool_task_run_ns;
+  Counter* pool_caller_run_ns;
 
   static ExecMetrics& Get() {
     static ExecMetrics* m = [] {
@@ -40,6 +58,12 @@ struct ExecMetrics {
       em->scan_morsels = &reg.GetCounter("exec.scan.morsels");
       em->scan_rows = &reg.GetCounter("exec.scan.rows");
       em->scan_prefetches = &reg.GetCounter("exec.scan.prefetches");
+      em->pool_steals = &reg.GetCounter("exec.pool.steals");
+      em->pool_queue_depth = &reg.GetGauge("exec.pool.queue_depth");
+      em->pool_idle_ns = &reg.GetCounter("exec.pool.idle_ns");
+      em->pool_queue_wait_ns = &reg.GetHistogram("exec.pool.queue_wait_ns");
+      em->pool_task_run_ns = &reg.GetHistogram("exec.pool.task_run_ns");
+      em->pool_caller_run_ns = &reg.GetCounter("exec.pool.caller.run_ns");
       return em;
     }();
     return *m;

@@ -85,6 +85,12 @@ void ParallelScan::IssuePrefetch(size_t morsel, TaskGroup* group) {
 void ParallelScan::Run(const Visitor& visitor) {
   decompress_seconds_ = 0;
   if (morsels_ == 0 || cols_.empty()) return;
+  // Root of this scan's trace tree: worker and prefetch tasks below are
+  // submitted from this scope, so the pool carries the operation id to
+  // whichever threads run them.
+  TraceOperation op(options_.trace_label.empty()
+                        ? std::string("exec.parallel_scan")
+                        : options_.trace_label);
   ExecMetrics& em = ExecMetrics::Get();
 
   // Per-slot state, touched by one thread at a time.

@@ -46,6 +46,12 @@ struct ParallelScanOptions {
   size_t prefetch_depth = 2;
   /// Deliver morsels to the visitor in table order, single-threaded.
   bool ordered = false;
+  /// Trace-operation label for this scan (interned; per-query labels like
+  /// "scan.q=3" are fine). Empty = the generic "exec.parallel_scan".
+  /// When tracing is on, Run() opens a TraceOperation under this name, so
+  /// every worker/prefetch span — on whichever thread it runs — exports
+  /// as one per-operation tree.
+  std::string trace_label;
 };
 
 class ParallelScan {

@@ -1,10 +1,12 @@
 #include "exec/thread_pool.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "exec/exec_metrics.h"
+#include "sys/telemetry.h"
 #include "util/status.h"
 
 namespace scc {
@@ -21,6 +23,12 @@ thread_local WorkerTls g_worker_tls;
 
 struct ThreadPool::Task {
   std::function<void()> fn;
+  // Trace propagation: the submitter's context, reinstalled around fn()
+  // on whichever thread ends up running it, so spans recorded inside the
+  // task still attribute to the originating operation.
+  TraceContext ctx;
+  double enqueue_us = -1.0;  // submit timestamp; < 0 = not timed
+  uint64_t flow_id = 0;      // nonzero: flow arrow links submit -> run
 };
 
 // Chase-Lev work-stealing deque (Chase & Lev, SPAA'05), fixed capacity:
@@ -91,6 +99,9 @@ struct ThreadPool::Worker {
   Deque deque;
   // Per-worker steal cursor so concurrent thieves fan out over victims.
   size_t victim_cursor = 0;
+  // Per-worker run-time attribution ("exec.pool.worker.<i>.run_ns"),
+  // resolved once at pool construction.
+  Counter* run_ns = nullptr;
 };
 
 unsigned ThreadPool::DefaultWorkerCount() {
@@ -117,6 +128,9 @@ ThreadPool::ThreadPool(unsigned workers) {
   for (unsigned i = 0; i < workers; i++) {
     workers_.push_back(std::make_unique<Worker>());
     workers_[i]->victim_cursor = i + 1;
+    char name[48];
+    std::snprintf(name, sizeof(name), "exec.pool.worker.%u.run_ns", i);
+    workers_[i]->run_ns = &MetricsRegistry::Instance().GetCounter(name);
   }
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; i++) {
@@ -143,7 +157,20 @@ void ThreadPool::Submit(std::function<void()> fn) {
     fn();
     return;
   }
-  Task* t = new Task{std::move(fn)};
+  Task* t = new Task;
+  t->fn = std::move(fn);
+  if (TelemetryEnabled() || TraceEnabled()) t->enqueue_us = TraceNowMicros();
+  if (TraceEnabled()) {
+    t->ctx = CurrentTraceContext();
+    if (t->ctx.active()) {
+      // Flow arrow from the submit site into the task's eventual run
+      // span, so the viewer draws the cross-thread edge.
+      t->flow_id = NextTraceId();
+      TraceRecorder::Instance().RecordFlow("exec.task", "exec",
+                                           t->enqueue_us, /*start=*/true,
+                                           t->flow_id);
+    }
+  }
   const WorkerTls& tls = g_worker_tls;
   if (tls.pool == this && workers_[tls.index]->deque.Push(t)) {
     // Spawned by a worker: owner deque, stolen if the owner stays busy.
@@ -156,6 +183,8 @@ void ThreadPool::Submit(std::function<void()> fn) {
       inject_head_ = 0;
     }
     inject_.push_back(t);
+    ExecMetrics::Get().pool_queue_depth->Set(
+        int64_t(inject_.size() - inject_head_));
   }
   WakeOne();
 }
@@ -168,7 +197,12 @@ ThreadPool::Task* ThreadPool::FindTask(size_t self) {
   // 2. Injection queue: external submissions, FIFO.
   {
     std::lock_guard<std::mutex> lock(inject_mu_);
-    if (inject_head_ < inject_.size()) return inject_[inject_head_++];
+    if (inject_head_ < inject_.size()) {
+      Task* t = inject_[inject_head_++];
+      ExecMetrics::Get().pool_queue_depth->Set(
+          int64_t(inject_.size() - inject_head_));
+      return t;
+    }
   }
   // 3. Steal a round across the other workers' deques.
   const size_t n = workers_.size();
@@ -181,6 +215,7 @@ ThreadPool::Task* ThreadPool::FindTask(size_t self) {
         workers_[self]->victim_cursor = v;  // stick with a loaded victim
         steals_.fetch_add(1, std::memory_order_relaxed);
         ExecMetrics::Get().steals->Increment();
+        ExecMetrics::Get().pool_steals->Increment();
       }
       return t;
     }
@@ -189,8 +224,50 @@ ThreadPool::Task* ThreadPool::FindTask(size_t self) {
 }
 
 void ThreadPool::Execute(Task* t) {
-  ExecMetrics::Get().tasks->Increment();
-  t->fn();
+  ExecMetrics& em = ExecMetrics::Get();
+  em.tasks->Increment();
+  // Queue-wait vs run split: only when the task was stamped at submit and
+  // telemetry is still live (cheap steady-clock reads either side of fn).
+  const bool timed =
+      t->enqueue_us >= 0 && (TelemetryEnabled() || TraceEnabled());
+  double start_us = 0;
+  if (timed) {
+    start_us = TraceNowMicros();
+    em.pool_queue_wait_ns->Observe(
+        uint64_t((start_us - t->enqueue_us) * 1000.0));
+  }
+  const bool traced = t->flow_id != 0 && TraceEnabled();
+  uint64_t run_span = 0;
+  if (traced) {
+    TraceRecorder::Instance().RecordFlow("exec.task", "exec", start_us,
+                                         /*start=*/false, t->flow_id);
+    // Spans recorded inside fn() parent under the task's run span, which
+    // itself parents under whatever span submitted the task.
+    run_span = NextTraceId();
+    TraceContextScope scope(TraceContext{t->ctx.op_id, run_span});
+    t->fn();
+  } else {
+    t->fn();
+  }
+  if (timed) {
+    const double end_us = TraceNowMicros();
+    const uint64_t run_ns = uint64_t((end_us - start_us) * 1000.0);
+    em.pool_task_run_ns->Observe(run_ns);
+    const WorkerTls& tls = g_worker_tls;
+    Counter* attributed = tls.pool == this ? workers_[tls.index]->run_ns
+                                           : em.pool_caller_run_ns;
+    attributed->Add(run_ns);
+    if (traced) {
+      TraceRecorder& tr = TraceRecorder::Instance();
+      tr.RecordComplete(
+          "exec.task.queue_wait", "exec", t->enqueue_us,
+          start_us - t->enqueue_us,
+          SpanDetail{t->ctx.op_id, NextTraceId(), t->ctx.parent_span});
+      tr.RecordComplete("exec.task.run", "exec", start_us, end_us - start_us,
+                        SpanDetail{t->ctx.op_id, run_span,
+                                   t->ctx.parent_span});
+    }
+  }
   delete t;
 }
 
@@ -231,11 +308,17 @@ void ThreadPool::WorkerLoop(size_t self) {
       Execute(t);
       continue;
     }
+    const bool timed = TelemetryEnabled();
+    const double idle_start_us = timed ? TraceNowMicros() : 0;
     std::unique_lock<std::mutex> lock(sleep_mu_);
     sleep_cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
       return stop_.load(std::memory_order_relaxed) ||
              work_epoch_.load(std::memory_order_relaxed) != epoch;
     });
+    if (timed) {
+      ExecMetrics::Get().pool_idle_ns->Add(
+          uint64_t((TraceNowMicros() - idle_start_us) * 1000.0));
+    }
   }
   g_worker_tls.pool = nullptr;
 }

@@ -27,7 +27,15 @@
 //    the metrics registry so teardown order can't strand a worker.
 //
 // Telemetry: exec.workers (gauge), exec.tasks, exec.steals,
-// exec.queue.overflow.
+// exec.queue.overflow, plus the exec.pool.* health family (steals alias,
+// queue_depth gauge, idle_ns, queue_wait_ns/task_run_ns histograms,
+// per-worker run_ns) — see exec_metrics.h.
+//
+// Trace propagation: Submit() captures the submitting thread's
+// TraceContext into the task and Execute() reinstalls it around the body,
+// so spans recorded by stolen tasks still attach to their operation's
+// tree; when tracing is on, each task also records its queue-wait and run
+// intervals and a flow arrow from submit to run.
 
 namespace scc {
 

@@ -60,6 +60,9 @@ class BufferManager {
   /// Lock stripes. Power of two; 16 keeps cross-chunk contention
   /// negligible at typical core counts.
   static constexpr size_t kShards = 16;
+  static_assert(kShards == kBmMetricShards,
+                "per-shard metric handles sized for a different stripe "
+                "count; update storage_metrics.h");
 
   BufferManager(SimDisk* disk, size_t capacity_bytes, Layout layout)
       : disk_(disk), capacity_(capacity_bytes), layout_(layout) {}
@@ -154,8 +157,14 @@ class BufferManager {
       if (!leader) {
         coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
         sm.bm_coalesced_misses->Increment();
+        const bool timed = TelemetryEnabled();
+        const double wait_start_us = timed ? TraceNowMicros() : 0;
         std::unique_lock<std::mutex> lock(flight->mu);
         flight->cv.wait(lock, [&] { return flight->done; });
+        if (timed) {
+          sm.bm_coalesced_wait_ns->Observe(
+              uint64_t((TraceNowMicros() - wait_start_us) * 1000.0));
+        }
         if (flight->status.ok()) {
           continue;  // page is cached now (barring an eviction storm: retry)
         }
@@ -182,6 +191,9 @@ class BufferManager {
       } else {
         misses_.fetch_add(1, std::memory_order_relaxed);
         sm.bm_misses->Increment();
+        const size_t si = ShardOf(key);
+        shards_[si].misses.fetch_add(1, std::memory_order_relaxed);
+        sm.bm_shard_misses[si]->Increment();
         AlignedBuffer page;
         bool owned = false;
         st = ReadPage(table, col, chunk_idx, &page, &owned);
@@ -266,6 +278,15 @@ class BufferManager {
   size_t coalesced_misses() const {
     return coalesced_misses_.load(std::memory_order_relaxed);
   }
+  /// Per-stripe cache outcomes (i < kShards); shard_hits + shard_misses
+  /// summed over stripes equals hits() + misses() from the leader paths.
+  /// Mirrors storage.bm.shard.<i>.hits / .misses.
+  size_t shard_hits(size_t i) const {
+    return shards_[i].hits.load(std::memory_order_relaxed);
+  }
+  size_t shard_misses(size_t i) const {
+    return shards_[i].misses.load(std::memory_order_relaxed);
+  }
 
   /// Drops every cached page (resident_bytes() returns to 0) but KEEPS the
   /// statistics: Clear() is "power off the cache", used by benches to
@@ -292,6 +313,10 @@ class BufferManager {
     bytes_read_.store(0, std::memory_order_relaxed);
     io_faults_.store(0, std::memory_order_relaxed);
     coalesced_misses_.store(0, std::memory_order_relaxed);
+    for (Shard& sh : shards_) {
+      sh.hits.store(0, std::memory_order_relaxed);
+      sh.misses.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -313,6 +338,10 @@ class BufferManager {
     std::mutex mu;
     std::unordered_map<Key, Entry, KeyHash> cache;
     std::list<Key> lru;  // front = most recent within this shard
+    // Per-stripe outcome counters (mirrored into storage.bm.shard.<i>.*)
+    // so a skewed key distribution shows up as a hot stripe.
+    std::atomic<size_t> hits{0};
+    std::atomic<size_t> misses{0};
   };
   struct InFlight {
     std::mutex mu;
@@ -338,12 +367,15 @@ class BufferManager {
   /// cached; an empty guard means the key is absent. Takes the shard lock.
   PageGuard TryPinCached(const Key& key, const StoredColumn* col,
                          size_t chunk_idx) {
-    Shard& sh = shards_[ShardOf(key)];
+    const size_t si = ShardOf(key);
+    Shard& sh = shards_[si];
     std::lock_guard<std::mutex> lock(sh.mu);
     auto it = sh.cache.find(key);
     if (it == sh.cache.end()) return PageGuard();
     hits_.fetch_add(1, std::memory_order_relaxed);
+    sh.hits.fetch_add(1, std::memory_order_relaxed);
     StorageMetrics::Get().bm_hits->Increment();
+    StorageMetrics::Get().bm_shard_hits[si]->Increment();
     Touch(sh, it->second);
     it->second.pins++;
     return PageGuard(this, key,
@@ -505,6 +537,11 @@ class BufferManager {
         evicted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
         sm.bm_evictions->Increment();
         sm.bm_evicted_bytes->Add(bytes);
+        // Victim age in LRU-clock ticks (touches since this entry was
+        // last used). A distribution clustered near zero means churn:
+        // pages are evicted almost as soon as they stop being used.
+        sm.bm_eviction_age->Observe(
+            clock_.load(std::memory_order_relaxed) - it->second.stamp);
         sh.lru.erase(it->second.lru_it);
         sh.cache.erase(it);
         break;

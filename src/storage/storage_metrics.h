@@ -1,6 +1,8 @@
 #ifndef SCC_STORAGE_STORAGE_METRICS_H_
 #define SCC_STORAGE_STORAGE_METRICS_H_
 
+#include <cstdio>
+
 #include "sys/telemetry.h"
 
 // Telemetry handles for the storage family, resolved once (see
@@ -13,6 +15,14 @@
 //   storage.bm.bytes_read               bytes charged to the (sim) disk
 //   storage.bm.coalesced_misses         misses that joined another thread's
 //                                       in-flight read (no disk charge)
+//   storage.bm.coalesced_wait_ns        hist: time followers spent blocked
+//                                       on the leader's in-flight read
+//   storage.bm.eviction.age             hist: LRU-clock ticks between a
+//                                       victim's last touch and its
+//                                       eviction (small = churn: pages
+//                                       recycled almost immediately)
+//   storage.bm.shard.<i>.hits/.misses   per-shard cache outcomes, for
+//                                       spotting skewed stripes
 //   storage.bm.resident_bytes           gauge: current cached bytes
 //   storage.io_faults                   failed page-read attempts (injected
 //                                       I/O errors, truncations, CRC fails)
@@ -29,6 +39,11 @@
 
 namespace scc {
 
+/// Lock stripes instrumented per shard; must equal BufferManager::kShards
+/// (static_assert'd in buffer_manager.h — this header is its dependency,
+/// not the other way around).
+constexpr size_t kBmMetricShards = 16;
+
 struct StorageMetrics {
   Counter* bm_hits;
   Counter* bm_misses;
@@ -36,6 +51,10 @@ struct StorageMetrics {
   Counter* bm_evicted_bytes;
   Counter* bm_bytes_read;
   Counter* bm_coalesced_misses;
+  Histogram* bm_coalesced_wait_ns;
+  Histogram* bm_eviction_age;
+  Counter* bm_shard_hits[kBmMetricShards];
+  Counter* bm_shard_misses[kBmMetricShards];
   Counter* io_faults;
   Gauge* bm_resident_bytes;
   Counter* scan_vectors;
@@ -61,6 +80,16 @@ struct StorageMetrics {
       sm->bm_bytes_read = &reg.GetCounter("storage.bm.bytes_read");
       sm->bm_coalesced_misses =
           &reg.GetCounter("storage.bm.coalesced_misses");
+      sm->bm_coalesced_wait_ns =
+          &reg.GetHistogram("storage.bm.coalesced_wait_ns");
+      sm->bm_eviction_age = &reg.GetHistogram("storage.bm.eviction.age");
+      for (size_t i = 0; i < kBmMetricShards; i++) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "storage.bm.shard.%zu.hits", i);
+        sm->bm_shard_hits[i] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name), "storage.bm.shard.%zu.misses", i);
+        sm->bm_shard_misses[i] = &reg.GetCounter(name);
+      }
       sm->io_faults = &reg.GetCounter("storage.io_faults");
       sm->bm_resident_bytes = &reg.GetGauge("storage.bm.resident_bytes");
       sm->scan_vectors = &reg.GetCounter("storage.scan.vectors");

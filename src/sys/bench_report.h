@@ -1,0 +1,192 @@
+#ifndef SCC_SYS_BENCH_REPORT_H_
+#define SCC_SYS_BENCH_REPORT_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+// Benchmark result files and the regression diff over them — the data
+// model behind tools/scc_bench_diff and the BENCH_*.json baselines CI
+// compares against (docs/OBSERVABILITY.md).
+//
+// File format: one JSON object per file,
+//
+//   {"bench":"tail_latency",
+//    "config":{...free-form, ignored by the diff...},
+//    "metrics":{"read_only.p99_ns":41250.0, "read_only.ops_per_sec":...}}
+//
+// The metrics map is flat: string key -> number. Regression direction is
+// inferred from the key's naming convention:
+//   *_ns / *_nanos / *_seconds   lower is better (latency/time)
+//   *per_sec* / *_ops            higher is better (throughput)
+//   anything else                informational, never gates
+// Tail quantiles (p999) are noisier than medians, so their default gate
+// is twice the base threshold; per-metric overrides take precedence.
+
+namespace scc {
+
+struct BenchReport {
+  std::string bench;
+  std::map<std::string, double> metrics;
+
+  /// Parses the report format above. Tolerant of whitespace and key
+  /// order; only the flat "metrics" object is required. Not a general
+  /// JSON parser: nested objects inside "metrics" are not supported.
+  static bool ParseJson(const std::string& json, BenchReport* out) {
+    out->bench.clear();
+    out->metrics.clear();
+    size_t bp = json.find("\"bench\"");
+    if (bp != std::string::npos) {
+      size_t q0 = json.find('"', json.find(':', bp) + 1);
+      size_t q1 = q0 == std::string::npos ? q0 : json.find('"', q0 + 1);
+      if (q1 != std::string::npos) {
+        out->bench = json.substr(q0 + 1, q1 - q0 - 1);
+      }
+    }
+    size_t mp = json.find("\"metrics\"");
+    if (mp == std::string::npos) return false;
+    size_t i = json.find('{', mp);
+    if (i == std::string::npos) return false;
+    i++;
+    while (i < json.size()) {
+      size_t close = json.find('}', i);
+      size_t k0 = json.find('"', i);
+      if (k0 == std::string::npos || (close != std::string::npos && close < k0)) {
+        break;  // end of the metrics object
+      }
+      size_t k1 = json.find('"', k0 + 1);
+      if (k1 == std::string::npos) return false;
+      size_t colon = json.find(':', k1);
+      if (colon == std::string::npos) return false;
+      char* end = nullptr;
+      double v = std::strtod(json.c_str() + colon + 1, &end);
+      if (end == json.c_str() + colon + 1) return false;  // not a number
+      out->metrics[json.substr(k0 + 1, k1 - k0 - 1)] = v;
+      i = size_t(end - json.c_str());
+    }
+    return !out->metrics.empty();
+  }
+
+  static bool LoadFile(const std::string& path, BenchReport* out) {
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return false;
+    std::string json;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+    std::fclose(f);
+    return ParseJson(json, out);
+  }
+};
+
+enum class BenchMetricDirection {
+  kLowerIsBetter,   // latency / time
+  kHigherIsBetter,  // throughput
+  kInformational,   // reported, never gates
+};
+
+inline BenchMetricDirection DirectionForMetric(const std::string& name) {
+  // Matches "<sep><stem>" at the end of the name, where <sep> is either
+  // of the separators bench keys use ("read_only.p99_ns", "load.seconds").
+  auto has_suffix = [&](const char* stem) {
+    size_t len = std::strlen(stem);
+    if (name.size() < len + 1) return false;
+    if (name.compare(name.size() - len, len, stem) != 0) return false;
+    char sep = name[name.size() - len - 1];
+    return sep == '_' || sep == '.';
+  };
+  if (has_suffix("ns") || has_suffix("nanos") || has_suffix("seconds")) {
+    return BenchMetricDirection::kLowerIsBetter;
+  }
+  if (name.find("per_sec") != std::string::npos || has_suffix("ops")) {
+    return BenchMetricDirection::kHigherIsBetter;
+  }
+  return BenchMetricDirection::kInformational;
+}
+
+struct BenchDiffOptions {
+  /// A metric regresses when it moves against its direction by more than
+  /// this percentage of the baseline value.
+  double default_threshold_pct = 25.0;
+  /// Per-metric overrides (exact key match), e.g. {"read_only.p999_ns", 60}.
+  std::map<std::string, double> per_metric_pct;
+};
+
+struct BenchMetricDelta {
+  std::string name;
+  double base = 0;
+  double current = 0;
+  double delta_pct = 0;  // signed, relative to base (0 when base == 0)
+  double threshold_pct = 0;
+  BenchMetricDirection direction = BenchMetricDirection::kInformational;
+  bool regressed = false;
+};
+
+struct BenchDiff {
+  std::vector<BenchMetricDelta> deltas;       // every metric in both files
+  std::vector<std::string> missing_in_current;  // in base only
+  std::vector<std::string> added_in_current;    // in current only
+  size_t regressions = 0;
+
+  bool HasRegressions() const { return regressions > 0; }
+};
+
+/// Compares `current` against `base` metric-by-metric. A metric missing
+/// from `current` is reported (it may itself indicate a broken bench) but
+/// does not count as a regression; gating on coverage is the caller's
+/// policy call.
+inline BenchDiff DiffBenchReports(const BenchReport& base,
+                                  const BenchReport& current,
+                                  const BenchDiffOptions& opts = {}) {
+  BenchDiff out;
+  for (const auto& [name, base_v] : base.metrics) {
+    auto it = current.metrics.find(name);
+    if (it == current.metrics.end()) {
+      out.missing_in_current.push_back(name);
+      continue;
+    }
+    BenchMetricDelta d;
+    d.name = name;
+    d.base = base_v;
+    d.current = it->second;
+    d.direction = DirectionForMetric(name);
+    d.delta_pct = base_v != 0 ? (d.current - d.base) / std::fabs(base_v) * 100.0
+                              : 0.0;
+    auto ov = opts.per_metric_pct.find(name);
+    if (ov != opts.per_metric_pct.end()) {
+      d.threshold_pct = ov->second;
+    } else {
+      d.threshold_pct = opts.default_threshold_pct;
+      // Extreme tails are legitimately noisy; default to a looser gate.
+      if (name.find("p999") != std::string::npos) d.threshold_pct *= 2.0;
+    }
+    switch (d.direction) {
+      case BenchMetricDirection::kLowerIsBetter:
+        d.regressed = d.delta_pct > d.threshold_pct;
+        break;
+      case BenchMetricDirection::kHigherIsBetter:
+        d.regressed = d.delta_pct < -d.threshold_pct;
+        break;
+      case BenchMetricDirection::kInformational:
+        d.regressed = false;
+        break;
+    }
+    if (d.regressed) out.regressions++;
+    out.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, v] : current.metrics) {
+    (void)v;
+    if (base.metrics.find(name) == base.metrics.end()) {
+      out.added_in_current.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace scc
+
+#endif  // SCC_SYS_BENCH_REPORT_H_

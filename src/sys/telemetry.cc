@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
+#include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 namespace scc {
 
@@ -25,6 +29,7 @@ bool EnvFlag(const char* name, bool default_value) {
 
 std::atomic<bool> g_metrics_enabled{EnvFlag("SCC_TELEMETRY", true)};
 std::atomic<bool> g_trace_enabled{EnvFlag("SCC_TRACE", false)};
+std::atomic<uint64_t> g_next_trace_id{1};
 
 }  // namespace telemetry_internal
 
@@ -47,6 +52,17 @@ double TraceNowMicros() {
 }
 
 // ---------------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local TraceContext g_trace_ctx;
+}  // namespace
+
+TraceContext CurrentTraceContext() { return g_trace_ctx; }
+void SetCurrentTraceContext(const TraceContext& ctx) { g_trace_ctx = ctx; }
+
+// ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
 
@@ -54,9 +70,6 @@ namespace {
 // bit_width(v) is 64 for the top bucket's values; clamp into range.
 size_t HistBucket(uint64_t v) {
   return std::min(size_t(std::bit_width(v)), kHistogramBuckets - 1);
-}
-uint64_t BucketUpperBound(size_t i) {
-  return i >= 64 ? UINT64_MAX : (uint64_t(1) << i) - 1;
 }
 }  // namespace
 
@@ -80,17 +93,18 @@ uint64_t Histogram::min() const {
   return m == UINT64_MAX ? 0 : m;
 }
 
+HistogramSnapshot Histogram::SnapshotNow() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  for (size_t i = 0; i < kHistogramBuckets; i++) s.buckets[i] = bucket(i);
+  return s;
+}
+
 uint64_t Histogram::Quantile(double q) const {
-  const uint64_t n = count();
-  if (n == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  uint64_t rank = uint64_t(q * double(n - 1)) + 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kHistogramBuckets; i++) {
-    seen += bucket(i);
-    if (seen >= rank) return BucketUpperBound(i);
-  }
-  return max();
+  return uint64_t(std::llround(SnapshotNow().Quantile(q)));
 }
 
 void Histogram::Reset() {
@@ -99,6 +113,55 @@ void Histogram::Reset() {
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes were observed exactly; interpolation only applies to
+  // interior ranks.
+  if (q <= 0.0) return double(min);
+  if (q >= 1.0) return double(max);
+  // Continuous 0-based rank. A bucket's c observations sit at ranks
+  // cum .. cum+c-1, spread across [lo, hi] with the k-th at position
+  // (k + 0.5) / c; the bucket therefore covers continuous ranks up to
+  // its last observation's midpoint, cum + c - 0.5. A rank past that is
+  // closer to the NEXT populated bucket's first observation — without
+  // the -0.5 a p999 falling between two buckets snaps to the lower one
+  // and can come out a full bucket below the exact percentile.
+  const double r = q * double(count - 1);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; i++) {
+    const uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (r < double(cum) + double(c) - 0.5) {
+      const double lo = double(HistogramBucketLowerBound(i));
+      const double hi = double(HistogramBucketUpperBound(i));
+      const double pos = (r - double(cum) + 0.5) / double(c);
+      double v = std::clamp(lo + pos * (hi - lo), lo, hi);
+      if (max >= min && max > 0) v = std::clamp(v, double(min), double(max));
+      return v;
+    }
+    cum += c;
+  }
+  return double(max);
+}
+
+void HistogramSnapshot::DeriveEndpointsFromBuckets() {
+  count = 0;
+  min = 0;
+  max = 0;
+  bool any = false;
+  for (size_t i = 0; i < kHistogramBuckets; i++) {
+    if (buckets[i] == 0) continue;
+    count += buckets[i];
+    if (!any) {
+      min = HistogramBucketLowerBound(i);
+      any = true;
+    }
+    max = HistogramBucketUpperBound(i);
+  }
+  if (!any) sum = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -180,19 +243,19 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.entries.push_back(std::move(e));
   }
   for (const auto& [name, h] : impl_->histograms) {
+    HistogramSnapshot hs = h->SnapshotNow();
     MetricEntry e;
     e.name = name;
     e.kind = MetricEntry::Kind::kHistogram;
-    e.value = int64_t(h->count());
-    e.hist_sum = h->sum();
-    e.hist_min = h->min();
-    e.hist_max = h->max();
-    e.hist_p50 = h->Quantile(0.5);
-    e.hist_p99 = h->Quantile(0.99);
-    e.hist_buckets.resize(kHistogramBuckets);
-    for (size_t i = 0; i < kHistogramBuckets; i++) {
-      e.hist_buckets[i] = h->bucket(i);
-    }
+    e.value = int64_t(hs.count);
+    e.hist_sum = hs.sum;
+    e.hist_min = hs.min;
+    e.hist_max = hs.max;
+    e.hist_p50 = uint64_t(std::llround(hs.Quantile(0.5)));
+    e.hist_p95 = uint64_t(std::llround(hs.Quantile(0.95)));
+    e.hist_p99 = uint64_t(std::llround(hs.Quantile(0.99)));
+    e.hist_p999 = uint64_t(std::llround(hs.Quantile(0.999)));
+    e.hist_buckets.assign(hs.buckets.begin(), hs.buckets.end());
     snap.entries.push_back(std::move(e));
   }
   std::sort(snap.entries.begin(), snap.entries.end(),
@@ -213,6 +276,26 @@ void MetricsRegistry::ResetAll() {
 // MetricsSnapshot
 // ---------------------------------------------------------------------------
 
+HistogramSnapshot MetricEntry::ToHistogramSnapshot() const {
+  HistogramSnapshot s;
+  s.count = value < 0 ? 0 : uint64_t(value);
+  s.sum = hist_sum;
+  s.min = hist_min;
+  s.max = hist_max;
+  for (size_t i = 0; i < kHistogramBuckets && i < hist_buckets.size(); i++) {
+    s.buckets[i] = hist_buckets[i];
+  }
+  return s;
+}
+
+void MetricEntry::RecomputeHistogramQuantiles() {
+  HistogramSnapshot s = ToHistogramSnapshot();
+  hist_p50 = uint64_t(std::llround(s.Quantile(0.5)));
+  hist_p95 = uint64_t(std::llround(s.Quantile(0.95)));
+  hist_p99 = uint64_t(std::llround(s.Quantile(0.99)));
+  hist_p999 = uint64_t(std::llround(s.Quantile(0.999)));
+}
+
 const MetricEntry* MetricsSnapshot::Find(std::string_view name) const {
   for (const MetricEntry& e : entries) {
     if (e.name == name) return &e;
@@ -227,15 +310,34 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
     const MetricEntry* b = base.Find(e.name);
     MetricEntry d = e;
     if (b != nullptr && e.kind != MetricEntry::Kind::kGauge) {
-      d.value -= b->value;
+      d.value -= std::min(d.value, b->value);
       if (e.kind == MetricEntry::Kind::kHistogram) {
         d.hist_sum -= std::min(d.hist_sum, b->hist_sum);
         for (size_t i = 0;
              i < d.hist_buckets.size() && i < b->hist_buckets.size(); i++) {
           d.hist_buckets[i] -= std::min(d.hist_buckets[i], b->hist_buckets[i]);
         }
-        // min/max/quantiles of the delta window are not recoverable from
-        // endpoint summaries; keep the current totals.
+        // The window's true min/max were not captured, so re-derive them
+        // (and the count, kept consistent with the bucket sum) from the
+        // delta buckets' bounds, then recompute quantiles over the window
+        // rather than inheriting lifetime values.
+        HistogramSnapshot ds = d.ToHistogramSnapshot();
+        ds.buckets = {};
+        for (size_t i = 0; i < kHistogramBuckets && i < d.hist_buckets.size();
+             i++) {
+          ds.buckets[i] = d.hist_buckets[i];
+        }
+        uint64_t window_sum = d.hist_sum;
+        ds.sum = window_sum;
+        ds.DeriveEndpointsFromBuckets();
+        d.value = int64_t(ds.count);
+        d.hist_sum = ds.count == 0 ? 0 : window_sum;
+        d.hist_min = ds.min;
+        d.hist_max = ds.max;
+        d.hist_p50 = uint64_t(std::llround(ds.Quantile(0.5)));
+        d.hist_p95 = uint64_t(std::llround(ds.Quantile(0.95)));
+        d.hist_p99 = uint64_t(std::llround(ds.Quantile(0.99)));
+        d.hist_p999 = uint64_t(std::llround(ds.Quantile(0.999)));
       }
     }
     out.entries.push_back(std::move(d));
@@ -249,7 +351,7 @@ std::string MetricsSnapshot::ToTable(bool include_zero) const {
     width = std::max(width, e.name.size());
   }
   std::string out;
-  char line[256];
+  char line[384];
   for (const MetricEntry& e : entries) {
     if (!include_zero && e.value == 0) continue;
     switch (e.kind) {
@@ -263,13 +365,15 @@ std::string MetricsSnapshot::ToTable(bool include_zero) const {
         break;
       case MetricEntry::Kind::kHistogram:
         snprintf(line, sizeof(line),
-                 "%-*s %20lld (hist: sum=%llu min=%llu p50<=%llu p99<=%llu "
-                 "max=%llu)\n",
+                 "%-*s %20lld (hist: sum=%llu min=%llu p50=%llu p95=%llu "
+                 "p99=%llu p999=%llu max=%llu)\n",
                  int(width), e.name.c_str(), static_cast<long long>(e.value),
                  static_cast<unsigned long long>(e.hist_sum),
                  static_cast<unsigned long long>(e.hist_min),
                  static_cast<unsigned long long>(e.hist_p50),
+                 static_cast<unsigned long long>(e.hist_p95),
                  static_cast<unsigned long long>(e.hist_p99),
+                 static_cast<unsigned long long>(e.hist_p999),
                  static_cast<unsigned long long>(e.hist_max));
         break;
     }
@@ -282,7 +386,7 @@ std::string MetricsSnapshot::ToJson() const {
   // Metric names are dot-separated identifiers (no quotes/backslashes), so
   // plain quoting is a faithful JSON encoding.
   std::string out = "{";
-  char buf[256];
+  char buf[384];
   bool first = true;
   for (const MetricEntry& e : entries) {
     if (!first) out += ",";
@@ -301,18 +405,75 @@ std::string MetricsSnapshot::ToJson() const {
       case MetricEntry::Kind::kHistogram:
         snprintf(buf, sizeof(buf),
                  "\"%s\":{\"count\":%lld,\"sum\":%llu,\"min\":%llu,"
-                 "\"p50\":%llu,\"p99\":%llu,\"max\":%llu}",
+                 "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"p999\":%llu,"
+                 "\"max\":%llu}",
                  e.name.c_str(), static_cast<long long>(e.value),
                  static_cast<unsigned long long>(e.hist_sum),
                  static_cast<unsigned long long>(e.hist_min),
                  static_cast<unsigned long long>(e.hist_p50),
+                 static_cast<unsigned long long>(e.hist_p95),
                  static_cast<unsigned long long>(e.hist_p99),
+                 static_cast<unsigned long long>(e.hist_p999),
                  static_cast<unsigned long long>(e.hist_max));
         out += buf;
         break;
     }
   }
   out += "}";
+  return out;
+}
+
+namespace {
+std::string PrometheusName(const std::string& name) {
+  std::string out = "scc_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  char buf[256];
+  for (const MetricEntry& e : entries) {
+    const std::string n = PrometheusName(e.name);
+    switch (e.kind) {
+      case MetricEntry::Kind::kCounter:
+        snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %lld\n", n.c_str(),
+                 n.c_str(), static_cast<long long>(e.value));
+        out += buf;
+        break;
+      case MetricEntry::Kind::kGauge:
+        snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %lld\n", n.c_str(),
+                 n.c_str(), static_cast<long long>(e.value));
+        out += buf;
+        break;
+      case MetricEntry::Kind::kHistogram: {
+        snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", n.c_str());
+        out += buf;
+        // Cumulative buckets over the log2 upper bounds; empty buckets
+        // are elided (the series stays monotonic without them).
+        uint64_t cum = 0;
+        for (size_t i = 0; i < e.hist_buckets.size(); i++) {
+          if (e.hist_buckets[i] == 0) continue;
+          cum += e.hist_buckets[i];
+          snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                   n.c_str(),
+                   static_cast<unsigned long long>(HistogramBucketUpperBound(i)),
+                   static_cast<unsigned long long>(cum));
+          out += buf;
+        }
+        snprintf(buf, sizeof(buf),
+                 "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                 n.c_str(), static_cast<unsigned long long>(cum), n.c_str(),
+                 static_cast<unsigned long long>(e.hist_sum), n.c_str(),
+                 static_cast<unsigned long long>(cum));
+        out += buf;
+        break;
+      }
+    }
+  }
   return out;
 }
 
@@ -326,6 +487,11 @@ struct TraceRecorder::Impl {
     const char* category;
     double ts_us;
     double dur_us;
+    char phase;       // 'X' complete, 's'/'f' flow endpoints
+    uint64_t op;      // X only: operation id (0 = unattributed)
+    uint64_t span;    // X only: span id
+    uint64_t parent;  // X only: parent span id
+    uint64_t flow;    // s/f only: flow arrow id
   };
   struct ThreadLog {
     std::mutex mu;
@@ -338,6 +504,10 @@ struct TraceRecorder::Impl {
   std::vector<std::unique_ptr<ThreadLog>> logs;
   uint32_t next_tid = 1;
 
+  // Interned dynamic span names; node-based set gives stable c_str().
+  std::mutex intern_mu;
+  std::set<std::string, std::less<>> interned;
+
   ThreadLog* GetThreadLog() {
     thread_local ThreadLog* cached = nullptr;
     if (cached == nullptr) {
@@ -347,6 +517,16 @@ struct TraceRecorder::Impl {
       cached->tid = next_tid++;
     }
     return cached;
+  }
+
+  void Push(const Event& e) {
+    ThreadLog* log = GetThreadLog();
+    std::lock_guard<std::mutex> lock(log->mu);
+    if (log->events.size() >= kMaxEventsPerThread) {
+      log->dropped++;
+      return;
+    }
+    log->events.push_back(e);
   }
 };
 
@@ -361,19 +541,30 @@ TraceRecorder& TraceRecorder::Instance() {
 }
 
 void TraceRecorder::RecordComplete(const char* name, const char* category,
-                                   double ts_us, double dur_us) {
-  Impl::ThreadLog* log = impl_->GetThreadLog();
-  std::lock_guard<std::mutex> lock(log->mu);
-  if (log->events.size() >= kMaxEventsPerThread) {
-    log->dropped++;
-    return;
+                                   double ts_us, double dur_us,
+                                   const SpanDetail& detail) {
+  impl_->Push(Impl::Event{name, category, ts_us, dur_us, 'X', detail.op_id,
+                          detail.span_id, detail.parent, 0});
+}
+
+void TraceRecorder::RecordFlow(const char* name, const char* category,
+                               double ts_us, bool start, uint64_t flow_id) {
+  impl_->Push(Impl::Event{name, category, ts_us, 0.0,
+                          start ? 's' : 'f', 0, 0, 0, flow_id});
+}
+
+const char* TraceRecorder::InternName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->intern_mu);
+  auto it = impl_->interned.find(name);
+  if (it == impl_->interned.end()) {
+    it = impl_->interned.emplace(name).first;
   }
-  log->events.push_back(Impl::Event{name, category, ts_us, dur_us});
+  return it->c_str();
 }
 
 std::string TraceRecorder::ToChromeTraceJson() const {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[320];
+  char buf[448];
   bool first = true;
   std::lock_guard<std::mutex> reg_lock(impl_->registry_mu);
   for (const auto& log : impl_->logs) {
@@ -381,10 +572,30 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     for (const Impl::Event& e : log->events) {
       if (!first) out += ",";
       first = false;
-      snprintf(buf, sizeof(buf),
-               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-               "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
-               e.name, e.category, e.ts_us, e.dur_us, log->tid);
+      if (e.phase == 'X' && e.span != 0) {
+        snprintf(buf, sizeof(buf),
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu,"
+                 "\"span\":%llu,\"parent\":%llu}}",
+                 e.name, e.category, e.ts_us, e.dur_us, log->tid,
+                 static_cast<unsigned long long>(e.op),
+                 static_cast<unsigned long long>(e.span),
+                 static_cast<unsigned long long>(e.parent));
+      } else if (e.phase == 'X') {
+        snprintf(buf, sizeof(buf),
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                 e.name, e.category, e.ts_us, e.dur_us, log->tid);
+      } else {
+        // Flow endpoints; "bp":"e" binds the finish to the enclosing
+        // slice so viewers draw the arrow into the task's run span.
+        snprintf(buf, sizeof(buf),
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",%s"
+                 "\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+                 e.name, e.category, e.phase,
+                 e.phase == 'f' ? "\"bp\":\"e\"," : "",
+                 static_cast<unsigned long long>(e.flow), e.ts_us, log->tid);
+      }
       out += buf;
     }
   }
@@ -429,6 +640,61 @@ void TraceRecorder::Clear() {
     log->events.clear();
     log->dropped = 0;
   }
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan / TraceOperation
+// ---------------------------------------------------------------------------
+
+void TraceSpan::Begin(const char* name, const char* category) {
+  if (!TraceEnabled()) return;
+  assert(name != nullptr && name[0] != '\0');
+  name_ = name;
+  category_ = category;
+  start_us_ = TraceNowMicros();
+  span_id_ = NextTraceId();
+  prev_ = CurrentTraceContext();
+  SetCurrentTraceContext(TraceContext{prev_.op_id, span_id_});
+}
+
+void TraceSpan::End() {
+  if (span_id_ == 0) return;
+  SetCurrentTraceContext(prev_);
+  const double end_us = TraceNowMicros();
+  TraceRecorder::Instance().RecordComplete(
+      name_, category_, start_us_, end_us - start_us_,
+      SpanDetail{prev_.op_id, span_id_, prev_.parent_span});
+}
+
+TraceSpan::TraceSpan(const std::string& name, const char* category) {
+  if (!TraceEnabled()) return;
+  Begin(TraceRecorder::Instance().InternName(name), category);
+}
+
+void TraceOperation::Begin(const char* name, const char* category) {
+  if (!TraceEnabled()) return;
+  assert(name != nullptr && name[0] != '\0');
+  name_ = name;
+  category_ = category;
+  start_us_ = TraceNowMicros();
+  op_id_ = NextTraceId();
+  prev_ = CurrentTraceContext();
+  // The operation id doubles as the root span id its children attach to.
+  SetCurrentTraceContext(TraceContext{op_id_, op_id_});
+}
+
+void TraceOperation::End() {
+  if (op_id_ == 0) return;
+  SetCurrentTraceContext(prev_);
+  const double end_us = TraceNowMicros();
+  TraceRecorder::Instance().RecordComplete(
+      name_, category_, start_us_, end_us - start_us_,
+      SpanDetail{op_id_, op_id_, 0});
+}
+
+TraceOperation::TraceOperation(const std::string& name, const char* category) {
+  if (!TraceEnabled()) return;
+  Begin(TraceRecorder::Instance().InternName(name), category);
 }
 
 }  // namespace scc

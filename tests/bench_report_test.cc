@@ -1,0 +1,153 @@
+#include "sys/bench_report.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+// Perf-regression harness tests: BenchReport JSON parsing, metric
+// direction inference, and the diff gate that scc_bench_diff and the
+// nightly workflow sit on. The gate must fire on a genuine regression in
+// either direction (latency up, throughput down), stay quiet inside the
+// threshold, and never gate on informational or missing metrics.
+
+namespace scc {
+namespace {
+
+const char* kBaseJson = R"({
+  "bench": "tail_latency",
+  "config": {"rows": 131072, "threads": 4},
+  "metrics": {
+    "read_only.p50_ns": 300.0,
+    "read_only.p99_ns": 2000.0,
+    "read_only.p999_ns": 17000.0,
+    "read_only.ops_per_sec": 400000.0,
+    "mixed.scan_rows": 12345.0
+  }
+})";
+
+BenchReport Parse(const std::string& json) {
+  BenchReport r;
+  EXPECT_TRUE(BenchReport::ParseJson(json, &r));
+  return r;
+}
+
+/// Re-serializes `base` with one metric scaled — the "injected
+/// regression" used across these tests and the CI smoke leg.
+BenchReport WithScaled(const BenchReport& base, const std::string& name,
+                       double factor) {
+  BenchReport r = base;
+  r.metrics[name] = base.metrics.at(name) * factor;
+  return r;
+}
+
+TEST(BenchReportTest, ParsesBenchNameAndMetrics) {
+  BenchReport r = Parse(kBaseJson);
+  EXPECT_EQ(r.bench, "tail_latency");
+  ASSERT_EQ(r.metrics.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.metrics.at("read_only.p99_ns"), 2000.0);
+  EXPECT_DOUBLE_EQ(r.metrics.at("read_only.ops_per_sec"), 400000.0);
+}
+
+TEST(BenchReportTest, ParseRejectsGarbage) {
+  BenchReport r;
+  EXPECT_FALSE(BenchReport::ParseJson("not json at all", &r));
+  EXPECT_FALSE(BenchReport::ParseJson("{\"bench\":\"x\"}", &r));  // no metrics
+}
+
+TEST(BenchReportTest, DirectionInference) {
+  EXPECT_EQ(DirectionForMetric("read_only.p99_ns"),
+            BenchMetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("load.seconds"),
+            BenchMetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("read_only.ops_per_sec"),
+            BenchMetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("scan.rows_per_sec"),
+            BenchMetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("mixed.scan_rows"),
+            BenchMetricDirection::kInformational);
+}
+
+TEST(BenchReportTest, NoRegressionsWhenIdentical) {
+  BenchReport base = Parse(kBaseJson);
+  BenchDiff diff = DiffBenchReports(base, base, {});
+  EXPECT_FALSE(diff.HasRegressions());
+  EXPECT_EQ(diff.regressions, 0u);
+  EXPECT_EQ(diff.deltas.size(), base.metrics.size());
+}
+
+TEST(BenchReportTest, GatesOnLatencyIncrease) {
+  BenchReport base = Parse(kBaseJson);
+  BenchDiff diff = DiffBenchReports(
+      base, WithScaled(base, "read_only.p99_ns", 1.5), {});
+  EXPECT_TRUE(diff.HasRegressions());
+  for (const BenchMetricDelta& d : diff.deltas) {
+    EXPECT_EQ(d.regressed, d.name == "read_only.p99_ns") << d.name;
+  }
+}
+
+TEST(BenchReportTest, GatesOnThroughputDrop) {
+  BenchReport base = Parse(kBaseJson);
+  BenchDiff diff = DiffBenchReports(
+      base, WithScaled(base, "read_only.ops_per_sec", 0.5), {});
+  EXPECT_TRUE(diff.HasRegressions());
+}
+
+TEST(BenchReportTest, ImprovementsAndSmallDriftDoNotGate) {
+  BenchReport base = Parse(kBaseJson);
+  // Latency down and throughput up are improvements; 10% latency drift
+  // sits inside the default 25% gate.
+  BenchReport better = WithScaled(base, "read_only.p99_ns", 0.5);
+  better.metrics["read_only.ops_per_sec"] *= 2.0;
+  better.metrics["read_only.p50_ns"] *= 1.10;
+  EXPECT_FALSE(DiffBenchReports(base, better, {}).HasRegressions());
+}
+
+TEST(BenchReportTest, InformationalMetricsNeverGate) {
+  BenchReport base = Parse(kBaseJson);
+  BenchDiff diff =
+      DiffBenchReports(base, WithScaled(base, "mixed.scan_rows", 100.0), {});
+  EXPECT_FALSE(diff.HasRegressions());
+}
+
+TEST(BenchReportTest, P999GetsDoubledDefaultThreshold) {
+  BenchReport base = Parse(kBaseJson);
+  // +40% on p999: above the 25% default but below its 2x (50%) gate —
+  // extreme tails are noisy by nature.
+  EXPECT_FALSE(
+      DiffBenchReports(base, WithScaled(base, "read_only.p999_ns", 1.4), {})
+          .HasRegressions());
+  EXPECT_TRUE(
+      DiffBenchReports(base, WithScaled(base, "read_only.p999_ns", 1.6), {})
+          .HasRegressions());
+}
+
+TEST(BenchReportTest, PerMetricThresholdOverrides) {
+  BenchReport base = Parse(kBaseJson);
+  BenchDiffOptions opts;
+  opts.per_metric_pct["read_only.p99_ns"] = 5.0;
+  // +10% p99 passes the default gate but fails a 5% override.
+  EXPECT_TRUE(
+      DiffBenchReports(base, WithScaled(base, "read_only.p99_ns", 1.10), opts)
+          .HasRegressions());
+  // And an override can also loosen: 60% allows a +50% excursion.
+  opts.per_metric_pct["read_only.p99_ns"] = 60.0;
+  EXPECT_FALSE(
+      DiffBenchReports(base, WithScaled(base, "read_only.p99_ns", 1.5), opts)
+          .HasRegressions());
+}
+
+TEST(BenchReportTest, MissingAndAddedMetricsReportedNotGated) {
+  BenchReport base = Parse(kBaseJson);
+  BenchReport cur = base;
+  cur.metrics.erase("read_only.p50_ns");
+  cur.metrics["brand.new.p99_ns"] = 1.0;
+  BenchDiff diff = DiffBenchReports(base, cur, {});
+  EXPECT_FALSE(diff.HasRegressions());
+  ASSERT_EQ(diff.missing_in_current.size(), 1u);
+  EXPECT_EQ(diff.missing_in_current[0], "read_only.p50_ns");
+  ASSERT_EQ(diff.added_in_current.size(), 1u);
+  EXPECT_EQ(diff.added_in_current[0], "brand.new.p99_ns");
+}
+
+}  // namespace
+}  // namespace scc

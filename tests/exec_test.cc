@@ -1,12 +1,18 @@
 #include "exec/parallel_scan.h"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "exec/exec_metrics.h"
 #include "exec/thread_pool.h"
 #include "storage/buffer_manager.h"
 #include "storage/sim_disk.h"
@@ -250,6 +256,172 @@ TEST(ParallelScanTest, ThreadsOptionBoundsSlotCount) {
   ParallelScan scan(&t, &bm, {"a"}, opt);
   EXPECT_LE(scan.slot_count(), 2u);
   EXPECT_GE(scan.slot_count(), 1u);
+}
+
+/// One parsed chrome-trace event. Relies on the serializer's fixed key
+/// order (name, cat, ph, ts, dur, ..., args:{op, span, parent}).
+struct ParsedEvent {
+  std::string name;
+  double ts = 0, dur = 0;
+  uint64_t op = 0, span = 0, parent = 0;
+};
+
+std::vector<ParsedEvent> ParseEvents(const std::string& json,
+                                     const std::string& name) {
+  std::vector<ParsedEvent> out;
+  const std::string needle = "\"name\":\"" + name + "\"";
+  auto field = [&](size_t from, const char* key, double* v) {
+    std::string k = std::string("\"") + key + "\":";
+    size_t p = json.find(k, from);
+    if (p == std::string::npos) return false;
+    *v = std::atof(json.c_str() + p + k.size());
+    return true;
+  };
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    const size_t end = json.find('}', json.find("\"args\"", pos));
+    ParsedEvent e;
+    e.name = name;
+    double op = 0, span = 0, parent = 0;
+    if (field(pos, "ts", &e.ts) && field(pos, "dur", &e.dur) &&
+        field(pos, "op", &op) && field(pos, "span", &span) &&
+        field(pos, "parent", &parent) &&
+        json.find("\"op\":", pos) < end) {
+      e.op = uint64_t(op);
+      e.span = uint64_t(span);
+      e.parent = uint64_t(parent);
+      out.push_back(e);
+    }
+    pos += needle.size();
+  }
+  return out;
+}
+
+TEST(ThreadPoolTest, TraceExportsPerOperationTreeWithQueueWaitRunSplit) {
+  // The acceptance shape for task-scoped tracing: tasks submitted under
+  // a TraceOperation must export as children of that operation — on
+  // whichever worker thread they ran — and each task must be split into
+  // an "exec.task.queue_wait" slice (submit -> dequeue) abutting an
+  // "exec.task.run" slice (dequeue -> done).
+#if !SCC_TELEMETRY
+  GTEST_SKIP() << "tracing compiled out (-DSCC_TELEMETRY=0)";
+#else
+  TraceRecorder& tr = TraceRecorder::Instance();
+  SetTraceEnabled(true);
+  tr.Clear();
+  constexpr int kTasks = 4;
+  uint64_t op_id = 0;
+  {
+    TraceOperation op("test.exec.traced_op");
+    op_id = op.id();
+    TaskGroup group(ThreadPool::Instance());
+    for (int i = 0; i < kTasks; i++) {
+      group.Run([] {
+        volatile uint64_t sink = 0;
+        for (int j = 0; j < 20000; j++) sink = sink + uint64_t(j);
+      });
+    }
+    group.Wait();
+  }
+  // Wait() returns when the last task's fn completes, but the worker
+  // records that task's spans in Execute's epilogue just after — give the
+  // full event set (1 op + per task: 2 slices + 2 flow endpoints) a
+  // moment to land before exporting.
+  const size_t want_events = 1 + size_t(kTasks) * 4;
+  for (int spin = 0; spin < 2000 && tr.event_count() < want_events; spin++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SetTraceEnabled(false);
+  ASSERT_NE(op_id, 0u);
+  const std::string json = tr.ToChromeTraceJson();
+
+  std::vector<ParsedEvent> roots = ParseEvents(json, "test.exec.traced_op");
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].op, op_id);
+  EXPECT_EQ(roots[0].span, op_id);  // operation id doubles as root span
+  EXPECT_EQ(roots[0].parent, 0u);
+
+  std::vector<ParsedEvent> waits = ParseEvents(json, "exec.task.queue_wait");
+  std::vector<ParsedEvent> runs = ParseEvents(json, "exec.task.run");
+  ASSERT_EQ(runs.size(), size_t(kTasks));
+  ASSERT_EQ(waits.size(), size_t(kTasks));
+  for (const ParsedEvent& e : runs) {
+    EXPECT_EQ(e.op, op_id) << "run span not linked to its operation";
+    EXPECT_EQ(e.parent, op_id);
+    EXPECT_NE(e.span, op_id);  // each task got its own span id
+    // The run slice nests inside the operation slice.
+    EXPECT_GE(e.ts, roots[0].ts - 0.01);
+    EXPECT_LE(e.ts + e.dur, roots[0].ts + roots[0].dur + 0.01);
+    // Its queue-wait slice ends exactly where the run begins (both are
+    // computed from the same dequeue timestamp; 0.05 us covers the %.3f
+    // serialization rounding).
+    bool abuts = false;
+    for (const ParsedEvent& w : waits) {
+      if (w.op == op_id && std::abs(w.ts + w.dur - e.ts) < 0.05) {
+        abuts = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(abuts) << "no queue_wait slice ends at run start "
+                       << std::setprecision(15) << e.ts;
+  }
+  // Flow arrows: one submit ("s") and one finish ("f") per task, binding
+  // the submitting scope to the worker-side run slice.
+  size_t flow_s = 0, flow_f = 0;
+  for (size_t p = json.find("\"ph\":\"s\""); p != std::string::npos;
+       p = json.find("\"ph\":\"s\"", p + 1)) {
+    flow_s++;
+  }
+  for (size_t p = json.find("\"ph\":\"f\""); p != std::string::npos;
+       p = json.find("\"ph\":\"f\"", p + 1)) {
+    flow_f++;
+  }
+  EXPECT_EQ(flow_s, size_t(kTasks));
+  EXPECT_EQ(flow_f, size_t(kTasks));
+#endif
+}
+
+TEST(ThreadPoolTest, PoolHealthMetricsPopulate) {
+  // exec.pool.* must fill in whenever telemetry is on: queue-wait and
+  // run-time histograms get one observation per task, and the run time
+  // lands on a per-worker counter (or the caller's, if the caller helped
+  // drain the group).
+#if !SCC_TELEMETRY
+  GTEST_SKIP() << "metrics compiled out (-DSCC_TELEMETRY=0)";
+#else
+  SetTelemetryEnabled(true);
+  ExecMetrics& em = ExecMetrics::Get();
+  em.pool_queue_wait_ns->Reset();
+  em.pool_task_run_ns->Reset();
+  constexpr int kTasks = 8;
+  TaskGroup group(ThreadPool::Instance());
+  for (int i = 0; i < kTasks; i++) {
+    group.Run([] {
+      volatile uint64_t sink = 0;
+      for (int j = 0; j < 10000; j++) sink = sink + uint64_t(j);
+    });
+  }
+  group.Wait();
+  // Same epilogue race as above: the final run-time observation lands
+  // just after Wait() unblocks.
+  for (int spin = 0;
+       spin < 2000 && em.pool_task_run_ns->count() < uint64_t(kTasks);
+       spin++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(em.pool_queue_wait_ns->count(), uint64_t(kTasks));
+  EXPECT_EQ(em.pool_task_run_ns->count(), uint64_t(kTasks));
+  EXPECT_GT(em.pool_task_run_ns->sum(), 0u);
+  uint64_t attributed = em.pool_caller_run_ns->Value();
+  ThreadPool& pool = ThreadPool::Instance();
+  for (unsigned w = 0; w < pool.worker_count(); w++) {
+    attributed += MetricsRegistry::Instance()
+                      .GetCounter("exec.pool.worker." + std::to_string(w) +
+                                  ".run_ns")
+                      .Value();
+  }
+  EXPECT_GE(attributed, em.pool_task_run_ns->sum());
+#endif
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -268,6 +269,177 @@ TEST_F(TelemetryTest, ConcurrentFirstUseRegistrationIsRaceFree) {
     EXPECT_EQ(seen[0][n]->Value(), uint64_t(kThreads) * kIncrements);
 #endif
   }
+}
+
+TEST_F(TelemetryTest, QuantileInterpolationTracksExactPercentiles) {
+  // Interpolated quantiles over log2 buckets must land within the exact
+  // percentile's bucket — a factor-of-2 bound — on both a uniform and a
+  // heavily skewed distribution. (Raw bucket upper bounds would be up to
+  // 2x high on *every* query; interpolation recovers sub-bucket
+  // resolution whenever the covering bucket is densely populated.)
+  Histogram& h = MetricsRegistry::Instance().GetHistogram("test.quant.u");
+  h.Reset();
+  std::vector<uint64_t> vals;
+  for (uint64_t v = 1; v <= 1000; v++) vals.push_back(v);
+  for (uint64_t v : vals) h.Observe(v);
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    const double exact = double(vals[size_t(q * double(vals.size() - 1))]);
+    const double est = h.Quantile(q);
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+  // Uniform 1..1000 has dense high buckets, so the estimate should be
+  // much tighter than the bucket bound at the median.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 50.0);
+
+  Histogram& s = MetricsRegistry::Instance().GetHistogram("test.quant.s");
+  s.Reset();
+  std::vector<uint64_t> skew;
+  for (int i = 0; i < 900; i++) skew.push_back(10);
+  for (int i = 0; i < 95; i++) skew.push_back(1000);
+  for (int i = 0; i < 5; i++) skew.push_back(100000);
+  for (uint64_t v : skew) s.Observe(v);
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    const double exact = double(skew[size_t(q * double(skew.size() - 1))]);
+    const double est = s.Quantile(q);
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+  // Endpoints are exact, not interpolated.
+  EXPECT_EQ(s.Quantile(0.0), 10.0);
+  EXPECT_EQ(s.Quantile(1.0), 100000.0);
+}
+
+TEST_F(TelemetryTest, DeltaSinceSubtractsHistogramsBucketwise) {
+  Histogram& h = MetricsRegistry::Instance().GetHistogram("test.hdelta.h");
+  h.Reset();
+  h.Observe(3);
+  h.Observe(100);
+  MetricsSnapshot base = MetricsRegistry::Instance().Snapshot();
+  h.Observe(5);
+  h.Observe(5);
+  h.Observe(2000);
+  MetricsSnapshot delta =
+      MetricsRegistry::Instance().Snapshot().DeltaSince(base);
+  const MetricEntry* e = delta.Find("test.hdelta.h");
+  ASSERT_NE(e, nullptr);
+  // Only the window's three observations remain.
+  EXPECT_EQ(e->value, 3);
+  EXPECT_EQ(e->hist_sum, 2010u);
+  HistogramSnapshot hs = e->ToHistogramSnapshot();
+  EXPECT_EQ(hs.buckets[3], 2u);   // two 5s (bit_width 3)
+  EXPECT_EQ(hs.buckets[11], 1u);  // one 2000 (bit_width 11)
+  EXPECT_EQ(hs.buckets[2], 0u);   // the pre-window 3 subtracted away
+  EXPECT_EQ(hs.buckets[7], 0u);   // the pre-window 100 subtracted away
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hs.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hs.count);  // count re-derived from buckets
+  // Windowed endpoints come from bucket bounds, so they bracket the
+  // window's true values and exclude pre-window ones.
+  EXPECT_GE(e->hist_min, 4u);     // bucket 3 lower bound
+  EXPECT_LE(e->hist_min, 5u);
+  EXPECT_GE(e->hist_max, 2000u);  // >= the true window max
+  EXPECT_LE(e->hist_max, 2047u);  // bucket 11 upper bound
+  // Windowed quantiles are recomputed over the delta buckets: the median
+  // of {5, 5, 2000} sits in bucket 3, nowhere near the pre-window 100.
+  EXPECT_LE(e->hist_p50, 7u);
+  EXPECT_GE(e->hist_p999, 1024u);
+}
+
+TEST_F(TelemetryTest, PrometheusExportFormat) {
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.prom.c");
+  Gauge& g = MetricsRegistry::Instance().GetGauge("test.prom.g");
+  Histogram& h = MetricsRegistry::Instance().GetHistogram("test.prom.h");
+  c.Reset();
+  g.Reset();
+  h.Reset();
+  c.Add(7);
+  g.Set(-3);
+  h.Observe(5);
+  h.Observe(1000);
+  std::string prom = MetricsRegistry::Instance().Snapshot().ToPrometheus();
+  // Names: "scc_" prefix, dots mapped to underscores, TYPE annotations.
+  EXPECT_NE(prom.find("# TYPE scc_test_prom_c counter"), std::string::npos);
+  EXPECT_NE(prom.find("scc_test_prom_c 7"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE scc_test_prom_g gauge"), std::string::npos);
+  EXPECT_NE(prom.find("scc_test_prom_g -3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE scc_test_prom_h histogram"),
+            std::string::npos);
+  // Histogram series: cumulative buckets (5 -> le="7", 1000 -> le="1023"),
+  // the mandatory +Inf bucket, and _sum/_count.
+  EXPECT_NE(prom.find("scc_test_prom_h_bucket{le=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("scc_test_prom_h_bucket{le=\"1023\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("scc_test_prom_h_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("scc_test_prom_h_sum 1005"), std::string::npos);
+  EXPECT_NE(prom.find("scc_test_prom_h_count 2"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value": minimal wellformed-
+  // ness so a scrape wouldn't 400.
+  size_t start = 0;
+  while (start < prom.size()) {
+    size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    std::string line = prom.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 4, "scc_"), 0) << line;
+    char* endp = nullptr;
+    std::strtod(line.c_str() + space + 1, &endp);
+    EXPECT_EQ(*endp, '\0') << "unparseable value in: " << line;
+  }
+}
+
+TEST_F(TelemetryTest, OwnedSpanNameSurvivesSourceDestruction) {
+  // The std::string ctor interns a copy, so a span label built at runtime
+  // (per-query, per-table) can outlive the string it came from.
+  TraceRecorder& tr = TraceRecorder::Instance();
+  tr.Clear();
+  SetTraceEnabled(true);
+  {
+    std::string name = "test.span.owned.";
+    name += std::to_string(42);
+    TraceSpan span(name);
+    name.assign(200, 'x');  // clobber the source before the span ends
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(tr.event_count(), 1u);
+  std::string json = tr.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"test.span.owned.42\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("xxxx"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceOperationLinksChildSpans) {
+  TraceRecorder& tr = TraceRecorder::Instance();
+  tr.Clear();
+  SetTraceEnabled(true);
+  {
+    TraceOperation op("test.op.root");
+    SCC_TRACE_SPAN("test.op.child");
+  }
+  SetTraceEnabled(false);
+  std::string json = tr.ToChromeTraceJson();
+  // Both events carry the operation id; the child's parent is the root.
+  size_t root = json.find("\"name\":\"test.op.root\"");
+  size_t child = json.find("\"name\":\"test.op.child\"");
+  ASSERT_NE(root, std::string::npos);
+  ASSERT_NE(child, std::string::npos);
+  auto arg = [&](size_t from, const char* key) -> long long {
+    size_t p = json.find(std::string("\"") + key + "\":", from);
+    EXPECT_NE(p, std::string::npos) << key;
+    if (p == std::string::npos) return -1;
+    return std::atoll(json.c_str() + p + std::strlen(key) + 3);
+  };
+  const long long op_id = arg(root, "op");
+  EXPECT_GT(op_id, 0);
+  EXPECT_EQ(arg(root, "span"), op_id);  // the op doubles as the root span
+  EXPECT_EQ(arg(child, "op"), op_id);
+  EXPECT_EQ(arg(child, "parent"), op_id);
+  EXPECT_NE(arg(child, "span"), op_id);  // child got its own span id
 }
 
 TEST_F(TelemetryTest, PerfReadingSerializesUnavailableAsNa) {

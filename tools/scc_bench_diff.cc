@@ -1,0 +1,101 @@
+// scc_bench_diff — the perf-regression gate. Compares two BenchReport
+// JSON files (e.g. the checked-in BENCH_PR6.json baseline vs a fresh
+// tail_latency --json run) metric-by-metric and exits 1 when any metric
+// moved against its direction by more than its threshold.
+//
+//   scc_bench_diff <baseline.json> <current.json>
+//       [--threshold PCT]          default gate (25%)
+//       [--threshold NAME=PCT]     per-metric override (repeatable)
+//       [--report-only]            print the diff but always exit 0
+//
+// Direction is inferred from metric names (src/sys/bench_report.h):
+// *_ns/*_nanos/*_seconds gate on increases, *per_sec*/*_ops on
+// decreases, anything else is informational. p999 metrics default to a
+// 2x threshold — extreme tails are noisy. Metrics present in only one
+// file are listed but never gate; nightly CI runs this --report-only so
+// drift is visible without blocking merges, while the ci.yml smoke leg
+// uses the exit code to prove the gate actually fires.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sys/bench_report.h"
+
+namespace scc {
+namespace {
+
+int Run(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* cur_path = nullptr;
+  BenchDiffOptions opts;
+  bool report_only = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      const char* v = argv[++i];
+      if (const char* eq = std::strchr(v, '=')) {
+        opts.per_metric_pct[std::string(v, eq)] = std::atof(eq + 1);
+      } else {
+        opts.default_threshold_pct = std::atof(v);
+      }
+    } else if (std::strcmp(argv[i], "--report-only") == 0) {
+      report_only = true;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cur_path == nullptr) {
+      cur_path = argv[i];
+    } else {
+      base_path = nullptr;  // too many positionals: force usage
+      break;
+    }
+  }
+  if (base_path == nullptr || cur_path == nullptr) {
+    fprintf(stderr,
+            "usage: %s <baseline.json> <current.json> [--threshold PCT] "
+            "[--threshold NAME=PCT] [--report-only]\n",
+            argv[0]);
+    return 2;
+  }
+
+  BenchReport base, cur;
+  if (!BenchReport::LoadFile(base_path, &base)) {
+    fprintf(stderr, "error: cannot parse baseline %s\n", base_path);
+    return 2;
+  }
+  if (!BenchReport::LoadFile(cur_path, &cur)) {
+    fprintf(stderr, "error: cannot parse current %s\n", cur_path);
+    return 2;
+  }
+
+  BenchDiff diff = DiffBenchReports(base, cur, opts);
+  printf("%-28s %14s %14s %9s %9s  %s\n", "metric", "baseline", "current",
+         "delta", "gate", "verdict");
+  for (const BenchMetricDelta& d : diff.deltas) {
+    const char* verdict =
+        d.regressed ? "REGRESSED"
+                    : (d.direction == BenchMetricDirection::kInformational
+                           ? "info"
+                           : "ok");
+    printf("%-28s %14.1f %14.1f %+8.1f%% %8.1f%%  %s\n", d.name.c_str(),
+           d.base, d.current, d.delta_pct, d.threshold_pct, verdict);
+  }
+  for (const std::string& m : diff.missing_in_current) {
+    printf("%-28s missing from current (was in baseline)\n", m.c_str());
+  }
+  for (const std::string& m : diff.added_in_current) {
+    printf("%-28s new in current (not in baseline)\n", m.c_str());
+  }
+  if (diff.HasRegressions()) {
+    printf("\n%zu metric(s) regressed beyond threshold%s\n",
+           diff.regressions, report_only ? " (report-only: exit 0)" : "");
+    return report_only ? 0 : 1;
+  }
+  printf("\nno regressions\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }

@@ -12,6 +12,11 @@
 //   --mode M      auto | none | pfor | pfordelta   (default auto)
 //   --seed S      synthetic data seed
 //   --stats       print the telemetry counters touched by the load
+//   --telemetry   same as --stats (parity with scc_inspect / table2_tpch);
+//                 forces telemetry on even if the env disables it
+//   --trace PATH  record the load as a chrome trace: one
+//                 "scc_load.bulk_load" operation whose pool tasks (chunk
+//                 compression, morsel writes) export as a span tree
 //
 // .tbl columns that parse as integers load as int64; columns that parse
 // as decimals load as int64 cents (x100, TPC-H style). Everything else
@@ -120,6 +125,7 @@ int Run(int argc, char** argv) {
   uint64_t seed = 2026;
   unsigned threads = 0;
   bool stats = false;
+  const char* trace_path = nullptr;
   std::string out, tbl, mode_s = "auto";
   for (int i = 1; i < argc; i++) {
     auto next = [&]() -> const char* {
@@ -137,8 +143,11 @@ int Run(int argc, char** argv) {
       if (const char* v = next()) threads = unsigned(std::atoi(v));
     } else if (std::strcmp(argv[i], "--mode") == 0) {
       if (const char* v = next()) mode_s = v;
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
+    } else if (std::strcmp(argv[i], "--stats") == 0 ||
+               std::strcmp(argv[i], "--telemetry") == 0) {
       stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = next();
     } else if (std::strcmp(argv[i], "--out") == 0) {
       if (const char* v = next()) out = v;
     }
@@ -147,7 +156,7 @@ int Run(int argc, char** argv) {
     fprintf(stderr,
             "usage: %s --out <dir> (--tbl <file> | --rows N) [--threads N] "
             "[--chunk V] [--mode auto|none|pfor|pfordelta] [--seed S] "
-            "[--stats]\n",
+            "[--stats|--telemetry] [--trace <path>]\n",
             argv[0]);
     return 2;
   }
@@ -166,55 +175,67 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  if (stats) SetTelemetryEnabled(true);
+  if (trace_path != nullptr) SetTraceEnabled(true);
+
   MetricsSnapshot before = MetricsRegistry::Instance().Snapshot();
   Table table(chunk);
   size_t raw_bytes = 0;
+  double load_secs = 0;
   Timer timer;
   Status st = Status::OK();
-  if (!tbl.empty()) {
-    std::vector<TblColumn> cols;
-    if (!ReadTbl(tbl.c_str(), &cols)) return 1;
-    timer.Reset();  // parse time is not load time
-    size_t kept = 0;
-    for (const TblColumn& c : cols) {
-      if (!c.all_int && !c.all_decimal) continue;  // non-numeric: skipped
-      st = BulkLoadColumn<int64_t>(&table, c.name, c.values, opts);
-      if (!st.ok()) break;
-      raw_bytes += c.values.size() * sizeof(int64_t);
-      kept++;
+  {
+    // Trace root for the whole ingest: compression tasks the bulk loader
+    // fans out to the pool inherit this operation id, so the exported
+    // trace is one tree per load rather than orphaned worker spans.
+    // Scoped so the operation closes before the trace file is written.
+    TraceOperation op("scc_load.bulk_load");
+    if (!tbl.empty()) {
+      std::vector<TblColumn> cols;
+      if (!ReadTbl(tbl.c_str(), &cols)) return 1;
+      timer.Reset();  // parse time is not load time
+      size_t kept = 0;
+      for (const TblColumn& c : cols) {
+        if (!c.all_int && !c.all_decimal) continue;  // non-numeric: skipped
+        st = BulkLoadColumn<int64_t>(&table, c.name, c.values, opts);
+        if (!st.ok()) break;
+        raw_bytes += c.values.size() * sizeof(int64_t);
+        kept++;
+      }
+      if (st.ok() && kept == 0) {
+        fprintf(stderr, "error: %s has no numeric columns\n", tbl.c_str());
+        return 1;
+      }
+    } else {
+      // Synthetic columns covering the analyzer's regimes (same shape as
+      // scc_gen): sequential id, zipf code, price with outliers,
+      // timestamp.
+      Rng rng(seed);
+      ZipfGenerator zipf(1000, 1.1, seed + 1);
+      std::vector<int64_t> id(rows), code(rows), price(rows), ts(rows);
+      int64_t t = 1700000000;
+      for (size_t i = 0; i < rows; i++) {
+        id[i] = int64_t(i);
+        code[i] = int64_t(zipf.Next());
+        price[i] = int64_t(100 + rng.Uniform(900));
+        if (rng.Bernoulli(0.01)) price[i] = int64_t(rng.Uniform(1u << 30));
+        t += int64_t(rng.Uniform(30));
+        ts[i] = t;
+      }
+      timer.Reset();
+      for (const auto& [name, vec] :
+           {std::pair<const char*, std::vector<int64_t>*>{"id", &id},
+            {"code", &code},
+            {"price", &price},
+            {"ts", &ts}}) {
+        st = BulkLoadColumn<int64_t>(&table, name, *vec, opts);
+        if (!st.ok()) break;
+        raw_bytes += vec->size() * sizeof(int64_t);
+      }
     }
-    if (st.ok() && kept == 0) {
-      fprintf(stderr, "error: %s has no numeric columns\n", tbl.c_str());
-      return 1;
-    }
-  } else {
-    // Synthetic columns covering the analyzer's regimes (same shape as
-    // scc_gen): sequential id, zipf code, price with outliers, timestamp.
-    Rng rng(seed);
-    ZipfGenerator zipf(1000, 1.1, seed + 1);
-    std::vector<int64_t> id(rows), code(rows), price(rows), ts(rows);
-    int64_t t = 1700000000;
-    for (size_t i = 0; i < rows; i++) {
-      id[i] = int64_t(i);
-      code[i] = int64_t(zipf.Next());
-      price[i] = int64_t(100 + rng.Uniform(900));
-      if (rng.Bernoulli(0.01)) price[i] = int64_t(rng.Uniform(1u << 30));
-      t += int64_t(rng.Uniform(30));
-      ts[i] = t;
-    }
-    timer.Reset();
-    for (const auto& [name, vec] :
-         {std::pair<const char*, std::vector<int64_t>*>{"id", &id},
-          {"code", &code},
-          {"price", &price},
-          {"ts", &ts}}) {
-      st = BulkLoadColumn<int64_t>(&table, name, *vec, opts);
-      if (!st.ok()) break;
-      raw_bytes += vec->size() * sizeof(int64_t);
-    }
+    load_secs = timer.ElapsedSeconds();
+    if (st.ok()) st = FileStore::Save(table, out);
   }
-  const double load_secs = timer.ElapsedSeconds();
-  if (st.ok()) st = FileStore::Save(table, out);
   if (!st.ok()) {
     fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
@@ -232,6 +253,15 @@ int Run(int argc, char** argv) {
     MetricsSnapshot delta =
         MetricsRegistry::Instance().Snapshot().DeltaSince(before);
     printf("%s", delta.ToTable().c_str());
+  }
+  if (trace_path != nullptr) {
+    TraceRecorder& tr = TraceRecorder::Instance();
+    if (!tr.WriteChromeTrace(trace_path)) {
+      fprintf(stderr, "error: cannot write trace to %s\n", trace_path);
+      return 1;
+    }
+    fprintf(stderr, "wrote %zu trace events to %s (%zu dropped)\n",
+            tr.event_count(), trace_path, tr.dropped_count());
   }
   return 0;
 }

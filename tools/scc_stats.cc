@@ -8,22 +8,27 @@
 //
 //   scc_stats                      # human-readable metrics table
 //   scc_stats --json               # JSON snapshot instead of the table
+//   scc_stats --prom               # Prometheus text exposition format
+//   scc_stats --watch N            # run the workload N times, printing
+//                                  # windowed deltas (DeltaSince) per run
 //   scc_stats --trace out.json     # also record + write a chrome trace
 //   scc_stats --sf 0.02            # TPC-H scale factor (default 0.01)
 //   scc_stats --all                # include zero-valued metrics
 //
 // The tool is also the quickest smoke test that instrumentation is wired:
-// every metric family (codec.*, analyzer.*, storage.*, engine.*, tpch.*)
-// must be non-zero after a run.
+// every metric family (codec.*, analyzer.*, storage.*, engine.*, tpch.*,
+// exec.pool.*) must be non-zero after a run.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/segment_reader.h"
 #include "engine/operators.h"
 #include "engine/primitives.h"
+#include "exec/parallel_scan.h"
 #include "sys/telemetry.h"
 #include "tpch/queries.h"
 
@@ -60,23 +65,51 @@ void SampleRandomAccess(const Table& t) {
   if (sink == 0xdeadbeef) printf("%llu\n", (unsigned long long)sink);
 }
 
+/// Morsel-parallel sum over one lineitem column. Exercises the shared
+/// ThreadPool so the exec.pool.* family (steals, queue-wait/run
+/// histograms, per-worker run time) is live in the snapshot, and —
+/// under --trace — produces a per-operation span tree rooted at
+/// "scc_stats.parallel_scan".
+void RunParallelScanLeg(const TpchDatabase& db, BufferManager* bm) {
+  ParallelScanOptions opts;
+  opts.trace_label = "scc_stats.parallel_scan";
+  ParallelScan scan(&db.lineitem, bm, {"l_quantity"}, opts);
+  std::vector<uint64_t> partial(scan.slot_count(), 0);
+  scan.Run([&](const Batch& b, size_t /*morsel*/, size_t slot) {
+    const int8_t* q = b.col(0)->data<int8_t>();
+    uint64_t s = 0;
+    for (size_t i = 0; i < b.rows; i++) s += uint64_t(uint8_t(q[i]));
+    partial[slot] += s;
+  });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  if (total == 0xdeadbeef) printf("%llu\n", (unsigned long long)total);
+}
+
 int Run(int argc, char** argv) {
   bool json = false;
+  bool prom = false;
   bool include_zero = false;
+  int watch = 0;
   const char* trace_path = nullptr;
   double sf = 0.01;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      prom = true;
     } else if (std::strcmp(argv[i], "--all") == 0) {
       include_zero = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
       sf = std::atof(argv[++i]);
     } else {
       fprintf(stderr,
-              "usage: %s [--json] [--all] [--trace <path>] [--sf <scale>]\n",
+              "usage: %s [--json] [--prom] [--all] [--watch <n>] "
+              "[--trace <path>] [--sf <scale>]\n",
               argv[0]);
       return 2;
     }
@@ -85,26 +118,59 @@ int Run(int argc, char** argv) {
   SetTelemetryEnabled(true);
   if (trace_path != nullptr) SetTraceEnabled(true);
 
-  {
+  TpchData data = GenerateTpch(sf);
+  // Small chunks (8K values vs the benchmarks' 64K) so lineitem spans
+  // several morsels even at the default sf 0.01 — otherwise the parallel
+  // scan leg is a single morsel and the exec.pool.* family stays silent.
+  TpchDatabase db =
+      TpchDatabase::Build(data, ColumnCompression::kAuto, 1u << 13);
+  SimDisk disk(SimDisk::MidRangeRaid());
+  // Capacity well below the working set so evictions show up too.
+  BufferManager bm(&disk, db.ByteSize() / 16 + 1, Layout::kDSM);
+
+  auto run_workload = [&] {
     SCC_TRACE_SPAN("scc_stats.workload");
-    TpchData data = GenerateTpch(sf);
-    TpchDatabase db =
-        TpchDatabase::Build(data, ColumnCompression::kAuto, 1u << 16);
-    SimDisk disk(SimDisk::MidRangeRaid());
-    // Capacity well below the working set so evictions show up too.
-    BufferManager bm(&disk, db.ByteSize() / 16 + 1, Layout::kDSM);
     for (int q : TpchQuerySet()) {
       RunTpchQuery(q, db, &bm, TableScanOp::Mode::kVectorWise);
     }
     RunOperatorPipeline(db, &bm);
     SampleRandomAccess(db.lineitem);
+    RunParallelScanLeg(db, &bm);
+  };
+
+  if (watch > 0) {
+    // Live mode: re-run the workload `watch` times, printing what each
+    // window *added* — DeltaSince subtracts counters bucket-wise on
+    // histograms and recomputes windowed quantiles, so tails here are
+    // per-window, not since-process-start.
+    MetricsSnapshot prev = MetricsRegistry::Instance().Snapshot();
+    for (int it = 0; it < watch; it++) {
+      run_workload();
+      MetricsSnapshot now = MetricsRegistry::Instance().Snapshot();
+      MetricsSnapshot delta = now.DeltaSince(prev);
+      printf("--- window %d/%d ---\n", it + 1, watch);
+      if (prom) {
+        printf("%s", delta.ToPrometheus().c_str());
+      } else if (json) {
+        printf("%s\n", delta.ToJson().c_str());
+      } else {
+        printf("%s", delta.ToTable(include_zero).c_str());
+      }
+      prev = std::move(now);
+    }
+  } else {
+    run_workload();
   }
 
-  MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
-  if (json) {
-    printf("%s\n", snap.ToJson().c_str());
-  } else {
-    printf("%s", snap.ToTable(include_zero).c_str());
+  if (watch == 0) {
+    MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
+    if (prom) {
+      printf("%s", snap.ToPrometheus().c_str());
+    } else if (json) {
+      printf("%s\n", snap.ToJson().c_str());
+    } else {
+      printf("%s", snap.ToTable(include_zero).c_str());
+    }
   }
 
   if (trace_path != nullptr) {
