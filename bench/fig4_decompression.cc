@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bitpack/bitpack.h"
 #include "core/kernels.h"
 #include "util/bitutil.h"
 
@@ -127,6 +128,35 @@ int Main() {
                           out.data());
       });
       printf("  %8.2f", GBPerSec(double(kN) * sizeof(int64_t), secs));
+    }
+    printf("\n");
+  }
+  // Wide bit widths (24-31): the shuffle-network unpack kernels cover the
+  // whole width range, so the SIMD column no longer falls off a cliff past
+  // b=25 (where the 4-byte-chunk family runs out of room). Bandwidth
+  // counts unpacked uint32 output bytes.
+  printf("\nWide-width unpack bandwidth by kernel backend (GB/s, "
+         "%zu codes):\n\n", kN);
+  printf("bits |");
+  for (KernelIsa isa : isas) printf("  %-8s", KernelIsaName(isa));
+  printf("\n-----+");
+  for (size_t i = 0; i < isas.size(); i++) printf("----------");
+  printf("\n");
+  for (int b : {24, 25, 26, 27, 28, 29, 30, 31}) {
+    std::vector<uint32_t> codes(kN);
+    Rng rng(uint64_t(b) + 1);
+    const uint32_t mask = (uint32_t(1) << b) - 1;
+    for (auto& c : codes) c = uint32_t(rng.Next()) & mask;
+    std::vector<uint32_t> packed(PackedByteSize(kN, b) / 4 + 1, 0);
+    BitPack(codes.data(), kN, b, packed.data());
+    std::vector<uint32_t> unpacked(kN);
+    printf("  %2d |", b);
+    for (KernelIsa isa : isas) {
+      SetKernelIsa(isa);
+      double secs = bench::BestSeconds(kReps, [&] {
+        BitUnpackExact(packed.data(), kN, b, unpacked.data());
+      });
+      printf("  %8.2f", GBPerSec(double(kN) * 4, secs));
     }
     printf("\n");
   }

@@ -371,6 +371,40 @@ void BitUnpackFor64(const uint32_t* in, size_t n, int b, uint64_t base,
       [fn, base](const uint32_t* gin, uint64_t* gout) { fn(gin, base, gout); });
 }
 
+size_t BitSelectBetween(const uint32_t* in, size_t n, int b, uint32_t lo,
+                        uint32_t hi, uint32_t base_index, uint32_t* out) {
+  SCC_DCHECK(b >= 0 && b <= 32);
+  if (n == 0 || lo > hi) return 0;
+  const KernelOps& ops = bitpack_internal::Active();
+  const auto fn = ops.select_between[b];
+  const size_t groups = (n + 31) / 32;
+  const size_t rest = n - (groups - 1) * 32;  // 1..32 values in final group
+  const size_t direct = DirectGroups(ops, groups, b);
+  TailPad pad;
+  size_t cnt = 0;
+  for (size_t g = 0; g + 1 < groups; g++) {
+    const uint32_t* src = in + g * size_t(b);
+    cnt += fn(g < direct ? src : pad.Stage(src, b), lo, hi,
+              base_index + uint32_t(g * 32), out + cnt);
+  }
+  const uint32_t* last = in + (groups - 1) * size_t(b);
+  if (groups - 1 >= direct) last = pad.Stage(last, b);
+  if (rest == 32) {
+    cnt += fn(last, lo, hi, base_index + uint32_t((groups - 1) * 32),
+              out + cnt);
+  } else {
+    // Partial final group: the zero padding codes may false-qualify when
+    // lo == 0, so run into scratch and keep only in-range positions (the
+    // kernel emits ascending, so the first out-of-range entry ends it).
+    uint32_t tmp[32];
+    const size_t got =
+        fn(last, lo, hi, base_index + uint32_t((groups - 1) * 32), tmp);
+    const uint32_t limit = base_index + uint32_t(n);
+    for (size_t j = 0; j < got && tmp[j] < limit; j++) out[cnt++] = tmp[j];
+  }
+  return cnt;
+}
+
 void ForDecode32(const uint32_t* codes, size_t n, uint32_t base,
                  uint32_t* out) {
   bitpack_internal::Active().for_decode32(codes, n, base, out);

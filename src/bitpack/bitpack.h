@@ -96,6 +96,18 @@ void ForDecode64(const uint32_t* codes, size_t n, uint64_t base,
 void PrefixSum32(uint32_t* data, size_t n, uint32_t start);
 void PrefixSum64(uint64_t* data, size_t n, uint64_t start);
 
+/// Compressed-domain selection (the filter-then-decode hot path): scans
+/// `n` packed codes of `b` bits and appends base_index + i, ascending, for
+/// every code i whose value lies in [lo, hi] (unsigned, inclusive) to
+/// `out`, returning the number appended. Decodes nothing — per-ISA kernels
+/// evaluate the range test directly on the packed words and compact the
+/// lane masks with predicated appends. `out` must have room for `n`
+/// entries (positions past the returned count may hold scratch); `in` is
+/// PackedByteSize(n, b) bytes and is never read past that size. Returns 0
+/// when lo > hi. The caller keeps base_index + n within uint32_t.
+size_t BitSelectBetween(const uint32_t* in, size_t n, int b, uint32_t lo,
+                        uint32_t hi, uint32_t base_index, uint32_t* out);
+
 /// Single-group entry points (exactly 32 values), used by the segment
 /// reader for fine-grained access. `b` in [0, 32]. Packed storage is
 /// exactly b words on both sides (BitPackGroup32 stages its store when the

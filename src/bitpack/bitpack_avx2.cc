@@ -8,6 +8,14 @@
 // b <= 25) feed an in-lane VPSHUFB that places each lane's byte-aligned
 // 4-byte chunk; VPSRLVD then applies the per-lane sub-byte shift directly
 // — no multiply trick needed — and a mask isolates the code.
+//
+// Wide widths (26..31) can straddle a dword, so the wide kernels decode 4
+// values per register as qword lanes: each value is bits [r, r+b) of the
+// byte-aligned 8-BYTE chunk at byte (v*b)/8 (r <= 7, so r + b <= 38 < 64
+// always). Two 16-byte loads land two chunks per 128-bit lane, in-lane
+// VPSHUFB places them, VPSRLVQ applies the per-lane sub-byte shift, and a
+// qword mask isolates the codes. Pairs of registers narrow to one 8-dword
+// 32-byte store via the SHUFPS + VPERMQ idiom (same as PackFor64Avx2).
 
 #include <immintrin.h>
 
@@ -52,7 +60,7 @@ inline __m256i ShiftPattern() {
 /// byte, always byte-aligned). Reads < 16 + Lane8ByteOff(B,4) + 16 bytes.
 template <int B>
 inline __m256i UnpackBatch8(const uint8_t* src) {
-  static_assert(B >= 1 && B <= kMaxSimdUnpackBits);
+  static_assert(B >= 1 && B <= kMaxChunk4UnpackBits);
   const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
   const __m128i hi = _mm_loadu_si128(
       reinterpret_cast<const __m128i*>(src + Lane8ByteOff(B, 4)));
@@ -64,14 +72,75 @@ inline __m256i UnpackBatch8(const uint8_t* src) {
                           _mm256_set1_epi32(int((uint32_t(1) << B) - 1)));
 }
 
+/// Wide-width shuffle pattern: within each 128-bit lane, bytes 0..7 take
+/// the lane's first 8-byte chunk (at its load base) and bytes 8..15 the
+/// second (at relative offset O1 / O3, at most 4).
+template <int O1, int O3>
+inline __m256i WideShufPattern() {
+  return _mm256_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, O1, O1 + 1, O1 + 2, O1 + 3,
+                          O1 + 4, O1 + 5, O1 + 6, O1 + 7, 0, 1, 2, 3, 4, 5, 6,
+                          7, O3, O3 + 1, O3 + 2, O3 + 3, O3 + 4, O3 + 5,
+                          O3 + 6, O3 + 7);
+}
+
+/// Decodes values 4K..4K+3 of a wide-width group into the four qword
+/// lanes. Two 16-byte loads cover the four 8-byte chunks (two per lane).
+template <int B, int K>
+inline __m256i UnpackWide4(const uint8_t* src) {
+  static_assert(B > kMaxChunk4UnpackBits && B <= kMaxSimdUnpackBits);
+  constexpr int p0 = WideByteOff(B, 4 * K);
+  constexpr int p2 = WideByteOff(B, 4 * K + 2);
+  constexpr int o1 = WideByteOff(B, 4 * K + 1) - p0;
+  constexpr int o3 = WideByteOff(B, 4 * K + 3) - p2;
+  const __m128i lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + p0));
+  const __m128i hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + p2));
+  const __m256i raw =
+      _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+  const __m256i chunks = _mm256_shuffle_epi8(raw, WideShufPattern<o1, o3>());
+  const __m256i vals = _mm256_srlv_epi64(
+      chunks, _mm256_setr_epi64x(WideShift(B, 4 * K), WideShift(B, 4 * K + 1),
+                                 WideShift(B, 4 * K + 2),
+                                 WideShift(B, 4 * K + 3)));
+  return _mm256_and_si256(vals,
+                          _mm256_set1_epi64x(int64_t((uint64_t(1) << B) - 1)));
+}
+
+/// Runs `sink(value_index, 4 codes in qword lanes)` over a wide group.
+template <int B, typename SinkQ, int... Ks>
+inline void UnpackWideGroupAvx2Q(const uint8_t* src, SinkQ&& sink,
+                                 std::integer_sequence<int, Ks...>) {
+  (sink(4 * Ks, UnpackWide4<B, Ks>(src)), ...);
+}
+
+/// Narrows two qword-lane units (values 8K..8K+7) to one 8-dword vector:
+/// SHUFPS picks the low dwords, VPERMQ restores source order.
+template <int B, int K>
+inline __m256i UnpackWide8(const uint8_t* src) {
+  const __m256i a = UnpackWide4<B, 2 * K>(src);
+  const __m256i b = UnpackWide4<B, 2 * K + 1>(src);
+  const __m256i mixed = _mm256_castps_si256(
+      _mm256_shuffle_ps(_mm256_castsi256_ps(a), _mm256_castsi256_ps(b),
+                        _MM_SHUFFLE(2, 0, 2, 0)));
+  return _mm256_permute4x64_epi64(mixed, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
 /// Runs `sink(value_index, 8 codes)` over one 32-value group.
 template <int B, typename Sink>
 inline void UnpackGroupAvx2(const uint32_t* __restrict in, Sink&& sink) {
   const uint8_t* src = reinterpret_cast<const uint8_t*>(in);
-  sink(0, UnpackBatch8<B>(src));
-  sink(8, UnpackBatch8<B>(src + B));
-  sink(16, UnpackBatch8<B>(src + 2 * B));
-  sink(24, UnpackBatch8<B>(src + 3 * B));
+  if constexpr (B <= kMaxChunk4UnpackBits) {
+    sink(0, UnpackBatch8<B>(src));
+    sink(8, UnpackBatch8<B>(src + B));
+    sink(16, UnpackBatch8<B>(src + 2 * B));
+    sink(24, UnpackBatch8<B>(src + 3 * B));
+  } else {
+    sink(0, UnpackWide8<B, 0>(src));
+    sink(8, UnpackWide8<B, 1>(src));
+    sink(16, UnpackWide8<B, 2>(src));
+    sink(24, UnpackWide8<B, 3>(src));
+  }
 }
 
 template <int B>
@@ -95,14 +164,49 @@ template <int B>
 void UnpackFor64Avx2(const uint32_t* __restrict in, uint64_t base,
                      uint64_t* __restrict out) {
   const __m256i vb = _mm256_set1_epi64x(int64_t(base));
+  if constexpr (B > kMaxChunk4UnpackBits) {
+    // Wide codes come out of the shuffle network in qword lanes already:
+    // add the base there and skip the narrow/widen round trip.
+    UnpackWideGroupAvx2Q<B>(
+        reinterpret_cast<const uint8_t*>(in),
+        [&](int idx, __m256i v) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx),
+                              _mm256_add_epi64(v, vb));
+        },
+        std::make_integer_sequence<int, 8>{});
+  } else {
+    UnpackGroupAvx2<B>(in, [&](int idx, __m256i v) {
+      const __m128i lo = _mm256_castsi256_si128(v);
+      const __m128i hi = _mm256_extracti128_si256(v, 1);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx),
+                          _mm256_add_epi64(_mm256_cvtepu32_epi64(lo), vb));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx + 4),
+                          _mm256_add_epi64(_mm256_cvtepu32_epi64(hi), vb));
+    });
+  }
+}
+
+// Compressed-domain select: unpack each batch, apply the single-compare
+// unsigned range test ((c - lo) <= (hi - lo), valid because the dispatch
+// layer guarantees lo <= hi), and turn the lane mask into predicated
+// appends — no decoded array is ever materialized.
+template <int B>
+size_t SelectBetweenAvx2(const uint32_t* __restrict in, uint32_t lo,
+                         uint32_t hi, uint32_t base_index,
+                         uint32_t* __restrict out) {
+  const __m256i vlo = _mm256_set1_epi32(int(lo));
+  const __m256i vrange = _mm256_set1_epi32(int(hi - lo));
+  size_t cnt = 0;
   UnpackGroupAvx2<B>(in, [&](int idx, __m256i v) {
-    const __m128i lo = _mm256_castsi256_si128(v);
-    const __m128i hi = _mm256_extracti128_si256(v, 1);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx),
-                        _mm256_add_epi64(_mm256_cvtepu32_epi64(lo), vb));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + idx + 4),
-                        _mm256_add_epi64(_mm256_cvtepu32_epi64(hi), vb));
+    const __m256i d = _mm256_sub_epi32(v, vlo);
+    const __m256i q = _mm256_cmpeq_epi32(_mm256_min_epu32(d, vrange), d);
+    const unsigned m = unsigned(_mm256_movemask_ps(_mm256_castsi256_ps(q)));
+    for (int j = 0; j < 8; j++) {
+      out[cnt] = base_index + uint32_t(idx + j);
+      cnt += (m >> j) & 1u;
+    }
   });
+  return cnt;
 }
 
 void ForDecode32Avx2(const uint32_t* __restrict codes, size_t n,
@@ -191,7 +295,7 @@ void PrefixSum64Avx2(uint64_t* data, size_t n, uint64_t start) {
 }
 
 // ---------------------------------------------------------------------------
-// Pack kernels (bit widths 1..16): the merge tree. Each batch of 8 codes is
+// Pack kernels. Bit widths 1..16: the merge tree. Each batch of 8 codes is
 // combined entirely with full-width shift/ors — mask to B bits, fold odd
 // 32-bit lanes onto even ones (one 2B-bit run per 64-bit lane), fold odd
 // qword runs onto even ones (one 4B-bit run in lanes 0 and 2) — and the two
@@ -200,14 +304,16 @@ void PrefixSum64Avx2(uint64_t* data, size_t n, uint64_t start) {
 // Stores are 16 bytes wide; bits past 8*B are zero, and batches are stored
 // in ascending order, so the overhang only pre-zeroes bytes the next batch
 // (or the next group) overwrites — the write-slack contract of
-// bitpack_kernels.h.
+// bitpack_kernels.h. Widths 17..31 use the 3-level splice instead: the
+// level-1 SIMD fold yields four 2B-bit qword runs (2B <= 62), and
+// WideSpliceStore splices them into a 32-byte store the same way.
 // ---------------------------------------------------------------------------
 
 /// Packs one batch of 8 codes (32-bit lanes of `x`) into B bytes at `dst`
 /// (16 bytes stored, tail zero).
 template <int B>
 inline void PackBatch8(__m256i x, uint8_t* dst) {
-  static_assert(B >= 1 && B <= kMaxSimdPackBits);
+  static_assert(B >= 1 && B <= kMaxMergeTreePackBits);
   x = _mm256_and_si256(x, _mm256_set1_epi32(int((uint32_t(1) << B) - 1)));
   const __m256i even = _mm256_and_si256(x, _mm256_set1_epi64x(0xFFFFFFFFll));
   const __m256i odd = _mm256_srli_epi64(x, 32);
@@ -230,15 +336,38 @@ inline void PackBatch8(__m256i x, uint8_t* dst) {
   std::memcpy(dst + 8, &w1, 8);
 }
 
+/// Wide widths (17..31): level 1 of the 3-level splice — fold odd dword
+/// lanes onto even ones (one 2B-bit run per qword) and hand the four runs
+/// to the compile-time scalar splice.
+template <int B>
+inline void PackWideBatch8(__m256i x, uint8_t* dst) {
+  static_assert(B > kMaxMergeTreePackBits && B <= kMaxSimdPackBits);
+  x = _mm256_and_si256(x, _mm256_set1_epi32(int((uint32_t(1) << B) - 1)));
+  const __m256i even = _mm256_and_si256(x, _mm256_set1_epi64x(0xFFFFFFFFll));
+  const __m256i odd = _mm256_srli_epi64(x, 32);
+  const __m256i pairs = _mm256_or_si256(even, _mm256_slli_epi64(odd, B));
+  WideSpliceStore<B>(uint64_t(_mm256_extract_epi64(pairs, 0)),
+                     uint64_t(_mm256_extract_epi64(pairs, 1)),
+                     uint64_t(_mm256_extract_epi64(pairs, 2)),
+                     uint64_t(_mm256_extract_epi64(pairs, 3)), dst);
+}
+
 /// Runs `source(value_index)` -> 8 lanes over one 32-value group, packing
 /// each batch at its byte-aligned offset.
 template <int B, typename Source>
 inline void PackGroupAvx2(uint32_t* __restrict out, Source&& source) {
   uint8_t* dst = reinterpret_cast<uint8_t*>(out);
-  PackBatch8<B>(source(0), dst);
-  PackBatch8<B>(source(8), dst + B);
-  PackBatch8<B>(source(16), dst + 2 * B);
-  PackBatch8<B>(source(24), dst + 3 * B);
+  if constexpr (B <= kMaxMergeTreePackBits) {
+    PackBatch8<B>(source(0), dst);
+    PackBatch8<B>(source(8), dst + B);
+    PackBatch8<B>(source(16), dst + 2 * B);
+    PackBatch8<B>(source(24), dst + 3 * B);
+  } else {
+    PackWideBatch8<B>(source(0), dst);
+    PackWideBatch8<B>(source(8), dst + B);
+    PackWideBatch8<B>(source(16), dst + 2 * B);
+    PackWideBatch8<B>(source(24), dst + 3 * B);
+  }
 }
 
 template <int B>
@@ -328,15 +457,22 @@ void FillSimdPackWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
    ...);
 }
 
+template <int... Bs>
+void FillSimdSelectWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
+  ((ops.select_between[Bs + 1] = &SelectBetweenAvx2<Bs + 1>), ...);
+}
+
 KernelOps MakeAvx2Ops() {
-  KernelOps ops = ScalarOps();  // widths 0 and 26..32 stay scalar
+  KernelOps ops = ScalarOps();  // widths 0 and 32 stay scalar
   ops.isa = KernelIsa::kAvx2;
   ops.tail_read_slack = true;
-  ops.pack_write_slack = true;  // pack widths 17..32 stay scalar
+  ops.pack_write_slack = true;
   FillSimdWidths(ops,
                  std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
   FillSimdPackWidths(ops,
                      std::make_integer_sequence<int, kMaxSimdPackBits>{});
+  FillSimdSelectWidths(ops,
+                       std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
   ops.for_decode32 = &ForDecode32Avx2;
   ops.for_decode64 = &ForDecode64Avx2;
   ops.prefix_sum32 = &PrefixSum32Avx2;

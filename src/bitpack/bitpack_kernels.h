@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "bitpack/bitpack_dispatch.h"
 
@@ -28,9 +29,10 @@ namespace bitpack_internal {
 /// whenever ops.tail_read_slack is set.
 ///
 /// The pack side mirrors the contract on the OUTPUT: SIMD pack kernels
-/// store 16-byte vectors whose tail bits are zero, so they may WRITE up to
-/// kGroupSlackBytes past the group's b*4 output bytes (they read exactly 32
-/// input values — no input slack). The extra bytes are always zero, and the
+/// store 16-byte (b <= 16) or 32-byte (b = 17..31) vectors whose tail bits
+/// are zero, so they may WRITE up to kGroupSlackBytes past the group's b*4
+/// output bytes (the 32-byte stores overhang at most 32 - b <= 15 bytes;
+/// they read exactly 32 input values — no input slack). The extra bytes are always zero, and the
 /// kernels store batches in ascending stream order, so inside a multi-group
 /// stream the slack of group g only ever pre-zeroes bytes that group g+1
 /// immediately overwrites. Only groups near the END of the destination
@@ -67,6 +69,17 @@ using DeltaEncode32Fn = void (*)(const uint32_t* __restrict in, size_t n,
 using DeltaEncode64Fn = void (*)(const uint64_t* __restrict in, size_t n,
                                  uint64_t prev, uint64_t* __restrict out);
 
+// Compressed-domain selection: scans one 32-value group of packed codes
+// and appends base_index + i (ascending) for every code in [lo, hi]
+// (unsigned, inclusive; caller guarantees lo <= hi) to `out`, returning
+// the number appended. Input contract matches the unpack kernels (b words
+// plus read slack on SIMD backends); `out` must have room for 32 entries —
+// the kernels append with predicated stores, so positions past the
+// returned count may hold scratch indices.
+using SelectBetweenFn = size_t (*)(const uint32_t* __restrict in, uint32_t lo,
+                                   uint32_t hi, uint32_t base_index,
+                                   uint32_t* __restrict out);
+
 /// One backend's full kernel table, indexed by bit width where per-width
 /// specialization pays. Backends fill SIMD entries for the widths they
 /// cover and inherit scalar entries for the rest, so every table is total.
@@ -80,6 +93,7 @@ struct KernelOps {
   std::array<PackFn, 33> pack{};
   std::array<PackFor32Fn, 33> pack_for32{};
   std::array<PackFor64Fn, 33> pack_for64{};
+  std::array<SelectBetweenFn, 33> select_between{};
   ForDecode32Fn for_decode32 = nullptr;
   ForDecode64Fn for_decode64 = nullptr;
   PrefixSum32Fn prefix_sum32 = nullptr;
@@ -104,22 +118,34 @@ const KernelOps& Avx2Ops();
 // Chunk-load geometry shared by the SIMD backends
 // ---------------------------------------------------------------------------
 //
-// The SIMD unpackers decode the horizontal layout with byte-aligned 4-byte
-// chunk loads: the code at value index v occupies bits [v*b, v*b + b) of
-// the stream, i.e. bits [r, r+b) of the 4-byte chunk at byte (v*b)/8 with
-// r = (v*b) % 8. For b <= 25 the chunk always contains the whole code
-// (r <= 7, so r + b <= 32); widths 26..31 fall back to scalar.
+// The SIMD unpackers decode the horizontal layout with byte-aligned chunk
+// loads: the code at value index v occupies bits [v*b, v*b + b) of the
+// stream, i.e. bits [r, r+b) of the chunk at byte (v*b)/8 with
+// r = (v*b) % 8. For b <= 25 a 4-byte chunk always contains the whole code
+// (r <= 7, so r + b <= 32) and the dword shuffle networks apply; for
+// b = 26..31 the code can straddle a dword boundary, so the wide kernels
+// switch to byte-aligned 8-BYTE chunks (r + b <= 38 < 64 always holds) and
+// qword shift networks, narrowing back to dwords for the 32-byte stores.
 
-/// Highest bit width the byte-aligned-chunk SIMD unpackers cover.
-constexpr int kMaxSimdUnpackBits = 25;
+/// Highest bit width the 4-byte-chunk (dword shuffle network) unpackers
+/// cover; 26..kMaxSimdUnpackBits use the 8-byte-chunk kernels.
+constexpr int kMaxChunk4UnpackBits = 25;
 
-/// Highest bit width the SIMD packers cover. The merge-tree packer (see
-/// bitpack_avx2.cc) combines 8 codes into a 8*b-bit run in two shift/or
-/// levels plus one scalar splice; at b <= 16 the run fits 128 bits and each
-/// batch store stays byte-aligned (8*b bits = b bytes). Wider codes pack
-/// scalar — by then the stream is barely narrower than raw and the encode
-/// cost is dominated by the exception path anyway.
-constexpr int kMaxSimdPackBits = 16;
+/// Highest bit width the SIMD unpackers cover overall. Only b = 32 (a raw
+/// word copy, already optimal) and b = 0 bypass the shuffle networks.
+constexpr int kMaxSimdUnpackBits = 31;
+
+/// Highest bit width the 128-bit merge-tree packer covers. It combines 8
+/// codes into an 8*b-bit run in two shift/or levels plus one scalar splice;
+/// at b <= 16 the run fits 128 bits and each batch store stays byte-aligned
+/// (8*b bits = b bytes).
+constexpr int kMaxMergeTreePackBits = 16;
+
+/// Highest bit width the SIMD packers cover overall. Widths 17..31 use the
+/// 3-level splice (bitpack_avx2.cc / bitpack_sse4.cc): one SIMD fold to
+/// four 2b-bit qword runs, then two compile-time scalar splice levels into
+/// a 32-byte store whose tail bits are zero. b = 32 stays a word copy.
+constexpr int kMaxSimdPackBits = 31;
 
 /// AVX2 processes 8 lanes per batch; 8 lanes * b bits = b bytes, so every
 /// batch starts byte-aligned and one offset/shift pattern serves all four
@@ -136,6 +162,40 @@ constexpr int Lane4ByteOff(int b, int p, int i) {
 }
 constexpr int Lane4Shift(int b, int p, int i) {
   return (Lane4Phase(b, p) + i * b) % 8;
+}
+
+/// Wide-width (26..31) geometry: value v's code lives at bits [r, r+b) of
+/// the byte-aligned 8-byte chunk at byte (v*b)/8, r = (v*b) % 8. Offsets
+/// are absolute within the group (no batch alignment exists to exploit —
+/// the kernels template over the batch index instead).
+constexpr int WideByteOff(int b, int v) { return (v * b) / 8; }
+constexpr int WideShift(int b, int v) { return (v * b) % 8; }
+
+/// Levels 2 and 3 of the wide (b = 17..31) pack, shared by the SIMD
+/// backends: run I (2*B bits, high qword bits zero) lands at bit position
+/// I*2*B of the 256-bit batch window. Every shift is compile-time, and a
+/// run straddling a word boundary carries into the next word.
+template <int B, int I>
+inline void WideSpliceRun(uint64_t r, uint64_t* w) {
+  constexpr int p = 2 * B * I;
+  constexpr int word = p / 64;
+  constexpr int sh = p % 64;
+  w[word] |= r << sh;
+  if constexpr (sh + 2 * B > 64) w[word + 1] |= r >> (64 - sh);
+}
+
+/// Splices the four 2*B-bit qword runs of one 8-code batch into a 32-byte
+/// store at `dst`; bits past 8*B (i.e. bytes past B) are zero, which is
+/// what lets the store overhang under the pack write-slack contract.
+template <int B>
+inline void WideSpliceStore(uint64_t r0, uint64_t r1, uint64_t r2,
+                            uint64_t r3, uint8_t* dst) {
+  uint64_t w[4] = {0, 0, 0, 0};
+  WideSpliceRun<B, 0>(r0, w);
+  WideSpliceRun<B, 1>(r1, w);
+  WideSpliceRun<B, 2>(r2, w);
+  WideSpliceRun<B, 3>(r3, w);
+  std::memcpy(dst, w, 32);
 }
 
 }  // namespace bitpack_internal

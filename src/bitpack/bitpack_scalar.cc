@@ -58,6 +58,23 @@ void UnpackFor64Scalar(const uint32_t* __restrict in, uint64_t base,
   UnpackGroupWith<B>(in, [&](int i, uint32_t c) { out[i] = base + c; });
 }
 
+// The reference for the compressed-domain select kernels: unpack each code
+// and append its position with a predicated store. `c - lo <= hi - lo`
+// is the single-compare unsigned range test (valid because the dispatch
+// layer guarantees lo <= hi).
+template <int B>
+size_t SelectBetweenScalar(const uint32_t* __restrict in, uint32_t lo,
+                           uint32_t hi, uint32_t base_index,
+                           uint32_t* __restrict out) {
+  const uint32_t range = hi - lo;
+  size_t cnt = 0;
+  UnpackGroupWith<B>(in, [&](int i, uint32_t c) {
+    out[cnt] = base_index + uint32_t(i);
+    cnt += size_t(c - lo <= range);
+  });
+  return cnt;
+}
+
 void ForDecode32Scalar(const uint32_t* __restrict codes, size_t n,
                        uint32_t base, uint32_t* __restrict out) {
   for (size_t i = 0; i < n; i++) out[i] = base + codes[i];
@@ -161,6 +178,7 @@ KernelOps MakeScalarOps(std::integer_sequence<int, Bs...>) {
   ops.pack = {&PackScalar<Bs>...};
   ops.pack_for32 = {&PackFor32Scalar<Bs>...};
   ops.pack_for64 = {&PackFor64Scalar<Bs>...};
+  ops.select_between = {&SelectBetweenScalar<Bs>...};
   ops.for_decode32 = &ForDecode32Scalar;
   ops.for_decode64 = &ForDecode64Scalar;
   ops.prefix_sum32 = &PrefixSum32Scalar;

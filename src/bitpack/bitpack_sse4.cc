@@ -8,6 +8,13 @@
 // plus a mask isolates it. This is the classic byte-aligned decode idiom
 // from the vectorized-integer-decoding literature (Lemire & Boytsov;
 // varint-G8IU), applied to the paper's horizontal 32-value group layout.
+//
+// Wide widths (26..31) can straddle a dword, so the wide kernels treat
+// each value as bits [r, r+b) of the byte-aligned 8-BYTE chunk at byte
+// (v*b)/8 (r <= 7, so r + b <= 38 < 64 always): PSHUFB places two chunks
+// into the qword lanes, two immediate PSRLQs plus a blend stand in for
+// the missing per-lane qword shift, and a qword mask isolates the codes.
+// Pairs of qword units narrow to 4-dword stores via SHUFPS.
 
 #include <smmintrin.h>
 
@@ -42,7 +49,7 @@ inline __m128i MultPattern() {
 /// base byte). Reads 16 bytes.
 template <int B, int P>
 inline __m128i UnpackBatch4(const uint8_t* src) {
-  static_assert(B >= 1 && B <= kMaxSimdUnpackBits);
+  static_assert(B >= 1 && B <= kMaxChunk4UnpackBits);
   const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
   const __m128i chunks = _mm_shuffle_epi8(raw, ShufPattern<B, P>());
   const __m128i aligned =
@@ -50,13 +57,62 @@ inline __m128i UnpackBatch4(const uint8_t* src) {
   return _mm_and_si128(aligned, _mm_set1_epi32(int((uint32_t(1) << B) - 1)));
 }
 
+template <int O1>
+inline __m128i WideShufPattern() {
+  return _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, O1, O1 + 1, O1 + 2, O1 + 3,
+                       O1 + 4, O1 + 5, O1 + 6, O1 + 7);
+}
+
+/// Decodes values 2K and 2K+1 of a wide-width group into the two qword
+/// lanes. One 16-byte load from the unit's base byte covers both 8-byte
+/// chunks (their spread is at most 4 + 8 bytes).
+template <int B, int K>
+inline __m128i UnpackWide2(const uint8_t* src) {
+  static_assert(B > kMaxChunk4UnpackBits && B <= kMaxSimdUnpackBits);
+  constexpr int p = WideByteOff(B, 2 * K);
+  constexpr int o1 = WideByteOff(B, 2 * K + 1) - p;
+  const __m128i raw =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + p));
+  const __m128i chunks = _mm_shuffle_epi8(raw, WideShufPattern<o1>());
+  // No per-lane qword shift on SSE4.1: shift both lanes by each constant
+  // and blend the halves that match.
+  const __m128i t0 = _mm_srli_epi64(chunks, WideShift(B, 2 * K));
+  const __m128i t1 = _mm_srli_epi64(chunks, WideShift(B, 2 * K + 1));
+  const __m128i v = _mm_blend_epi16(t0, t1, 0xF0);
+  return _mm_and_si128(v, _mm_set1_epi64x(int64_t((uint64_t(1) << B) - 1)));
+}
+
+/// Runs `sink(value_index, 2 codes in qword lanes)` over a wide group.
+template <int B, typename SinkQ, int... Ks>
+inline void UnpackWideGroupSse4Q(const uint8_t* src, SinkQ&& sink,
+                                 std::integer_sequence<int, Ks...>) {
+  (sink(2 * Ks, UnpackWide2<B, Ks>(src)), ...);
+}
+
+/// Runs `sink(value_index, 4 codes in dword lanes)` over a wide group:
+/// SHUFPS picks the low dwords of two qword units in source order.
+template <int B, typename Sink, int... Ks>
+inline void UnpackWideGroupSse4(const uint8_t* src, Sink&& sink,
+                                std::integer_sequence<int, Ks...>) {
+  (sink(4 * Ks,
+        _mm_castps_si128(_mm_shuffle_ps(
+            _mm_castsi128_ps(UnpackWide2<B, 2 * Ks>(src)),
+            _mm_castsi128_ps(UnpackWide2<B, 2 * Ks + 1>(src)),
+            _MM_SHUFFLE(2, 0, 2, 0)))),
+   ...);
+}
+
 /// Runs `sink(value_index, 4 codes)` over one 32-value group.
 template <int B, typename Sink>
 inline void UnpackGroupSse4(const uint32_t* __restrict in, Sink&& sink) {
   const uint8_t* src = reinterpret_cast<const uint8_t*>(in);
-  for (int k = 0; k < 8; k += 2) {
-    sink(4 * k, UnpackBatch4<B, 0>(src + (4 * k * B) / 8));
-    sink(4 * (k + 1), UnpackBatch4<B, 1>(src + (4 * (k + 1) * B) / 8));
+  if constexpr (B <= kMaxChunk4UnpackBits) {
+    for (int k = 0; k < 8; k += 2) {
+      sink(4 * k, UnpackBatch4<B, 0>(src + (4 * k * B) / 8));
+      sink(4 * (k + 1), UnpackBatch4<B, 1>(src + (4 * (k + 1) * B) / 8));
+    }
+  } else {
+    UnpackWideGroupSse4<B>(src, sink, std::make_integer_sequence<int, 8>{});
   }
 }
 
@@ -81,14 +137,49 @@ template <int B>
 void UnpackFor64Sse4(const uint32_t* __restrict in, uint64_t base,
                      uint64_t* __restrict out) {
   const __m128i vb = _mm_set1_epi64x(int64_t(base));
+  if constexpr (B > kMaxChunk4UnpackBits) {
+    // Wide codes come out of the shuffle network in qword lanes already:
+    // add the base there and skip the narrow/widen round trip.
+    UnpackWideGroupSse4Q<B>(
+        reinterpret_cast<const uint8_t*>(in),
+        [&](int idx, __m128i v) {
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx),
+                           _mm_add_epi64(v, vb));
+        },
+        std::make_integer_sequence<int, 16>{});
+  } else {
+    UnpackGroupSse4<B>(in, [&](int idx, __m128i v) {
+      const __m128i lo = _mm_cvtepu32_epi64(v);
+      const __m128i hi = _mm_cvtepu32_epi64(_mm_srli_si128(v, 8));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx),
+                       _mm_add_epi64(lo, vb));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx + 2),
+                       _mm_add_epi64(hi, vb));
+    });
+  }
+}
+
+// Compressed-domain select: unpack each batch, apply the single-compare
+// unsigned range test ((c - lo) <= (hi - lo), valid because the dispatch
+// layer guarantees lo <= hi), and turn the lane mask into predicated
+// appends — no decoded array is ever materialized.
+template <int B>
+size_t SelectBetweenSse4(const uint32_t* __restrict in, uint32_t lo,
+                         uint32_t hi, uint32_t base_index,
+                         uint32_t* __restrict out) {
+  const __m128i vlo = _mm_set1_epi32(int(lo));
+  const __m128i vrange = _mm_set1_epi32(int(hi - lo));
+  size_t cnt = 0;
   UnpackGroupSse4<B>(in, [&](int idx, __m128i v) {
-    const __m128i lo = _mm_cvtepu32_epi64(v);
-    const __m128i hi = _mm_cvtepu32_epi64(_mm_srli_si128(v, 8));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx),
-                     _mm_add_epi64(lo, vb));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + idx + 2),
-                     _mm_add_epi64(hi, vb));
+    const __m128i d = _mm_sub_epi32(v, vlo);
+    const __m128i q = _mm_cmpeq_epi32(_mm_min_epu32(d, vrange), d);
+    const unsigned m = unsigned(_mm_movemask_ps(_mm_castsi128_ps(q)));
+    for (int j = 0; j < 4; j++) {
+      out[cnt] = base_index + uint32_t(idx + j);
+      cnt += (m >> j) & 1u;
+    }
   });
+  return cnt;
 }
 
 void ForDecode32Sse4(const uint32_t* __restrict codes, size_t n,
@@ -164,10 +255,12 @@ void PrefixSum64Sse4(uint64_t* data, size_t n, uint64_t start) {
 }
 
 // ---------------------------------------------------------------------------
-// Pack kernels (bit widths 1..16): the 128-bit half of the AVX2 merge tree
+// Pack kernels. Widths 1..16: the 128-bit half of the AVX2 merge tree
 // (see bitpack_avx2.cc). Each register folds its 4 masked codes into one
 // 4B-bit run with two shift/or levels; two runs splice into a 16-byte store
-// at the batch's byte-aligned offset (8 codes * B bits = B bytes). Stores
+// at the batch's byte-aligned offset (8 codes * B bits = B bytes). Widths
+// 17..31: the 3-level splice — SIMD fold to four 2B-bit qword runs, then
+// two compile-time scalar splice levels into a 32-byte store. All stores
 // carry zero tail bits and land in ascending order — the write-slack
 // contract of bitpack_kernels.h.
 // ---------------------------------------------------------------------------
@@ -187,7 +280,7 @@ inline uint64_t FoldQuad(__m128i x) {
 /// (16 bytes stored, tail zero).
 template <int B>
 inline void PackBatch8(__m128i x0, __m128i x1, uint8_t* dst) {
-  static_assert(B >= 1 && B <= kMaxSimdPackBits);
+  static_assert(B >= 1 && B <= kMaxMergeTreePackBits);
   const __m128i mask = _mm_set1_epi32(int((uint32_t(1) << B) - 1));
   const uint64_t lo = FoldQuad<B>(_mm_and_si128(x0, mask));
   const uint64_t hi = FoldQuad<B>(_mm_and_si128(x1, mask));
@@ -203,12 +296,37 @@ inline void PackBatch8(__m128i x0, __m128i x1, uint8_t* dst) {
   std::memcpy(dst + 8, &w1, 8);
 }
 
+/// Wide widths (17..31): the 3-level splice. Level 1 folds odd dword
+/// lanes onto even ones in SIMD (one 2B-bit run per qword, 2B <= 62);
+/// levels 2 and 3 splice the four runs scalar (WideSpliceStore) into a
+/// 32-byte store with zero tail bits.
+template <int B>
+inline void PackWideBatch8(__m128i x0, __m128i x1, uint8_t* dst) {
+  static_assert(B > kMaxMergeTreePackBits && B <= kMaxSimdPackBits);
+  const __m128i mask = _mm_set1_epi32(int((uint32_t(1) << B) - 1));
+  const __m128i evenmask = _mm_set1_epi64x(0xFFFFFFFFll);
+  x0 = _mm_and_si128(x0, mask);
+  x1 = _mm_and_si128(x1, mask);
+  const __m128i p0 = _mm_or_si128(_mm_and_si128(x0, evenmask),
+                                  _mm_slli_epi64(_mm_srli_epi64(x0, 32), B));
+  const __m128i p1 = _mm_or_si128(_mm_and_si128(x1, evenmask),
+                                  _mm_slli_epi64(_mm_srli_epi64(x1, 32), B));
+  WideSpliceStore<B>(uint64_t(_mm_extract_epi64(p0, 0)),
+                     uint64_t(_mm_extract_epi64(p0, 1)),
+                     uint64_t(_mm_extract_epi64(p1, 0)),
+                     uint64_t(_mm_extract_epi64(p1, 1)), dst);
+}
+
 /// Runs `source(value_index)` -> 4 lanes over one 32-value group.
 template <int B, typename Source>
 inline void PackGroupSse4(uint32_t* __restrict out, Source&& source) {
   uint8_t* dst = reinterpret_cast<uint8_t*>(out);
   for (int k = 0; k < 4; k++) {
-    PackBatch8<B>(source(8 * k), source(8 * k + 4), dst + k * B);
+    if constexpr (B <= kMaxMergeTreePackBits) {
+      PackBatch8<B>(source(8 * k), source(8 * k + 4), dst + k * B);
+    } else {
+      PackWideBatch8<B>(source(8 * k), source(8 * k + 4), dst + k * B);
+    }
   }
 }
 
@@ -294,15 +412,22 @@ void FillSimdPackWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
    ...);
 }
 
+template <int... Bs>
+void FillSimdSelectWidths(KernelOps& ops, std::integer_sequence<int, Bs...>) {
+  ((ops.select_between[Bs + 1] = &SelectBetweenSse4<Bs + 1>), ...);
+}
+
 KernelOps MakeSse4Ops() {
-  KernelOps ops = ScalarOps();  // widths 0 and 26..32 stay scalar
+  KernelOps ops = ScalarOps();  // widths 0 and 32 stay scalar
   ops.isa = KernelIsa::kSse4;
   ops.tail_read_slack = true;
-  ops.pack_write_slack = true;  // pack widths 17..32 stay scalar
+  ops.pack_write_slack = true;
   FillSimdWidths(ops,
                  std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
   FillSimdPackWidths(ops,
                      std::make_integer_sequence<int, kMaxSimdPackBits>{});
+  FillSimdSelectWidths(ops,
+                       std::make_integer_sequence<int, kMaxSimdUnpackBits>{});
   ops.for_decode32 = &ForDecode32Sse4;
   ops.for_decode64 = &ForDecode64Sse4;
   ops.prefix_sum32 = &PrefixSum32Sse4;

@@ -24,6 +24,17 @@
 //   codec.pack.patched_groups        groups that went through LOOP1+LOOP2
 //   codec.random_access.calls        fine-grained Get() lookups
 //   codec.checksum_failures          segment CRC mismatches detected
+//   codec.pushdown.groups_skipped    128-value groups disqualified by the
+//                                    per-group min/max summaries (no code
+//                                    bytes touched)
+//   codec.pushdown.groups_full       groups whose summary proved every
+//                                    value qualifies (index range emitted)
+//   codec.pushdown.groups_kernel     groups selected in the compressed
+//                                    domain by the packed SelectBetween
+//                                    kernels / qualifying-code table
+//   codec.pushdown.groups_decoded    groups that fell back to full decode
+//                                    (PFOR-DELTA, narrow types, wrapping
+//                                    code maps, oversized dictionaries)
 //   analyzer.choice.<scheme>         scheme decisions made by the analyzer
 //   analyzer.runs                    Analyze() invocations
 
@@ -45,6 +56,10 @@ struct CodecMetrics {
   Counter* random_access_calls;
   Counter* compressed_exec_codes;
   Counter* checksum_failures;
+  Counter* pushdown_groups_skipped;
+  Counter* pushdown_groups_full;
+  Counter* pushdown_groups_kernel;
+  Counter* pushdown_groups_decoded;
 
   static CodecMetrics& Get() {
     static CodecMetrics* m = [] {
@@ -69,6 +84,13 @@ struct CodecMetrics {
       cm->random_access_calls = &reg.GetCounter("codec.random_access.calls");
       cm->compressed_exec_codes = &reg.GetCounter("codec.compressed_exec.codes");
       cm->checksum_failures = &reg.GetCounter("codec.checksum_failures");
+      cm->pushdown_groups_skipped =
+          &reg.GetCounter("codec.pushdown.groups_skipped");
+      cm->pushdown_groups_full = &reg.GetCounter("codec.pushdown.groups_full");
+      cm->pushdown_groups_kernel =
+          &reg.GetCounter("codec.pushdown.groups_kernel");
+      cm->pushdown_groups_decoded =
+          &reg.GetCounter("codec.pushdown.groups_decoded");
       return cm;
     }();
     return *m;

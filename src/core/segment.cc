@@ -134,7 +134,30 @@ Status SegmentHeader::Validate(size_t buffer_size) const {
         return Status::Corruption(Fmt("bases_offset", bases_offset, total_size));
       }
     }
+    // Optional per-group min/max summaries sit inside the metadata region
+    // (below the code section), so they are covered by meta_crc. The reader
+    // skips groups on these bounds, so like the dictionary bound this is a
+    // memory-safety invariant.
+    if (summary_offset != 0) {
+      if (summary_reserved != 0) {
+        return Status::Corruption(Fmt("summary_reserved", summary_reserved, 0));
+      }
+      if (summary_offset % value_size != 0) {
+        return Status::Corruption(
+            Fmt("summary alignment", summary_offset, value_size));
+      }
+      if (summary_offset < entries_offset + uint64_t(entry_count) * 4 ||
+          summary_offset + 2 * uint64_t(entry_count) * value_size >
+              codes_offset) {
+        return Status::Corruption(
+            Fmt("summary_offset", summary_offset, codes_offset));
+      }
+    }
   } else {
+    if (summary_offset != 0) {
+      return Status::Corruption(
+          Fmt("summary_offset (raw)", summary_offset, 0));
+    }
     if (codes_offset < body ||
         codes_offset + uint64_t(count) * value_size > total_size) {
       return Status::Corruption(Fmt("codes_offset", codes_offset, total_size));

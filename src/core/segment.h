@@ -24,6 +24,10 @@
 //   +----------------------+  dict_offset (PDICT only)
 //   | dictionary           |  padded to >= 128 entries so bogus gap codes
 //   |                      |  in LOOP1 never read out of bounds
+//   +----------------------+  summary_offset (optional, 0 = absent)
+//   | group summaries      |  per-group min/max of the DECODED values,
+//   |                      |  interleaved: min[g], max[g] as T — drives
+//   |                      |  compressed-domain selection pushdown
 //   +----------------------+  codes_offset
 //   | code section         |  bit-packed b-bit codes, forward growing
 //   +----------------------+  exceptions_offset
@@ -85,7 +89,11 @@ struct SegmentHeader {
   uint32_t entry_count = 0;     // ceil(n / 128)
   uint32_t dict_size = 0;       // PDICT: logical dictionary entries
   uint64_t base_bits = 0;       // PFOR/PFOR-DELTA frame base (bit pattern)
-  uint64_t start_bits = 0;      // PFOR-DELTA: value preceding position 0
+  uint32_t summary_offset = 0;  // per-group min/max section; 0 = absent.
+                                // (Repurposed from the always-zero
+                                // `start_bits` field, so 0 is also what
+                                // every pre-summary segment carries.)
+  uint32_t summary_reserved = 0;  // must be 0 when summary_offset != 0
   uint32_t entries_offset = 0;
   uint32_t bases_offset = 0;    // 0 when absent
   uint32_t dict_offset = 0;     // 0 when absent
@@ -100,6 +108,12 @@ struct SegmentHeader {
 
   /// True when a SegmentChecksums block follows the header.
   bool HasChecksums() const { return (flags & kSegmentFlagChecksums) != 0; }
+
+  /// True when the per-group min/max summary section is present. The
+  /// section holds 2 * entry_count values of value_size bytes (min[g],
+  /// max[g] interleaved) inside the metadata region, so it is covered by
+  /// meta_crc on checksummed segments.
+  bool HasSummaries() const { return summary_offset != 0; }
 
   /// First byte past the header and (if present) the checksum block — the
   /// lower bound for every section offset.

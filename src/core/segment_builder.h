@@ -38,6 +38,13 @@ namespace scc {
 /// checksum-cost bench rows.
 struct SegmentBuildOptions {
   bool with_checksums = true;
+  /// Write the per-group min/max summary section (segment.h). Costs
+  /// 2 * sizeof(T) bytes per 128 values (= 0.125 bits/value for T =
+  /// uint64_t) and one extra scan at build time; enables compressed-domain
+  /// selection pushdown to skip whole groups at read time. Summaries are
+  /// computed from the decoded values with a deterministic scalar scan, so
+  /// segment bytes stay identical across ISAs and thread counts.
+  bool with_summaries = true;
 };
 
 template <CodecValue T>
@@ -374,7 +381,6 @@ class SegmentBuilder {
     hdr.exception_count = uint32_t(g.exceptions.size());
     hdr.entry_count = uint32_t(g.entries.size());
     hdr.base_bits = uint64_t(U(params.base));
-    hdr.start_bits = 0;
     hdr.flags = FormatFlags(opts);
 
     size_t off = hdr.BodyOffset();
@@ -392,6 +398,14 @@ class SegmentBuilder {
       hdr.dict_offset = uint32_t(off);
       hdr.dict_size = uint32_t(dict.size());
       off += padded_dict * sizeof(T);
+    }
+    // Per-group min/max summaries (pushdown skip bounds), interleaved
+    // min[g], max[g]. They live below codes_offset so meta_crc covers them.
+    const bool summaries = opts.with_summaries && !g.entries.empty();
+    if (summaries) {
+      off = AlignUp(off, sizeof(T));
+      hdr.summary_offset = uint32_t(off);
+      off += 2 * g.entries.size() * sizeof(T);
     }
     off = AlignUp(off, 4);
     hdr.codes_offset = uint32_t(off);
@@ -415,6 +429,20 @@ class SegmentBuilder {
                   dict.size() * sizeof(T));
       // Remaining padded entries stay zero; bogus gap codes in LOOP1 may
       // read them but LOOP2 overwrites the results.
+    }
+    if (summaries) {
+      T* summary = reinterpret_cast<T*>(buf.data() + hdr.summary_offset);
+      for (size_t grp = 0; grp < g.entries.size(); grp++) {
+        const size_t lo = grp * kEntryGroup;
+        const size_t glen = std::min(kEntryGroup, n - lo);
+        T mn = values[lo], mx = values[lo];
+        for (size_t i = 1; i < glen; i++) {
+          mn = std::min(mn, values[lo + i]);
+          mx = std::max(mx, values[lo + i]);
+        }
+        summary[2 * grp] = mn;
+        summary[2 * grp + 1] = mx;
+      }
     }
     // Codes were packed group-at-a-time during compression.
     if (!g.packed.empty()) {

@@ -9,6 +9,7 @@
 #include "core/codec.h"
 #include "core/codec_metrics.h"
 #include "core/segment.h"
+#include "util/bitutil.h"
 #include "util/status.h"
 
 // Decompression side of the segment format. Three access paths, mirroring
@@ -131,6 +132,250 @@ class SegmentReader {
   /// Bytes of the code section (useful for bandwidth accounting).
   size_t code_section_bytes() const {
     return PackedByteSize(hdr_.count, hdr_.bit_width);
+  }
+
+  /// True when the segment carries the per-group min/max summary section
+  /// that lets SelectBetween skip whole groups.
+  bool has_summaries() const { return hdr_.HasSummaries(); }
+
+  /// Compressed-domain selection pushdown: writes i (ascending, relative
+  /// to `start`) for every position in [start, start + n) whose value v
+  /// satisfies lo <= v <= hi (inclusive, in T's ordering) and returns the
+  /// count. `out` needs room for n entries. The result is always exact —
+  /// the fast paths only change how it is computed:
+  ///  * groups the min/max summaries disqualify are skipped without
+  ///    touching their code bytes;
+  ///  * groups the summaries prove fully qualifying emit an index range;
+  ///  * partially-qualifying PFOR groups translate [lo, hi] into a code
+  ///    interval (valid when code -> base + code is monotone, i.e. the
+  ///    frame does not wrap T's ordering) and run the dispatched packed
+  ///    SelectBetween kernels — no value decode. PDICT groups unpack codes
+  ///    and test a qualifying-code table built once per call.
+  ///  * everything else (PFOR-DELTA, wrapping frames, narrow value types,
+  ///    oversized dictionaries) decodes the group and selects scalar.
+  /// Exception slots hold patch-list gap codes, not data, so the kernel
+  /// paths re-check each exception value against [lo, hi] while walking
+  /// the group's patch list and merge the verdicts into the candidates.
+  size_t SelectBetween(size_t start, size_t n, T lo, T hi,
+                       uint32_t* out) const {
+    SCC_DCHECK(start + n <= hdr_.count);
+    if (n == 0 || lo > hi) return 0;
+    if (scheme() == Scheme::kUncompressed) {
+      const T* raw = Raw() + start;
+      size_t cnt = 0;
+      for (size_t i = 0; i < n; i++) {
+        out[cnt] = uint32_t(i);
+        cnt += size_t(raw[i] >= lo && raw[i] <= hi);
+      }
+      return cnt;
+    }
+    CodecMetrics& cm = CodecMetrics::Get();
+    const int b = hdr_.bit_width;
+    const T* summary =
+        hdr_.HasSummaries()
+            ? reinterpret_cast<const T*>(data_ + hdr_.summary_offset)
+            : nullptr;
+
+    // PFOR predicate translation into code space: v = T(base + c), so when
+    // the map is monotone over [0, max_code] the value range [lo, hi]
+    // becomes the code interval [clo, chi]. A frame whose span wraps T's
+    // ordering (possible when the analyzer picked a base near the type
+    // max) is not monotone; those segments take the decode fallback.
+    bool pfor_kernel = false;
+    uint32_t clo = 1, chi = 0;  // empty interval: only exceptions qualify
+    if constexpr (sizeof(T) >= 4) {
+      if (scheme() == Scheme::kPFor) {
+        const U base = U(uint64_t(hdr_.base_bits));
+        const uint32_t max_code = MaxCode(b);
+        const T base_v = T(base);
+        const T max_v = T(U(base + U(max_code)));
+        if (base_v <= max_v) {
+          pfor_kernel = true;
+          if (lo <= max_v && hi >= base_v) {
+            clo = lo <= base_v ? 0 : uint32_t(U(lo) - base);
+            chi = hi >= max_v ? max_code : uint32_t(U(hi) - base);
+          }
+        }
+      }
+    }
+
+    // PDICT qualifying-code table over the padded dictionary region (the
+    // dictionary is frequency-ordered, not sorted, so there is no interval
+    // to exploit). Indexed by ClampDictCode, whose limit is exactly qlim.
+    constexpr uint32_t kMaxQualDict = 512;
+    bool qual[kMaxQualDict];
+    bool have_qual = false;
+    if (scheme() == Scheme::kPDict) {
+      const uint32_t qlim =
+          std::max<uint32_t>(hdr_.dict_size, uint32_t(kEntryGroup));
+      if (qlim <= kMaxQualDict) {
+        const T* dict = Dict();
+        for (uint32_t c = 0; c < qlim; c++) {
+          qual[c] = c < hdr_.dict_size && dict[c] >= lo && dict[c] <= hi;
+        }
+        have_qual = true;
+      }
+    }
+
+    const size_t first_group = start / kEntryGroup;
+    const size_t last_group = (start + n - 1) / kEntryGroup;
+    size_t cnt = 0;
+    size_t skipped = 0, full = 0, kernel = 0, decoded_groups = 0;
+    uint32_t cand[kEntryGroup];
+    for (size_t g = first_group; g <= last_group; g++) {
+      const size_t glo = g * kEntryGroup;
+      const size_t glen = std::min(kEntryGroup, size_t(hdr_.count) - glo);
+      const size_t wlo = std::max(start, glo) - glo;  // window within group
+      const size_t whi = std::min(start + n, glo + glen) - glo;
+      if (summary != nullptr) {
+        const T mn = summary[2 * g];
+        const T mx = summary[2 * g + 1];
+        if (mx < lo || mn > hi) {
+          skipped++;
+          continue;
+        }
+        if (mn >= lo && mx <= hi) {
+          for (size_t i = wlo; i < whi; i++) {
+            out[cnt++] = uint32_t(glo + i - start);
+          }
+          full++;
+          continue;
+        }
+      }
+      const uint32_t* words = CodeWords() + g * (kEntryGroup / 32) * size_t(b);
+      const uint32_t entry = Entries()[g];
+      const size_t group_end = std::min<size_t>(
+          g + 1 < hdr_.entry_count ? EntryExceptionIndex(Entries()[g + 1])
+                                   : hdr_.exception_count,
+          hdr_.exception_count);
+      const size_t first_exc = EntryExceptionIndex(entry);
+      const size_t group_exc = group_end > first_exc ? group_end - first_exc : 0;
+      const bool whole_window = wlo == 0 && whi == glen;
+      // Fast path (every group but a truncated first/last one): emit final
+      // indices straight into `out`, then patch the few exception slots in
+      // place — the candidate pass judged their gap codes, not their
+      // values, so each is re-decided on its stored exception value and
+      // inserted into / removed from the sorted run with a short memmove.
+      // This replaces the two-pointer merge with O(exceptions) work.
+      if (whole_window && (pfor_kernel || have_qual)) {
+        const uint32_t rel = uint32_t(glo - start);
+        uint32_t* base = out + cnt;
+        size_t k;
+        if (pfor_kernel) {
+          k = BitSelectBetween(words, glen, b, clo, chi, rel, base);
+        } else {
+          uint32_t codes[kEntryGroup];
+          BitUnpack(words, glen, b, codes);
+          k = 0;
+          for (size_t i = 0; i < glen; i++) {
+            base[k] = rel + uint32_t(i);
+            k += size_t(qual[ClampDictCode(codes[i])]);
+          }
+        }
+        size_t cur = EntryFirstOffset(entry);
+        size_t j = first_exc;
+        const T* exc_end = ExcEnd();
+        for (size_t e = 0; e < group_exc && cur < glen; e++) {
+          const T v = exc_end[-(ptrdiff_t(j) + 1)];
+          const bool want = v >= lo && v <= hi;
+          const uint32_t target = rel + uint32_t(cur);
+          uint32_t* p = std::lower_bound(base, base + k, target);
+          const bool have = p != base + k && *p == target;
+          if (want && !have) {
+            std::memmove(p + 1, p, size_t(base + k - p) * sizeof(uint32_t));
+            *p = target;
+            k++;
+          } else if (!want && have) {
+            std::memmove(p, p + 1,
+                         size_t(base + k - p - 1) * sizeof(uint32_t));
+            k--;
+          }
+          j++;
+          cur += size_t(BitExtract(CodeWords(), glo + cur, b)) + 1;
+        }
+        cnt += k;
+        kernel++;
+        continue;
+      }
+      size_t ncand = 0;
+      bool have_cand = false;
+      if (pfor_kernel) {
+        ncand = BitSelectBetween(words, glen, b, clo, chi, 0, cand);
+        have_cand = true;
+      } else if (have_qual) {
+        uint32_t codes[kEntryGroup];
+        BitUnpack(words, glen, b, codes);
+        for (size_t i = 0; i < glen; i++) {
+          cand[ncand] = uint32_t(i);
+          ncand += size_t(qual[ClampDictCode(codes[i])]);
+        }
+        have_cand = true;
+      }
+      if (!have_cand) {
+        T decoded[kEntryGroup];
+        DecodeGroup(g, glen, decoded);
+        for (size_t i = wlo; i < whi; i++) {
+          out[cnt] = uint32_t(glo + i - start);
+          cnt += size_t(decoded[i] >= lo && decoded[i] <= hi);
+        }
+        decoded_groups++;
+        continue;
+      }
+      kernel++;
+      // Walk the group's patch list: exception slots carry gap codes the
+      // candidate pass may have mis-judged, so each one is re-decided on
+      // its stored exception value, then merged (both lists ascending).
+      size_t cur = EntryFirstOffset(entry);
+      size_t j = first_exc;
+      uint32_t exc_pos[kEntryGroup];
+      bool exc_in[kEntryGroup];
+      size_t nexc = 0;
+      const T* exc_end = ExcEnd();
+      for (size_t k = 0; k < group_exc && cur < glen; k++) {
+        const T v = exc_end[-(ptrdiff_t(j) + 1)];
+        exc_pos[nexc] = uint32_t(cur);
+        exc_in[nexc] = v >= lo && v <= hi;
+        nexc++;
+        j++;
+        cur += size_t(BitExtract(CodeWords(), glo + cur, b)) + 1;
+      }
+      // No exceptions: skip the merge, just window-filter the candidates.
+      if (nexc == 0) {
+        for (size_t i = 0; i < ncand; i++) {
+          const uint32_t pos = cand[i];
+          out[cnt] = uint32_t(glo + pos - start);
+          cnt += size_t(pos >= wlo && pos < whi);
+        }
+        continue;
+      }
+      size_t ci = 0, ei = 0;
+      while (ci < ncand || ei < nexc) {
+        uint32_t pos;
+        bool emit;
+        if (ei == nexc || (ci < ncand && cand[ci] < exc_pos[ei])) {
+          pos = cand[ci++];
+          emit = true;
+        } else if (ci == ncand || exc_pos[ei] < cand[ci]) {
+          pos = exc_pos[ei];
+          emit = exc_in[ei];
+          ei++;
+        } else {  // a gap code false-qualified this exception slot
+          pos = exc_pos[ei];
+          emit = exc_in[ei];
+          ci++;
+          ei++;
+        }
+        if (emit && pos >= wlo && pos < whi) {
+          out[cnt++] = uint32_t(glo + pos - start);
+        }
+      }
+    }
+    // Batched per call (one vector), not per group.
+    if (skipped) cm.pushdown_groups_skipped->Add(skipped);
+    if (full) cm.pushdown_groups_full->Add(full);
+    if (kernel) cm.pushdown_groups_kernel->Add(kernel);
+    if (decoded_groups) cm.pushdown_groups_decoded->Add(decoded_groups);
+    return cnt;
   }
 
   /// PDICT only: the decode dictionary (dict_size() entries).

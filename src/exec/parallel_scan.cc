@@ -9,6 +9,7 @@
 
 #include "core/segment_reader.h"
 #include "exec/exec_metrics.h"
+#include "storage/pushdown.h"
 #include "sys/telemetry.h"
 #include "sys/timer.h"
 
@@ -52,6 +53,61 @@ void ParallelScan::DecodeVector(const StoredColumn* col,
       auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
       SCC_CHECK(reader.ok(), "parallel scan: segment failed validation");
       reader.ValueOrDie().DecompressRange(offset_in_chunk, n, out->data<T>());
+    } else {
+      SCC_CHECK(false, "parallel scan: unsupported column type");
+    }
+    return 0;
+  });
+  out->set_count(n);
+  *decompress_seconds += t.ElapsedSeconds();
+}
+
+void ParallelScan::SetPushdownBetween(const std::string& column, int64_t lo,
+                                      int64_t hi) {
+  SCC_CHECK(!options_.ordered, "pushdown requires an unordered scan");
+  pushdown_col_ = -1;
+  for (size_t c = 0; c < cols_.size(); c++) {
+    if (cols_[c]->name == column) pushdown_col_ = int(c);
+  }
+  SCC_CHECK(pushdown_col_ >= 0, "pushdown column must be scanned");
+  pushdown_lo_ = lo;
+  pushdown_hi_ = hi;
+  selections_.assign(slots_, SelVec{});
+}
+
+void ParallelScan::SelectVector(const StoredColumn* col,
+                                const AlignedBuffer& seg,
+                                size_t offset_in_chunk, size_t n, SelVec* sel,
+                                double* decompress_seconds) const {
+  Timer t;
+  DispatchType(col->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_integral_v<T>) {
+      auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+      SCC_CHECK(reader.ok(), "parallel scan: segment failed validation");
+      PushdownSelect(reader.ValueOrDie(), offset_in_chunk, n, pushdown_lo_,
+                     pushdown_hi_, sel);
+    } else {
+      SCC_CHECK(false, "parallel scan: unsupported column type");
+    }
+    return 0;
+  });
+  *decompress_seconds += t.ElapsedSeconds();
+}
+
+void ParallelScan::DecodeVectorSelected(const StoredColumn* col,
+                                        const AlignedBuffer& seg,
+                                        size_t offset_in_chunk, size_t n,
+                                        const SelVec& sel, Vector* out,
+                                        double* decompress_seconds) const {
+  Timer t;
+  DispatchType(col->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_integral_v<T>) {
+      auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+      SCC_CHECK(reader.ok(), "parallel scan: segment failed validation");
+      PushdownDecompressRange(reader.ValueOrDie(), offset_in_chunk, n, sel,
+                              out->data<T>());
     } else {
       SCC_CHECK(false, "parallel scan: unsupported column type");
     }
@@ -176,9 +232,20 @@ void ParallelScan::Run(const Visitor& visitor) {
         }
         for (size_t off = 0; off < chunk_rows; off += kVectorSize) {
           const size_t n = std::min(kVectorSize, chunk_rows - off);
-          for (size_t c = 0; c < cols_.size(); c++) {
-            DecodeVector(cols_[c], *guards[c].page(), off, n,
-                         scratch[slot][c].get(), &decompress[slot]);
+          if (pushdown_col_ >= 0) {
+            SelVec& sel = selections_[slot];
+            SelectVector(cols_[size_t(pushdown_col_)],
+                         *guards[size_t(pushdown_col_)].page(), off, n, &sel,
+                         &decompress[slot]);
+            for (size_t c = 0; c < cols_.size(); c++) {
+              DecodeVectorSelected(cols_[c], *guards[c].page(), off, n, sel,
+                                   scratch[slot][c].get(), &decompress[slot]);
+            }
+          } else {
+            for (size_t c = 0; c < cols_.size(); c++) {
+              DecodeVector(cols_[c], *guards[c].page(), off, n,
+                           scratch[slot][c].get(), &decompress[slot]);
+            }
           }
           batch.rows = n;
           visitor(batch, m, slot);

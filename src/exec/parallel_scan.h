@@ -71,6 +71,22 @@ class ParallelScan {
   /// are a hard stop, matching TableScanOp.
   void Run(const Visitor& visitor);
 
+  /// Compressed-domain selection pushdown, mirroring
+  /// TableScanOp::SetPushdownBetween: `column` (one of the scanned
+  /// columns) is filtered to [lo, hi] inside each worker's decode loop —
+  /// selection straight off the packed codes, min/max-disqualified groups
+  /// never decoded, and the other columns decode only the 128-value
+  /// groups holding selected rows. Unordered mode only (the ordered
+  /// reorder path materializes whole morsels and gains nothing). With
+  /// pushdown set, batch column data is valid only at the indices in
+  /// selection(slot); every vector is still delivered, empty or not.
+  void SetPushdownBetween(const std::string& column, int64_t lo, int64_t hi);
+
+  /// Per-slot selection over the batch most recently delivered to the
+  /// visitor on `slot`; meaningful only with pushdown configured.
+  const SelVec& selection(size_t slot) const { return selections_[slot]; }
+  bool pushdown_enabled() const { return pushdown_col_ >= 0; }
+
   /// Parallel slots handed to the visitor; size per-slot partials to this.
   /// (Worker threads + the participating caller, capped by
   /// Options::threads and the morsel count.)
@@ -87,6 +103,15 @@ class ParallelScan {
   void DecodeVector(const StoredColumn* col, const AlignedBuffer& seg,
                     size_t offset_in_chunk, size_t n, Vector* out,
                     double* decompress_seconds) const;
+  // Pushdown pair: compressed-domain selection on the filter column, then
+  // group-sparse decode of each column through the selection.
+  void SelectVector(const StoredColumn* col, const AlignedBuffer& seg,
+                    size_t offset_in_chunk, size_t n, SelVec* sel,
+                    double* decompress_seconds) const;
+  void DecodeVectorSelected(const StoredColumn* col, const AlignedBuffer& seg,
+                            size_t offset_in_chunk, size_t n,
+                            const SelVec& sel, Vector* out,
+                            double* decompress_seconds) const;
   void IssuePrefetch(size_t morsel, TaskGroup* group);
 
   const Table* table_;
@@ -97,6 +122,10 @@ class ParallelScan {
   size_t morsels_ = 0;
   unsigned slots_ = 0;
   double decompress_seconds_ = 0;
+  int pushdown_col_ = -1;
+  int64_t pushdown_lo_ = 0;
+  int64_t pushdown_hi_ = 0;
+  std::vector<SelVec> selections_;  // one per slot, touched by its owner
 };
 
 }  // namespace scc

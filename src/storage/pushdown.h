@@ -1,0 +1,78 @@
+#ifndef SCC_STORAGE_PUSHDOWN_H_
+#define SCC_STORAGE_PUSHDOWN_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "core/segment_reader.h"
+#include "engine/vector.h"
+#include "util/aligned_buffer.h"
+
+// Scan-side glue for compressed-domain selection pushdown, shared by the
+// serial TableScanOp and the morsel-driven ParallelScan. The heavy lifting
+// (group skipping on min/max summaries, packed-domain SelectBetween
+// kernels, exception patch-list merge) lives in SegmentReader; these
+// helpers add the two pieces a scan needs on top:
+//  * predicate bounds arrive as int64_t from the query layer and must be
+//    clamped into the column's value type before they reach the reader;
+//  * once the selection is known, the OTHER columns of the vector only
+//    need the 128-value groups that contain selected rows decoded —
+//    everything between stays compressed.
+
+namespace scc {
+
+/// Clamps a query-level [lo, hi] (int64_t, inclusive) into T's range.
+/// Returns false when no T value can satisfy the predicate.
+template <typename T>
+inline bool ClampPushdownBounds(int64_t lo, int64_t hi, T* tlo, T* thi) {
+  static_assert(std::is_integral_v<T>);
+  const int64_t tmin = int64_t(std::numeric_limits<T>::min());
+  const int64_t tmax = int64_t(std::numeric_limits<T>::max());
+  if (lo > hi || lo > tmax || hi < tmin) return false;
+  *tlo = T(std::max(lo, tmin));
+  *thi = T(std::min(hi, tmax));
+  return true;
+}
+
+/// Fills `sel` with the positions in [offset, offset + n) of the filter
+/// column's segment whose value lies in [lo, hi], via the compressed-
+/// domain SegmentReader::SelectBetween path (indices relative to offset).
+template <typename T>
+inline void PushdownSelect(const SegmentReader<T>& reader, size_t offset,
+                           size_t n, int64_t lo, int64_t hi, SelVec* sel) {
+  T tlo, thi;
+  if (!ClampPushdownBounds<T>(lo, hi, &tlo, &thi)) {
+    sel->count = 0;
+    return;
+  }
+  sel->count = reader.SelectBetween(offset, n, tlo, thi, sel->idx);
+}
+
+/// Decompresses only the 128-value groups of [offset, offset + n) that
+/// contain a selected position into the right spots of `out` (>= n
+/// values); untouched groups are skipped entirely and their slots in
+/// `out` are left undefined. Selected indices stay valid because every
+/// group holding one is decoded whole.
+template <typename T>
+inline void PushdownDecompressRange(const SegmentReader<T>& reader,
+                                    size_t offset, size_t n,
+                                    const SelVec& sel, T* out) {
+  size_t k = 0;
+  while (k < sel.count) {
+    const size_t run_start = size_t(sel.idx[k]) / kEntryGroup * kEntryGroup;
+    size_t run_end = std::min(run_start + kEntryGroup, n);
+    k++;
+    while (k < sel.count) {
+      const size_t g = size_t(sel.idx[k]) / kEntryGroup * kEntryGroup;
+      if (g > run_end) break;  // gap: close this run, start another
+      if (g == run_end) run_end = std::min(g + kEntryGroup, n);
+      k++;
+    }
+    reader.DecompressRange(offset + run_start, run_end - run_start,
+                           out + run_start);
+  }
+}
+
+}  // namespace scc
+
+#endif  // SCC_STORAGE_PUSHDOWN_H_

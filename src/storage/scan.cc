@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "core/segment_reader.h"
+#include "engine/primitives.h"
+#include "storage/pushdown.h"
 #include "storage/storage_metrics.h"
 #include "sys/telemetry.h"
 #include "sys/timer.h"
@@ -23,6 +25,18 @@ TableScanOp::TableScanOp(const Table* table, BufferManager* bm,
     cols_.push_back(std::move(cs));
     types_.push_back(col->type);
   }
+}
+
+void TableScanOp::SetPushdownBetween(const std::string& column, int64_t lo,
+                                     int64_t hi) {
+  pushdown_col_ = -1;
+  for (size_t c = 0; c < cols_.size(); c++) {
+    if (cols_[c].col->name == column) pushdown_col_ = int(c);
+  }
+  SCC_CHECK(pushdown_col_ >= 0, "pushdown column must be scanned");
+  pushdown_lo_ = lo;
+  pushdown_hi_ = hi;
+  sel_.count = 0;
 }
 
 void TableScanOp::DecompressVectorWise(ColState& cs, const AlignedBuffer& seg,
@@ -77,6 +91,46 @@ void TableScanOp::DecompressPageWise(ColState& cs, const AlignedBuffer& seg,
   decompress_seconds_ += t.ElapsedSeconds();
 }
 
+void TableScanOp::ComputeSelection(const ColState& cs,
+                                   const AlignedBuffer& seg,
+                                   size_t offset_in_chunk, size_t n) {
+  SCC_TRACE_SPAN("scan.pushdown_select");
+  Timer t;
+  DispatchType(cs.col->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_integral_v<T>) {
+      auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+      SCC_CHECK(reader.ok(), "scan: segment failed validation");
+      PushdownSelect(reader.ValueOrDie(), offset_in_chunk, n, pushdown_lo_,
+                     pushdown_hi_, &sel_);
+    } else {
+      SCC_CHECK(false, "scan: unsupported column type");
+    }
+    return 0;
+  });
+  decompress_seconds_ += t.ElapsedSeconds();
+}
+
+void TableScanOp::DecompressSelected(ColState& cs, const AlignedBuffer& seg,
+                                     size_t offset_in_chunk, size_t n) {
+  SCC_TRACE_SPAN("scan.decompress_selected");
+  Timer t;
+  DispatchType(cs.col->type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_integral_v<T>) {
+      auto reader = SegmentReader<T>::Open(seg.data(), seg.size());
+      SCC_CHECK(reader.ok(), "scan: segment failed validation");
+      PushdownDecompressRange(reader.ValueOrDie(), offset_in_chunk, n, sel_,
+                              cs.out->data<T>());
+    } else {
+      SCC_CHECK(false, "scan: unsupported column type");
+    }
+    return 0;
+  });
+  cs.out->set_count(n);
+  decompress_seconds_ += t.ElapsedSeconds();
+}
+
 size_t TableScanOp::Next(Batch* out) {
   if (pos_ >= table_->rows()) return 0;
   const size_t n = std::min(kVectorSize, table_->rows() - pos_);
@@ -84,18 +138,46 @@ size_t TableScanOp::Next(Batch* out) {
   const size_t offset_in_chunk = pos_ - chunk_idx * table_->chunk_values();
   const double decompress0 = decompress_seconds_;
   out->columns.clear();
+  const bool pushdown = pushdown_enabled() && mode_ == Mode::kVectorWise;
+  if (pushdown) {
+    // Selection first, straight off the filter column's packed codes, so
+    // the column loop below knows which groups the vector actually needs.
+    const ColState& fc = cols_[size_t(pushdown_col_)];
+    Result<const AlignedBuffer*> page = bm_->Fetch(table_, fc.col, chunk_idx);
+    SCC_CHECK(page.ok(), page.status().ToString().c_str());
+    ComputeSelection(fc, *page.ValueOrDie(), offset_in_chunk, n);
+  }
   for (ColState& cs : cols_) {
     Result<const AlignedBuffer*> page = bm_->Fetch(table_, cs.col, chunk_idx);
     // The scan operator has no error channel in Next(); an unreadable page
     // after the buffer manager's retries is a hard stop, not silent data.
     SCC_CHECK(page.ok(), page.status().ToString().c_str());
     const AlignedBuffer* seg = page.ValueOrDie();
-    if (mode_ == Mode::kVectorWise) {
+    if (pushdown) {
+      DecompressSelected(cs, *seg, offset_in_chunk, n);
+    } else if (mode_ == Mode::kVectorWise) {
       DecompressVectorWise(cs, *seg, chunk_idx, offset_in_chunk, n);
     } else {
       DecompressPageWise(cs, *seg, chunk_idx, offset_in_chunk, n);
     }
     out->columns.push_back(cs.out.get());
+  }
+  if (pushdown_enabled() && mode_ == Mode::kPageWise) {
+    // Page-wise keeps the full decode and derives the identical selection
+    // from the decoded values, so results never depend on the mode.
+    const ColState& fc = cols_[size_t(pushdown_col_)];
+    DispatchType(fc.col->type, [&](auto tag) {
+      using T = decltype(tag);
+      if constexpr (std::is_integral_v<T>) {
+        T tlo, thi;
+        if (!ClampPushdownBounds<T>(pushdown_lo_, pushdown_hi_, &tlo, &thi)) {
+          sel_.count = 0;
+        } else {
+          SelectBetween(fc.out->data<T>(), n, tlo, thi, &sel_);
+        }
+      }
+      return 0;
+    });
   }
   StorageMetrics& sm = StorageMetrics::Get();
   sm.scan_vectors->Increment();
@@ -110,6 +192,7 @@ size_t TableScanOp::Next(Batch* out) {
 void TableScanOp::Reset() {
   pos_ = 0;
   decompress_seconds_ = 0;
+  sel_.count = 0;
   for (ColState& cs : cols_) cs.page_chunk = SIZE_MAX;
 }
 

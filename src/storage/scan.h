@@ -42,6 +42,27 @@ class TableScanOp : public Operator {
   /// kPageWise) since construction or the last Reset().
   double decompress_seconds() const { return decompress_seconds_; }
 
+  /// Compressed-domain selection pushdown: `column` (which must be one of
+  /// the scanned columns) is filtered to [lo, hi] (inclusive, clamped to
+  /// the column type) INSIDE the scan. In kVectorWise mode the selection
+  /// is computed on the packed codes via SegmentReader::SelectBetween —
+  /// groups the per-group min/max summaries disqualify are never decoded —
+  /// and the remaining columns decompress only the 128-value groups that
+  /// contain selected rows. Call before the first Next().
+  ///
+  /// Contract change for the emitted batch: Next() still reports the full
+  /// vector length, but column data is only guaranteed valid at the
+  /// indices in selection(); consumers must drive their reads through it.
+  /// (kPageWise decompresses everything as before and derives the same
+  /// selection from the decoded values, so results are mode-independent.)
+  void SetPushdownBetween(const std::string& column, int64_t lo, int64_t hi);
+
+  /// Selection over the batch emitted by the last Next(); meaningful only
+  /// with pushdown configured. Mutable so consumers can refine in place.
+  SelVec* mutable_selection() { return &sel_; }
+  const SelVec& selection() const { return sel_; }
+  bool pushdown_enabled() const { return pushdown_col_ >= 0; }
+
  private:
   struct ColState {
     const StoredColumn* col;
@@ -56,6 +77,12 @@ class TableScanOp : public Operator {
                             size_t n);
   void DecompressPageWise(ColState& cs, const AlignedBuffer& seg,
                           size_t chunk_idx, size_t offset_in_chunk, size_t n);
+  // Pushdown (kVectorWise): selection on the filter column's packed codes,
+  // then group-sparse decode of the other columns through that selection.
+  void ComputeSelection(const ColState& cs, const AlignedBuffer& seg,
+                        size_t offset_in_chunk, size_t n);
+  void DecompressSelected(ColState& cs, const AlignedBuffer& seg,
+                          size_t offset_in_chunk, size_t n);
 
   const Table* table_;
   BufferManager* bm_;
@@ -64,6 +91,10 @@ class TableScanOp : public Operator {
   std::vector<ColState> cols_;
   size_t pos_ = 0;
   double decompress_seconds_ = 0;
+  int pushdown_col_ = -1;
+  int64_t pushdown_lo_ = 0;
+  int64_t pushdown_hi_ = 0;
+  SelVec sel_;
 };
 
 }  // namespace scc

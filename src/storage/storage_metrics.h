@@ -36,6 +36,8 @@
 //   storage.load.rows                   rows ingested
 //   storage.load.bytes_out              stored segment bytes produced
 //   storage.load.nanos                  wall time inside BulkLoadColumn
+//   storage.load.skipped_columns        .tbl columns dropped by the loader
+//                                       (non-numeric: dates, strings)
 
 namespace scc {
 
@@ -68,6 +70,7 @@ struct StorageMetrics {
   Counter* load_rows;
   Counter* load_bytes_out;
   Counter* load_nanos;
+  Counter* load_skipped_columns;
 
   static StorageMetrics& Get() {
     static StorageMetrics* m = [] {
@@ -106,6 +109,8 @@ struct StorageMetrics {
       sm->load_rows = &reg.GetCounter("storage.load.rows");
       sm->load_bytes_out = &reg.GetCounter("storage.load.bytes_out");
       sm->load_nanos = &reg.GetCounter("storage.load.nanos");
+      sm->load_skipped_columns =
+          &reg.GetCounter("storage.load.skipped_columns");
       return sm;
     }();
     return *m;

@@ -78,6 +78,13 @@ QueryStats RunTpchQuery(int q, const TpchDatabase& db, BufferManager* bm,
 /// queries; the rest run serial plans regardless of `threads`).
 bool TpchQueryHasParallelPlan(int q);
 
+/// Compressed-domain selection pushdown toggle for the plans that support
+/// it (Q6, serial and parallel). Defaults on; set SCC_PUSHDOWN=0 in the
+/// environment to force the decode-then-select plans. Checksums are
+/// identical either way — pushdown changes how the selection is computed,
+/// never what it contains.
+bool TpchPushdownEnabled();
+
 /// Runs TPC-H query `q` with its scan pipeline fanned out over the shared
 /// thread pool (`threads` slots including the caller; 0 = pool size).
 /// Checksums match RunTpchQuery exactly — the partial aggregates are

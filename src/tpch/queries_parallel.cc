@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -108,6 +109,11 @@ QueryStats Q6Parallel(const TpchDatabase& db, BufferManager* bm,
                     opt);
   const int32_t lo = TpchDate(1994, 1, 1);
   const int32_t hi = TpchDate(1995, 1, 1);
+  // Same pushdown as the serial Q6 plan: the shipdate predicate runs on
+  // the packed codes inside each worker, and every per-slot refinement
+  // below reads only selected indices (the pushdown batch contract).
+  const bool pushdown = TpchPushdownEnabled();
+  if (pushdown) scan.SetPushdownBetween("l_shipdate", lo, hi - 1);
   struct Partial {
     int64_t revenue = 0;
     char pad[64];
@@ -117,7 +123,13 @@ QueryStats Q6Parallel(const TpchDatabase& db, BufferManager* bm,
   scan.Run([&](const Batch& b, size_t /*morsel*/, size_t slot) {
     SelVec& sel = sels[slot];
     const size_t n = b.rows;
-    SelectBetween(b.col(0)->data<int32_t>(), n, lo, hi - 1, &sel);
+    if (pushdown) {
+      const SelVec& src = scan.selection(slot);
+      std::copy_n(src.idx, src.count, sel.idx);
+      sel.count = src.count;
+    } else {
+      SelectBetween(b.col(0)->data<int32_t>(), n, lo, hi - 1, &sel);
+    }
     RefineIf(b.col(1)->data<int8_t>(), &sel,
              [](int8_t d) { return d >= 5 && d <= 7; });
     RefineIf(b.col(2)->data<int8_t>(), &sel,

@@ -166,6 +166,89 @@ TEST_P(BackendDifferential, FusedForMatchesScalar) {
   }
 }
 
+TEST_P(BackendDifferential, SelectBetweenMatchesScalar) {
+  const int b = GetParam();
+  const uint32_t max_code =
+      b == 32 ? 0xFFFFFFFFu : (uint32_t(1) << b) - (b == 0 ? 0 : 1);
+  Rng rng(911 + b);
+  for (size_t n : {1u, 31u, 32u, 33u, 100u, 128u, 1000u, 4096u}) {
+    auto in = RandomCodes(n, b, 411 + b);
+    std::vector<uint32_t> packed(PackedByteSize(n, b) / 4 + 1, 0);
+    BitPack(in.data(), n, b, packed.data());
+    // Range shapes that stress the kernels: empty, everything, lo == 0
+    // (padding codes of the final partial group qualify and must be
+    // truncated), single point, and random interior ranges.
+    std::vector<std::pair<uint32_t, uint32_t>> ranges = {
+        {1, 0},                  // lo > hi: nothing
+        {0, max_code},           // everything (incl. padding-sensitive lo=0)
+        {0, max_code / 2},       // half, from zero
+        {max_code, max_code},    // single point at the top
+    };
+    for (int r = 0; r < 4; r++) {
+      uint32_t a = uint32_t(rng.Next()) & max_code;
+      uint32_t c = uint32_t(rng.Next()) & max_code;
+      ranges.push_back({std::min(a, c), std::max(a, c)});
+    }
+    const uint32_t base_index = 1u << 20;  // nonzero base must offset output
+    for (auto [lo, hi] : ranges) {
+      // Scalar reference straight from the unpacked codes.
+      std::vector<uint32_t> want;
+      if (lo <= hi) {
+        for (size_t i = 0; i < n; i++) {
+          if (in[i] >= lo && in[i] <= hi) want.push_back(base_index + i);
+        }
+      }
+      for (KernelIsa isa : SupportedIsas()) {
+        ScopedKernelIsa force(isa);
+        std::vector<uint32_t> got(n + 8, 0xCAFEF00D);
+        const size_t cnt =
+            BitSelectBetween(packed.data(), n, b, lo, hi, base_index,
+                             got.data());
+        ASSERT_EQ(want.size(), cnt)
+            << "isa=" << KernelIsaName(isa) << " b=" << b << " n=" << n
+            << " lo=" << lo << " hi=" << hi;
+        for (size_t i = 0; i < cnt; i++) {
+          ASSERT_EQ(want[i], got[i])
+              << "isa=" << KernelIsaName(isa) << " b=" << b << " n=" << n
+              << " lo=" << lo << " hi=" << hi << " i=" << i;
+        }
+        for (size_t i = n; i < got.size(); i++) {
+          ASSERT_EQ(got[i], 0xCAFEF00D)
+              << "overwrite past n: isa=" << KernelIsaName(isa) << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BackendDifferential, ExactSizeHeapBuffers) {
+  // Heap buffers sized to the byte (no slack words): under ASan any read
+  // or write past PackedByteSize / past the staging contracts is a hard
+  // failure. Exercises the wide (b = 26..31) unpack loads, the 32-byte
+  // wide-pack stores (b = 17..31), and the select kernels' staged tails.
+  const int b = GetParam();
+  for (size_t n : {1u, 17u, 32u, 96u, 127u, 128u, 129u, 1000u}) {
+    auto in = RandomCodes(n, b, 271 + b);
+    const size_t packed_words = PackedByteSize(n, b) / 4;
+    for (KernelIsa isa : SupportedIsas()) {
+      ScopedKernelIsa force(isa);
+      std::vector<uint32_t> packed(packed_words, 0);
+      BitPack(in.data(), n, b, packed.data());
+      std::vector<uint32_t> out(n);
+      BitUnpackExact(packed.data(), n, b, out.data());
+      for (size_t i = 0; i < n; i++) {
+        ASSERT_EQ(in[i], out[i])
+            << "isa=" << KernelIsaName(isa) << " b=" << b << " n=" << n;
+      }
+      std::vector<uint32_t> sel(n);
+      const uint32_t hi = b == 0 ? 0u : (1u << (b - 1));
+      const size_t cnt =
+          BitSelectBetween(packed.data(), n, b, 0, hi, 0, sel.data());
+      ASSERT_LE(cnt, n) << "isa=" << KernelIsaName(isa) << " b=" << b;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBitWidths, BackendDifferential,
                          ::testing::Range(0, 33));
 

@@ -120,6 +120,11 @@ TEST(FuzzDecoders, BitflippedSegments) {
     const auto& r = reader.ValueOrDie();
     if (r.count() > values.size()) continue;  // output too small: skip
     r.DecompressRange(0, r.count(), out.data());
+    // Compressed-domain selection must be equally robust: a flipped
+    // summary_offset / entry point / bit width may change the result,
+    // never the memory safety.
+    std::vector<uint32_t> sel(values.size());
+    (void)r.SelectBetween(0, r.count(), int32_t(0), int32_t(400), sel.data());
   }
   SUCCEED();
 }
@@ -154,7 +159,10 @@ TEST(FuzzDecoders, StructureAwareMutantsAgreeAcrossBackends) {
     std::memcpy(&hdr, copy.data(), sizeof(hdr));
     // Pick a structural mutation; some target the header fields that
     // bound sections, some the entry points / payload they bound.
-    switch (rng.Uniform(7)) {
+    // Per-trial selection predicate, shared by every backend below.
+    const int64_t slo = int64_t(rng.Uniform(200)) - 50;
+    const int64_t shi = slo + int64_t(rng.Uniform(200));
+    switch (rng.Uniform(8)) {
       case 0:
         hdr.count = uint32_t(rng.Next());
         break;
@@ -178,6 +186,13 @@ TEST(FuzzDecoders, StructureAwareMutantsAgreeAcrossBackends) {
         }
         break;
       }
+      case 6:  // summary section: bogus offset / nonzero reserved word
+        if (rng.Bernoulli(0.5)) {
+          hdr.summary_offset = uint32_t(rng.Uniform(hdr.total_size + 64));
+        } else {
+          hdr.summary_reserved = uint32_t(rng.Next());
+        }
+        break;
       default: {  // payload bytes in the code/exception sections
         size_t lo = hdr.codes_offset;
         size_t pos = lo + rng.Uniform(hdr.total_size - lo);
@@ -191,6 +206,8 @@ TEST(FuzzDecoders, StructureAwareMutantsAgreeAcrossBackends) {
     // about decoder bounds, not detection).
     bool want_ok;
     std::vector<int64_t> want;
+    std::vector<uint32_t> want_sel;
+    size_t want_selcnt = 0;
     {
       ScopedKernelIsa force(KernelIsa::kScalar);
       auto reader = SegmentReader<int64_t>::Open(copy.data(), copy.size());
@@ -199,6 +216,9 @@ TEST(FuzzDecoders, StructureAwareMutantsAgreeAcrossBackends) {
         const auto& r = reader.ValueOrDie();
         want.resize(r.count());
         r.DecompressRange(0, r.count(), want.data());
+        want_sel.resize(r.count());
+        want_selcnt = r.SelectBetween(0, r.count(), slo, shi,
+                                      want_sel.data());
       }
     }
     for (KernelIsa isa : isas) {
@@ -212,6 +232,15 @@ TEST(FuzzDecoders, StructureAwareMutantsAgreeAcrossBackends) {
       r.DecompressRange(0, r.count(), got.data());
       ASSERT_EQ(want, got)
           << "isa=" << KernelIsaName(isa) << " trial=" << trial;
+      std::vector<uint32_t> got_sel(r.count());
+      const size_t got_selcnt =
+          r.SelectBetween(0, r.count(), slo, shi, got_sel.data());
+      ASSERT_EQ(want_selcnt, got_selcnt)
+          << "isa=" << KernelIsaName(isa) << " trial=" << trial;
+      for (size_t i = 0; i < got_selcnt; i++) {
+        ASSERT_EQ(want_sel[i], got_sel[i])
+            << "isa=" << KernelIsaName(isa) << " trial=" << trial;
+      }
     }
   }
 }
@@ -251,6 +280,35 @@ TEST(FuzzDecoders, BackendsAgreeOnRandomStreams) {
           << "isa=" << KernelIsaName(isa) << " seed=" << seed << " b=" << b;
       ASSERT_EQ(want_exact, got_exact)
           << "isa=" << KernelIsaName(isa) << " seed=" << seed << " b=" << b;
+    }
+
+    // Compressed-domain select over the same stream: scalar output is the
+    // reference for every backend, including the staged tail handling.
+    uint32_t slo = uint32_t(rng.Next() & mask);
+    uint32_t shi = uint32_t(rng.Next() & mask);
+    if (slo > shi) {
+      const uint32_t t = slo;
+      slo = shi;
+      shi = t;
+    }
+    std::vector<uint32_t> want_sel(n);
+    size_t want_selcnt;
+    {
+      ScopedKernelIsa force(KernelIsa::kScalar);
+      want_selcnt = BitSelectBetween(packed.data(), n, b, slo, shi,
+                                     uint32_t(seed), want_sel.data());
+    }
+    for (KernelIsa isa : isas) {
+      ScopedKernelIsa force(isa);
+      std::vector<uint32_t> got_sel(n, 0xDEADBEEF);
+      const size_t got_selcnt = BitSelectBetween(
+          packed.data(), n, b, slo, shi, uint32_t(seed), got_sel.data());
+      ASSERT_EQ(want_selcnt, got_selcnt)
+          << "isa=" << KernelIsaName(isa) << " seed=" << seed << " b=" << b;
+      for (size_t i = 0; i < got_selcnt; i++) {
+        ASSERT_EQ(want_sel[i], got_sel[i])
+            << "isa=" << KernelIsaName(isa) << " seed=" << seed << " b=" << b;
+      }
     }
 
     // Patched decode over a random exception population.

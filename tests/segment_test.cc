@@ -171,8 +171,10 @@ TEST(SegmentPFor, CompressionRatioReported) {
   ASSERT_TRUE(seg.ok());
   auto reader = SegmentReader<int64_t>::Open(seg.ValueOrDie().data(),
                                              seg.ValueOrDie().size());
-  // 64-bit values in 8-bit codes: ratio close to 8.
-  EXPECT_GT(reader.ValueOrDie().compression_ratio(), 7.0);
+  // 64-bit values in 8-bit codes: ratio close to 8, minus the entry
+  // points and the per-group min/max summaries (4 + 16 bytes per 128
+  // values for int64), which land it just under 7.
+  EXPECT_GT(reader.ValueOrDie().compression_ratio(), 6.5);
 }
 
 TEST(SegmentUncompressed, RoundTripAndGet) {

@@ -31,6 +31,7 @@
 
 #include "storage/bulk_load.h"
 #include "storage/file_store.h"
+#include "storage/storage_metrics.h"
 #include "sys/telemetry.h"
 #include "sys/timer.h"
 #include "util/rng.h"
@@ -196,7 +197,14 @@ int Run(int argc, char** argv) {
       timer.Reset();  // parse time is not load time
       size_t kept = 0;
       for (const TblColumn& c : cols) {
-        if (!c.all_int && !c.all_decimal) continue;  // non-numeric: skipped
+        if (!c.all_int && !c.all_decimal) {  // non-numeric: skipped
+          fprintf(stderr,
+                  "warning: skipping non-numeric column %s "
+                  "(this is a numeric-column loader)\n",
+                  c.name.c_str());
+          StorageMetrics::Get().load_skipped_columns->Increment();
+          continue;
+        }
         st = BulkLoadColumn<int64_t>(&table, c.name, c.values, opts);
         if (!st.ok()) break;
         raw_bytes += c.values.size() * sizeof(int64_t);
