@@ -1,0 +1,252 @@
+// micro_tiered — latency quantiles of the tiered buffer manager
+// (docs/STORAGE_TIERS.md) as the DRAM tier shrinks under the dataset.
+// Three configurations, DRAM sized to {25%, 50%, 100%} of the stored
+// bytes with a flash tier underneath and a small decoded-group hot tier
+// on top:
+//
+//   point reads  zipf-skewed BufferManager::ReadValue — a hot-tier hit is
+//                a mutex + memcpy, a miss pins the compressed page and
+//                decodes exactly one 128-value entry group; at small DRAM
+//                fractions the page fault itself walks DRAM -> SSD ->
+//                cold
+//   chunk scans  pin + DecompressAll of one random chunk — the eviction
+//                churn that keeps demoting point-read pages to flash
+//
+// Wall-clock quantiles are exact (sorted per-op vector). The simulated
+// device time (SimDisk virtual seconds, cold + flash) is reported per
+// configuration: that is where the tiering shows up — smaller DRAM
+// fractions trade cold-device reads for cheaper flash traffic.
+//
+//   micro_tiered [--rows N] [--points N] [--scans N] [--seed S]
+//                [--json PATH]
+//
+// --json writes the BenchReport format tools/scc_bench_diff consumes
+// (flat "metrics" map); the checked-in BENCH_PR8.json baseline was
+// recorded with the defaults. Defaults are CI-smoke sized (< 1 s).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/segment_reader.h"
+#include "storage/buffer_manager.h"
+#include "storage/bulk_load.h"
+#include "storage/sim_disk.h"
+#include "sys/telemetry.h"
+#include "sys/timer.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace scc {
+namespace {
+
+uint64_t Exact(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double r = q * double(sorted.size() - 1);
+  return sorted[size_t(r + 0.5)];
+}
+
+struct Dataset {
+  Table table{size_t(1) << 14};
+  std::vector<const StoredColumn*> cols;
+};
+
+void BuildTable(Dataset* d, size_t rows, uint64_t seed) {
+  // Same column shapes as tail_latency/scc_load: sequential id,
+  // zipf-skewed code, price with 1% outliers, timestamp.
+  Rng rng(seed);
+  ZipfGenerator zipf(1000, 1.1, seed + 1);
+  std::vector<int64_t> id(rows), code(rows), price(rows), ts(rows);
+  int64_t t = 1700000000;
+  for (size_t i = 0; i < rows; i++) {
+    id[i] = int64_t(i);
+    code[i] = int64_t(zipf.Next());
+    price[i] = int64_t(100 + rng.Uniform(900));
+    if (rng.Bernoulli(0.01)) price[i] = int64_t(rng.Uniform(1u << 30));
+    t += int64_t(rng.Uniform(30));
+    ts[i] = t;
+  }
+  for (const auto& [name, vec] :
+       {std::pair<const char*, std::vector<int64_t>*>{"id", &id},
+        {"code", &code},
+        {"price", &price},
+        {"ts", &ts}}) {
+    Status st = BulkLoadColumn<int64_t>(&d->table, name, *vec);
+    SCC_CHECK(st.ok(), st.ToString().c_str());
+  }
+  for (size_t c = 0; c < d->table.column_count(); c++) {
+    d->cols.push_back(d->table.column(c));
+  }
+}
+
+struct ConfigResult {
+  std::vector<uint64_t> point_ns;  // sorted
+  std::vector<uint64_t> scan_ns;   // sorted
+  double sim_io_ms = 0;            // cold + flash virtual device time
+  double hot_hit_pct = 0;
+  size_t ssd_reads = 0;
+  size_t cold_reads = 0;
+};
+
+ConfigResult RunConfig(Dataset* d, size_t dram_pct, size_t points,
+                       size_t scans, uint64_t seed) {
+  const size_t bytes = d->table.ByteSize();
+  SimDisk disk;
+  BufferManager::TierConfig tc;
+  tc.hot_capacity_bytes = 1u << 20;
+  tc.ssd_capacity_bytes = 4 * bytes;
+  BufferManager bm(&disk, bytes * dram_pct / 100, Layout::kDSM, tc);
+
+  ConfigResult r;
+  r.point_ns.reserve(points);
+  r.scan_ns.reserve(scans);
+  Rng rng(seed);
+  ZipfGenerator row_pick(d->table.rows(), 0.9, seed + 13);
+  const size_t chunks = d->table.chunk_count();
+  // Interleave: roughly one chunk scan per points/scans point reads, so
+  // the scans churn the DRAM tier while the point reads are in flight.
+  const size_t scan_every = scans > 0 ? (points + scans - 1) / scans : 0;
+  std::vector<int64_t> scratch;
+  uint64_t sink = 0;
+  for (size_t i = 0; i < points; i++) {
+    const StoredColumn* col = d->cols[rng.Uniform(d->cols.size())];
+    {
+      const size_t row = row_pick.Next();
+      Timer t;
+      Result<int64_t> v = bm.ReadValue<int64_t>(&d->table, col, row);
+      const uint64_t ns = uint64_t(t.ElapsedNanos());
+      SCC_CHECK(v.ok(), v.status().ToString().c_str());
+      sink += uint64_t(v.ValueOrDie());
+      r.point_ns.push_back(ns);
+    }
+    if (scan_every != 0 && i % scan_every == 0) {
+      const StoredColumn* scol = d->cols[rng.Uniform(d->cols.size())];
+      const size_t chunk = rng.Uniform(chunks);
+      Timer t;
+      Result<BufferManager::PageGuard> g =
+          bm.FetchPinned(&d->table, scol, chunk);
+      SCC_CHECK(g.ok(), g.status().ToString().c_str());
+      auto reader = SegmentReader<int64_t>::Open(
+          g.ValueOrDie()->data(), g.ValueOrDie()->size());
+      SCC_CHECK(reader.ok(), "micro_tiered: segment failed validation");
+      scratch.resize(reader.ValueOrDie().count());
+      reader.ValueOrDie().DecompressAll(scratch.data());
+      r.scan_ns.push_back(uint64_t(t.ElapsedNanos()));
+      sink += uint64_t(scratch.empty() ? 0 : scratch.back());
+    }
+  }
+  if (sink == 0xdeadbeef) printf("%llu\n", (unsigned long long)sink);
+
+  std::sort(r.point_ns.begin(), r.point_ns.end());
+  std::sort(r.scan_ns.begin(), r.scan_ns.end());
+  r.sim_io_ms = (disk.io_seconds() + bm.ssd_disk()->io_seconds()) * 1e3;
+  const BufferManager::TierStats hot =
+      bm.tier_stats(BufferManager::CacheTier::kHot);
+  r.hot_hit_pct = hot.hits + hot.misses > 0
+                      ? 100.0 * double(hot.hits) /
+                            double(hot.hits + hot.misses)
+                      : 0.0;
+  r.ssd_reads = bm.ssd_disk()->read_count();
+  r.cold_reads = disk.read_count();
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  size_t rows = size_t(1) << 17;  // 128K rows x 4 cols: CI-smoke sized
+  size_t points = 20000;
+  size_t scans = 400;
+  uint64_t seed = 2026;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; i++) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      if (const char* v = next()) rows = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--points") == 0) {
+      if (const char* v = next()) points = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--scans") == 0) {
+      if (const char* v = next()) scans = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (const char* v = next()) seed = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next();
+    } else {
+      fprintf(stderr,
+              "usage: %s [--rows N] [--points N] [--scans N] [--seed S] "
+              "[--json PATH]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+
+  SetTelemetryEnabled(true);
+  bench::PrintHeader("Tiered buffer manager latency vs DRAM fraction",
+                     "hot decoded groups / DRAM compressed pages / flash "
+                     "residency tier; docs/STORAGE_TIERS.md");
+
+  Dataset d;
+  BuildTable(&d, rows, seed);
+  printf("table: %zu rows x %zu cols, %.2f MB stored; hot 1 MB, "
+         "ssd 4x data; %zu point reads + %zu chunk scans per config\n\n",
+         d.table.rows(), d.table.column_count(),
+         d.table.ByteSize() / 1048576.0, points, scans);
+
+  printf("%-6s %26s %26s %9s %8s %7s %7s\n", "dram", "point p50/p99/p999(us)",
+         "scan p50/p99/max(us)", "sim-io(ms)", "hot-hit", "ssd-rd",
+         "cold-rd");
+
+  std::string metrics_json;
+  char buf[256];
+  for (size_t pct : {25u, 50u, 100u}) {
+    const ConfigResult r = RunConfig(&d, pct, points, scans, seed);
+    printf("%4zu%% %8.1f /%6.1f /%6.1f %10.1f /%6.1f /%6.1f %9.2f %7.1f%% "
+           "%7zu %7zu\n",
+           pct, Exact(r.point_ns, 0.5) / 1e3, Exact(r.point_ns, 0.99) / 1e3,
+           Exact(r.point_ns, 0.999) / 1e3, Exact(r.scan_ns, 0.5) / 1e3,
+           Exact(r.scan_ns, 0.99) / 1e3,
+           r.scan_ns.empty() ? 0.0 : r.scan_ns.back() / 1e3, r.sim_io_ms,
+           r.hot_hit_pct, r.ssd_reads, r.cold_reads);
+    for (const auto& [q, label] :
+         {std::pair<double, const char*>{0.50, "p50_ns"},
+          {0.95, "p95_ns"},
+          {0.99, "p99_ns"},
+          {0.999, "p999_ns"}}) {
+      snprintf(buf, sizeof(buf), "\"point.d%zu.%s\":%llu,", pct, label,
+               (unsigned long long)Exact(r.point_ns, q));
+      metrics_json += buf;
+      snprintf(buf, sizeof(buf), "\"scan.d%zu.%s\":%llu,", pct, label,
+               (unsigned long long)Exact(r.scan_ns, q));
+      metrics_json += buf;
+    }
+    snprintf(buf, sizeof(buf), "\"sim_io.d%zu.ms\":%.3f,", pct, r.sim_io_ms);
+    metrics_json += buf;
+  }
+
+  if (json_path != nullptr) {
+    if (!metrics_json.empty()) metrics_json.pop_back();  // trailing comma
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f,
+            "{\"bench\":\"micro_tiered\",\"config\":{\"rows\":%zu,"
+            "\"points\":%zu,\"scans\":%zu,\"seed\":%llu},\"metrics\":{%s}}\n",
+            rows, points, scans, (unsigned long long)seed,
+            metrics_json.c_str());
+    std::fclose(f);
+    printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }

@@ -40,6 +40,25 @@ ParallelScan::ParallelScan(const Table* table, BufferManager* bm,
   }
   if (morsels_ != 0 && slots > morsels_) slots = unsigned(morsels_);
   slots_ = slots == 0 ? 1 : slots;
+  // Thrash guard for tiered/tiny buffer pools: read-ahead only pays off
+  // when the DRAM tier can hold the in-flight working set — the pages
+  // pinned by active workers PLUS the prefetch window. Below that, a
+  // prefetched page is evicted (and, with an SSD tier, written back)
+  // before its demand fetch arrives, so every morsel is fetched twice.
+  // Estimate the working set from average compressed chunk sizes and
+  // fall back to demand fetching when it cannot fit.
+  if (options_.prefetch_depth > 0 && morsels_ != 0) {
+    size_t morsel_bytes = 0;
+    for (const StoredColumn* col : cols_) {
+      morsel_bytes += col->ByteSize() / col->chunk_count();
+    }
+    const size_t working_set =
+        (size_t(slots_) + options_.prefetch_depth) * morsel_bytes;
+    if (bm_->capacity_bytes() < working_set) {
+      options_.prefetch_depth = 0;
+      ExecMetrics::Get().scan_prefetch_suppressed->Increment();
+    }
+  }
 }
 
 void ParallelScan::DecodeVector(const StoredColumn* col,

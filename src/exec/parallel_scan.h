@@ -32,9 +32,14 @@
 //
 // The async prefetcher (`prefetch_depth` = K) issues the next K morsels'
 // page fetches as separate pool tasks, so SimDisk latency overlaps
-// decode — double-buffering the paper's RAM->cache pipeline.
+// decode — double-buffering the paper's RAM->cache pipeline. When the
+// buffer manager's DRAM tier is too small to hold the scan's in-flight
+// working set (pinned morsels + the read-ahead window), the constructor
+// disables read-ahead for the scan instead of letting it thrash the
+// cache (counted in exec.scan.prefetch_suppressed).
 //
-// Telemetry: exec.scan.morsels / exec.scan.rows / exec.scan.prefetches.
+// Telemetry: exec.scan.morsels / exec.scan.rows / exec.scan.prefetches /
+// exec.scan.prefetch_suppressed.
 
 namespace scc {
 

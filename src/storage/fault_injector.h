@@ -31,6 +31,11 @@ class FaultInjector {
     double truncate_prob = 0.0;    // short read: size shrinks
     double torn_write_prob = 0.0;  // write persists only a prefix
     int flips_per_fault = 1;       // bits flipped per bit-flip event
+    // The first `arm_after_reads` OnRead calls pass through clean (no RNG
+    // draws), then the injector arms. Lets tier tests warm a cache through
+    // the faulted device deterministically before the storm starts, while
+    // keeping faults a pure function of (seed, call order).
+    size_t arm_after_reads = 0;
   };
 
   struct Stats {
@@ -54,6 +59,7 @@ class FaultInjector {
   /// failed pread.
   Status OnRead(uint8_t* data, size_t* size) {
     stats_.reads++;
+    if (stats_.reads <= config_.arm_after_reads) return Status::OK();
     if (rng_.Bernoulli(config_.io_error_prob)) {
       stats_.io_errors++;
       return Status::IOError("injected read error");

@@ -52,6 +52,18 @@ class SimDisk {
   static Config LowEndRaid() { return Config{80.0, 0.1}; }
   /// Paper's mid-range box: Pentium4 with 12-disk RAID (~350 MB/s).
   static Config MidRangeRaid() { return Config{350.0, 0.1}; }
+  /// Flash middle tier for the tiered buffer manager (docs/STORAGE_TIERS.md):
+  /// an order of magnitude more bandwidth than the RAID presets and a
+  /// positioning cost small enough that chunk-granular faults stay cheap.
+  static Config NvmeSsd() { return Config{2000.0, 0.02}; }
+
+  /// Simulated wall time one chunk transfer of `bytes` takes under
+  /// `config` — the same formula the accounting charges, exposed so
+  /// callers can observe per-fault latency without locking the device.
+  static double TransferSeconds(const Config& config, size_t bytes) {
+    return config.seek_ms / 1000.0 +
+           double(bytes) / (config.bandwidth_mb_per_s * 1024 * 1024);
+  }
 
   SimDisk() : config_(MidRangeRaid()) {}
   explicit SimDisk(Config config) : config_(config) {}
@@ -89,8 +101,7 @@ class SimDisk {
     writes_++;
     size_t persisted = faults_ != nullptr ? faults_->OnWrite(bytes) : bytes;
     bytes_written_ += persisted;
-    io_seconds_ += config_.seek_ms / 1000.0 +
-                   double(bytes) / (config_.bandwidth_mb_per_s * 1024 * 1024);
+    io_seconds_ += TransferSeconds(config_, bytes);
     return persisted;
   }
 
@@ -144,8 +155,7 @@ class SimDisk {
   void ChargeReadLocked(size_t bytes) {
     reads_++;
     bytes_read_ += bytes;
-    io_seconds_ += config_.seek_ms / 1000.0 +
-                   double(bytes) / (config_.bandwidth_mb_per_s * 1024 * 1024);
+    io_seconds_ += TransferSeconds(config_, bytes);
   }
 
   Config config_;

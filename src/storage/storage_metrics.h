@@ -26,6 +26,26 @@
 //   storage.bm.resident_bytes           gauge: current cached bytes
 //   storage.io_faults                   failed page-read attempts (injected
 //                                       I/O errors, truncations, CRC fails)
+//   storage.tier.<t>.hits / misses      per-tier outcomes for t in
+//                                       {hot, dram, ssd}; hot counts
+//                                       decoded-group lookups (ReadValue),
+//                                       dram mirrors storage.bm.hits/misses,
+//                                       ssd counts compressed page reads
+//                                       served from / missing the flash tier
+//   storage.tier.<t>.promotions         entries admitted into the tier from
+//                                       below (hot: groups decoded in; dram:
+//                                       pages faulted in; ssd: pages demoted
+//                                       in by DRAM writeback)
+//   storage.tier.<t>.writebacks         demotions issued FROM the tier on
+//                                       eviction (dram only: compressed page
+//                                       written to the SSD tier; hot and ssd
+//                                       entries are clean and just dropped)
+//   storage.tier.<t>.writeback_failures torn/oversized writebacks dropped
+//   storage.tier.<t>.evictions          entries dropped from the tier
+//   storage.tier.<t>.resident_bytes     gauge: bytes resident per tier
+//   storage.tier.<t>.fault_ns           hist: per-fault latency filling the
+//                                       tier (hot: wall decode ns; dram/ssd:
+//                                       simulated device ns)
 //   storage.scan.vectors / rows         vectors/rows produced by TableScanOp
 //   storage.scan.decompress_nanos       time inside scan decompression
 //   storage.merge_scan.base_rows        base rows surviving delete filter
@@ -46,6 +66,11 @@ namespace scc {
 /// not the other way around).
 constexpr size_t kBmMetricShards = 16;
 
+/// Cache tiers instrumented by the buffer manager, hottest first; indexes
+/// the storage.tier.* handle arrays (and BufferManager::CacheTier mirrors
+/// it — static_assert'd in buffer_manager.h).
+constexpr size_t kBmTiers = 3;
+
 struct StorageMetrics {
   Counter* bm_hits;
   Counter* bm_misses;
@@ -59,6 +84,14 @@ struct StorageMetrics {
   Counter* bm_shard_misses[kBmMetricShards];
   Counter* io_faults;
   Gauge* bm_resident_bytes;
+  Counter* tier_hits[kBmTiers];
+  Counter* tier_misses[kBmTiers];
+  Counter* tier_promotions[kBmTiers];
+  Counter* tier_writebacks[kBmTiers];
+  Counter* tier_writeback_failures[kBmTiers];
+  Counter* tier_evictions[kBmTiers];
+  Gauge* tier_resident_bytes[kBmTiers];
+  Histogram* tier_fault_ns[kBmTiers];
   Counter* scan_vectors;
   Counter* scan_rows;
   Counter* scan_decompress_nanos;
@@ -95,6 +128,32 @@ struct StorageMetrics {
       }
       sm->io_faults = &reg.GetCounter("storage.io_faults");
       sm->bm_resident_bytes = &reg.GetGauge("storage.bm.resident_bytes");
+      static const char* kTier[kBmTiers] = {"hot", "dram", "ssd"};
+      for (size_t t = 0; t < kBmTiers; t++) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "storage.tier.%s.hits", kTier[t]);
+        sm->tier_hits[t] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name), "storage.tier.%s.misses", kTier[t]);
+        sm->tier_misses[t] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name), "storage.tier.%s.promotions",
+                      kTier[t]);
+        sm->tier_promotions[t] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name), "storage.tier.%s.writebacks",
+                      kTier[t]);
+        sm->tier_writebacks[t] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name),
+                      "storage.tier.%s.writeback_failures", kTier[t]);
+        sm->tier_writeback_failures[t] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name), "storage.tier.%s.evictions",
+                      kTier[t]);
+        sm->tier_evictions[t] = &reg.GetCounter(name);
+        std::snprintf(name, sizeof(name), "storage.tier.%s.resident_bytes",
+                      kTier[t]);
+        sm->tier_resident_bytes[t] = &reg.GetGauge(name);
+        std::snprintf(name, sizeof(name), "storage.tier.%s.fault_ns",
+                      kTier[t]);
+        sm->tier_fault_ns[t] = &reg.GetHistogram(name);
+      }
       sm->scan_vectors = &reg.GetCounter("storage.scan.vectors");
       sm->scan_rows = &reg.GetCounter("storage.scan.rows");
       sm->scan_decompress_nanos =

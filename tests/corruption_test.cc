@@ -1,8 +1,10 @@
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,10 @@
 #include "core/segment_builder.h"
 #include "core/segment_reader.h"
 #include "kernel_isa_test_util.h"
+#include "storage/buffer_manager.h"
+#include "storage/fault_injector.h"
+#include "storage/sim_disk.h"
+#include "storage/table.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 
@@ -347,6 +353,216 @@ TEST(CorruptionBattery, LegacyUnversionedSegmentsStillOpen) {
     std::vector<int64_t> out(v.size());
     reader.ValueOrDie().DecompressAll(out.data());
     EXPECT_EQ(out, v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier-aware fault storm: the FaultInjector attached to the tiered buffer
+// manager's SSD device (docs/STORAGE_TIERS.md). Contract under test: a
+// fault on the flash tier surfaces as Status::Corruption or
+// Status::IOError at the fetch that hit it, never poisons a DRAM-resident
+// page, and never wedges the manager — the failed SSD entry is dropped so
+// the next fetch re-faults cold and succeeds. The concurrent leg runs
+// under the TSan CI job.
+
+struct TierStormFixture {
+  Table table{8192};
+  std::vector<int64_t> values;
+  SimDisk disk;
+
+  explicit TierStormFixture(size_t rows = 90000) {
+    Rng rng(2026);
+    values.resize(rows);
+    for (size_t i = 0; i < rows; i++) {
+      values[i] = 5000 + int64_t(rng.Uniform(1000));
+    }
+    SCC_CHECK(table.AddColumn<int64_t>("v", values, ColumnCompression::kAuto)
+                  .ok(),
+              "column");
+  }
+
+  const StoredColumn* col() const { return table.column("v"); }
+  size_t OneChunkBytes() const { return col()->chunks[0].size(); }
+
+  /// A manager whose DRAM tier holds ~`dram_chunks` compressed chunks,
+  /// with a roomy SSD tier underneath and checksum verification on.
+  /// (unique_ptr: the manager owns mutexes and can't move.)
+  std::unique_ptr<BufferManager> MakeBm(double dram_chunks) {
+    BufferManager::TierConfig tc;
+    tc.ssd_capacity_bytes = size_t(1) << 30;
+    auto bm = std::make_unique<BufferManager>(
+        &disk, size_t(dram_chunks * double(OneChunkBytes())), Layout::kDSM,
+        tc);
+    bm->SetVerifyChecksums(true);
+    return bm;
+  }
+
+  /// Fetches every chunk once (all cold on the first pass; the small DRAM
+  /// tier demotes victims to flash as it goes).
+  void WarmAllChunks(BufferManager* bm) {
+    for (size_t c = 0; c < col()->chunk_count(); c++) {
+      auto r = bm->Fetch(&table, col(), c);
+      SCC_CHECK(r.ok(), "warm fetch");
+    }
+  }
+};
+
+TEST(TieredFaultStorm, SsdBitFlipsSurfaceAsCorruptionAndDropTheEntry) {
+  TierStormFixture f;
+  auto bm = f.MakeBm(2.5);
+  f.WarmAllChunks(bm.get());
+  ASSERT_TRUE(bm->ssd_resident(f.col(), 0));
+
+  FaultInjector inj({.seed = 11, .bit_flip_prob = 1.0});
+  bm->ssd_disk()->AttachFaults(&inj);
+  // Chunk 0 lives only on flash: every read attempt comes back flipped,
+  // checksum verification rejects each retry, the fetch fails Corruption.
+  auto r = bm->Fetch(&f.table, f.col(), 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+      << r.status().ToString();
+  EXPECT_GT(bm->io_faults(), 0u);
+  // The poisoned SSD entry is gone; with the injector still attached the
+  // refetch walks down to the clean cold device and is bit-exact.
+  EXPECT_FALSE(bm->ssd_resident(f.col(), 0));
+  auto v = bm->ReadValue<int64_t>(&f.table, f.col(), 100);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.ValueOrDie(), f.values[100]);
+  bm->ssd_disk()->AttachFaults(nullptr);
+}
+
+TEST(TieredFaultStorm, SsdIoErrorsSurfaceAsIOErrorWithoutTouchingDramResidents) {
+  TierStormFixture f;
+  auto bm = f.MakeBm(2.5);
+  f.WarmAllChunks(bm.get());
+  const size_t last = f.col()->chunk_count() - 1;  // still DRAM-resident
+  ASSERT_TRUE(bm->ssd_resident(f.col(), 0));
+  ASSERT_FALSE(bm->ssd_resident(f.col(), last));
+
+  FaultInjector inj({.seed = 12, .io_error_prob = 1.0});
+  bm->ssd_disk()->AttachFaults(&inj);
+  auto r = bm->Fetch(&f.table, f.col(), 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError) << r.status().ToString();
+
+  // A DRAM-resident page is untouched by the flash storm: the fetch is a
+  // pure cache hit — correct bytes, zero device traffic on any tier.
+  const size_t cold_reads = f.disk.read_count();
+  const size_t ssd_reads = bm->ssd_disk()->read_count();
+  auto hit = bm->ReadValue<int64_t>(&f.table, f.col(), last * 8192 + 7);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.ValueOrDie(), f.values[last * 8192 + 7]);
+  EXPECT_EQ(f.disk.read_count(), cold_reads);
+  EXPECT_EQ(bm->ssd_disk()->read_count(), ssd_reads);
+  bm->ssd_disk()->AttachFaults(nullptr);
+}
+
+TEST(TieredFaultStorm, TornWritebacksAreCountedAndNeverServeShortPages) {
+  TierStormFixture f;
+  auto bm = f.MakeBm(1.5);
+  // Every demotion's flash write persists only a prefix: the manager must
+  // refuse to admit the torn page to the SSD tier (counted as a
+  // writeback failure) rather than ever serving short bytes.
+  FaultInjector inj({.seed = 13, .torn_write_prob = 1.0});
+  bm->ssd_disk()->AttachFaults(&inj);
+  f.WarmAllChunks(bm.get());
+  const BufferManager::TierStats dram =
+      bm->tier_stats(BufferManager::CacheTier::kDram);
+  const BufferManager::TierStats ssd =
+      bm->tier_stats(BufferManager::CacheTier::kSsd);
+  EXPECT_GT(dram.writebacks, 0u);
+  EXPECT_EQ(dram.writeback_failures, dram.writebacks);
+  EXPECT_EQ(ssd.resident_entries, 0u);
+  // With nothing on flash, every refetch goes cold — and stays bit-exact.
+  for (size_t c = 0; c < f.col()->chunk_count(); c++) {
+    const size_t row = c * 8192 + 11;
+    auto v = bm->ReadValue<int64_t>(&f.table, f.col(), row);
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(v.ValueOrDie(), f.values[row]);
+  }
+  bm->ssd_disk()->AttachFaults(nullptr);
+}
+
+TEST(TieredFaultStorm, ArmAfterReadsWarmsThroughAFaultedDevice) {
+  TierStormFixture f;
+  auto bm = f.MakeBm(1.5);
+  f.WarmAllChunks(bm.get());  // pass 1: cold reads + flash writebacks only
+  const size_t nchunks = f.col()->chunk_count();
+
+  // Arm the injector only after the reheat pass's SSD reads: the first
+  // `nchunks` flash reads pass through clean — deterministically, with no
+  // RNG draws — then every later read flips bits.
+  FaultInjector inj(
+      {.seed = 14, .bit_flip_prob = 1.0, .arm_after_reads = nchunks});
+  bm->ssd_disk()->AttachFaults(&inj);
+  for (size_t c = 0; c < nchunks; c++) {  // pass 2: served by flash, clean
+    const size_t row = c * 8192 + 3;
+    auto v = bm->ReadValue<int64_t>(&f.table, f.col(), row);
+    ASSERT_TRUE(v.ok()) << "chunk " << c << ": " << v.status().ToString();
+    ASSERT_EQ(v.ValueOrDie(), f.values[row]);
+  }
+  EXPECT_EQ(inj.stats().reads, nchunks);
+  EXPECT_EQ(inj.stats().faults(), 0u);
+  // Armed now: chunk 0 is long evicted from the 1.5-chunk DRAM tier but
+  // still flash-resident, so this fetch reads the armed device and fails
+  // checksum verification.
+  ASSERT_TRUE(bm->ssd_resident(f.col(), 0));
+  auto r = bm->Fetch(&f.table, f.col(), 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_GT(inj.stats().bit_flips, 0u);
+  bm->ssd_disk()->AttachFaults(nullptr);
+}
+
+TEST(TieredFaultStorm, ConcurrentMixedStormNeverPoisonsResults) {
+  TierStormFixture f;
+  auto bm = f.MakeBm(2.0);
+  f.WarmAllChunks(bm.get());
+  FaultInjector inj(
+      {.seed = 15, .io_error_prob = 0.2, .bit_flip_prob = 0.2});
+  bm->ssd_disk()->AttachFaults(&inj);
+
+  // 8 threads hammer random chunks through the faulting flash tier. Every
+  // OK result must be bit-exact; every failure must be Corruption or
+  // IOError; nothing may crash or deadlock (TSan checks the edges).
+  constexpr int kThreads = 8;
+  std::atomic<size_t> failures{0};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < kThreads; ti++) {
+    threads.emplace_back([&, ti] {
+      Rng rng(3000 + ti);
+      for (int i = 0; i < 300; i++) {
+        const size_t row = size_t(rng.Uniform(f.values.size()));
+        auto v = bm->ReadValue<int64_t>(&f.table, f.col(), row);
+        if (v.ok()) {
+          if (v.ValueOrDie() != f.values[row]) bad.store(true);
+        } else {
+          const StatusCode code = v.status().code();
+          if (code != StatusCode::kCorruption &&
+              code != StatusCode::kIOError) {
+            bad.store(true);
+          }
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(bad.load()) << "wrong value or unexpected status code";
+  EXPECT_GT(inj.stats().faults(), 0u);
+
+  // The storm over: detach the injector and sweep every value. A single
+  // mismatch would mean a flipped page was admitted to some tier.
+  bm->ssd_disk()->AttachFaults(nullptr);
+  for (size_t c = 0; c < f.col()->chunk_count(); c++) {
+    for (size_t k = 0; k < 8192 && c * 8192 + k < f.values.size();
+         k += 1024) {
+      const size_t row = c * 8192 + k;
+      auto v = bm->ReadValue<int64_t>(&f.table, f.col(), row);
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      ASSERT_EQ(v.ValueOrDie(), f.values[row]) << "row " << row;
+    }
   }
 }
 

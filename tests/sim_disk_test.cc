@@ -1,6 +1,8 @@
 #include "storage/sim_disk.h"
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -247,6 +249,118 @@ TEST(BufferManagerFaults, EvictionStillWorksWithOwnedPages) {
   ASSERT_TRUE(bm.Fetch(&t, t.column("a"), 0).ok());  // miss, re-read
   EXPECT_EQ(bm.hits(), 0u);
   EXPECT_EQ(bm.misses(), 3u);
+}
+
+TEST(SimDiskTest, TransferSecondsIsTheChargingFormula) {
+  // TransferSeconds is exposed as the exact charging model: N reads and M
+  // writes must land the accumulator on the closed form, so tier tests
+  // can predict per-fault latency without peeking at internals.
+  const SimDisk::Config cfg = SimDisk::NvmeSsd();
+  SimDisk disk(cfg);
+  std::vector<uint8_t> src(3000, 0x5A);
+  AlignedBuffer out;
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(disk.ReadChunkInto(src.data(), src.size(), &out).ok());
+  }
+  disk.WriteChunk(7000);
+  disk.WriteChunk(100);
+  const double want = 4 * SimDisk::TransferSeconds(cfg, src.size()) +
+                      SimDisk::TransferSeconds(cfg, 7000) +
+                      SimDisk::TransferSeconds(cfg, 100);
+  EXPECT_NEAR(disk.io_seconds(), want, 1e-12);
+}
+
+TEST(BufferManagerFaults, EveryRetryChargesTheLatencyModel) {
+  // Regression: the latency model must be charged on every read ATTEMPT —
+  // the initial leader read and each retry — not only on the first. With
+  // a hard-failing device, attempts == retries + 1, and io_seconds is
+  // exactly attempts x TransferSeconds(chunk).
+  Table t = MakeTable(4096);  // single chunk per column
+  const size_t chunk_bytes = t.column("a")->chunks[0].size();
+  SimDisk disk;
+  FaultInjector faults({.seed = 31, .io_error_prob = 1.0});
+  disk.AttachFaults(&faults);
+  BufferManager bm(&disk, 64 << 20, Layout::kDSM);
+  bm.set_max_read_retries(2);
+
+  ASSERT_FALSE(bm.Fetch(&t, t.column("a"), 0).ok());
+  EXPECT_EQ(disk.read_count(), 3u);
+  EXPECT_EQ(bm.io_faults(), 3u);
+  EXPECT_NEAR(disk.io_seconds(),
+              3 * SimDisk::TransferSeconds(disk.config(), chunk_bytes),
+              1e-12);
+}
+
+TEST(BufferManagerFaults, CoalescedWaiterRetriesAreChargedAndCounted) {
+  // Concurrent fetchers of one chunk coalesce on a single in-flight read;
+  // when the leader fails, waiters promote to second leaders and retry.
+  // Accounting identity under any interleaving: with a device that fails
+  // every read, every counted fault IS a charged device read —
+  // io_faults == read_count and io_seconds == read_count x model. A
+  // waiter retry that was counted but never charged (or vice versa)
+  // breaks the equality.
+  Table t = MakeTable(4096);
+  const size_t chunk_bytes = t.column("a")->chunks[0].size();
+  SimDisk disk;
+  FaultInjector faults({.seed = 32, .io_error_prob = 1.0});
+  disk.AttachFaults(&faults);
+  BufferManager bm(&disk, 64 << 20, Layout::kDSM);
+  bm.set_max_read_retries(1);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kThreads; i++) {
+    threads.emplace_back([&] {
+      if (bm.Fetch(&t, t.column("a"), 0).ok()) ok_count.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_count.load(), 0);
+  EXPECT_GT(disk.read_count(), 0u);
+  EXPECT_EQ(bm.io_faults(), disk.read_count());
+#if SCC_TELEMETRY
+  // The registry mirror must agree with the per-instance count: the
+  // storage.io_faults regression this test pins is waiter retries being
+  // double-counted in one place and not the other.
+  EXPECT_GE(StorageMetrics::Get().io_faults->Value(), bm.io_faults());
+#endif
+  EXPECT_NEAR(
+      disk.io_seconds(),
+      double(disk.read_count()) *
+          SimDisk::TransferSeconds(disk.config(), chunk_bytes),
+      1e-9);
+}
+
+TEST(BufferManagerFaults, WritebackIoIsChargedOnTheSsdDevice) {
+  // Demotions from the DRAM tier are real IO on the flash device: each
+  // writeback charges the SSD latency model (seek + bytes/bandwidth),
+  // visible in ssd_disk()->io_seconds, while the cold device is charged
+  // only for the original faults.
+  Table t = MakeTable(40000, 4096);  // 10 chunks per column
+  const StoredColumn* col = t.column("a");
+  SimDisk disk;
+  BufferManager::TierConfig tc;
+  tc.ssd_capacity_bytes = size_t(1) << 30;
+  BufferManager bm(&disk, col->chunks[0].size() + 1, Layout::kDSM, tc);
+
+  for (size_t c = 0; c < col->chunk_count(); c++) {
+    ASSERT_TRUE(bm.Fetch(&t, col, c).ok());
+  }
+  const size_t writes = bm.ssd_disk()->write_count();
+  ASSERT_GT(writes, 0u);
+  // Closed form over the write stream: per-write seek plus total bytes at
+  // bandwidth. (No SSD reads happened — pass 1 is all cold misses.)
+  EXPECT_EQ(bm.ssd_disk()->read_count(), 0u);
+  const SimDisk::Config& ssd_cfg = bm.ssd_disk()->config();
+  const double want =
+      double(writes) * ssd_cfg.seek_ms / 1000.0 +
+      double(bm.ssd_disk()->bytes_written()) /
+          (ssd_cfg.bandwidth_mb_per_s * 1024 * 1024);
+  EXPECT_NEAR(bm.ssd_disk()->io_seconds(), want, 1e-9);
+  // The cold device was charged exactly once per chunk, no writebacks.
+  EXPECT_EQ(disk.read_count(), col->chunk_count());
+  EXPECT_EQ(disk.bytes_written(), 0u);
 }
 
 TEST(BufferManagerFaults, CampaignIsDeterministicEndToEnd) {
