@@ -1,0 +1,389 @@
+// workload_driver — closed-loop client harness for scc_serve
+// (docs/SERVICE.md). Where bench/tail_latency measures the library's
+// latency distribution in-process, this one measures the *service*: each
+// client is a real TCP connection issuing one request at a time, so the
+// numbers include framing, the admission gate, pool queueing, and the
+// reply path.
+//
+// Mixes mirror tail_latency:
+//   read_only    100% point lookups
+//   mixed_80_20  80% point lookups / 20% BETWEEN range scans
+//
+// Request streams are deterministic per (--seed, client index): the same
+// invocation replays byte-identical key and predicate sequences, so a
+// latency diff between two runs is the server's doing, not the driver's.
+//
+// --verify exploits the synthetic table's sequential `id` column
+// (scc_serve --rows builds it; closed forms need no reference copy):
+//   point  value(id, row)              == row
+//   scan   id WHERE id BETWEEN lo..hi  -> total_matches == hi-lo+1 and
+//                                         values[i] == lo+i
+//   agg    SUM/COUNT/MIN/MAX over the same predicate vs closed forms
+// Any failed or incorrect response makes the driver exit 1 — the CI
+// service smoke leg runs both mixes with --verify and trusts that.
+//
+// Shed (Unavailable) and DeadlineExceeded responses are the service
+// working as designed under overload; they are counted and reported but
+// are not failures and not latency samples.
+//
+//   workload_driver --port P [--host H] [--clients N] [--ops N]
+//                   [--mix read_only|mixed_80_20|all] [--seed S]
+//                   [--deadline-us N] [--verify] [--json PATH]
+//
+// --json writes the BenchReport format tools/scc_bench_diff consumes;
+// the checked-in BENCH_PR9.json baseline was recorded with the defaults
+// against `scc_serve --rows 131072`.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "sys/timer.h"
+#include "util/rng.h"
+
+namespace scc {
+namespace {
+
+using server::AggOp;
+using server::Client;
+using server::Response;
+
+struct Lats {
+  std::vector<uint64_t> ns;  // sorted after the run
+  uint64_t Exact(double q) const {
+    if (ns.empty()) return 0;
+    double r = q * double(ns.size() - 1);
+    return ns[size_t(r + 0.5)];
+  }
+};
+
+struct MixStats {
+  std::string name;
+  Lats point;
+  Lats scan;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t failed = 0;     // transport/protocol errors, unexpected codes
+  uint64_t incorrect = 0;  // --verify mismatches
+  double wall_seconds = 0;
+
+  double OpsPerSec() const {
+    const uint64_t n = ok + shed + deadline_exceeded;
+    return wall_seconds > 0 ? double(n) / wall_seconds : 0;
+  }
+};
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  unsigned clients = 8;
+  size_t ops = 4000;  // per mix, split across clients
+  uint64_t seed = 2026;
+  uint64_t deadline_micros = 0;
+  std::string mix = "all";
+  bool verify = false;
+  const char* json_path = nullptr;
+};
+
+/// Classifies one wire-level result into the mix counters. Returns the
+/// response when it is OK (so the caller can verify the payload),
+/// nullptr otherwise. Only OK responses become latency samples.
+const Response* Classify(const Result<Response>& r, MixStats* s,
+                         std::mutex* mu) {
+  std::lock_guard<std::mutex> lock(*mu);
+  if (!r.ok()) {
+    s->failed++;
+    return nullptr;
+  }
+  const Response& resp = r.ValueOrDie();
+  switch (resp.code) {
+    case StatusCode::kOk:
+      s->ok++;
+      return &resp;
+    case StatusCode::kUnavailable:
+      s->shed++;
+      return nullptr;
+    case StatusCode::kDeadlineExceeded:
+      s->deadline_exceeded++;
+      return nullptr;
+    default:
+      s->failed++;
+      return nullptr;
+  }
+}
+
+/// Up-front aggregate sanity pass (verify mode): SUM/COUNT/MIN/MAX over
+/// id BETWEEN lo..hi against closed forms. Runs on one connection before
+/// the timed mixes so aggregate correctness is checked end-to-end
+/// without muddying the point/scan latency series.
+bool VerifyAggregates(Client* c, uint64_t rows, uint64_t seed) {
+  Rng rng(seed + 0xa66);
+  for (int i = 0; i < 16; i++) {
+    const uint64_t lo = rng.Uniform(rows);
+    const uint64_t hi = std::min(lo + rng.Uniform(4096), rows - 1);
+    const uint64_t n = hi - lo + 1;
+    struct Check {
+      AggOp op;
+      uint64_t want;
+    } checks[] = {
+        {AggOp::kSum, (lo + hi) * n / 2},
+        {AggOp::kCount, n},
+        {AggOp::kMin, lo},
+        {AggOp::kMax, hi},
+    };
+    for (const Check& chk : checks) {
+      Result<Response> r =
+          c->Aggregate(chk.op, "id", "id", int64_t(lo), int64_t(hi));
+      if (!r.ok() || r.ValueOrDie().code != StatusCode::kOk ||
+          uint64_t(r.ValueOrDie().value) != chk.want) {
+        fprintf(stderr,
+                "verify: aggregate op=%d [%llu,%llu] wrong (want %llu, "
+                "got %lld, %s)\n",
+                int(chk.op), (unsigned long long)lo, (unsigned long long)hi,
+                (unsigned long long)chk.want,
+                r.ok() ? (long long)r.ValueOrDie().value : -1,
+                r.ok() ? r.ValueOrDie().error.c_str()
+                       : r.status().ToString().c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+MixStats RunMix(const Options& opt, const std::string& name, int scan_pct,
+                uint64_t rows) {
+  MixStats stats;
+  stats.name = name;
+  std::mutex mu;
+  std::vector<std::vector<uint64_t>> point_lat(opt.clients);
+  std::vector<std::vector<uint64_t>> scan_lat(opt.clients);
+  const size_t per = (opt.ops + opt.clients - 1) / opt.clients;
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+  for (unsigned client = 0; client < opt.clients; client++) {
+    threads.emplace_back([&, client] {
+      Result<Client> conn = Client::Connect(opt.host, opt.port);
+      if (!conn.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        stats.failed += per;
+        return;
+      }
+      Client c = conn.MoveValueOrDie();
+      // Deterministic per (seed, client): replays identical request
+      // streams across runs. The mix name keeps the two mixes' streams
+      // distinct without coupling them to run order.
+      Rng rng(opt.seed + 7919 * client + (scan_pct > 0 ? 104729 : 0));
+      for (size_t i = 0; i < per; i++) {
+        const bool scan = int(rng.Uniform(100)) < scan_pct;
+        if (scan) {
+          const uint64_t lo = rng.Uniform(rows);
+          const uint64_t hi = std::min(lo + 1 + rng.Uniform(512), rows - 1);
+          const uint64_t want = hi - lo + 1;
+          Timer t;
+          Result<Response> r = c.Scan("id", "id", int64_t(lo), int64_t(hi),
+                                      want, opt.deadline_micros);
+          const uint64_t ns = uint64_t(t.ElapsedNanos());
+          if (const Response* resp = Classify(r, &stats, &mu)) {
+            scan_lat[client].push_back(ns);
+            bool good = resp->total_matches == want &&
+                        resp->values.size() == size_t(want);
+            for (size_t k = 0; good && k < resp->values.size(); k++) {
+              good = resp->values[k] == int64_t(lo + k);
+            }
+            if (opt.verify && !good) {
+              std::lock_guard<std::mutex> lock(mu);
+              stats.incorrect++;
+            }
+          }
+        } else {
+          const uint64_t row = rng.Uniform(rows);
+          Timer t;
+          Result<Response> r = c.Point("id", row, opt.deadline_micros);
+          const uint64_t ns = uint64_t(t.ElapsedNanos());
+          if (const Response* resp = Classify(r, &stats, &mu)) {
+            point_lat[client].push_back(ns);
+            if (opt.verify && uint64_t(resp->value) != row) {
+              std::lock_guard<std::mutex> lock(mu);
+              stats.incorrect++;
+            }
+          }
+        }
+        if (!c.connected()) break;  // transport gone; stop this client
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stats.wall_seconds = wall.ElapsedSeconds();
+
+  for (auto& v : point_lat) {
+    stats.point.ns.insert(stats.point.ns.end(), v.begin(), v.end());
+  }
+  for (auto& v : scan_lat) {
+    stats.scan.ns.insert(stats.scan.ns.end(), v.begin(), v.end());
+  }
+  std::sort(stats.point.ns.begin(), stats.point.ns.end());
+  std::sort(stats.scan.ns.begin(), stats.scan.ns.end());
+  return stats;
+}
+
+void PrintAndCollect(const MixStats& s, std::string* metrics_json) {
+  char buf[256];
+  struct Series {
+    const char* label;
+    const Lats* lats;
+  } series[] = {{"point", &s.point}, {"scan", &s.scan}};
+  for (const Series& ser : series) {
+    if (ser.lats->ns.empty()) continue;
+    printf("%-12s %-6s %10.1f %10.1f %10.1f %10.1f %10zu\n", s.name.c_str(),
+           ser.label, ser.lats->Exact(0.50) / 1e3, ser.lats->Exact(0.95) / 1e3,
+           ser.lats->Exact(0.99) / 1e3, ser.lats->Exact(0.999) / 1e3,
+           ser.lats->ns.size());
+    for (const auto& [q, label] :
+         {std::pair<double, const char*>{0.50, "p50_ns"},
+          {0.95, "p95_ns"},
+          {0.99, "p99_ns"},
+          {0.999, "p999_ns"}}) {
+      snprintf(buf, sizeof(buf), "\"%s.%s.%s\":%llu,", s.name.c_str(),
+               ser.label, label, (unsigned long long)ser.lats->Exact(q));
+      *metrics_json += buf;
+    }
+  }
+  printf("%-12s %-6s ok %llu shed %llu deadline %llu failed %llu "
+         "incorrect %llu  %.0f ops/s\n",
+         s.name.c_str(), "total", (unsigned long long)s.ok,
+         (unsigned long long)s.shed, (unsigned long long)s.deadline_exceeded,
+         (unsigned long long)s.failed, (unsigned long long)s.incorrect,
+         s.OpsPerSec());
+  snprintf(buf, sizeof(buf),
+           "\"%s.ops_per_sec\":%.1f,\"%s.shed\":%llu,"
+           "\"%s.deadline_exceeded\":%llu,",
+           s.name.c_str(), s.OpsPerSec(), s.name.c_str(),
+           (unsigned long long)s.shed, s.name.c_str(),
+           (unsigned long long)s.deadline_exceeded);
+  *metrics_json += buf;
+}
+
+int Run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; i++) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      if (const char* v = next()) opt.host = v;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (const char* v = next()) opt.port = uint16_t(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      if (const char* v = next()) opt.clients = unsigned(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      if (const char* v = next()) opt.ops = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (const char* v = next()) opt.seed = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
+      if (const char* v = next()) opt.deadline_micros = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--mix") == 0) {
+      if (const char* v = next()) opt.mix = v;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      opt.verify = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json_path = next();
+    } else {
+      fprintf(stderr,
+              "usage: %s --port P [--host H] [--clients N] [--ops N]\n"
+              "          [--mix read_only|mixed_80_20|all] [--seed S]\n"
+              "          [--deadline-us N] [--verify] [--json PATH]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    fprintf(stderr, "error: --port is required\n");
+    return 2;
+  }
+  if (opt.clients == 0) opt.clients = 1;
+
+  // Row count comes from the server — the driver never assumes the table
+  // size, only the `id` column's shape when --verify is on.
+  Result<Client> probe = Client::Connect(opt.host, opt.port);
+  if (!probe.ok()) {
+    fprintf(stderr, "error: %s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  Client pc = probe.MoveValueOrDie();
+  Result<Response> info = pc.TableInfo();
+  if (!info.ok() || info.ValueOrDie().code != StatusCode::kOk) {
+    fprintf(stderr, "error: table info failed: %s\n",
+            info.ok() ? info.ValueOrDie().error.c_str()
+                      : info.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t rows = info.ValueOrDie().rows;
+  if (rows == 0) {
+    fprintf(stderr, "error: server table is empty\n");
+    return 1;
+  }
+  printf("server %s:%u: %llu rows, %zu columns; %u clients, %zu ops/mix\n",
+         opt.host.c_str(), opt.port, (unsigned long long)rows,
+         info.ValueOrDie().columns.size(), opt.clients, opt.ops);
+
+  if (opt.verify && !VerifyAggregates(&pc, rows, opt.seed)) return 1;
+  pc.Close();
+
+  struct Mix {
+    const char* name;
+    int scan_pct;
+  };
+  const Mix mixes[] = {{"read_only", 0}, {"mixed_80_20", 20}};
+
+  printf("%-12s %-6s %10s %10s %10s %10s %10s\n", "mix", "type", "p50(us)",
+         "p95(us)", "p99(us)", "p999(us)", "samples");
+  std::string metrics_json;
+  uint64_t failed = 0, incorrect = 0;
+  for (const Mix& mix : mixes) {
+    if (opt.mix != "all" && opt.mix != mix.name) continue;
+    MixStats s = RunMix(opt, mix.name, mix.scan_pct, rows);
+    PrintAndCollect(s, &metrics_json);
+    failed += s.failed;
+    incorrect += s.incorrect;
+  }
+
+  if (opt.json_path != nullptr) {
+    if (!metrics_json.empty()) metrics_json.pop_back();  // trailing comma
+    FILE* f = std::fopen(opt.json_path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "error: cannot write %s\n", opt.json_path);
+      return 1;
+    }
+    fprintf(f,
+            "{\"bench\":\"workload_driver\",\"config\":{\"clients\":%u,"
+            "\"ops\":%zu,\"seed\":%llu,\"deadline_us\":%llu},"
+            "\"metrics\":{%s}}\n",
+            opt.clients, opt.ops, (unsigned long long)opt.seed,
+            (unsigned long long)opt.deadline_micros, metrics_json.c_str());
+    std::fclose(f);
+    printf("wrote %s\n", opt.json_path);
+  }
+
+  if (failed > 0 || incorrect > 0) {
+    fprintf(stderr, "FAIL: %llu failed, %llu incorrect responses\n",
+            (unsigned long long)failed, (unsigned long long)incorrect);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }

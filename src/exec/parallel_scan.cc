@@ -157,9 +157,9 @@ void ParallelScan::IssuePrefetch(size_t morsel, TaskGroup* group) {
   });
 }
 
-void ParallelScan::Run(const Visitor& visitor) {
+Status ParallelScan::Run(const Visitor& visitor) {
   decompress_seconds_ = 0;
-  if (morsels_ == 0 || cols_.empty()) return;
+  if (morsels_ == 0 || cols_.empty()) return Status::OK();
   // Root of this scan's trace tree: worker and prefetch tasks below are
   // submitted from this scope, so the pool carries the operation id to
   // whichever threads run them.
@@ -224,11 +224,32 @@ void ParallelScan::Run(const Visitor& visitor) {
   };
 
   std::atomic<size_t> next{0};
+  // Cooperative cancellation. First non-OK cancel_check result wins; the
+  // flag stops every slot at its next morsel boundary, and the notify
+  // frees ordered-mode workers parked on the reorder window (their head
+  // morsel may never arrive once its claimer cancels).
+  std::atomic<bool> cancelled{false};
+  std::mutex cancel_mu;
+  Status cancel_status;  // guarded by cancel_mu
+  auto check_cancel = [&]() -> bool {
+    if (cancelled.load(std::memory_order_acquire)) return true;
+    if (!options_.cancel_check) return false;
+    Status st = options_.cancel_check();
+    if (st.ok()) return false;
+    {
+      std::lock_guard<std::mutex> lock(cancel_mu);
+      if (cancel_status.ok()) cancel_status = std::move(st);
+    }
+    cancelled.store(true, std::memory_order_release);
+    emit_cv.notify_all();
+    return true;
+  };
   TaskGroup group(pool_);
   auto work = [&](size_t slot) {
     SCC_TRACE_SPAN("exec.parallel_scan.worker");
     size_t m;
-    while ((m = next.fetch_add(1, std::memory_order_relaxed)) < morsels_) {
+    while (!check_cancel() &&
+           (m = next.fetch_add(1, std::memory_order_relaxed)) < morsels_) {
       if (options_.prefetch_depth > 0) {
         IssuePrefetch(m + options_.prefetch_depth, &group);
       }
@@ -295,7 +316,16 @@ void ParallelScan::Run(const Visitor& visitor) {
         }
         decompress[slot] += t.ElapsedSeconds();
         std::unique_lock<std::mutex> lock(emit_mu);
-        emit_cv.wait(lock, [&] { return m < next_emit + window; });
+        emit_cv.wait(lock, [&] {
+          return cancelled.load(std::memory_order_acquire) ||
+                 m < next_emit + window;
+        });
+        if (cancelled.load(std::memory_order_acquire)) {
+          // The scan is being torn down; the emitter may never reach this
+          // morsel, so drop it (pins release via `guards` going out of
+          // scope) instead of parking forever.
+          break;
+        }
         pending.emplace(m, std::move(result));
         emit_ready(lock);
       }
@@ -311,6 +341,11 @@ void ParallelScan::Run(const Visitor& visitor) {
   work(0);  // the caller participates
   group.Wait();
   for (double d : decompress) decompress_seconds_ += d;
+  if (cancelled.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cancel_mu);
+    return cancel_status;
+  }
+  return Status::OK();
 }
 
 }  // namespace scc

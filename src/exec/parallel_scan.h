@@ -57,6 +57,14 @@ struct ParallelScanOptions {
   /// every worker/prefetch span — on whichever thread it runs — exports
   /// as one per-operation tree.
   std::string trace_label;
+  /// Cooperative cancellation, checked at every morsel boundary (before a
+  /// worker claims its next morsel — so a cancelled scan never pins new
+  /// pages). A non-OK return stops the scan: in-flight morsels complete,
+  /// their page pins release as usual, no further morsels are claimed,
+  /// and Run() returns the first non-OK status observed. The service
+  /// layer passes a deadline check here (Status::DeadlineExceeded); the
+  /// callback must be thread-safe — it runs concurrently on every slot.
+  std::function<Status()> cancel_check;
 };
 
 class ParallelScan {
@@ -71,10 +79,13 @@ class ParallelScan {
   ParallelScan(const Table* table, BufferManager* bm,
                std::vector<std::string> columns, Options options = {});
 
-  /// Runs the scan to completion on the shared pool; the calling thread
-  /// participates. Unreadable pages (after the buffer manager's retries)
-  /// are a hard stop, matching TableScanOp.
-  void Run(const Visitor& visitor);
+  /// Runs the scan on the shared pool; the calling thread participates.
+  /// Returns OK on completion, or the cancel_check status when the scan
+  /// was cancelled mid-flight (every pinned page is released either way;
+  /// the visitor simply stops receiving batches). Unreadable pages (after
+  /// the buffer manager's retries) remain a hard stop, matching
+  /// TableScanOp.
+  Status Run(const Visitor& visitor);
 
   /// Compressed-domain selection pushdown, mirroring
   /// TableScanOp::SetPushdownBetween: `column` (one of the scanned

@@ -1,0 +1,57 @@
+#ifndef SCC_SERVER_CLIENT_H_
+#define SCC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+
+// Blocking scc_serve client: one TCP connection, one outstanding
+// request at a time (Call writes a frame, then reads the matching
+// response frame). Concurrency comes from running many clients — the
+// workload driver gives each closed-loop client its own connection,
+// exactly how a service mesh would fan out.
+
+namespace scc {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  Client(Client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { Close(); }
+
+  /// Connects to a running server. IOError on refusal/bad address.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  /// Sends `req` and blocks for its response. IOError if the connection
+  /// drops mid-call (the connection is unusable afterwards).
+  Result<Response> Call(const Request& req);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Convenience wrappers (request_id auto-assigned).
+  Result<Response> Point(const std::string& column, uint64_t row,
+                         uint64_t deadline_micros = 0);
+  Result<Response> Scan(const std::string& column,
+                        const std::string& filter_column, int64_t lo,
+                        int64_t hi, uint64_t limit,
+                        uint64_t deadline_micros = 0);
+  Result<Response> Aggregate(AggOp op, const std::string& column,
+                             const std::string& filter_column, int64_t lo,
+                             int64_t hi, uint64_t deadline_micros = 0);
+  Result<Response> TableInfo();
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace scc
+
+#endif  // SCC_SERVER_CLIENT_H_

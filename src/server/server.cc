@@ -1,0 +1,238 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "exec/thread_pool.h"
+#include "server/server_metrics.h"
+#include "sys/telemetry.h"
+
+namespace scc {
+namespace server {
+
+namespace {
+
+/// recv() exactly `n` bytes. False on EOF/error (connection is done
+/// either way — the caller closes).
+bool ReadFull(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t r = ::recv(fd, p, n, 0);
+    if (r > 0) {
+      p += r;
+      n -= size_t(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // peer closed (0) or hard error
+  }
+  return true;
+}
+
+/// send() all of `buf`, suppressing SIGPIPE (a client that vanished
+/// mid-response is the reader's problem, not a process signal).
+bool WriteFull(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= size_t(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(QueryService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  stop_.store(false, std::memory_order_release);
+  started_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  // Poll with a short timeout instead of a blocking accept: Stop() sets
+  // the flag and the loop exits within one tick, no self-connect or
+  // close/accept race needed.
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().connections->Set(
+        int64_t(open_connections_.load(std::memory_order_relaxed)));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace_back(
+        std::thread([this, conn] { ConnectionLoop(conn); }), conn);
+  }
+}
+
+void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
+                           const Response& resp) {
+  std::vector<uint8_t> payload = EncodeResponse(resp);
+  uint8_t header[4];
+  const uint32_t n = uint32_t(payload.size());
+  for (int i = 0; i < 4; i++) header[i] = uint8_t(n >> (8 * i));
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (WriteFull(conn->fd, header, sizeof(header)) &&
+      WriteFull(conn->fd, payload.data(), payload.size())) {
+    ServerMetrics::Get().bytes_out->Add(sizeof(header) + payload.size());
+  }
+}
+
+void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  ThreadPool& pool = ThreadPool::Instance();
+  ServerMetrics& sm = ServerMetrics::Get();
+  for (;;) {
+    uint8_t header[4];
+    if (!ReadFull(conn->fd, header, sizeof(header))) break;
+    uint32_t n = 0;
+    for (int i = 0; i < 4; i++) n |= uint32_t(header[i]) << (8 * i);
+    if (n == 0 || n > kMaxFrameBytes) {
+      Response resp;
+      resp.code = StatusCode::kInvalidArgument;
+      resp.error = "bad frame length " + std::to_string(n);
+      WriteResponse(conn, resp);
+      break;  // framing is gone; nothing sane can follow
+    }
+    std::vector<uint8_t> payload(n);
+    if (!ReadFull(conn->fd, payload.data(), n)) break;
+    sm.bytes_in->Add(sizeof(header) + n);
+
+    Result<Request> decoded = DecodeRequest(payload.data(), payload.size());
+    if (!decoded.ok()) {
+      // Length framing held, so the stream is still in sync: answer the
+      // bad frame and keep serving (request_id 0 — it never decoded).
+      Response resp;
+      resp.code = decoded.status().code();
+      resp.error = decoded.status().message();
+      WriteResponse(conn, resp);
+      continue;
+    }
+    Request req = decoded.MoveValueOrDie();
+
+    // Metadata requests bypass admission: they cost a map walk, and
+    // shedding them would blind clients exactly when the server is busy.
+    if (req.type == RequestType::kTableInfo) {
+      WriteResponse(conn, service_->Execute(req));
+      continue;
+    }
+
+    const double admit_us = TraceNowMicros();
+    if (!service_->TryAdmit()) {
+      // Shed on the reader thread: no pool task, no decode work.
+      WriteResponse(conn, QueryService::ShedResponse(req));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->pending_mu);
+      conn->pending++;
+    }
+    pool.Submit([this, conn, req = std::move(req), admit_us] {
+      WriteResponse(conn, service_->ExecuteAdmitted(req, admit_us));
+      conn->TaskDone();
+    });
+  }
+  // Drain in-flight queries before the fd closes; their responses go to
+  // a broken pipe if the peer is gone, which WriteFull absorbs.
+  conn->WaitDrained();
+  {
+    // write_mu orders this close against Stop()'s shutdown, so a stopped
+    // server can never shut down a recycled descriptor.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    int fd = conn->fd.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  sm.connections->Set(
+      int64_t(open_connections_.load(std::memory_order_relaxed)));
+}
+
+void Server::Stop() {
+  if (!started_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [thread, conn] : conns) {
+    // Unblock the reader; it drains its pending queries and closes.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    int fd = conn->fd.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& [thread, conn] : conns) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+size_t Server::connection_count() const {
+  return open_connections_.load(std::memory_order_relaxed);
+}
+
+}  // namespace server
+}  // namespace scc

@@ -1,0 +1,108 @@
+#ifndef SCC_SERVER_SERVER_H_
+#define SCC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/service.h"
+
+// TCP front-end for QueryService: length-prefixed frames (protocol.h)
+// over thread-per-connection readers feeding the shared work-stealing
+// pool (docs/SERVICE.md).
+//
+// Connection model: one OS thread per client connection blocks on the
+// socket, decodes frames, and runs admission control *on the reader
+// thread* — a shed request is answered straight from the reader without
+// ever touching the pool (bounded overload behavior: excess load costs
+// a frame decode and an atomic, nothing more). Admitted queries are
+// submitted to ThreadPool::Instance(), so all connections multiplex
+// onto the same workers the library's scans use; responses are written
+// back under a per-connection mutex (a connection may have several
+// in-flight queries; frames carry request ids for matching).
+//
+// Shutdown: Stop() closes the listener, shuts down every connection
+// socket (unblocking the readers), then joins. Each reader drains its
+// own in-flight queries before its socket closes, so Stop() never
+// leaves a pool task writing to a dead fd.
+
+namespace scc {
+namespace server {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default: scc_serve simulates a
+  /// production topology, it does not harden one.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available from port() after
+  /// Start().
+  uint16_t port = 0;
+};
+
+class Server {
+ public:
+  Server(QueryService* service, ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Fails with IOError on
+  /// socket errors (port in use, bad host).
+  Status Start();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, unblock and join every
+  /// connection (each drains its in-flight queries first). Idempotent.
+  void Stop();
+
+  /// Currently open client connections.
+  size_t connection_count() const;
+
+ private:
+  struct Connection {
+    std::atomic<int> fd{-1};  // Stop() shuts it down while the reader owns it
+    std::mutex write_mu;         // serializes response frames
+    std::mutex pending_mu;       // guards pending + cv
+    std::condition_variable pending_cv;
+    size_t pending = 0;  // queries submitted to the pool, not yet written
+
+    void TaskDone() {
+      std::lock_guard<std::mutex> lock(pending_mu);
+      pending--;
+      if (pending == 0) pending_cv.notify_all();
+    }
+    void WaitDrained() {
+      std::unique_lock<std::mutex> lock(pending_mu);
+      pending_cv.wait(lock, [this] { return pending == 0; });
+    }
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const Response& resp);
+
+  QueryService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> conns_;
+  std::atomic<size_t> open_connections_{0};
+};
+
+}  // namespace server
+}  // namespace scc
+
+#endif  // SCC_SERVER_SERVER_H_

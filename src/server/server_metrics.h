@@ -1,0 +1,74 @@
+#ifndef SCC_SERVER_SERVER_METRICS_H_
+#define SCC_SERVER_SERVER_METRICS_H_
+
+#include "sys/telemetry.h"
+
+// Telemetry handles for the query service, resolved once (see
+// codec_metrics.h for the caching rationale). Exported through the
+// existing Prometheus path (`scc_stats --prom` / MetricsSnapshot), table
+// in docs/SERVICE.md.
+//
+// Metric names:
+//   server.accepted            requests admitted past admission control
+//   server.shed                requests rejected with Unavailable because
+//                              max_inflight was reached (sheds cost no
+//                              decode work — tests pin the codec counters)
+//   server.deadline_exceeded   admitted queries that ran out of budget
+//   server.errors              admitted queries answered with any other
+//                              non-OK code (bad column, row out of range)
+//   server.requests.point      admitted requests by type
+//   server.requests.scan
+//   server.requests.aggregate
+//   server.connections         gauge: currently open client connections
+//   server.inflight            gauge: admitted queries not yet answered
+//   server.queue_wait_ns       hist: admission -> execution start
+//   server.e2e_ns              hist: request decoded -> response encoded
+//   server.scan.rows_returned  scan values materialized into responses
+//   server.bytes_in            request payload bytes received
+//   server.bytes_out           response payload bytes sent
+
+namespace scc {
+
+struct ServerMetrics {
+  Counter* accepted;
+  Counter* shed;
+  Counter* deadline_exceeded;
+  Counter* errors;
+  Counter* requests_point;
+  Counter* requests_scan;
+  Counter* requests_aggregate;
+  Gauge* connections;
+  Gauge* inflight;
+  Histogram* queue_wait_ns;
+  Histogram* e2e_ns;
+  Counter* scan_rows_returned;
+  Counter* bytes_in;
+  Counter* bytes_out;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = [] {
+      auto* sm = new ServerMetrics;
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      sm->accepted = &reg.GetCounter("server.accepted");
+      sm->shed = &reg.GetCounter("server.shed");
+      sm->deadline_exceeded = &reg.GetCounter("server.deadline_exceeded");
+      sm->errors = &reg.GetCounter("server.errors");
+      sm->requests_point = &reg.GetCounter("server.requests.point");
+      sm->requests_scan = &reg.GetCounter("server.requests.scan");
+      sm->requests_aggregate = &reg.GetCounter("server.requests.aggregate");
+      sm->connections = &reg.GetGauge("server.connections");
+      sm->inflight = &reg.GetGauge("server.inflight");
+      sm->queue_wait_ns = &reg.GetHistogram("server.queue_wait_ns");
+      sm->e2e_ns = &reg.GetHistogram("server.e2e_ns");
+      sm->scan_rows_returned = &reg.GetCounter("server.scan.rows_returned");
+      sm->bytes_in = &reg.GetCounter("server.bytes_in");
+      sm->bytes_out = &reg.GetCounter("server.bytes_out");
+      return sm;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace scc
+
+#endif  // SCC_SERVER_SERVER_METRICS_H_

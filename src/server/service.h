@@ -1,0 +1,124 @@
+#ifndef SCC_SERVER_SERVICE_H_
+#define SCC_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "server/protocol.h"
+#include "storage/buffer_manager.h"
+#include "storage/table.h"
+
+// QueryService — the transport-independent core of scc_serve: admission
+// control, per-query deadlines, and the three query paths over one
+// loaded compressed table (docs/SERVICE.md).
+//
+//  * Point lookups route to the tiered BufferManager::ReadValue — a hot
+//    hit copies out of the decoded-group cache, a miss decodes exactly
+//    one 128-value group (the paper's fine-grained access, §3.1).
+//  * Range scans and filtered aggregates route through ParallelScan with
+//    compressed-domain BETWEEN pushdown (SegmentReader::SelectBetween):
+//    min/max-disqualified groups are never decoded.
+//  * Aggregates fold per-slot partials (SUM in wrapping uint64, COUNT,
+//    MIN, MAX) — all commutative, so results are deterministic across
+//    thread counts and morsel interleavings. Scan responses are sorted
+//    by row id before truncation to `limit` for the same reason.
+//
+// Admission control: at most max_inflight admitted queries exist at any
+// instant. TryAdmit() is a pair of atomics — a shed request costs no
+// decode work, no allocation, no lock (the overload tests pin the codec
+// counters at zero across a shed storm).
+//
+// Deadlines: each admitted query gets a relative budget (request's
+// deadline_micros, else the server default; 0 = none). The budget is
+// checked once before execution starts (queries that expired waiting in
+// the pool queue never touch the table) and then at every morsel
+// boundary via ParallelScan's cancel_check, so a mid-scan expiry stops
+// claiming morsels and releases every page pin on the way out.
+
+namespace scc {
+namespace server {
+
+struct ServiceOptions {
+  /// Admission limit: maximum queries past TryAdmit at once. Requests
+  /// beyond it are shed with Status::Unavailable.
+  size_t max_inflight = 64;
+  /// Default per-query budget in µs when the request carries none.
+  /// 0 = no deadline.
+  uint64_t default_deadline_micros = 0;
+  /// Hard cap on values materialized into one scan response (the
+  /// request's `limit` is clamped to this).
+  uint64_t max_scan_rows = 1u << 16;
+  /// ParallelScanOptions::threads for scan/aggregate queries (0 = pool
+  /// workers + caller).
+  unsigned scan_threads = 0;
+};
+
+class QueryService {
+ public:
+  QueryService(const Table* table, BufferManager* bm,
+               ServiceOptions options = {});
+
+  /// Takes an in-flight slot if one is free. Cheap and lock-free; a
+  /// false return is a shed — the caller answers Unavailable without
+  /// queueing any work.
+  bool TryAdmit();
+
+  /// Executes an admitted request and releases its slot before
+  /// returning. `admit_micros` is the TraceNowMicros() timestamp of the
+  /// TryAdmit that won the slot (feeds server.queue_wait_ns and anchors
+  /// the deadline).
+  Response ExecuteAdmitted(const Request& req, double admit_micros);
+
+  /// Admit + execute in one call (library callers, tests). Sheds are
+  /// returned as ShedResponse, exactly like the server path.
+  Response Execute(const Request& req);
+
+  /// The Unavailable response a shed request is answered with.
+  static Response ShedResponse(const Request& req);
+
+  const ServiceOptions& options() const { return options_; }
+  const Table* table() const { return table_; }
+
+  // Test/ops accessors (per-service; the server.* registry family is
+  // process-wide).
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  size_t peak_inflight() const {
+    return peak_inflight_.load(std::memory_order_relaxed);
+  }
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Response Dispatch(const Request& req, double deadline_micros);
+  Response HandlePoint(const Request& req, double deadline_micros);
+  Response HandleScan(const Request& req, double deadline_micros);
+  Response HandleAggregate(const Request& req, double deadline_micros);
+  Response HandleTableInfo(const Request& req);
+
+  /// Resolves `name` to a column the integer query paths can serve, or
+  /// an error status (unknown name, or a float column — the compressed
+  /// scan kernels are integer-domain).
+  Result<const StoredColumn*> ResolveColumn(const std::string& name) const;
+
+  const Table* table_;
+  BufferManager* bm_;
+  ServiceOptions options_;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<size_t> peak_inflight_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+};
+
+}  // namespace server
+}  // namespace scc
+
+#endif  // SCC_SERVER_SERVICE_H_

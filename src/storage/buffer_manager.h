@@ -488,6 +488,21 @@ class BufferManager {
     return s;
   }
 
+  /// DRAM pages currently held by at least one PageGuard, summed across
+  /// shards. A drained system (no scan or point read in flight) must
+  /// report 0 — the pin-leak tests assert exactly that after cancelled
+  /// and deadline-exceeded queries.
+  size_t pinned_pages() const {
+    size_t pinned = 0;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      for (const auto& [key, entry] : sh.cache) {
+        if (entry.pins > 0) pinned++;
+      }
+    }
+    return pinned;
+  }
+
   /// Whether `col`'s chunk is resident in the SSD tier (test accessor;
   /// does not touch the tier's LRU).
   bool ssd_resident(const StoredColumn* col, size_t chunk_idx) const {
@@ -571,7 +586,7 @@ class BufferManager {
     uint64_t stamp = 0;  // global LRU clock at last touch
   };
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;  // mutable: const accessors (pinned_pages) lock
     std::unordered_map<Key, Entry, KeyHash> cache;
     std::list<Key> lru;  // front = most recent within this shard
     // Per-stripe outcome counters (mirrored into storage.bm.shard.<i>.*)

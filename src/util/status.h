@@ -23,6 +23,12 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kIOError,
+  // Service-facing codes (src/server/): load shedding and per-query
+  // deadlines. Kept distinct from kResourceExhausted so a client can tell
+  // "retry elsewhere / later" (Unavailable) from "this query ran out of
+  // its own budget" (DeadlineExceeded).
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// A success-or-error value. Cheap to copy on the success path.
@@ -54,6 +60,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +94,10 @@ class Status {
         return "Internal";
       case StatusCode::kIOError:
         return "IOError";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
+      case StatusCode::kDeadlineExceeded:
+        return "DeadlineExceeded";
     }
     return "Unknown";
   }

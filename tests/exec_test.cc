@@ -258,6 +258,94 @@ TEST(ParallelScanTest, ThreadsOptionBoundsSlotCount) {
   EXPECT_GE(scan.slot_count(), 1u);
 }
 
+TEST(ParallelScanTest, CancelBeforeFirstMorselVisitsNothing) {
+  // cancel_check fires before every claim, so a check that is already
+  // failing stops the scan with zero morsels visited and zero pins held.
+  Table t = MakeTable(50000);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+  ParallelScan::Options opt;
+  opt.cancel_check = [] { return Status::DeadlineExceeded("expired"); };
+  ParallelScan scan(&t, &bm, {"a", "b"}, opt);
+  std::atomic<size_t> rows{0};
+  Status st = scan.Run([&](const Batch& batch, size_t, size_t) {
+    rows.fetch_add(batch.rows, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rows.load(), 0u);
+  EXPECT_EQ(bm.pinned_pages(), 0u);
+}
+
+TEST(ParallelScanTest, CancelMidScanReleasesEveryPin) {
+  // Deterministic mid-scan expiry: the check trips after a fixed number
+  // of morsel-boundary probes. In-flight morsels finish (their rows are
+  // delivered), no further morsels are claimed, and every page pin is
+  // back by the time Run returns — the invariant the service's deadline
+  // path leans on.
+  Table t = MakeTable(50000);  // 7 morsels at the 8192-value chunk size
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+  std::atomic<int> probes{0};
+  ParallelScan::Options opt;
+  opt.threads = 4;
+  opt.cancel_check = [&]() -> Status {
+    if (probes.fetch_add(1, std::memory_order_relaxed) >= 2) {
+      return Status::DeadlineExceeded("expired mid-scan");
+    }
+    return Status::OK();
+  };
+  ParallelScan scan(&t, &bm, {"a", "b", "c"}, opt);
+  std::atomic<size_t> rows{0};
+  Status st = scan.Run([&](const Batch& batch, size_t, size_t) {
+    rows.fetch_add(batch.rows, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(rows.load(), 50000u);
+  EXPECT_EQ(bm.pinned_pages(), 0u);
+}
+
+TEST(ParallelScanTest, OrderedCancelDoesNotDeadlock) {
+  // Ordered mode parks workers on the emit window; cancellation must
+  // wake them (they would otherwise wait forever for a head morsel whose
+  // claimer already bailed).
+  Table t = MakeTable(50000);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+  std::atomic<int> probes{0};
+  ParallelScan::Options opt;
+  opt.ordered = true;
+  opt.threads = 4;
+  opt.cancel_check = [&]() -> Status {
+    if (probes.fetch_add(1, std::memory_order_relaxed) >= 3) {
+      return Status::DeadlineExceeded("expired mid-scan");
+    }
+    return Status::OK();
+  };
+  ParallelScan scan(&t, &bm, {"a"}, opt);
+  size_t last_morsel = 0;
+  Status st = scan.Run([&](const Batch& batch, size_t morsel, size_t slot) {
+    EXPECT_EQ(slot, 0u);
+    EXPECT_GE(morsel, last_morsel);
+    last_morsel = morsel;
+    (void)batch;
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(bm.pinned_pages(), 0u);
+}
+
+TEST(ParallelScanTest, NoCancelCheckStillReturnsOk) {
+  Table t = MakeTable(20000);
+  SimDisk disk;
+  BufferManager bm(&disk, size_t(1) << 30, Layout::kDSM);
+  ParallelScan scan(&t, &bm, {"a"});
+  std::atomic<size_t> rows{0};
+  Status st = scan.Run([&](const Batch& batch, size_t, size_t) {
+    rows.fetch_add(batch.rows, std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(rows.load(), 20000u);
+}
+
 /// One parsed chrome-trace event. Relies on the serializer's fixed key
 /// order (name, cat, ph, ts, dur, ..., args:{op, span, parent}).
 struct ParsedEvent {

@@ -33,6 +33,18 @@ TEST(StatusTest, OkAndErrors) {
   EXPECT_FALSE(io.ok());
   EXPECT_EQ(io.code(), StatusCode::kIOError);
   EXPECT_EQ(io.ToString(), "IOError: disk unplugged");
+
+  // The service-layer codes must stay distinct from each other and from
+  // ResourceExhausted: clients route on the difference (retry elsewhere
+  // vs. this query ran out of its own budget).
+  Status shed = Status::Unavailable("admission limit");
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed.ToString(), "Unavailable: admission limit");
+  Status late = Status::DeadlineExceeded("budget spent");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: budget spent");
+  EXPECT_NE(shed.code(), late.code());
+  EXPECT_NE(shed.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(ResultTest, ValueAndError) {

@@ -126,6 +126,34 @@ TEST_F(TelemetryTest, SnapshotFindAndDelta) {
   EXPECT_EQ(delta.Find("test.delta.g")->value, 17);
 }
 
+TEST_F(TelemetryTest, DeltaClampsCounterResetsToZero) {
+  // Regression for scc_stats --watch across a registry Clear/ResetAll or
+  // a process restart: the new sample is *below* the base, and the
+  // windowed delta must clamp to the observable progress (the post-reset
+  // value), never go negative or print a wrapped garbage rate.
+  Counter& c = MetricsRegistry::Instance().GetCounter("test.clamp.c");
+  Histogram& h = MetricsRegistry::Instance().GetHistogram("test.clamp.h");
+  c.Reset();
+  h.Reset();
+  c.Add(100);
+  for (int i = 0; i < 50; i++) h.Observe(1000);
+  MetricsSnapshot base = MetricsRegistry::Instance().Snapshot();
+
+  c.Reset();  // simulated restart: lifetime value drops below the base
+  h.Reset();
+  c.Add(3);
+  h.Observe(2000);
+  MetricsSnapshot delta =
+      MetricsRegistry::Instance().Snapshot().DeltaSince(base);
+  const MetricEntry* dc = delta.Find("test.clamp.c");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 0);  // clamped, not 3 - 100
+  const MetricEntry* dh = delta.Find("test.clamp.h");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_GE(dh->value, 0);
+  EXPECT_GE(dh->hist_sum, 0u);
+}
+
 TEST_F(TelemetryTest, SnapshotEntriesSortedByName) {
   MetricsRegistry::Instance().GetCounter("test.sorted.b");
   MetricsRegistry::Instance().GetCounter("test.sorted.a");

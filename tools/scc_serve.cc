@@ -1,0 +1,200 @@
+// scc_serve — the multi-tenant columnar query service (docs/SERVICE.md).
+// Loads one compressed table (from a FileStore directory or a synthetic
+// build), stands up the tiered BufferManager, and serves point lookups,
+// BETWEEN range scans, and aggregates over TCP with admission control
+// and per-query deadlines. Shut down with SIGTERM/SIGINT: the server
+// drains in-flight queries, prints a summary, and exits 0.
+//
+//   scc_serve [--dir PATH | --rows N] [--port P] [--port-file PATH]
+//             [--max-inflight N] [--deadline-us N] [--scan-threads N]
+//             [--chunk N] [--seed S] [--dram-mb N] [--hot-kb N]
+//             [--ssd-mb N] [--telemetry]
+//
+// The synthetic table (--rows) has the scc_load/tail_latency column
+// shapes: sequential `id` (closed-form verifiable — workload_driver
+// --verify depends on it), zipf `code`, `price` with 1% outliers, and an
+// increasing `ts`. Default capacities keep the whole table DRAM-resident
+// (a serving tier, not a cold store); shrink --dram-mb to make the
+// tiers earn their keep.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "storage/buffer_manager.h"
+#include "storage/bulk_load.h"
+#include "storage/file_store.h"
+#include "storage/sim_disk.h"
+#include "sys/telemetry.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace scc {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSignal(int) { g_shutdown = 1; }
+
+Status BuildSyntheticTable(Table* table, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(1000, 1.1, seed + 1);
+  std::vector<int64_t> id(rows), code(rows), price(rows), ts(rows);
+  int64_t t = 1700000000;
+  for (size_t i = 0; i < rows; i++) {
+    id[i] = int64_t(i);
+    code[i] = int64_t(zipf.Next());
+    price[i] = int64_t(100 + rng.Uniform(900));
+    if (rng.Bernoulli(0.01)) price[i] = int64_t(rng.Uniform(1u << 30));
+    t += int64_t(rng.Uniform(30));
+    ts[i] = t;
+  }
+  for (const auto& [name, vec] :
+       {std::pair<const char*, std::vector<int64_t>*>{"id", &id},
+        {"code", &code},
+        {"price", &price},
+        {"ts", &ts}}) {
+    SCC_RETURN_NOT_OK(BulkLoadColumn<int64_t>(table, name, *vec));
+  }
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  const char* dir = nullptr;
+  size_t rows = size_t(1) << 17;
+  size_t chunk = size_t(1) << 14;
+  uint64_t seed = 2026;
+  uint16_t port = 0;
+  const char* port_file = nullptr;
+  server::ServiceOptions svc_opts;
+  size_t dram_mb = 0;  // 0 = size to the table
+  size_t hot_kb = 256;
+  size_t ssd_mb = 0;
+  bool telemetry = false;
+
+  for (int i = 1; i < argc; i++) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--dir") == 0) {
+      dir = next();
+    } else if (std::strcmp(argv[i], "--rows") == 0) {
+      if (const char* v = next()) rows = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--chunk") == 0) {
+      if (const char* v = next()) chunk = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (const char* v = next()) seed = uint64_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (const char* v = next()) port = uint16_t(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = next();
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
+      if (const char* v = next()) svc_opts.max_inflight = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
+      if (const char* v = next()) {
+        svc_opts.default_deadline_micros = uint64_t(std::atoll(v));
+      }
+    } else if (std::strcmp(argv[i], "--scan-threads") == 0) {
+      if (const char* v = next()) svc_opts.scan_threads = unsigned(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--dram-mb") == 0) {
+      if (const char* v = next()) dram_mb = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--hot-kb") == 0) {
+      if (const char* v = next()) hot_kb = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--ssd-mb") == 0) {
+      if (const char* v = next()) ssd_mb = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--dir PATH | --rows N] [--port P] [--port-file PATH]\n"
+          "          [--max-inflight N] [--deadline-us N] [--scan-threads N]\n"
+          "          [--chunk N] [--seed S] [--dram-mb N] [--hot-kb N]\n"
+          "          [--ssd-mb N] [--telemetry]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+  if (telemetry) SetTelemetryEnabled(true);
+
+  Table table{chunk};
+  if (dir != nullptr) {
+    Result<Table> loaded = FileStore::Load(dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", dir,
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    table = loaded.MoveValueOrDie();
+  } else {
+    Status st = BuildSyntheticTable(&table, rows, seed);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  SimDisk disk{SimDisk::MidRangeRaid()};
+  BufferManager::TierConfig tiers;
+  tiers.hot_capacity_bytes = hot_kb * 1024;
+  tiers.ssd_capacity_bytes = ssd_mb * (size_t(1) << 20);
+  const size_t dram_bytes = dram_mb != 0 ? dram_mb * (size_t(1) << 20)
+                                         : table.ByteSize() + 1;
+  BufferManager bm(&disk, dram_bytes, Layout::kDSM, tiers);
+
+  server::QueryService service(&table, &bm, svc_opts);
+  server::Server srv(&service, server::ServerOptions{"127.0.0.1", port});
+  if (Status st = srv.Start(); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  std::printf("table: %zu rows x %zu cols, %.2f MB compressed\n",
+              table.rows(), table.column_count(),
+              table.ByteSize() / 1048576.0);
+  std::printf("tiers: hot %zu KB, dram %.2f MB, ssd %zu MB\n", hot_kb,
+              dram_bytes / 1048576.0, ssd_mb);
+  std::printf("admission: max_inflight %zu, default deadline %llu us\n",
+              svc_opts.max_inflight,
+              (unsigned long long)svc_opts.default_deadline_micros);
+  std::printf("listening on 127.0.0.1:%u\n", unsigned(srv.port()));
+  std::fflush(stdout);
+  if (port_file != nullptr) {
+    if (FILE* f = std::fopen(port_file, "w")) {
+      std::fprintf(f, "%u\n", unsigned(srv.port()));
+      std::fclose(f);
+    }
+  }
+
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutting down: draining %zu connections\n",
+              srv.connection_count());
+  srv.Stop();
+  std::printf("served: %llu accepted, %llu shed, %llu deadline-exceeded\n",
+              (unsigned long long)service.accepted(),
+              (unsigned long long)service.shed(),
+              (unsigned long long)service.deadline_exceeded());
+  if (telemetry) {
+    std::printf("%s", MetricsRegistry::Instance().Snapshot().ToTable().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scc
+
+int main(int argc, char** argv) { return scc::Run(argc, argv); }
