@@ -26,13 +26,29 @@
 // working as designed under overload; they are counted and reported but
 // are not failures and not latency samples.
 //
+// Modes (--mode):
+//   closed      one outstanding request per connection (the classic
+//               closed loop above)
+//   pipelined   each connection keeps --depth requests in flight over
+//               one PipelinedClient; responses arrive in completion
+//               order and are correlated by request_id, so every reply
+//               is still verified against the exact request that earned
+//               it. Mix names gain a ".pipelined" suffix in the report.
+//   both        closed then pipelined, one report per mode
+//
+// --tenants N assigns client i to tenant 1 + (i % N) (protocol v2) and
+// reports per-tenant ok/shed tallies — point it at a server started with
+// scc_serve --tenant-quotas to watch weighted admission do its thing.
+//
 //   workload_driver --port P [--host H] [--clients N] [--ops N]
-//                   [--mix read_only|mixed_80_20|all] [--seed S]
+//                   [--mix read_only|mixed_80_20|all]
+//                   [--mode closed|pipelined|both] [--depth N]
+//                   [--tenants N] [--seed S]
 //                   [--deadline-us N] [--verify] [--json PATH]
 //
 // --json writes the BenchReport format tools/scc_bench_diff consumes;
-// the checked-in BENCH_PR9.json baseline was recorded with the defaults
-// against `scc_serve --rows 131072`.
+// the checked-in BENCH_PR10.json baseline was recorded with the defaults
+// plus --mode both against `scc_serve --rows 131072`.
 
 #include <algorithm>
 #include <atomic>
@@ -42,6 +58,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "server/client.h"
@@ -53,6 +70,9 @@ namespace {
 
 using server::AggOp;
 using server::Client;
+using server::PipelinedClient;
+using server::Request;
+using server::RequestType;
 using server::Response;
 
 struct Lats {
@@ -74,6 +94,10 @@ struct MixStats {
   uint64_t failed = 0;     // transport/protocol errors, unexpected codes
   uint64_t incorrect = 0;  // --verify mismatches
   double wall_seconds = 0;
+  // Indexed by tenant id; sized tenants+1 when --tenants is set, else
+  // empty (tenant counters off).
+  std::vector<uint64_t> tenant_ok;
+  std::vector<uint64_t> tenant_shed;
 
   double OpsPerSec() const {
     const uint64_t n = ok + shed + deadline_exceeded;
@@ -89,16 +113,55 @@ struct Options {
   uint64_t seed = 2026;
   uint64_t deadline_micros = 0;
   std::string mix = "all";
+  std::string mode = "closed";
+  size_t depth = 16;     // pipelined requests in flight per connection
+  unsigned tenants = 0;  // 0 = everything is tenant 0
   bool verify = false;
   const char* json_path = nullptr;
+
+  uint32_t TenantFor(unsigned client) const {
+    return tenants == 0 ? 0 : 1 + client % tenants;
+  }
 };
 
-/// Classifies one wire-level result into the mix counters. Returns the
-/// response when it is OK (so the caller can verify the payload),
-/// nullptr otherwise. Only OK responses become latency samples.
-const Response* Classify(const Result<Response>& r, MixStats* s,
-                         std::mutex* mu) {
-  std::lock_guard<std::mutex> lock(*mu);
+/// Per-client counters, merged into MixStats once per thread at the end
+/// of its run — the hot loop never touches a shared lock, so the
+/// driver's own synchronization can't throttle the throughput it is
+/// supposed to measure.
+struct LocalStats {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t failed = 0;
+  uint64_t incorrect = 0;
+  std::vector<uint64_t> tenant_ok;
+  std::vector<uint64_t> tenant_shed;
+
+  explicit LocalStats(unsigned tenants) {
+    if (tenants > 0) {
+      tenant_ok.assign(tenants + 1, 0);
+      tenant_shed.assign(tenants + 1, 0);
+    }
+  }
+  void MergeInto(MixStats* s, std::mutex* mu) const {
+    std::lock_guard<std::mutex> lock(*mu);
+    s->ok += ok;
+    s->shed += shed;
+    s->deadline_exceeded += deadline_exceeded;
+    s->failed += failed;
+    s->incorrect += incorrect;
+    for (size_t t = 0; t < tenant_ok.size(); t++) {
+      s->tenant_ok[t] += tenant_ok[t];
+      s->tenant_shed[t] += tenant_shed[t];
+    }
+  }
+};
+
+/// Classifies one wire-level result into the client's local counters.
+/// Returns the response when it is OK (so the caller can verify the
+/// payload), nullptr otherwise. Only OK responses become latency samples.
+const Response* Classify(const Result<Response>& r, LocalStats* s,
+                         uint32_t tenant = 0) {
   if (!r.ok()) {
     s->failed++;
     return nullptr;
@@ -107,9 +170,11 @@ const Response* Classify(const Result<Response>& r, MixStats* s,
   switch (resp.code) {
     case StatusCode::kOk:
       s->ok++;
+      if (tenant < s->tenant_ok.size()) s->tenant_ok[tenant]++;
       return &resp;
     case StatusCode::kUnavailable:
       s->shed++;
+      if (tenant < s->tenant_shed.size()) s->tenant_shed[tenant]++;
       return nullptr;
     case StatusCode::kDeadlineExceeded:
       s->deadline_exceeded++;
@@ -163,6 +228,10 @@ MixStats RunMix(const Options& opt, const std::string& name, int scan_pct,
                 uint64_t rows) {
   MixStats stats;
   stats.name = name;
+  if (opt.tenants > 0) {
+    stats.tenant_ok.assign(opt.tenants + 1, 0);
+    stats.tenant_shed.assign(opt.tenants + 1, 0);
+  }
   std::mutex mu;
   std::vector<std::vector<uint64_t>> point_lat(opt.clients);
   std::vector<std::vector<uint64_t>> scan_lat(opt.clients);
@@ -180,6 +249,9 @@ MixStats RunMix(const Options& opt, const std::string& name, int scan_pct,
         return;
       }
       Client c = conn.MoveValueOrDie();
+      const uint32_t tenant = opt.TenantFor(client);
+      c.set_tenant_id(tenant);
+      LocalStats local(opt.tenants);
       // Deterministic per (seed, client): replays identical request
       // streams across runs. The mix name keeps the two mixes' streams
       // distinct without coupling them to run order.
@@ -194,33 +266,156 @@ MixStats RunMix(const Options& opt, const std::string& name, int scan_pct,
           Result<Response> r = c.Scan("id", "id", int64_t(lo), int64_t(hi),
                                       want, opt.deadline_micros);
           const uint64_t ns = uint64_t(t.ElapsedNanos());
-          if (const Response* resp = Classify(r, &stats, &mu)) {
+          if (const Response* resp = Classify(r, &local, tenant)) {
             scan_lat[client].push_back(ns);
             bool good = resp->total_matches == want &&
                         resp->values.size() == size_t(want);
             for (size_t k = 0; good && k < resp->values.size(); k++) {
               good = resp->values[k] == int64_t(lo + k);
             }
-            if (opt.verify && !good) {
-              std::lock_guard<std::mutex> lock(mu);
-              stats.incorrect++;
-            }
+            if (opt.verify && !good) local.incorrect++;
           }
         } else {
           const uint64_t row = rng.Uniform(rows);
           Timer t;
           Result<Response> r = c.Point("id", row, opt.deadline_micros);
           const uint64_t ns = uint64_t(t.ElapsedNanos());
-          if (const Response* resp = Classify(r, &stats, &mu)) {
+          if (const Response* resp = Classify(r, &local, tenant)) {
             point_lat[client].push_back(ns);
-            if (opt.verify && uint64_t(resp->value) != row) {
-              std::lock_guard<std::mutex> lock(mu);
-              stats.incorrect++;
-            }
+            if (opt.verify && uint64_t(resp->value) != row) local.incorrect++;
           }
         }
         if (!c.connected()) break;  // transport gone; stop this client
       }
+      local.MergeInto(&stats, &mu);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stats.wall_seconds = wall.ElapsedSeconds();
+
+  for (auto& v : point_lat) {
+    stats.point.ns.insert(stats.point.ns.end(), v.begin(), v.end());
+  }
+  for (auto& v : scan_lat) {
+    stats.scan.ns.insert(stats.scan.ns.end(), v.begin(), v.end());
+  }
+  std::sort(stats.point.ns.begin(), stats.point.ns.end());
+  std::sort(stats.scan.ns.begin(), stats.scan.ns.end());
+  return stats;
+}
+
+/// Pipelined variant of RunMix: each client keeps opt.depth requests in
+/// flight on one PipelinedClient. Responses complete in any order, so
+/// every send is remembered by request_id and verified against its own
+/// parameters when its reply surfaces; latency is send -> reply for that
+/// id (it includes queueing behind the other depth-1 in-flight requests,
+/// which is the price pipelining pays for its throughput).
+MixStats RunPipelinedMix(const Options& opt, const std::string& name,
+                         int scan_pct, uint64_t rows) {
+  MixStats stats;
+  stats.name = name;
+  if (opt.tenants > 0) {
+    stats.tenant_ok.assign(opt.tenants + 1, 0);
+    stats.tenant_shed.assign(opt.tenants + 1, 0);
+  }
+  std::mutex mu;
+  std::vector<std::vector<uint64_t>> point_lat(opt.clients);
+  std::vector<std::vector<uint64_t>> scan_lat(opt.clients);
+  const size_t per = (opt.ops + opt.clients - 1) / opt.clients;
+  const size_t depth = opt.depth == 0 ? 1 : opt.depth;
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+  for (unsigned client = 0; client < opt.clients; client++) {
+    threads.emplace_back([&, client] {
+      Result<PipelinedClient> conn =
+          PipelinedClient::Connect(opt.host, opt.port);
+      if (!conn.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        stats.failed += per;
+        return;
+      }
+      PipelinedClient c = conn.MoveValueOrDie();
+      const uint32_t tenant = opt.TenantFor(client);
+      c.set_tenant_id(tenant);
+      LocalStats local(opt.tenants);
+      Rng rng(opt.seed + 7919 * client + (scan_pct > 0 ? 104729 : 0));
+      struct Pending {
+        bool scan = false;
+        uint64_t row = 0;  // point: expected value
+        uint64_t lo = 0;   // scan: predicate + expected match count
+        uint64_t want = 0;
+        Timer sent;
+      };
+      std::unordered_map<uint64_t, Pending> pend;
+      pend.reserve(depth * 2);
+      size_t sent = 0;
+      size_t done = 0;
+      while (done < per) {
+        while (sent < per && pend.size() < depth && c.connected()) {
+          Pending p;
+          Request req;
+          p.scan = int(rng.Uniform(100)) < scan_pct;
+          req.deadline_micros = opt.deadline_micros;
+          if (p.scan) {
+            p.lo = rng.Uniform(rows);
+            const uint64_t hi =
+                std::min(p.lo + 1 + rng.Uniform(512), rows - 1);
+            p.want = hi - p.lo + 1;
+            req.type = RequestType::kScan;
+            req.column = "id";
+            req.filter_column = "id";
+            req.lo = int64_t(p.lo);
+            req.hi = int64_t(hi);
+            req.limit = p.want;
+          } else {
+            p.row = rng.Uniform(rows);
+            req.type = RequestType::kPoint;
+            req.column = "id";
+            req.row = p.row;
+          }
+          Result<uint64_t> id = c.Send(std::move(req));
+          if (!id.ok()) break;
+          p.sent.Reset();
+          pend.emplace(id.ValueOrDie(), std::move(p));
+          sent++;
+        }
+        if (pend.empty()) {
+          // Transport died with requests unsent: account and bail.
+          local.failed += per - done;
+          local.MergeInto(&stats, &mu);
+          return;
+        }
+        Result<Response> r = c.Next();
+        done++;
+        const Response* resp = Classify(r, &local, tenant);
+        if (!r.ok()) continue;  // connection is gone; loop drains via pend
+        auto it = pend.find(r.ValueOrDie().request_id);
+        if (it == pend.end()) {
+          // A response for a request we never sent (or answered twice):
+          // correlation is broken, which --verify treats as incorrect.
+          local.incorrect++;
+          continue;
+        }
+        Pending p = std::move(it->second);
+        const uint64_t ns = uint64_t(p.sent.ElapsedNanos());
+        pend.erase(it);
+        if (resp == nullptr) continue;  // shed/deadline: no sample
+        if (p.scan) {
+          scan_lat[client].push_back(ns);
+          bool good = resp->total_matches == p.want &&
+                      resp->values.size() == size_t(p.want);
+          for (size_t k = 0; good && k < resp->values.size(); k++) {
+            good = resp->values[k] == int64_t(p.lo + k);
+          }
+          if (opt.verify && !good) local.incorrect++;
+        } else {
+          point_lat[client].push_back(ns);
+          if (opt.verify && uint64_t(resp->value) != p.row) local.incorrect++;
+        }
+      }
+      local.MergeInto(&stats, &mu);
     });
   }
   for (std::thread& t : threads) t.join();
@@ -272,6 +467,16 @@ void PrintAndCollect(const MixStats& s, std::string* metrics_json) {
            (unsigned long long)s.shed, s.name.c_str(),
            (unsigned long long)s.deadline_exceeded);
   *metrics_json += buf;
+  for (size_t t = 1; t < s.tenant_ok.size(); t++) {
+    printf("%-12s tenant %zu: ok %llu shed %llu\n", s.name.c_str(), t,
+           (unsigned long long)s.tenant_ok[t],
+           (unsigned long long)s.tenant_shed[t]);
+    snprintf(buf, sizeof(buf),
+             "\"%s.tenant.%zu.ok\":%llu,\"%s.tenant.%zu.shed\":%llu,",
+             s.name.c_str(), t, (unsigned long long)s.tenant_ok[t],
+             s.name.c_str(), t, (unsigned long long)s.tenant_shed[t]);
+    *metrics_json += buf;
+  }
 }
 
 int Run(int argc, char** argv) {
@@ -294,6 +499,12 @@ int Run(int argc, char** argv) {
       if (const char* v = next()) opt.deadline_micros = uint64_t(std::atoll(v));
     } else if (std::strcmp(argv[i], "--mix") == 0) {
       if (const char* v = next()) opt.mix = v;
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      if (const char* v = next()) opt.mode = v;
+    } else if (std::strcmp(argv[i], "--depth") == 0) {
+      if (const char* v = next()) opt.depth = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      if (const char* v = next()) opt.tenants = unsigned(std::atoi(v));
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       opt.verify = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -301,7 +512,9 @@ int Run(int argc, char** argv) {
     } else {
       fprintf(stderr,
               "usage: %s --port P [--host H] [--clients N] [--ops N]\n"
-              "          [--mix read_only|mixed_80_20|all] [--seed S]\n"
+              "          [--mix read_only|mixed_80_20|all]\n"
+              "          [--mode closed|pipelined|both] [--depth N]\n"
+              "          [--tenants N] [--seed S]\n"
               "          [--deadline-us N] [--verify] [--json PATH]\n",
               argv[0]);
       return 2;
@@ -312,6 +525,10 @@ int Run(int argc, char** argv) {
     return 2;
   }
   if (opt.clients == 0) opt.clients = 1;
+  if (opt.mode != "closed" && opt.mode != "pipelined" && opt.mode != "both") {
+    fprintf(stderr, "error: unknown --mode %s\n", opt.mode.c_str());
+    return 2;
+  }
 
   // Row count comes from the server — the driver never assumes the table
   // size, only the `id` column's shape when --verify is on.
@@ -352,10 +569,19 @@ int Run(int argc, char** argv) {
   uint64_t failed = 0, incorrect = 0;
   for (const Mix& mix : mixes) {
     if (opt.mix != "all" && opt.mix != mix.name) continue;
-    MixStats s = RunMix(opt, mix.name, mix.scan_pct, rows);
-    PrintAndCollect(s, &metrics_json);
-    failed += s.failed;
-    incorrect += s.incorrect;
+    if (opt.mode == "closed" || opt.mode == "both") {
+      MixStats s = RunMix(opt, mix.name, mix.scan_pct, rows);
+      PrintAndCollect(s, &metrics_json);
+      failed += s.failed;
+      incorrect += s.incorrect;
+    }
+    if (opt.mode == "pipelined" || opt.mode == "both") {
+      MixStats s = RunPipelinedMix(opt, std::string(mix.name) + ".pipelined",
+                                   mix.scan_pct, rows);
+      PrintAndCollect(s, &metrics_json);
+      failed += s.failed;
+      incorrect += s.incorrect;
+    }
   }
 
   if (opt.json_path != nullptr) {
@@ -367,10 +593,12 @@ int Run(int argc, char** argv) {
     }
     fprintf(f,
             "{\"bench\":\"workload_driver\",\"config\":{\"clients\":%u,"
-            "\"ops\":%zu,\"seed\":%llu,\"deadline_us\":%llu},"
+            "\"ops\":%zu,\"seed\":%llu,\"deadline_us\":%llu,"
+            "\"mode\":\"%s\",\"depth\":%zu,\"tenants\":%u},"
             "\"metrics\":{%s}}\n",
             opt.clients, opt.ops, (unsigned long long)opt.seed,
-            (unsigned long long)opt.deadline_micros, metrics_json.c_str());
+            (unsigned long long)opt.deadline_micros, opt.mode.c_str(),
+            opt.depth, opt.tenants, metrics_json.c_str());
     std::fclose(f);
     printf("wrote %s\n", opt.json_path);
   }

@@ -189,6 +189,58 @@ void ThreadPool::Submit(std::function<void()> fn) {
   WakeOne();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> fns) {
+  if (fns.empty()) return;
+  if (fns.size() == 1) {
+    Submit(std::move(fns[0]));
+    return;
+  }
+  if (stop_.load(std::memory_order_relaxed)) {  // shutting down: run inline
+    for (auto& fn : fns) fn();
+    return;
+  }
+  const bool stamp = TelemetryEnabled() || TraceEnabled();
+  const double now_us = stamp ? TraceNowMicros() : 0;
+  std::vector<Task*> tasks;
+  tasks.reserve(fns.size());
+  for (auto& fn : fns) {
+    Task* t = new Task;
+    t->fn = std::move(fn);
+    if (stamp) t->enqueue_us = now_us;
+    if (TraceEnabled()) {
+      t->ctx = CurrentTraceContext();
+      if (t->ctx.active()) {
+        t->flow_id = NextTraceId();
+        TraceRecorder::Instance().RecordFlow("exec.task", "exec",
+                                             t->enqueue_us, /*start=*/true,
+                                             t->flow_id);
+      }
+    }
+    tasks.push_back(t);
+  }
+  const WorkerTls& tls = g_worker_tls;
+  std::vector<Task*> spill;
+  if (tls.pool == this) {
+    for (Task* t : tasks) {
+      if (!workers_[tls.index]->deque.Push(t)) spill.push_back(t);
+    }
+    if (!spill.empty()) ExecMetrics::Get().queue_overflow->Increment();
+  } else {
+    spill.swap(tasks);
+  }
+  if (!spill.empty()) {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (inject_head_ > 0 && inject_head_ == inject_.size()) {
+      inject_.clear();
+      inject_head_ = 0;
+    }
+    inject_.insert(inject_.end(), spill.begin(), spill.end());
+    ExecMetrics::Get().pool_queue_depth->Set(
+        int64_t(inject_.size() - inject_head_));
+  }
+  WakeAll();
+}
+
 ThreadPool::Task* ThreadPool::FindTask(size_t self) {
   // 1. Own deque (workers only): newest first, cache-warm.
   if (self != SIZE_MAX) {

@@ -65,6 +65,13 @@ class ThreadPool {
   /// child first; elders get stolen).
   void Submit(std::function<void()> fn);
 
+  /// Enqueues every element of `fns` with one injection-queue lock
+  /// acquisition (or one owner-deque push each from a worker).
+  /// Equivalent to calling Submit() per element; the batch form exists
+  /// for high-rate submitters — the server's reactor threads hand every
+  /// frame parsed out of one read burst to the pool in a single call.
+  void SubmitBatch(std::vector<std::function<void()>> fns);
+
   /// Sentinel for ParallelFor's `max_workers`: no cap on pool-side
   /// helpers.
   static constexpr unsigned kNoWorkerCap = ~0u;

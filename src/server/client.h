@@ -6,11 +6,26 @@
 
 #include "server/protocol.h"
 
-// Blocking scc_serve client: one TCP connection, one outstanding
-// request at a time (Call writes a frame, then reads the matching
-// response frame). Concurrency comes from running many clients — the
-// workload driver gives each closed-loop client its own connection,
-// exactly how a service mesh would fan out.
+// scc_serve clients.
+//
+// Client: one TCP connection, one outstanding request at a time (Call
+// writes a frame, then reads the matching response frame). Concurrency
+// comes from running many clients — the workload driver gives each
+// closed-loop client its own connection, exactly how a service mesh
+// would fan out.
+//
+// PipelinedClient: one TCP connection, many outstanding requests. Send()
+// writes a frame without waiting; Next() blocks for whichever response
+// completes first. The server answers in *completion* order, so callers
+// must correlate by Response::request_id, not by send order. One
+// pipelined connection amortizes syscalls and wakeups across its depth —
+// the workload driver's `--mode pipelined` holds `--depth` requests in
+// flight per connection and sustains several times the closed-loop
+// throughput at the same client count.
+//
+// Both clients stamp every request with set_tenant_id()'s value
+// (protocol v2); the default tenant 0 is subject only to the global
+// admission cap.
 
 namespace scc {
 namespace server {
@@ -34,6 +49,11 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Admission-quota bucket stamped onto requests built by the
+  /// convenience wrappers below (Call sends req.tenant_id as given).
+  void set_tenant_id(uint32_t tenant_id) { tenant_id_ = tenant_id; }
+  uint32_t tenant_id() const { return tenant_id_; }
+
   // Convenience wrappers (request_id auto-assigned).
   Result<Response> Point(const std::string& column, uint64_t row,
                          uint64_t deadline_micros = 0);
@@ -49,6 +69,72 @@ class Client {
  private:
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint32_t tenant_id_ = 0;
+};
+
+/// Pipelined connection: decoupled Send()/Next(). Responses arrive in
+/// completion order — match them to sends via Response::request_id.
+///
+/// Send() corks: request frames accumulate in a send buffer that is
+/// flushed when Next() is about to block (or past a size bound), so a
+/// burst of sends costs one send() syscall. Next() reads in bulk and
+/// parses response frames out of a reassembly buffer — together a full
+/// pipeline round trip costs ~2 syscalls regardless of depth.
+class PipelinedClient {
+ public:
+  PipelinedClient() = default;
+  PipelinedClient(PipelinedClient&& o) noexcept
+      : fd_(o.fd_),
+        next_request_id_(o.next_request_id_),
+        tenant_id_(o.tenant_id_),
+        outstanding_(o.outstanding_),
+        sbuf_(std::move(o.sbuf_)),
+        rbuf_(std::move(o.rbuf_)),
+        rpos_(o.rpos_) {
+    o.fd_ = -1;
+    o.outstanding_ = 0;
+    o.rpos_ = 0;
+  }
+  PipelinedClient& operator=(PipelinedClient&& o) noexcept;
+  PipelinedClient(const PipelinedClient&) = delete;
+  PipelinedClient& operator=(const PipelinedClient&) = delete;
+  ~PipelinedClient() { Close(); }
+
+  static Result<PipelinedClient> Connect(const std::string& host,
+                                         uint16_t port);
+
+  /// Writes one request frame without waiting for its response. A zero
+  /// req.request_id is replaced with an auto-assigned one; the id the
+  /// frame actually carried is returned for correlation. The client's
+  /// tenant id is stamped when the request carries tenant 0.
+  Result<uint64_t> Send(Request req);
+
+  /// Blocks for the next response frame, whichever request it answers.
+  /// InvalidArgument when nothing is outstanding.
+  Result<Response> Next();
+
+  /// Requests sent whose responses Next() has not yet returned.
+  size_t outstanding() const { return outstanding_; }
+
+  /// Pushes any corked request frames to the wire now. Next() calls this
+  /// automatically; explicit use only matters before going idle with
+  /// sends outstanding and no intent to read yet.
+  Status Flush();
+
+  void set_tenant_id(uint32_t tenant_id) { tenant_id_ = tenant_id; }
+  uint32_t tenant_id() const { return tenant_id_; }
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint32_t tenant_id_ = 0;
+  size_t outstanding_ = 0;
+  std::vector<uint8_t> sbuf_;  // corked request frames, not yet sent
+  std::vector<uint8_t> rbuf_;  // response reassembly buffer
+  size_t rpos_ = 0;            // consumed prefix of rbuf_
 };
 
 }  // namespace server

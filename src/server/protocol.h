@@ -32,7 +32,13 @@ namespace server {
 /// cannot balloon memory.
 constexpr uint32_t kMaxFrameBytes = 1u << 24;
 
-constexpr uint8_t kProtocolVersion = 1;
+/// Version 2 adds a `u32 tenant_id` to every request (after
+/// `deadline_micros`), feeding per-tenant admission quotas. Version-1
+/// frames are still accepted — they decode with tenant 0, the default
+/// tenant — so old clients keep working across the bump; see the
+/// compatibility table in docs/SERVICE.md.
+constexpr uint8_t kProtocolVersion = 2;
+constexpr uint8_t kMinProtocolVersion = 1;
 
 enum class RequestType : uint8_t {
   kPoint = 1,      // one value by (column, row) — tiered ReadValue
@@ -56,6 +62,11 @@ struct Request {
   AggOp agg_op = AggOp::kNone;
   uint64_t request_id = 0;
   uint64_t deadline_micros = 0;
+  /// Admission-quota bucket (protocol v2; v1 frames decode as tenant 0).
+  /// Tenants with a configured quota are capped at their weighted share
+  /// of max_inflight; tenant 0 / unconfigured tenants share the global
+  /// cap only.
+  uint32_t tenant_id = 0;
   std::string column;  // target column (ignored for kTableInfo)
 
   // kPoint
@@ -165,6 +176,16 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+/// Wraps an encoded payload in its wire framing (u32 length prefix +
+/// bytes) — one contiguous buffer, ready for send()/writev().
+inline std::vector<uint8_t> FrameMessage(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + payload.size());
+  AppendU32(&out, uint32_t(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
 // --- request encoding ---------------------------------------------------
 
 inline std::vector<uint8_t> EncodeRequest(const Request& req) {
@@ -175,6 +196,7 @@ inline std::vector<uint8_t> EncodeRequest(const Request& req) {
   AppendU8(&out, 0);  // flags, reserved
   AppendU64(&out, req.request_id);
   AppendU64(&out, req.deadline_micros);
+  AppendU32(&out, req.tenant_id);
   AppendString(&out, req.column);
   switch (req.type) {
     case RequestType::kPoint:
@@ -197,11 +219,51 @@ inline std::vector<uint8_t> EncodeRequest(const Request& req) {
   return out;
 }
 
+/// Appends `req`'s wire frame (u32 length prefix + payload) directly onto
+/// `out` — no intermediate buffer. PipelinedClient corks many sends into
+/// one buffer, so encoding in place saves an allocation and a copy per
+/// request.
+inline void EncodeRequestFramedInto(const Request& req,
+                                    std::vector<uint8_t>* out) {
+  const size_t frame_at = out->size();
+  AppendU32(out, 0);  // length placeholder, patched below
+  AppendU8(out, kProtocolVersion);
+  AppendU8(out, uint8_t(req.type));
+  AppendU8(out, uint8_t(req.agg_op));
+  AppendU8(out, 0);  // flags, reserved
+  AppendU64(out, req.request_id);
+  AppendU64(out, req.deadline_micros);
+  AppendU32(out, req.tenant_id);
+  AppendString(out, req.column);
+  switch (req.type) {
+    case RequestType::kPoint:
+      AppendU64(out, req.row);
+      break;
+    case RequestType::kScan:
+      AppendString(out, req.filter_column);
+      AppendI64(out, req.lo);
+      AppendI64(out, req.hi);
+      AppendU64(out, req.limit);
+      break;
+    case RequestType::kAggregate:
+      AppendString(out, req.filter_column);
+      AppendI64(out, req.lo);
+      AppendI64(out, req.hi);
+      break;
+    case RequestType::kTableInfo:
+      break;
+  }
+  const uint32_t n = uint32_t(out->size() - frame_at - 4);
+  for (int i = 0; i < 4; i++) {
+    (*out)[frame_at + size_t(i)] = uint8_t(n >> (8 * i));
+  }
+}
+
 inline Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
   ByteReader r(data, size);
   uint8_t version = 0, type = 0, agg = 0, flags = 0;
   SCC_RETURN_NOT_OK(r.U8(&version));
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(version));
   }
@@ -218,6 +280,7 @@ inline Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
   req.agg_op = AggOp(agg);
   SCC_RETURN_NOT_OK(r.U64(&req.request_id));
   SCC_RETURN_NOT_OK(r.U64(&req.deadline_micros));
+  if (version >= 2) SCC_RETURN_NOT_OK(r.U32(&req.tenant_id));
   SCC_RETURN_NOT_OK(r.String(&req.column));
   switch (req.type) {
     case RequestType::kPoint:
@@ -276,6 +339,47 @@ inline std::vector<uint8_t> EncodeResponse(const Response& resp) {
       }
       break;
   }
+  return out;
+}
+
+/// EncodeResponse with the u32 length prefix built in place — one buffer,
+/// one allocation, ready for send()/writev(). The server's response path
+/// uses this instead of FrameMessage(EncodeResponse(...)) to avoid a
+/// second allocation + copy per response.
+inline std::vector<uint8_t> EncodeResponseFramed(const Response& resp) {
+  std::vector<uint8_t> out;
+  out.reserve(64);
+  AppendU32(&out, 0);  // length placeholder, patched below
+  AppendU64(&out, resp.request_id);
+  AppendU8(&out, uint8_t(resp.code));
+  AppendU8(&out, uint8_t(resp.type));
+  AppendU16(&out, 0);  // reserved
+  if (resp.code != StatusCode::kOk) {
+    AppendU32(&out, uint32_t(resp.error.size()));
+    out.insert(out.end(), resp.error.begin(), resp.error.end());
+  } else {
+    switch (resp.type) {
+      case RequestType::kPoint:
+      case RequestType::kAggregate:
+        AppendI64(&out, resp.value);
+        break;
+      case RequestType::kScan:
+        AppendU64(&out, resp.total_matches);
+        AppendU64(&out, uint64_t(resp.values.size()));
+        for (int64_t v : resp.values) AppendI64(&out, v);
+        break;
+      case RequestType::kTableInfo:
+        AppendU64(&out, resp.rows);
+        AppendU32(&out, uint32_t(resp.columns.size()));
+        for (const ColumnInfo& c : resp.columns) {
+          AppendString(&out, c.name);
+          AppendU8(&out, c.type);
+        }
+        break;
+    }
+  }
+  const uint32_t n = uint32_t(out.size() - 4);
+  for (int i = 0; i < 4; i++) out[size_t(i)] = uint8_t(n >> (8 * i));
   return out;
 }
 

@@ -4,33 +4,54 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "server/protocol.h"
 #include "server/service.h"
 
 // TCP front-end for QueryService: length-prefixed frames (protocol.h)
-// over thread-per-connection readers feeding the shared work-stealing
+// over a fixed-size epoll reactor pool feeding the shared work-stealing
 // pool (docs/SERVICE.md).
 //
-// Connection model: one OS thread per client connection blocks on the
-// socket, decodes frames, and runs admission control *on the reader
-// thread* — a shed request is answered straight from the reader without
-// ever touching the pool (bounded overload behavior: excess load costs
-// a frame decode and an atomic, nothing more). Admitted queries are
-// submitted to ThreadPool::Instance(), so all connections multiplex
-// onto the same workers the library's scans use; responses are written
-// back under a per-connection mutex (a connection may have several
-// in-flight queries; frames carry request ids for matching).
+// Connection model: N reactor threads (ServerOptions::reactor_threads)
+// each own one epoll set; accepted connections are assigned round-robin
+// and stay with their reactor for life, so resident thread count is
+// O(reactors), not O(connections) — a thousand idle connections cost a
+// thousand fds and nothing else. Sockets are non-blocking; each
+// connection carries a read-side state machine (partial-frame
+// reassembly across reads) and a write-side state machine (a bounded
+// response queue flushed opportunistically at queue time and on
+// EPOLLOUT, consecutive frames corked into one writev).
 //
-// Shutdown: Stop() closes the listener, shuts down every connection
-// socket (unblocking the readers), then joins. Each reader drains its
-// own in-flight queries before its socket closes, so Stop() never
-// leaves a pool task writing to a dead fd.
+// Pipelining: a connection may have any number of request frames in
+// flight; each admitted frame becomes one pool task, and responses are
+// written in *completion* order, correlated by request_id — clients
+// that pipeline (PipelinedClient) must match responses by id, not
+// position. Admission control runs on the reactor thread: a shed
+// request is answered straight from the reactor without ever touching
+// the pool (bounded overload behavior: excess load costs a frame decode
+// and a few atomics, nothing more).
+//
+// Lifecycle: the reading reactor is the only thread that ever close()s
+// a connection's fd (pool threads request teardown via shutdown() + a
+// close list), so a stale epoll event can never act on a recycled
+// descriptor — events carry a per-connection generation id, not the fd.
+// A connection with responses still pending (pool tasks running, or
+// queued bytes unflushed) survives peer EOF until it drains; write
+// errors and write-queue overflow (slow reader) tear it down
+// immediately and are counted (server.write_errors /
+// server.write_queue_overflow).
+//
+// Shutdown: Stop() stops accepting, half-closes every connection
+// (SHUT_RD — no new requests, responses still flow), waits for every
+// in-flight pool task to finish, gives the reactors a bounded grace
+// window to flush + reap, then joins them and closes whatever remains.
 
 namespace scc {
 namespace server {
@@ -42,6 +63,18 @@ struct ServerOptions {
   /// 0 = ephemeral; the bound port is available from port() after
   /// Start().
   uint16_t port = 0;
+  /// Reactor (epoll) threads. Connections are assigned round-robin at
+  /// accept time. 0 = 2.
+  unsigned reactor_threads = 2;
+  /// Per-connection response-queue cap. A connection whose un-flushed
+  /// responses exceed this (a reader slower than its own request rate)
+  /// is disconnected rather than buffered without bound.
+  size_t max_write_queue_bytes = size_t(8) << 20;
+  /// SO_SNDBUF for accepted sockets (0 = kernel default + autotuning).
+  /// Bounding it keeps slow-reader backpressure in the server's write
+  /// queue — where the cap above governs — instead of letting the
+  /// kernel buffer megabytes per connection.
+  size_t sndbuf_bytes = 0;
 };
 
 class Server {
@@ -51,43 +84,90 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept loop. Fails with IOError on
+  /// Binds, listens, starts the reactor pool. Fails with IOError on
   /// socket errors (port in use, bad host).
   Status Start();
 
   /// The bound port (valid after a successful Start()).
   uint16_t port() const { return port_; }
 
-  /// Graceful shutdown: stop accepting, unblock and join every
-  /// connection (each drains its in-flight queries first). Idempotent.
+  /// Graceful shutdown: stop accepting, half-close and drain every
+  /// connection, join the reactors. Idempotent.
   void Stop();
 
   /// Currently open client connections.
   size_t connection_count() const;
 
- private:
-  struct Connection {
-    std::atomic<int> fd{-1};  // Stop() shuts it down while the reader owns it
-    std::mutex write_mu;         // serializes response frames
-    std::mutex pending_mu;       // guards pending + cv
-    std::condition_variable pending_cv;
-    size_t pending = 0;  // queries submitted to the pool, not yet written
+  // Always-on local counters (the server.* telemetry family mirrors
+  // them when telemetry is enabled; these stay exact regardless).
+  uint64_t write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_queue_overflows() const {
+    return write_queue_overflows_.load(std::memory_order_relaxed);
+  }
 
-    void TaskDone() {
-      std::lock_guard<std::mutex> lock(pending_mu);
-      pending--;
-      if (pending == 0) pending_cv.notify_all();
-    }
-    void WaitDrained() {
-      std::unique_lock<std::mutex> lock(pending_mu);
-      pending_cv.wait(lock, [this] { return pending == 0; });
-    }
+ private:
+  /// One client connection. Read-side state (rbuf/rpos/read_closed) is
+  /// touched only by the owning reactor thread; write-side state and fd
+  /// transitions are guarded by mu so pool threads can queue and flush
+  /// responses concurrently with reactor activity.
+  struct Conn {
+    uint64_t id = 0;      // epoll event cookie; never reused
+    size_t reactor = 0;   // owning reactor index
+    std::mutex mu;        // guards fd/write state below
+    int fd = -1;          // -1 once closed (reactor thread only closes)
+    bool epollout_armed = false;
+    bool close_scheduled = false;  // shutdown() issued, close pending
+    std::deque<std::vector<uint8_t>> write_q;  // framed responses
+    size_t write_q_bytes = 0;
+    size_t write_off = 0;  // bytes of write_q.front() already sent
+
+    // Reactor-thread-only read state (read_closed is written by the
+    // reactor but also read by pool tasks in OnTaskDone, hence atomic).
+    std::vector<uint8_t> rbuf;  // partial-frame reassembly buffer
+    size_t rpos = 0;            // consumed prefix of rbuf
+    std::atomic<bool> read_closed{false};  // peer EOF / fatal read error
+
+    // Admitted queries dispatched to the pool, response not yet queued.
+    std::atomic<size_t> pending{0};
   };
 
-  void AcceptLoop();
-  void ConnectionLoop(std::shared_ptr<Connection> conn);
-  void WriteResponse(const std::shared_ptr<Connection>& conn,
+  struct Reactor {
+    int epfd = -1;
+    int wake_fd = -1;  // eventfd: close-list and stop wakeups
+    std::thread thread;
+    std::mutex mu;  // guards conns + close_list
+    std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns;
+    std::vector<uint64_t> close_list;  // ids awaiting reactor-side close
+  };
+
+  void ReactorLoop(size_t idx);
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  /// Parses every complete frame in conn->rbuf and dispatches it; one
+  /// pool submission per read burst (batched when several frames were
+  /// pipelined into it).
+  void DispatchFrames(const std::shared_ptr<Conn>& conn);
+  /// Encodes, enqueues (bounded), and opportunistically flushes one
+  /// response. Any-thread safe; drops silently once the conn is closing.
+  void QueueResponse(const std::shared_ptr<Conn>& conn,
                      const Response& resp);
+  /// Corked writev of as much queued data as the socket accepts.
+  /// Returns false on fatal write error (caller tears down). Requires
+  /// conn->mu held and conn->fd >= 0.
+  bool FlushLocked(Conn* conn);
+  /// Requests connection teardown from any thread: shuts the socket
+  /// down and hands the close to the owning reactor.
+  void ScheduleClose(const std::shared_ptr<Conn>& conn);
+  /// Reactor-thread-only: unregisters and closes the fd now.
+  void CloseNow(const std::shared_ptr<Conn>& conn);
+  /// Pool-task completion: drops the pending count and reaps the
+  /// connection if it finished draining after peer EOF.
+  void OnTaskDone(const std::shared_ptr<Conn>& conn);
+  void ArmWritableLocked(Conn* conn);
+  void WakeReactor(size_t idx);
 
   QueryService* service_;
   ServerOptions options_;
@@ -95,11 +175,20 @@ class Server {
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
-  std::thread accept_thread_;
-
-  mutable std::mutex conns_mu_;
-  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> conns_;
+  std::atomic<bool> accepting_{false};
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<uint64_t> next_conn_id_{2};  // 0 = listen, 1 = wake
+  std::atomic<size_t> next_reactor_{0};    // round-robin accept target
   std::atomic<size_t> open_connections_{0};
+
+  // Global in-flight pool tasks across all connections; Stop() waits on
+  // this before joining reactors so no task outlives the server.
+  std::atomic<size_t> inflight_tasks_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<uint64_t> write_errors_{0};
+  std::atomic<uint64_t> write_queue_overflows_{0};
 };
 
 }  // namespace server

@@ -26,6 +26,22 @@
 //   server.scan.rows_returned  scan values materialized into responses
 //   server.bytes_in            request payload bytes received
 //   server.bytes_out           response payload bytes sent
+//   server.write_errors        response writes that failed (peer vanished
+//                              mid-stream); each one tears its connection
+//                              down instead of silently dropping frames
+//   server.write_queue_overflow  connections disconnected because a slow
+//                              reader backed the per-connection write
+//                              queue past ServerOptions::max_write_queue_bytes
+//   server.reactor.wakeups     epoll_wait returns with >= 1 event
+//   server.reactor.events      fd events dispatched across all reactors
+//   server.reactor.frames      request frames parsed by reactor threads
+//   server.writev.calls        corked flushes issued (one writev each)
+//   server.writev.frames       response frames fully written by those
+//                              flushes (frames/calls = cork ratio)
+//   server.tenant.<id>.admitted / .shed   per-tenant admission outcomes
+//   server.tenant.<id>.inflight           gauge: tenant's running queries
+// (per-tenant handles are resolved by QueryService for configured
+// quotas only, so the name space stays bounded)
 
 namespace scc {
 
@@ -44,6 +60,13 @@ struct ServerMetrics {
   Counter* scan_rows_returned;
   Counter* bytes_in;
   Counter* bytes_out;
+  Counter* write_errors;
+  Counter* write_queue_overflow;
+  Counter* reactor_wakeups;
+  Counter* reactor_events;
+  Counter* reactor_frames;
+  Counter* writev_calls;
+  Counter* writev_frames;
 
   static ServerMetrics& Get() {
     static ServerMetrics* m = [] {
@@ -63,6 +86,14 @@ struct ServerMetrics {
       sm->scan_rows_returned = &reg.GetCounter("server.scan.rows_returned");
       sm->bytes_in = &reg.GetCounter("server.bytes_in");
       sm->bytes_out = &reg.GetCounter("server.bytes_out");
+      sm->write_errors = &reg.GetCounter("server.write_errors");
+      sm->write_queue_overflow =
+          &reg.GetCounter("server.write_queue_overflow");
+      sm->reactor_wakeups = &reg.GetCounter("server.reactor.wakeups");
+      sm->reactor_events = &reg.GetCounter("server.reactor.events");
+      sm->reactor_frames = &reg.GetCounter("server.reactor.frames");
+      sm->writev_calls = &reg.GetCounter("server.writev.calls");
+      sm->writev_frames = &reg.GetCounter("server.writev.frames");
       return sm;
     }();
     return *m;

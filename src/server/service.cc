@@ -88,14 +88,64 @@ int64_t ValueAt(const Batch& batch, TypeId type, size_t i) {
 
 QueryService::QueryService(const Table* table, BufferManager* bm,
                            ServiceOptions options)
-    : table_(table), bm_(bm), options_(options) {}
+    : table_(table), bm_(bm), options_(std::move(options)) {
+  uint64_t total_weight = 0;
+  for (const TenantQuota& q : options_.tenant_quotas) {
+    total_weight += q.weight;
+  }
+  if (total_weight == 0) return;
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  for (const TenantQuota& q : options_.tenant_quotas) {
+    auto ts = std::make_unique<TenantState>();
+    // Weighted share of the global cap, floored at 1 so a configured
+    // tenant can always make progress.
+    ts->limit = std::max<size_t>(
+        1, options_.max_inflight * q.weight / total_weight);
+    const std::string prefix =
+        "server.tenant." + std::to_string(q.tenant_id);
+    ts->admitted_metric = &reg.GetCounter(prefix + ".admitted");
+    ts->shed_metric = &reg.GetCounter(prefix + ".shed");
+    ts->inflight_metric = &reg.GetGauge(prefix + ".inflight");
+    tenants_[q.tenant_id] = std::move(ts);
+  }
+}
 
-bool QueryService::TryAdmit() {
+bool QueryService::TryAdmit(uint32_t tenant_id) {
+  ServerMetrics& sm = ServerMetrics::Get();
+  // Tenant share first: a tenant at its quota is shed without touching
+  // the global count, so it cannot starve other tenants' CAS traffic.
+  TenantState* ts = FindTenant(tenant_id);
+  if (ts != nullptr) {
+    size_t cur = ts->inflight.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur >= ts->limit) {
+        ts->shed.fetch_add(1, std::memory_order_relaxed);
+        ts->shed_metric->Increment();
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        sm.shed->Increment();
+        return false;
+      }
+      if (ts->inflight.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+    const size_t tnow = cur + 1;
+    size_t tpeak = ts->peak.load(std::memory_order_relaxed);
+    while (tnow > tpeak && !ts->peak.compare_exchange_weak(
+                               tpeak, tnow, std::memory_order_relaxed)) {
+    }
+  }
   size_t cur = inflight_.load(std::memory_order_relaxed);
   for (;;) {
     if (cur >= options_.max_inflight) {
+      if (ts != nullptr) {
+        ts->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        ts->shed.fetch_add(1, std::memory_order_relaxed);
+        ts->shed_metric->Increment();
+      }
       shed_.fetch_add(1, std::memory_order_relaxed);
-      ServerMetrics::Get().shed->Increment();
+      sm.shed->Increment();
       return false;
     }
     if (inflight_.compare_exchange_weak(cur, cur + 1,
@@ -104,9 +154,14 @@ bool QueryService::TryAdmit() {
     }
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  ServerMetrics& sm = ServerMetrics::Get();
   sm.accepted->Increment();
   sm.inflight->Set(int64_t(inflight_.load(std::memory_order_relaxed)));
+  if (ts != nullptr) {
+    ts->admitted.fetch_add(1, std::memory_order_relaxed);
+    ts->admitted_metric->Increment();
+    ts->inflight_metric->Set(
+        int64_t(ts->inflight.load(std::memory_order_relaxed)));
+  }
   // Racy max update: good enough for the overload tests, which drive the
   // peak from a single storm and assert it never exceeds the limit.
   size_t peak = peak_inflight_.load(std::memory_order_relaxed);
@@ -115,6 +170,27 @@ bool QueryService::TryAdmit() {
                            peak, now, std::memory_order_relaxed)) {
   }
   return true;
+}
+
+size_t QueryService::tenant_limit(uint32_t tenant_id) const {
+  const TenantState* ts = FindTenant(tenant_id);
+  return ts != nullptr ? ts->limit : SIZE_MAX;
+}
+size_t QueryService::tenant_inflight(uint32_t tenant_id) const {
+  const TenantState* ts = FindTenant(tenant_id);
+  return ts != nullptr ? ts->inflight.load(std::memory_order_relaxed) : 0;
+}
+size_t QueryService::tenant_peak_inflight(uint32_t tenant_id) const {
+  const TenantState* ts = FindTenant(tenant_id);
+  return ts != nullptr ? ts->peak.load(std::memory_order_relaxed) : 0;
+}
+uint64_t QueryService::tenant_shed(uint32_t tenant_id) const {
+  const TenantState* ts = FindTenant(tenant_id);
+  return ts != nullptr ? ts->shed.load(std::memory_order_relaxed) : 0;
+}
+uint64_t QueryService::tenant_admitted(uint32_t tenant_id) const {
+  const TenantState* ts = FindTenant(tenant_id);
+  return ts != nullptr ? ts->admitted.load(std::memory_order_relaxed) : 0;
 }
 
 Response QueryService::ShedResponse(const Request& req) {
@@ -127,7 +203,7 @@ Response QueryService::Execute(const Request& req) {
   // shedding it would blind clients exactly when the server is busiest.
   if (req.type == RequestType::kTableInfo) return HandleTableInfo(req);
   const double admit_us = TraceNowMicros();
-  if (!TryAdmit()) return ShedResponse(req);
+  if (!TryAdmit(req.tenant_id)) return ShedResponse(req);
   return ExecuteAdmitted(req, admit_us);
 }
 
@@ -159,6 +235,11 @@ Response QueryService::ExecuteAdmitted(const Request& req,
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
   sm.inflight->Set(int64_t(inflight_.load(std::memory_order_relaxed)));
+  if (TenantState* ts = FindTenant(req.tenant_id)) {
+    ts->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    ts->inflight_metric->Set(
+        int64_t(ts->inflight.load(std::memory_order_relaxed)));
+  }
   return resp;
 }
 

@@ -3,10 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "server/protocol.h"
 #include "storage/buffer_manager.h"
 #include "storage/table.h"
+#include "sys/telemetry.h"
 
 // QueryService — the transport-independent core of scc_serve: admission
 // control, per-query deadlines, and the three query paths over one
@@ -24,9 +28,14 @@
 //    by row id before truncation to `limit` for the same reason.
 //
 // Admission control: at most max_inflight admitted queries exist at any
-// instant. TryAdmit() is a pair of atomics — a shed request costs no
-// decode work, no allocation, no lock (the overload tests pin the codec
-// counters at zero across a shed storm).
+// instant, and tenants with a configured quota are additionally capped
+// at their weighted share of that limit (limit_i = max(1,
+// max_inflight * weight_i / Σweights)) — a misbehaving tenant saturates
+// its own share, never the whole server. TryAdmit() is a handful of
+// atomics — a shed request costs no decode work, no allocation, no lock
+// (the overload tests pin the codec counters at zero across a shed
+// storm). Tenant 0 (and any tenant without a quota entry) is only
+// subject to the global cap, which keeps v1 clients working unchanged.
 //
 // Deadlines: each admitted query gets a relative budget (request's
 // deadline_micros, else the server default; 0 = none). The budget is
@@ -38,10 +47,21 @@
 namespace scc {
 namespace server {
 
+/// One tenant's admission share. Weights are relative: tenant i may hold
+/// at most max(1, max_inflight * weight_i / Σweights) in-flight slots.
+struct TenantQuota {
+  uint32_t tenant_id = 0;
+  uint32_t weight = 1;
+};
+
 struct ServiceOptions {
   /// Admission limit: maximum queries past TryAdmit at once. Requests
   /// beyond it are shed with Status::Unavailable.
   size_t max_inflight = 64;
+  /// Per-tenant weighted quotas (empty = every tenant shares the global
+  /// cap only — pre-v2 behavior). Tenants absent from the list are
+  /// admitted under the global cap alone.
+  std::vector<TenantQuota> tenant_quotas;
   /// Default per-query budget in µs when the request carries none.
   /// 0 = no deadline.
   uint64_t default_deadline_micros = 0;
@@ -58,15 +78,17 @@ class QueryService {
   QueryService(const Table* table, BufferManager* bm,
                ServiceOptions options = {});
 
-  /// Takes an in-flight slot if one is free. Cheap and lock-free; a
-  /// false return is a shed — the caller answers Unavailable without
-  /// queueing any work.
-  bool TryAdmit();
+  /// Takes an in-flight slot (global + the tenant's share when a quota
+  /// is configured) if one is free. Cheap and lock-free; a false return
+  /// is a shed — the caller answers Unavailable without queueing any
+  /// work.
+  bool TryAdmit(uint32_t tenant_id);
+  bool TryAdmit() { return TryAdmit(0); }
 
-  /// Executes an admitted request and releases its slot before
-  /// returning. `admit_micros` is the TraceNowMicros() timestamp of the
-  /// TryAdmit that won the slot (feeds server.queue_wait_ns and anchors
-  /// the deadline).
+  /// Executes an admitted request and releases its slot (global and
+  /// tenant, via req.tenant_id) before returning. `admit_micros` is the
+  /// TraceNowMicros() timestamp of the TryAdmit that won the slot (feeds
+  /// server.queue_wait_ns and anchors the deadline).
   Response ExecuteAdmitted(const Request& req, double admit_micros);
 
   /// Admit + execute in one call (library callers, tests). Sheds are
@@ -95,7 +117,37 @@ class QueryService {
     return deadline_exceeded_.load(std::memory_order_relaxed);
   }
 
+  /// Per-tenant accessors; all return 0 for unconfigured tenants
+  /// (tenant_limit returns SIZE_MAX: only the global cap applies).
+  size_t tenant_limit(uint32_t tenant_id) const;
+  size_t tenant_inflight(uint32_t tenant_id) const;
+  size_t tenant_peak_inflight(uint32_t tenant_id) const;
+  uint64_t tenant_shed(uint32_t tenant_id) const;
+  uint64_t tenant_admitted(uint32_t tenant_id) const;
+
  private:
+  /// Per-tenant admission state, built once at construction for each
+  /// configured quota (fixed set — per-tenant metric names stay bounded).
+  struct TenantState {
+    size_t limit = 0;
+    std::atomic<size_t> inflight{0};
+    std::atomic<size_t> peak{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> shed{0};
+    Counter* admitted_metric = nullptr;
+    Counter* shed_metric = nullptr;
+    Gauge* inflight_metric = nullptr;
+  };
+
+  TenantState* FindTenant(uint32_t tenant_id) {
+    auto it = tenants_.find(tenant_id);
+    return it == tenants_.end() ? nullptr : it->second.get();
+  }
+  const TenantState* FindTenant(uint32_t tenant_id) const {
+    auto it = tenants_.find(tenant_id);
+    return it == tenants_.end() ? nullptr : it->second.get();
+  }
+
   Response Dispatch(const Request& req, double deadline_micros);
   Response HandlePoint(const Request& req, double deadline_micros);
   Response HandleScan(const Request& req, double deadline_micros);
@@ -116,6 +168,9 @@ class QueryService {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
+
+  // Immutable after construction; values hold the mutable atomics.
+  std::unordered_map<uint32_t, std::unique_ptr<TenantState>> tenants_;
 };
 
 }  // namespace server

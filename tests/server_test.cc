@@ -1,11 +1,21 @@
 #include "server/service.h"
 
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -119,6 +129,118 @@ struct Fixture {
         &disk, table.ByteSize() / dram_divisor + 1, Layout::kDSM, tiers);
   }
 };
+
+/// Spins on `pred` until it holds or `timeout_ms` elapses. The reactor
+/// tears connections down asynchronously, so tests observe lifecycle
+/// transitions by polling, never by sleeping a fixed amount.
+bool PollUntil(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Live OS threads in this process (entries under /proc/self/task).
+size_t OsThreadCount() {
+  DIR* d = ::opendir("/proc/self/task");
+  if (d == nullptr) return 0;
+  size_t n = 0;
+  while (dirent* e = ::readdir(d)) {
+    if (e->d_name[0] != '.') n++;
+  }
+  ::closedir(d);
+  return n;
+}
+
+/// Blocking TCP connect for tests that drive the wire protocol by hand.
+/// A nonzero `rcvbuf_bytes` shrinks SO_RCVBUF before connecting (must be
+/// set pre-connect to affect the advertised window) — the slow-reader
+/// tests use it to make the server's responses back up.
+int RawConnect(uint16_t port, int rcvbuf_bytes = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const uint8_t* p, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= size_t(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool RecvExact(int fd, uint8_t* p, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::recv(fd, p, n, 0);
+    if (r > 0) {
+      p += r;
+      n -= size_t(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Reads one length-prefixed response frame off a raw socket.
+Result<Response> RecvResponse(int fd) {
+  uint8_t header[4];
+  if (!RecvExact(fd, header, sizeof(header))) {
+    return Status::IOError("connection lost reading frame header");
+  }
+  uint32_t n = 0;
+  for (int i = 0; i < 4; i++) n |= uint32_t(header[i]) << (8 * i);
+  if (n == 0 || n > kMaxFrameBytes) {
+    return Status::InvalidArgument("bad frame length");
+  }
+  std::vector<uint8_t> body(n);
+  if (!RecvExact(fd, body.data(), n)) {
+    return Status::IOError("connection lost mid-frame");
+  }
+  return DecodeResponse(body.data(), body.size());
+}
+
+/// Hand-encodes a protocol v1 point-lookup frame: no tenant_id field —
+/// exactly the bytes a pre-quota client puts on the wire.
+std::vector<uint8_t> EncodeV1PointFrame(uint64_t request_id,
+                                        const std::string& column,
+                                        uint64_t row) {
+  std::vector<uint8_t> payload;
+  AppendU8(&payload, 1);  // version 1
+  AppendU8(&payload, uint8_t(RequestType::kPoint));
+  AppendU8(&payload, uint8_t(AggOp::kNone));
+  AppendU8(&payload, 0);  // flags
+  AppendU64(&payload, request_id);
+  AppendU64(&payload, 0);  // deadline_micros
+  AppendString(&payload, column);
+  AppendU64(&payload, row);
+  return FrameMessage(payload);
+}
 
 TEST(ProtocolTest, RequestRoundTripsEveryType) {
   for (const Request& req :
@@ -559,6 +681,555 @@ TEST(ServerTest, StopDrainsAndSubsequentCallsFailCleanly) {
   // Stop is idempotent.
   srv.Stop();
   EXPECT_EQ(srv.connection_count(), 0u);
+}
+
+// --- protocol v2 compatibility and framed encoders ----------------------
+
+TEST(ProtocolTest, V1FramesDecodeWithDefaultTenant) {
+  // A v1 payload (no tenant field) must decode with tenant_id 0 — the
+  // bucket subject only to the global admission cap.
+  std::vector<uint8_t> frame = EncodeV1PointFrame(77, "id", 123);
+  Result<Request> back = DecodeRequest(frame.data() + 4, frame.size() - 4);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().tenant_id, 0u);
+  EXPECT_EQ(back.ValueOrDie().request_id, 77u);
+  EXPECT_EQ(back.ValueOrDie().row, 123u);
+
+  // And end-to-end: a live reactor serves the v1 frame unchanged.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  int fd = RawConnect(srv.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, frame.data(), frame.size()));
+  Result<Response> resp = RecvResponse(fd);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.ValueOrDie().code, StatusCode::kOk);
+  EXPECT_EQ(resp.ValueOrDie().request_id, 77u);
+  EXPECT_EQ(resp.ValueOrDie().value, f.id[123]);
+  ::close(fd);
+  srv.Stop();
+}
+
+TEST(ProtocolTest, FramedEncodersMatchLegacyFraming) {
+  // The single-allocation framed encoders are wire-identical to
+  // FrameMessage over the two-step encoders.
+  for (const Request& req :
+       {PointReq("id", 9), ScanReq("val", "id", -5, 999, 64),
+        AggReq(AggOp::kMax, "val", "id", 0, 100)}) {
+    std::vector<uint8_t> framed;
+    EncodeRequestFramedInto(req, &framed);
+    EXPECT_EQ(framed, FrameMessage(EncodeRequest(req)));
+  }
+  Response ok;
+  ok.request_id = 5;
+  ok.type = RequestType::kScan;
+  ok.total_matches = 3;
+  ok.values = {7, -9, 11};
+  Response err;
+  err.request_id = 6;
+  err.type = RequestType::kPoint;
+  err.code = StatusCode::kUnavailable;
+  err.error = "shed";
+  for (const Response& resp : {ok, err}) {
+    EXPECT_EQ(EncodeResponseFramed(resp),
+              FrameMessage(EncodeResponse(resp)));
+  }
+}
+
+// --- per-tenant weighted admission ---------------------------------------
+
+TEST(ServiceTest, TenantQuotaWeightedLimitsAreEnforced) {
+  Fixture f;
+  ServiceOptions opts;
+  opts.max_inflight = 8;
+  opts.tenant_quotas = {{1, 3}, {2, 1}};  // shares: 6/8 and 2/8
+  QueryService svc(&f.table, f.bm.get(), opts);
+  EXPECT_EQ(svc.tenant_limit(1), 6u);
+  EXPECT_EQ(svc.tenant_limit(2), 2u);
+  EXPECT_EQ(svc.tenant_limit(3), SIZE_MAX);  // unconfigured: global only
+
+  for (int i = 0; i < 6; i++) EXPECT_TRUE(svc.TryAdmit(1)) << i;
+  EXPECT_FALSE(svc.TryAdmit(1));  // at quota, global still has room
+  EXPECT_EQ(svc.tenant_inflight(1), 6u);
+  EXPECT_EQ(svc.tenant_shed(1), 1u);
+  EXPECT_TRUE(svc.TryAdmit(2));  // sibling tenant is not starved
+  EXPECT_EQ(svc.tenant_inflight(2), 1u);
+
+  // Releasing via execution frees both the tenant and the global slot.
+  Request rel = PointReq("id", 0);
+  rel.tenant_id = 1;
+  for (int i = 0; i < 6; i++) {
+    Response r = svc.ExecuteAdmitted(rel, TraceNowMicros());
+    EXPECT_EQ(r.code, StatusCode::kOk) << r.error;
+  }
+  rel.tenant_id = 2;
+  svc.ExecuteAdmitted(rel, TraceNowMicros());
+  EXPECT_EQ(svc.tenant_inflight(1), 0u);
+  EXPECT_EQ(svc.tenant_inflight(2), 0u);
+  EXPECT_EQ(svc.inflight(), 0u);
+  EXPECT_EQ(svc.tenant_admitted(1), 6u);
+  EXPECT_TRUE(svc.TryAdmit(1));  // quota is reusable after release
+}
+
+TEST(ServiceTest, TenantAdmissionRollsBackWhenGlobalCapHit) {
+  Fixture f;
+  ServiceOptions opts;
+  opts.max_inflight = 2;
+  opts.tenant_quotas = {{1, 1}};  // tenant limit 2 == global cap
+  QueryService svc(&f.table, f.bm.get(), opts);
+  ASSERT_TRUE(svc.TryAdmit());  // tenant 0 takes a global slot
+  ASSERT_TRUE(svc.TryAdmit());  // global now full
+  EXPECT_FALSE(svc.TryAdmit(1));
+  // The tenant-side reservation must be rolled back, not leaked.
+  EXPECT_EQ(svc.tenant_inflight(1), 0u);
+  EXPECT_EQ(svc.tenant_shed(1), 1u);
+}
+
+TEST(ServiceTest, TenantQuotaStormIsolatesTenants) {
+  Fixture f;
+  ServiceOptions opts;
+  opts.max_inflight = 4;
+  opts.tenant_quotas = {{1, 3}, {2, 1}};  // limits 3 and 1
+  QueryService svc(&f.table, f.bm.get(), opts);
+  constexpr int kThreadsPerTenant = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (uint32_t tenant : {1u, 2u}) {
+    for (int t = 0; t < kThreadsPerTenant; t++) {
+      threads.emplace_back([&, tenant] {
+        for (int i = 0; i < kPerThread; i++) {
+          Request req = ScanReq("id", "val", 0, 9000, 10);
+          req.tenant_id = tenant;
+          svc.Execute(req);
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  // Neither tenant ever exceeded its share, both made progress, and the
+  // greedy tenant's overflow shed onto itself.
+  EXPECT_LE(svc.tenant_peak_inflight(1), 3u);
+  EXPECT_LE(svc.tenant_peak_inflight(2), 1u);
+  EXPECT_LE(svc.peak_inflight(), 4u);
+  EXPECT_GT(svc.tenant_admitted(1), 0u);
+  EXPECT_GT(svc.tenant_admitted(2), 0u);
+  EXPECT_GT(svc.tenant_shed(2), 0u);  // 4 threads racing into 1 slot
+  EXPECT_EQ(svc.tenant_inflight(1), 0u);
+  EXPECT_EQ(svc.tenant_inflight(2), 0u);
+  EXPECT_EQ(svc.inflight(), 0u);
+}
+
+// --- reactor connection lifecycle ----------------------------------------
+
+TEST(ReactorTest, SequentialChurnReapsConnectionsAndThreads) {
+  // The bug this PR removes: the old thread-per-connection frontend kept
+  // one OS thread per accepted socket alive until Stop. N sequential
+  // connect/query/close cycles must leave the process thread count and
+  // the connection gauge exactly where they started.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  {
+    // Warm up lazily-started shared infrastructure (pool workers).
+    Result<Client> warm = Client::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(warm.ValueOrDie().Point("id", 0).ok());
+  }
+  ASSERT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }));
+  const size_t threads_before = OsThreadCount();
+  ASSERT_GT(threads_before, 0u);
+  for (int i = 0; i < 64; i++) {
+    Result<Client> conn = Client::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(conn.ok()) << "cycle " << i;
+    Client cl = conn.MoveValueOrDie();
+    Result<Response> r = cl.Point("id", uint64_t(i));
+    ASSERT_TRUE(r.ok()) << "cycle " << i;
+    EXPECT_EQ(r.ValueOrDie().value, int64_t(i));
+  }
+  EXPECT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }))
+      << srv.connection_count() << " connections never reaped";
+  EXPECT_TRUE(PollUntil([&] { return OsThreadCount() <= threads_before; }))
+      << "thread count grew from " << threads_before << " to "
+      << OsThreadCount() << " across 64 connection cycles";
+  srv.Stop();
+}
+
+TEST(ReactorTest, ManyIdleConnectionsHoldReactorPoolThreads) {
+  // Resident threads scale with the reactor pool, not the socket count.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  {
+    Result<Client> warm = Client::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(warm.ValueOrDie().Point("id", 0).ok());
+  }
+  ASSERT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }));
+  const size_t threads_before = OsThreadCount();
+  constexpr size_t kConns = 200;
+  std::vector<int> fds;
+  for (size_t i = 0; i < kConns; i++) {
+    int fd = RawConnect(srv.port());
+    ASSERT_GE(fd, 0) << "connect " << i;
+    fds.push_back(fd);
+  }
+  ASSERT_TRUE(PollUntil([&] { return srv.connection_count() == kConns; }))
+      << "accepted " << srv.connection_count() << " of " << kConns;
+  EXPECT_EQ(OsThreadCount(), threads_before)
+      << kConns << " idle connections must not grow the thread count";
+  // One of the idle crowd still gets served promptly.
+  std::vector<uint8_t> frame = EncodeV1PointFrame(1, "id", 42);
+  ASSERT_TRUE(SendAll(fds[kConns / 2], frame.data(), frame.size()));
+  Result<Response> resp = RecvResponse(fds[kConns / 2]);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.ValueOrDie().value, 42);
+  for (int fd : fds) ::close(fd);
+  EXPECT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }))
+      << srv.connection_count() << " connections never reaped";
+  srv.Stop();
+}
+
+TEST(ReactorTest, ConcurrentChurnStorm) {
+  // Accept, query, and teardown race across reactors and the pool; run
+  // under TSan in CI. Half the cycles abandon the connection with a
+  // request still in flight.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  constexpr int kThreads = 8;
+  constexpr int kCycles = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(uint64_t(900 + t));
+      for (int i = 0; i < kCycles; i++) {
+        if (rng.Bernoulli(0.5)) {
+          Result<Client> conn = Client::Connect("127.0.0.1", srv.port());
+          if (!conn.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          Client cl = conn.MoveValueOrDie();
+          const uint64_t row = rng.Uniform(f.id.size());
+          Result<Response> r = cl.Point("id", row);
+          if (!r.ok() || r.ValueOrDie().value != f.id[row]) {
+            failures.fetch_add(1);
+          }
+        } else {
+          // Fire-and-abandon: close with the response still brewing.
+          Result<PipelinedClient> conn =
+              PipelinedClient::Connect("127.0.0.1", srv.port());
+          if (!conn.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          PipelinedClient cl = conn.MoveValueOrDie();
+          Request req = ScanReq("id", "val", 0, 9000, 32);
+          req.request_id = 0;  // auto-assign
+          if (!cl.Send(req).ok() || !cl.Flush().ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          cl.Close();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }));
+  // The storm leaves a healthy server behind.
+  Result<Client> conn = Client::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn.ok());
+  Result<Response> r = conn.ValueOrDie().Point("id", 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().value, 7);
+  srv.Stop();
+  EXPECT_EQ(svc.inflight(), 0u);
+}
+
+TEST(ServerTest, ConnectionGaugeTracksOpenSockets) {
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  std::vector<Client> open;
+  for (int i = 0; i < 5; i++) {
+    Result<Client> conn = Client::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(conn.ok());
+    open.push_back(conn.MoveValueOrDie());
+  }
+  ASSERT_TRUE(PollUntil([&] { return srv.connection_count() == 5; }))
+      << "gauge stuck at " << srv.connection_count();
+  open.resize(3);  // close two
+  ASSERT_TRUE(PollUntil([&] { return srv.connection_count() == 3; }))
+      << "gauge stuck at " << srv.connection_count();
+  open.clear();
+  ASSERT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }));
+  srv.Stop();
+}
+
+// --- hostile pipelined clients -------------------------------------------
+
+TEST(ServerTest, InterleavedHalfFramesAcrossTwoRequestsReassemble) {
+  // Two requests delivered as four fragments, each send() boundary
+  // landing mid-frame: the reassembly buffer must stitch both frames and
+  // answer each with its own request_id.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  int fd = RawConnect(srv.port());
+  ASSERT_GE(fd, 0);
+  Request a = PointReq("id", 11);
+  a.request_id = 101;
+  Request b = PointReq("id", 22);
+  b.request_id = 202;
+  std::vector<uint8_t> wire;
+  EncodeRequestFramedInto(a, &wire);
+  const size_t a_end = wire.size();
+  EncodeRequestFramedInto(b, &wire);
+  // Fragment boundaries: mid-header of A, mid-payload of A (spilling
+  // into B's header), mid-payload of B, remainder.
+  const size_t cuts[] = {2, a_end + 2, wire.size() - 3, wire.size()};
+  size_t sent = 0;
+  for (size_t cut : cuts) {
+    ASSERT_TRUE(SendAll(fd, wire.data() + sent, cut - sent));
+    sent = cut;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::unordered_map<uint64_t, int64_t> got;
+  for (int i = 0; i < 2; i++) {
+    Result<Response> resp = RecvResponse(fd);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp.ValueOrDie().code, StatusCode::kOk)
+        << resp.ValueOrDie().error;
+    got[resp.ValueOrDie().request_id] = resp.ValueOrDie().value;
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[101], 11);
+  EXPECT_EQ(got[202], 22);
+  ::close(fd);
+  srv.Stop();
+}
+
+TEST(ServerTest, PipelinedOutOfOrderCompletionsCorrelate) {
+  // A pool-queued scan and an inline-answered TableInfo sent in one
+  // burst complete out of send order; request_id correlation is the only
+  // valid way to match them.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  Result<PipelinedClient> conn =
+      PipelinedClient::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn.ok());
+  PipelinedClient cl = conn.MoveValueOrDie();
+  Request scan = ScanReq("id", "val", 0, 10000, 64);
+  scan.request_id = 0;
+  Result<uint64_t> scan_id = cl.Send(scan);
+  ASSERT_TRUE(scan_id.ok());
+  Request info;
+  info.type = RequestType::kTableInfo;
+  Result<uint64_t> info_id = cl.Send(info);
+  ASSERT_TRUE(info_id.ok());
+  ASSERT_NE(scan_id.ValueOrDie(), info_id.ValueOrDie());
+
+  Result<Response> first = cl.Next();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<Response> second = cl.Next();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // TableInfo bypasses the pool and is flushed while the scan still
+  // executes — completion order inverts send order.
+  EXPECT_EQ(first.ValueOrDie().request_id, info_id.ValueOrDie());
+  EXPECT_EQ(second.ValueOrDie().request_id, scan_id.ValueOrDie());
+  EXPECT_EQ(first.ValueOrDie().rows, f.id.size());
+  auto [wm, wv] = RefScan(f.id, f.val, 0, 10000, 64);
+  EXPECT_EQ(second.ValueOrDie().total_matches, wm);
+  EXPECT_EQ(second.ValueOrDie().values, wv);
+  EXPECT_EQ(cl.outstanding(), 0u);
+  srv.Stop();
+}
+
+TEST(ServerTest, PipelinedClientClosesMidDrain) {
+  // 100 pipelined requests, 10 responses read, then the client vanishes:
+  // the server must retire the remaining 90 without crashing, leaking
+  // the connection, or wedging admission.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  {
+    Result<PipelinedClient> conn =
+        PipelinedClient::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(conn.ok());
+    PipelinedClient cl = conn.MoveValueOrDie();
+    for (int i = 0; i < 100; i++) {
+      Request req = ScanReq("id", "val", 0, 9000, 32);
+      req.request_id = 0;
+      ASSERT_TRUE(cl.Send(req).ok()) << i;
+    }
+    for (int i = 0; i < 10; i++) {
+      Result<Response> r = cl.Next();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }  // destructor closes with 90 responses undrained
+  EXPECT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }));
+  EXPECT_TRUE(PollUntil([&] { return svc.inflight() == 0; }));
+  // Admission slots all came back: a burst the size of the cap admits.
+  Result<Client> conn2 = Client::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn2.ok());
+  Result<Response> r = conn2.ValueOrDie().Point("id", 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().code, StatusCode::kOk);
+  srv.Stop();
+}
+
+TEST(ServerTest, SlowReaderWriteQueueCapDisconnects) {
+  // A client that requests fast and never reads must be disconnected
+  // once its un-flushed responses exceed the per-connection cap — the
+  // server never buffers a slow reader without bound.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  ServerOptions opts;
+  opts.max_write_queue_bytes = 16 * 1024;
+  opts.sndbuf_bytes = 16 * 1024;  // keep backpressure out of the kernel
+  Server srv(&svc, opts);
+  ASSERT_TRUE(srv.Start().ok());
+  const uint64_t overflows_before = srv.write_queue_overflows();
+  int fd = RawConnect(srv.port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_GE(fd, 0);
+  // Each scan response carries up to 8192 values (~64 KB) — a handful
+  // overwhelm the 16 KB cap once the socket stops draining.
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < 64; i++) {
+    Request req = ScanReq("id", "val", 0, 10000, 8192);
+    req.request_id = uint64_t(i + 1);
+    EncodeRequestFramedInto(req, &burst);
+  }
+  ASSERT_TRUE(SendAll(fd, burst.data(), burst.size()));
+  EXPECT_TRUE(PollUntil(
+      [&] { return srv.write_queue_overflows() > overflows_before; }))
+      << "cap never tripped: " << srv.write_queue_overflows();
+  EXPECT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }))
+      << "slow reader never disconnected";
+  ::close(fd);
+  // Well-behaved clients are unaffected.
+  Result<Client> conn = Client::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn.ok());
+  Result<Response> r = conn.ValueOrDie().Point("id", 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().value, 3);
+  srv.Stop();
+}
+
+TEST(ServerTest, WriteErrorTearsDownConnectionAndCounts) {
+  // Satellite 3: response-write failures must be counted and tear the
+  // connection down — never silently dropped. An RST while the server
+  // still holds queued response bytes forces the failing sendmsg.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  ServerOptions opts;
+  opts.max_write_queue_bytes = 8 * 1024 * 1024;  // never trip the cap
+  opts.sndbuf_bytes = 16 * 1024;  // tail parks in the write queue
+  Server srv(&svc, opts);
+  ASSERT_TRUE(srv.Start().ok());
+  const uint64_t errors_before = srv.write_errors();
+  bool saw_error = false;
+  for (int attempt = 0; attempt < 10 && !saw_error; attempt++) {
+    int fd = RawConnect(srv.port(), /*rcvbuf_bytes=*/4096);
+    ASSERT_GE(fd, 0);
+    // ~2 MB of responses against a 4 KB receive window and a 16 KB
+    // server send buffer: the kernel can absorb only a sliver, so a
+    // queued tail is guaranteed to remain server-side.
+    std::vector<uint8_t> burst;
+    for (int i = 0; i < 32; i++) {
+      Request req = ScanReq("id", "val", 0, 10000, 8192);
+      req.request_id = uint64_t(i + 1);
+      EncodeRequestFramedInto(req, &burst);
+    }
+    if (!SendAll(fd, burst.data(), burst.size())) {
+      ::close(fd);
+      continue;
+    }
+    // Wait for every scan to finish (responses queued, flush attempted,
+    // tail parked behind the closed window), read one byte so there is
+    // unread data, then abort: close() with unread data sends RST, and
+    // the server's next flush of the queued tail fails.
+    PollUntil([&] { return svc.inflight() == 0; });
+    uint8_t one;
+    (void)::recv(fd, &one, 1, 0);
+    linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+    saw_error = PollUntil(
+        [&] { return srv.write_errors() > errors_before; }, 1000);
+  }
+  EXPECT_TRUE(saw_error) << "no write error surfaced in 10 RST attempts";
+  EXPECT_TRUE(PollUntil([&] { return srv.connection_count() == 0; }));
+  // The failure is isolated: the server still serves new connections.
+  Result<Client> conn = Client::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn.ok());
+  Result<Response> r = conn.ValueOrDie().Point("id", 9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().value, 9);
+  srv.Stop();
+  EXPECT_EQ(svc.inflight(), 0u);
+}
+
+TEST(ServerTest, PipelinedDifferentialAgainstClosedLoop) {
+  // The pipelined path must return byte-identical answers to the
+  // one-outstanding-call path for an identical request stream.
+  Fixture f;
+  QueryService svc(&f.table, f.bm.get());
+  Server srv(&svc, ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  Result<Client> c1 = Client::Connect("127.0.0.1", srv.port());
+  Result<PipelinedClient> c2 =
+      PipelinedClient::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  Client closed = c1.MoveValueOrDie();
+  PipelinedClient piped = c2.MoveValueOrDie();
+  Rng rng(4242);
+  constexpr int kOps = 64;
+  std::vector<Request> stream;
+  for (int i = 0; i < kOps; i++) {
+    if (rng.Bernoulli(0.5)) {
+      stream.push_back(PointReq("id", rng.Uniform(f.id.size())));
+    } else {
+      const int64_t lo = int64_t(rng.Uniform(7000));
+      stream.push_back(
+          ScanReq("id", "val", lo, lo + int64_t(rng.Uniform(400)), 32));
+    }
+    stream.back().request_id = uint64_t(i + 1);
+  }
+  std::unordered_map<uint64_t, Response> closed_got, piped_got;
+  for (const Request& req : stream) {
+    Result<Response> r = closed.Call(req);
+    ASSERT_TRUE(r.ok());
+    closed_got[req.request_id] = r.MoveValueOrDie();
+  }
+  for (const Request& req : stream) ASSERT_TRUE(piped.Send(req).ok());
+  for (int i = 0; i < kOps; i++) {
+    Result<Response> r = piped.Next();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    piped_got[r.ValueOrDie().request_id] = r.MoveValueOrDie();
+  }
+  ASSERT_EQ(closed_got.size(), piped_got.size());
+  for (const auto& [id, want] : closed_got) {
+    auto it = piped_got.find(id);
+    ASSERT_NE(it, piped_got.end()) << "request " << id << " unanswered";
+    EXPECT_EQ(EncodeResponse(it->second), EncodeResponse(want))
+        << "request " << id << " diverged";
+  }
+  srv.Stop();
 }
 
 }  // namespace

@@ -6,9 +6,18 @@
 // drains in-flight queries, prints a summary, and exits 0.
 //
 //   scc_serve [--dir PATH | --rows N] [--port P] [--port-file PATH]
-//             [--max-inflight N] [--deadline-us N] [--scan-threads N]
+//             [--max-inflight N] [--tenant-quotas ID:W,ID:W,...]
+//             [--deadline-us N] [--scan-threads N]
+//             [--reactors N] [--write-queue-kb N] [--sndbuf-kb N]
 //             [--chunk N] [--seed S] [--dram-mb N] [--hot-kb N]
 //             [--ssd-mb N] [--telemetry]
+//
+// --tenant-quotas configures weighted admission shares (docs/SERVICE.md):
+// "1:3,2:1" caps tenant 1 at 3/4 and tenant 2 at 1/4 of --max-inflight.
+// --reactors sizes the epoll reactor pool (resident threads stay at this
+// count no matter how many connections are open); --write-queue-kb caps
+// each connection's un-flushed response bytes before a slow reader is
+// disconnected.
 //
 // The synthetic table (--rows) has the scc_load/tail_latency column
 // shapes: sequential `id` (closed-form verifiable — workload_driver
@@ -75,10 +84,29 @@ int Run(int argc, char** argv) {
   uint16_t port = 0;
   const char* port_file = nullptr;
   server::ServiceOptions svc_opts;
+  server::ServerOptions srv_opts;
   size_t dram_mb = 0;  // 0 = size to the table
   size_t hot_kb = 256;
   size_t ssd_mb = 0;
   bool telemetry = false;
+
+  // "1:3,2:1" -> {tenant 1, weight 3}, {tenant 2, weight 1}.
+  auto parse_quotas = [](const char* spec,
+                         std::vector<server::TenantQuota>* out) {
+    for (const char* p = spec; *p != '\0';) {
+      char* end = nullptr;
+      server::TenantQuota q;
+      q.tenant_id = uint32_t(std::strtoul(p, &end, 10));
+      if (end == p || *end != ':') return false;
+      p = end + 1;
+      q.weight = uint32_t(std::strtoul(p, &end, 10));
+      if (end == p || q.weight == 0) return false;
+      out->push_back(q);
+      p = end;
+      if (*p == ',') p++;
+    }
+    return !out->empty();
+  };
 
   for (int i = 1; i < argc; i++) {
     auto next = [&]() -> const char* {
@@ -98,6 +126,26 @@ int Run(int argc, char** argv) {
       port_file = next();
     } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
       if (const char* v = next()) svc_opts.max_inflight = size_t(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--tenant-quotas") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_quotas(v, &svc_opts.tenant_quotas)) {
+        std::fprintf(stderr,
+                     "error: --tenant-quotas expects ID:WEIGHT[,ID:WEIGHT...]"
+                     " with nonzero weights\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--reactors") == 0) {
+      if (const char* v = next()) {
+        srv_opts.reactor_threads = unsigned(std::atoi(v));
+      }
+    } else if (std::strcmp(argv[i], "--write-queue-kb") == 0) {
+      if (const char* v = next()) {
+        srv_opts.max_write_queue_bytes = size_t(std::atoll(v)) * 1024;
+      }
+    } else if (std::strcmp(argv[i], "--sndbuf-kb") == 0) {
+      if (const char* v = next()) {
+        srv_opts.sndbuf_bytes = size_t(std::atoll(v)) * 1024;
+      }
     } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
       if (const char* v = next()) {
         svc_opts.default_deadline_micros = uint64_t(std::atoll(v));
@@ -116,7 +164,9 @@ int Run(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: %s [--dir PATH | --rows N] [--port P] [--port-file PATH]\n"
-          "          [--max-inflight N] [--deadline-us N] [--scan-threads N]\n"
+          "          [--max-inflight N] [--tenant-quotas ID:W,ID:W,...]\n"
+          "          [--deadline-us N] [--scan-threads N]\n"
+          "          [--reactors N] [--write-queue-kb N] [--sndbuf-kb N]\n"
           "          [--chunk N] [--seed S] [--dram-mb N] [--hot-kb N]\n"
           "          [--ssd-mb N] [--telemetry]\n",
           argv[0]);
@@ -151,7 +201,8 @@ int Run(int argc, char** argv) {
   BufferManager bm(&disk, dram_bytes, Layout::kDSM, tiers);
 
   server::QueryService service(&table, &bm, svc_opts);
-  server::Server srv(&service, server::ServerOptions{"127.0.0.1", port});
+  srv_opts.port = port;
+  server::Server srv(&service, srv_opts);
   if (Status st = srv.Start(); !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
@@ -168,6 +219,13 @@ int Run(int argc, char** argv) {
   std::printf("admission: max_inflight %zu, default deadline %llu us\n",
               svc_opts.max_inflight,
               (unsigned long long)svc_opts.default_deadline_micros);
+  for (const server::TenantQuota& q : svc_opts.tenant_quotas) {
+    std::printf("  tenant %u: weight %u -> limit %zu\n", q.tenant_id,
+                q.weight, service.tenant_limit(q.tenant_id));
+  }
+  std::printf("reactors: %u, write-queue cap %zu KB\n",
+              srv_opts.reactor_threads,
+              srv_opts.max_write_queue_bytes / 1024);
   std::printf("listening on 127.0.0.1:%u\n", unsigned(srv.port()));
   std::fflush(stdout);
   if (port_file != nullptr) {
